@@ -1,0 +1,46 @@
+//! Criterion version of the Fig. 6(a) contenders on one 100-task DAG:
+//! Spear (DRL-guided, reduced budget) vs Graphene.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spear_bench::{policy, workload};
+use spear::{Graphene, MctsConfig, MctsScheduler, PolicyNetwork, Scheduler};
+
+fn bench_fig6a(c: &mut Criterion) {
+    let spec = workload::cluster();
+    let dag = workload::simulation_dags(1, 100, 42).pop().expect("one dag");
+    let mut group = c.benchmark_group("fig6a_spear_vs_graphene");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("graphene"), |b| {
+        b.iter(|| Graphene::new().schedule(&dag, &spec).unwrap().makespan())
+    });
+    group.bench_function(BenchmarkId::from_parameter("spear_budget_50"), |b| {
+        b.iter(|| {
+            // Fresh policy per scheduler construction; the network is the
+            // dominant cost driver, so use a small untrained one here
+            // (quality is measured by the fig6a binary, not this bench).
+            let net = PolicyNetwork::with_hidden(
+                policy::feature_config(),
+                &[32],
+                &mut StdRng::seed_from_u64(0),
+            );
+            MctsScheduler::drl(
+                MctsConfig {
+                    initial_budget: 50,
+                    min_budget: 10,
+                    ..MctsConfig::default()
+                },
+                net,
+            )
+            .schedule(&dag, &spec)
+            .unwrap()
+            .makespan()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6a);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion version of Table I: pure-MCTS scheduling cost across graph
+//! sizes and budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spear_bench::workload;
+use spear::{MctsConfig, MctsScheduler, Scheduler};
+
+fn bench_mcts_runtime(c: &mut Criterion) {
+    let spec = workload::cluster();
+    let mut group = c.benchmark_group("table1_mcts_runtime");
+    group.sample_size(10);
+    for size in [50usize, 100] {
+        let dag = workload::simulation_dags(1, size, 11).pop().expect("one dag");
+        for budget in [100u64, 500] {
+            group.bench_function(
+                BenchmarkId::new(format!("tasks_{size}"), format!("budget_{budget}")),
+                |b| {
+                    b.iter(|| {
+                        MctsScheduler::pure(MctsConfig {
+                            initial_budget: budget,
+                            min_budget: 5,
+                            ..MctsConfig::default()
+                        })
+                        .schedule(&dag, &spec)
+                        .unwrap()
+                        .makespan()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcts_runtime);
+criterion_main!(benches);

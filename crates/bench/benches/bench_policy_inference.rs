@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks of the DRL hot path: featurization and the
+//! policy-network forward pass (the per-step cost of Spear's rollouts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spear_bench::{policy, workload};
+use spear::dag::analysis::GraphFeatures;
+use spear::rl::Featurizer;
+use spear::{PolicyNetwork, SimState};
+
+fn bench_policy_inference(c: &mut Criterion) {
+    let spec = workload::cluster();
+    let dag = workload::simulation_dags(1, 100, 3).pop().expect("one dag");
+    let features = GraphFeatures::compute(&dag);
+    let state = SimState::new(&dag, &spec).expect("fits");
+    let fz = Featurizer::new(policy::feature_config());
+    let mut net = PolicyNetwork::new(policy::feature_config(), &mut StdRng::seed_from_u64(0));
+
+    c.bench_function("featurize_100_tasks", |b| {
+        b.iter(|| fz.featurize(&dag, &spec, &state, &features))
+    });
+    let view = fz.featurize(&dag, &spec, &state, &features);
+    c.bench_function("mlp_forward_paper_arch", |b| {
+        b.iter(|| net.net_mut().forward_one(&view.features))
+    });
+    c.bench_function("graph_features_100_tasks", |b| {
+        b.iter(|| GraphFeatures::compute(&dag))
+    });
+    c.bench_function("legal_actions_100_tasks", |b| {
+        b.iter(|| state.legal_actions(&dag))
+    });
+}
+
+criterion_group!(benches, bench_policy_inference);
+criterion_main!(benches);

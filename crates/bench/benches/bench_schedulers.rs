@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks: one full scheduling pass per baseline on
+//! the paper's 100-task workload (the per-job cost behind Fig. 6(b)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spear_bench::workload;
+use spear::{CpScheduler, Graphene, Scheduler, SjfScheduler, TetrisScheduler};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let spec = workload::cluster();
+    let dag = workload::simulation_dags(1, 100, 5).pop().expect("one dag");
+    let mut group = c.benchmark_group("schedulers_100_tasks");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::from_parameter("tetris"), |b| {
+        b.iter(|| TetrisScheduler::new().schedule(&dag, &spec).unwrap().makespan())
+    });
+    group.bench_function(BenchmarkId::from_parameter("sjf"), |b| {
+        b.iter(|| SjfScheduler::new().schedule(&dag, &spec).unwrap().makespan())
+    });
+    group.bench_function(BenchmarkId::from_parameter("cp"), |b| {
+        b.iter(|| CpScheduler::new().schedule(&dag, &spec).unwrap().makespan())
+    });
+    group.bench_function(BenchmarkId::from_parameter("graphene"), |b| {
+        b.iter(|| Graphene::new().schedule(&dag, &spec).unwrap().makespan())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs the design-choice ablations of DESIGN.md §5.
+
+use spear_bench::experiments::ablations;
+use spear_bench::{policy, report, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = ablations::Config::for_scale(scale);
+    let trained = policy::obtain(scale, &workload::cluster());
+    let mut outcome = ablations::run(&config, trained.clone());
+    outcome.training = ablations::run_training_levels(&config, trained, 12345);
+    for table in ablations::tables(&outcome) {
+        println!("{}", table.render());
+    }
+    report::write_json(&format!("ablations_{}", scale.tag()), &outcome);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 6(b): scheduler runtime comparison (same runs as
+//! Fig. 6(a), reported on the time axis).
+
+use spear_bench::experiments::fig6;
+use spear_bench::{policy, report, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fig6::Config::for_scale(scale);
+    let trained = policy::obtain(scale, &workload::cluster());
+    let outcome = fig6::run(&config, trained);
+    let table = fig6::runtime_table(&outcome);
+    println!("{}", table.render());
+    report::write_json(&format!("fig6b_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fig6b_{}.csv", scale.tag()), &table.to_csv());
+}

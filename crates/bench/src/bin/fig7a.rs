@@ -1,0 +1,14 @@
+//! Regenerates Fig. 7(a): pure-MCTS makespan vs iteration budget.
+
+use spear_bench::experiments::fig7;
+use spear_bench::{report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fig7::Config::for_scale(scale);
+    let outcome = fig7::run(&config);
+    let table = fig7::makespan_table(&outcome);
+    println!("{}", table.render());
+    report::write_json(&format!("fig7_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fig7a_{}.csv", scale.tag()), &table.to_csv());
+}

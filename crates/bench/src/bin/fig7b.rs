@@ -1,0 +1,15 @@
+//! Regenerates Fig. 7(b): fraction of jobs where MCTS beats Tetris, per
+//! budget.
+
+use spear_bench::experiments::fig7;
+use spear_bench::{report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fig7::Config::for_scale(scale);
+    let outcome = fig7::run(&config);
+    let table = fig7::winrate_table(&outcome);
+    println!("{}", table.render());
+    report::write_json(&format!("fig7_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fig7b_{}.csv", scale.tag()), &table.to_csv());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 8(a): Spear at a tenth of the budget vs pure MCTS vs
+//! the greedy baselines.
+
+use spear_bench::experiments::fig8;
+use spear_bench::{policy, report, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fig8::Config::for_scale(scale);
+    let trained = policy::obtain(scale, &workload::cluster());
+    let outcome = fig8::run(&config, trained);
+    let table = fig8::table(&outcome, &config);
+    println!("{}", table.render());
+    report::write_json(&format!("fig8a_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fig8a_{}.csv", scale.tag()), &table.to_csv());
+}

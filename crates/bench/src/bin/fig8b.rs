@@ -1,0 +1,14 @@
+//! Regenerates Fig. 8(b): the DRL learning curve with Tetris/SJF
+//! reference lines.
+
+use spear_bench::experiments::fig8;
+use spear_bench::{report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let outcome = fig8::run_curve(scale);
+    let table = fig8::curve_table(&outcome);
+    println!("{}", table.render());
+    report::write_json(&format!("fig8b_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fig8b_{}.csv", scale.tag()), &table.to_csv());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 9(a)/(b): the trace's task-count and mean-runtime
+//! distributions.
+
+use spear_bench::experiments::fig9;
+use spear_bench::{report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fig9::Config::for_scale(scale);
+    let trace = fig9::trace(config.seed);
+    let a = fig9::task_count_table(&trace);
+    let b = fig9::runtime_table(&trace);
+    println!("{}", a.render());
+    println!("{}", b.render());
+    report::write_text(&format!("fig9a_{}.csv", scale.tag()), &a.to_csv());
+    report::write_text(&format!("fig9b_{}.csv", scale.tag()), &b.to_csv());
+    report::write_json(&format!("fig9_trace_{}", scale.tag()), &trace);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 9(c): the distribution of makespan reduction of Spear
+//! over Graphene on the trace jobs.
+
+use spear_bench::experiments::fig9;
+use spear_bench::{policy, report, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fig9::Config::for_scale(scale);
+    let trained = policy::obtain(scale, &workload::cluster());
+    let outcome = fig9::run_reduction(&config, trained);
+    let table = fig9::reduction_table(&outcome);
+    println!("{}", table.render());
+    report::write_json(&format!("fig9c_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fig9c_{}.csv", scale.tag()), &table.to_csv());
+}

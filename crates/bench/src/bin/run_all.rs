@@ -1,0 +1,76 @@
+//! Regenerates every table and figure in one go, writing artifacts to
+//! `results/` and a combined report to `results/experiments_<scale>.md`.
+
+use spear_bench::experiments::{ablations, fig6, fig7, fig8, fig9, table1};
+use spear_bench::{policy, report, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let started = std::time::Instant::now();
+    let mut combined = String::new();
+    let mut push = |s: String| {
+        println!("{s}");
+        combined.push_str(&s);
+        combined.push('\n');
+    };
+
+    eprintln!("== policy ==");
+    let trained = policy::obtain(scale, &workload::cluster());
+
+    eprintln!("== fig6 ==");
+    let f6 = fig6::run(&fig6::Config::for_scale(scale), trained.clone());
+    push(fig6::makespan_table(&f6).render());
+    push(format!(
+        "spear ≤ graphene on {:.0}% of DAGs (paper: 90%)\n",
+        100.0 * f6.spear_beats_graphene
+    ));
+    push(fig6::runtime_table(&f6).render());
+    report::write_json(&format!("fig6a_{}", scale.tag()), &f6);
+
+    eprintln!("== fig7 ==");
+    let f7 = fig7::run(&fig7::Config::for_scale(scale));
+    push(fig7::makespan_table(&f7).render());
+    push(fig7::winrate_table(&f7).render());
+    report::write_json(&format!("fig7_{}", scale.tag()), &f7);
+
+    eprintln!("== table1 ==");
+    let t1cfg = table1::Config::for_scale(scale);
+    let t1 = table1::run(&t1cfg);
+    push(table1::table(&t1, &t1cfg).render());
+    report::write_json(&format!("table1_{}", scale.tag()), &t1);
+
+    eprintln!("== fig8a ==");
+    let f8cfg = fig8::Config::for_scale(scale);
+    let f8 = fig8::run(&f8cfg, trained.clone());
+    push(fig8::table(&f8, &f8cfg).render());
+    report::write_json(&format!("fig8a_{}", scale.tag()), &f8);
+
+    eprintln!("== fig8b ==");
+    let f8b = fig8::run_curve(scale);
+    push(fig8::curve_table(&f8b).render());
+    report::write_json(&format!("fig8b_{}", scale.tag()), &f8b);
+
+    eprintln!("== fig9 ==");
+    let f9cfg = fig9::Config::for_scale(scale);
+    let trace = fig9::trace(f9cfg.seed);
+    push(fig9::task_count_table(&trace).render());
+    push(fig9::runtime_table(&trace).render());
+    let f9c = fig9::run_reduction(&f9cfg, trained.clone());
+    push(fig9::reduction_table(&f9c).render());
+    report::write_json(&format!("fig9c_{}", scale.tag()), &f9c);
+
+    eprintln!("== ablations ==");
+    let mut ab = ablations::run(&ablations::Config::for_scale(scale), trained.clone());
+    ab.training = ablations::run_training_levels(&ablations::Config::for_scale(scale), trained, 12345);
+    for table in ablations::tables(&ab) {
+        push(table.render());
+    }
+    report::write_json(&format!("ablations_{}", scale.tag()), &ab);
+
+    let path = report::write_text(&format!("experiments_{}.md", scale.tag()), &combined);
+    eprintln!(
+        "all experiments done in {:.0?}; combined report at {}",
+        started.elapsed(),
+        path.display()
+    );
+}

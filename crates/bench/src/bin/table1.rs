@@ -1,0 +1,14 @@
+//! Regenerates Table I: MCTS runtime across graph sizes and budgets.
+
+use spear_bench::experiments::table1;
+use spear_bench::{report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = table1::Config::for_scale(scale);
+    let outcome = table1::run(&config);
+    let table = table1::table(&outcome, &config);
+    println!("{}", table.render());
+    report::write_json(&format!("table1_{}", scale.tag()), &outcome);
+    report::write_text(&format!("table1_{}.csv", scale.tag()), &table.to_csv());
+}

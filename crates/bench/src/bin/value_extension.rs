@@ -1,0 +1,16 @@
+//! Runs the value-network rollout-truncation extension (beyond the
+//! paper; see DESIGN.md).
+
+use spear_bench::experiments::value_ext;
+use spear_bench::{policy, report, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = value_ext::Config::for_scale(scale);
+    let trained = policy::obtain(scale, &workload::cluster());
+    let outcome = value_ext::run(&config, trained);
+    let table = value_ext::table(&outcome);
+    println!("{}", table.render());
+    report::write_json(&format!("value_ext_{}", scale.tag()), &outcome);
+    report::write_text(&format!("value_ext_{}.csv", scale.tag()), &table.to_csv());
+}

@@ -1,0 +1,323 @@
+//! Design-choice ablations (DESIGN.md §5): each isolates one of Spear's
+//! adaptations and measures its effect at a fixed budget.
+
+use serde::{Deserialize, Serialize};
+use spear::{
+    ClusterSpec, Dag, MctsConfig, MctsScheduler, PolicyNetwork, Scheduler, TetrisScheduler,
+};
+use spear_mcts::UniformPolicy;
+
+use crate::report::{fmt_f, Table};
+use crate::workload::{self, mean_f64, mean_u64};
+use crate::Scale;
+
+/// Shared ablation parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random DAGs.
+    pub num_dags: usize,
+    /// Tasks per DAG.
+    pub tasks: usize,
+    /// MCTS budget used by every variant.
+    pub budget: (u64, u64),
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Scale-dependent defaults.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Config {
+                num_dags: 8,
+                tasks: 100,
+                budget: (400, 50),
+                seed: 77,
+            },
+            Scale::Quick => Config {
+                num_dags: 5,
+                tasks: 50,
+                budget: (150, 25),
+                seed: 77,
+            },
+        }
+    }
+}
+
+/// One ablation variant's aggregate result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Variant {
+    /// Variant label.
+    pub name: String,
+    /// Mean makespan over the DAGs.
+    pub mean_makespan: f64,
+    /// Mean wall-clock seconds.
+    pub mean_seconds: f64,
+    /// Mean total iterations.
+    pub mean_iterations: f64,
+}
+
+/// All ablation outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Rollout-policy ablation: work-conserving vs fully uniform rollouts.
+    pub rollout: Vec<Variant>,
+    /// Backpropagation ablation: max-value (Eq. 5) vs mean-value UCB.
+    pub backprop: Vec<Variant>,
+    /// Budget ablation: hyperbolic decay (Eq. 4) vs flat.
+    pub budget: Vec<Variant>,
+    /// Guidance ablation: random vs heuristic vs DRL policies.
+    pub guidance: Vec<Variant>,
+    /// Training-level ablation: untrained vs trained network guidance at
+    /// the Spear budget (filled by [`run_training_levels`]).
+    #[serde(default)]
+    pub training: Vec<Variant>,
+    /// Tetris reference mean makespan.
+    pub tetris_reference: f64,
+}
+
+/// Measures how much the *training* of the guidance network matters: the
+/// same DRL-guided search with an untrained (randomly initialized)
+/// network vs the trained one, at the Spear budget. The trained policy's
+/// edge here is the value of §IV's training pipeline inside the search
+/// (the networks differ in weights only, and the trained one was fitted
+/// on 25-task examples — the evaluation DAGs are larger, so this also
+/// demonstrates generalization across job sizes).
+pub fn run_training_levels(
+    config: &Config,
+    trained: PolicyNetwork,
+    untrained_seed: u64,
+) -> Vec<Variant> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let spec = workload::cluster();
+    let dags = workload::simulation_dags(config.num_dags, config.tasks, config.seed);
+    let base = MctsConfig {
+        initial_budget: config.budget.0,
+        min_budget: config.budget.1,
+        seed: config.seed,
+        ..MctsConfig::default()
+    };
+    let untrained = PolicyNetwork::new(
+        trained.feature_config().clone(),
+        &mut StdRng::seed_from_u64(untrained_seed),
+    );
+    vec![
+        measure(
+            "untrained network",
+            MctsScheduler::drl(base.clone(), untrained),
+            &dags,
+            &spec,
+        ),
+        measure(
+            "trained network",
+            MctsScheduler::drl(base, trained),
+            &dags,
+            &spec,
+        ),
+    ]
+}
+
+fn measure(
+    name: &str,
+    mut scheduler: MctsScheduler,
+    dags: &[Dag],
+    spec: &ClusterSpec,
+) -> Variant {
+    let mut makespans = Vec::new();
+    let mut seconds = Vec::new();
+    let mut iterations = Vec::new();
+    for dag in dags {
+        let (schedule, stats) = scheduler.schedule_with_stats(dag, spec).expect("fits");
+        makespans.push(schedule.makespan());
+        seconds.push(stats.elapsed_seconds);
+        iterations.push(stats.iterations as f64);
+    }
+    let v = Variant {
+        name: name.to_owned(),
+        mean_makespan: mean_u64(&makespans),
+        mean_seconds: mean_f64(&seconds),
+        mean_iterations: mean_f64(&iterations),
+    };
+    eprintln!(
+        "[ablation] {}: makespan {:.1}, {:.2}s, {:.0} iterations",
+        v.name, v.mean_makespan, v.mean_seconds, v.mean_iterations
+    );
+    v
+}
+
+/// Runs all ablations.
+pub fn run(config: &Config, trained: PolicyNetwork) -> Outcome {
+    let spec = workload::cluster();
+    let dags = workload::simulation_dags(config.num_dags, config.tasks, config.seed);
+    let base = MctsConfig {
+        initial_budget: config.budget.0,
+        min_budget: config.budget.1,
+        seed: config.seed,
+        ..MctsConfig::default()
+    };
+
+    let rollout = vec![
+        measure(
+            "work-conserving rollout",
+            MctsScheduler::pure(base.clone()),
+            &dags,
+            &spec,
+        ),
+        measure(
+            "uniform rollout",
+            MctsScheduler::with_policy(base.clone(), Box::new(UniformPolicy), "mcts-uniform"),
+            &dags,
+            &spec,
+        ),
+    ];
+
+    let backprop = vec![
+        measure(
+            "max-value (Eq. 5)",
+            MctsScheduler::pure(base.clone()),
+            &dags,
+            &spec,
+        ),
+        measure(
+            "mean-value",
+            MctsScheduler::pure(MctsConfig {
+                max_value_backprop: false,
+                ..base.clone()
+            }),
+            &dags,
+            &spec,
+        ),
+    ];
+
+    let budget = vec![
+        measure(
+            "decayed budget (Eq. 4)",
+            MctsScheduler::pure(base.clone()),
+            &dags,
+            &spec,
+        ),
+        measure(
+            "flat budget",
+            MctsScheduler::pure(MctsConfig {
+                decay_budget: false,
+                ..base.clone()
+            }),
+            &dags,
+            &spec,
+        ),
+    ];
+
+    let guidance = vec![
+        measure(
+            "random guidance",
+            MctsScheduler::pure(base.clone()),
+            &dags,
+            &spec,
+        ),
+        measure(
+            "heuristic guidance",
+            MctsScheduler::heuristic(base.clone()),
+            &dags,
+            &spec,
+        ),
+        measure(
+            "drl guidance (Spear)",
+            MctsScheduler::drl(base.clone(), trained),
+            &dags,
+            &spec,
+        ),
+    ];
+
+    let tetris_reference = mean_u64(
+        &dags
+            .iter()
+            .map(|d| {
+                TetrisScheduler::new()
+                    .schedule(d, &spec)
+                    .expect("fits")
+                    .makespan()
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    Outcome {
+        rollout,
+        backprop,
+        budget,
+        guidance,
+        training: Vec::new(),
+        tetris_reference,
+    }
+}
+
+/// Renders one ablation group.
+pub fn group_table(title: &str, variants: &[Variant]) -> Table {
+    let mut t = Table::new(title, &["variant", "mean makespan", "mean s", "iterations"]);
+    for v in variants {
+        t.row(&[
+            v.name.clone(),
+            fmt_f(v.mean_makespan, 1),
+            fmt_f(v.mean_seconds, 2),
+            fmt_f(v.mean_iterations, 0),
+        ]);
+    }
+    t
+}
+
+/// Renders all ablation tables.
+pub fn tables(outcome: &Outcome) -> Vec<Table> {
+    let mut out = vec![
+        group_table(
+            &format!(
+                "Ablation — rollout policy (tetris reference {:.1})",
+                outcome.tetris_reference
+            ),
+            &outcome.rollout,
+        ),
+        group_table("Ablation — backpropagation (paper Eq. 5)", &outcome.backprop),
+        group_table("Ablation — budget schedule (paper Eq. 4)", &outcome.budget),
+        group_table(
+            "Ablation — search guidance at equal budget",
+            &outcome.guidance,
+        ),
+    ];
+    if !outcome.training.is_empty() {
+        out.push(group_table(
+            "Ablation — guidance network training level (Spear budget)",
+            &outcome.training,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_ablations_run() {
+        let config = Config {
+            num_dags: 2,
+            tasks: 10,
+            budget: (15, 4),
+            seed: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = PolicyNetwork::with_hidden(crate::policy::feature_config(), &[12], &mut rng);
+        let mut outcome = run(&config, net.clone());
+        assert_eq!(outcome.rollout.len(), 2);
+        assert_eq!(outcome.backprop.len(), 2);
+        assert_eq!(outcome.budget.len(), 2);
+        assert_eq!(outcome.guidance.len(), 3);
+        assert!(outcome.tetris_reference > 0.0);
+        assert_eq!(tables(&outcome).len(), 4);
+        outcome.training = run_training_levels(&config, net, 7);
+        assert_eq!(outcome.training.len(), 2);
+        assert_eq!(tables(&outcome).len(), 5);
+        // Flat budget must spend at least as many iterations as decayed.
+        assert!(outcome.budget[1].mean_iterations >= outcome.budget[0].mean_iterations);
+    }
+}

@@ -1,0 +1,209 @@
+//! Fig. 6(a): per-DAG makespans of Spear vs Graphene/Tetris/SJF/CP, and
+//! Fig. 6(b): the corresponding scheduler runtimes.
+//!
+//! Paper setting: 10 random DAGs × 100 tasks, Spear budget 1000 (min
+//! 100). Reported averages: Spear 820.1, Graphene 869.8, Tetris 890.2,
+//! CP 849.0, SJF 896.6; Spear beats Graphene on 90% of DAGs; Spear's
+//! median runtime ≈ Graphene's, Graphene's mean ≈ 2× Spear's.
+
+use serde::{Deserialize, Serialize};
+use spear::{
+    CpScheduler, Graphene, MctsConfig, MctsScheduler, PolicyNetwork, Scheduler, SjfScheduler,
+    TetrisScheduler,
+};
+
+use crate::report::{fmt_f, Table};
+use crate::workload::{self, mean_f64, mean_u64, median_f64};
+use crate::Scale;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random DAGs.
+    pub num_dags: usize,
+    /// Tasks per DAG.
+    pub tasks: usize,
+    /// Spear's initial / minimum budget.
+    pub spear_budget: (u64, u64),
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Scale-dependent defaults (paper: 10 × 100 tasks, budget 1000/100).
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Config {
+                num_dags: 10,
+                tasks: 100,
+                spear_budget: (1000, 100),
+                seed: 42,
+            },
+            Scale::Quick => Config {
+                num_dags: 6,
+                tasks: 60,
+                spear_budget: (200, 40),
+                seed: 42,
+            },
+        }
+    }
+}
+
+/// One DAG's outcomes: makespan and wall-clock per scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// DAG index.
+    pub dag: usize,
+    /// `(makespan, seconds)` per scheduler name.
+    pub outcomes: Vec<(String, u64, f64)>,
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Per-DAG rows.
+    pub rows: Vec<Row>,
+    /// Scheduler names in column order.
+    pub schedulers: Vec<String>,
+    /// Mean makespan per scheduler.
+    pub mean_makespan: Vec<f64>,
+    /// Mean / median wall-clock seconds per scheduler.
+    pub mean_seconds: Vec<f64>,
+    /// Median wall-clock seconds per scheduler.
+    pub median_seconds: Vec<f64>,
+    /// Fraction of DAGs where Spear's makespan ≤ Graphene's.
+    pub spear_beats_graphene: f64,
+}
+
+/// Runs Fig. 6: schedules every DAG with Spear (DRL-guided MCTS) and the
+/// four baselines, recording makespans and wall-clock.
+pub fn run(config: &Config, policy: PolicyNetwork) -> Outcome {
+    let spec = workload::cluster();
+    let dags = workload::simulation_dags(config.num_dags, config.tasks, config.seed);
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(MctsScheduler::drl(
+            MctsConfig {
+                initial_budget: config.spear_budget.0,
+                min_budget: config.spear_budget.1,
+                seed: config.seed,
+                ..MctsConfig::default()
+            },
+            policy,
+        )),
+        Box::new(Graphene::new()),
+        Box::new(TetrisScheduler::new()),
+        Box::new(SjfScheduler::new()),
+        Box::new(CpScheduler::new()),
+    ];
+    let names: Vec<String> = schedulers.iter().map(|s| s.name().to_owned()).collect();
+
+    let mut rows = Vec::with_capacity(dags.len());
+    for (i, dag) in dags.iter().enumerate() {
+        let mut outcomes = Vec::with_capacity(schedulers.len());
+        for s in &mut schedulers {
+            let start = std::time::Instant::now();
+            let schedule = s.schedule(dag, &spec).expect("workload fits the cluster");
+            let secs = start.elapsed().as_secs_f64();
+            schedule.validate(dag, &spec).expect("invalid schedule");
+            outcomes.push((s.name().to_owned(), schedule.makespan(), secs));
+        }
+        eprintln!(
+            "[fig6] dag {i}: {}",
+            outcomes
+                .iter()
+                .map(|(n, m, _)| format!("{n}={m}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        rows.push(Row { dag: i, outcomes });
+    }
+
+    let mean_makespan: Vec<f64> = (0..names.len())
+        .map(|c| mean_u64(&rows.iter().map(|r| r.outcomes[c].1).collect::<Vec<_>>()))
+        .collect();
+    let mean_seconds: Vec<f64> = (0..names.len())
+        .map(|c| mean_f64(&rows.iter().map(|r| r.outcomes[c].2).collect::<Vec<_>>()))
+        .collect();
+    let median_seconds: Vec<f64> = (0..names.len())
+        .map(|c| median_f64(&rows.iter().map(|r| r.outcomes[c].2).collect::<Vec<_>>()))
+        .collect();
+    let beats = rows
+        .iter()
+        .filter(|r| r.outcomes[0].1 <= r.outcomes[1].1)
+        .count() as f64
+        / rows.len().max(1) as f64;
+
+    Outcome {
+        rows,
+        schedulers: names,
+        mean_makespan,
+        mean_seconds,
+        median_seconds,
+        spear_beats_graphene: beats,
+    }
+}
+
+/// Renders the Fig. 6(a) makespan table.
+pub fn makespan_table(outcome: &Outcome) -> Table {
+    let mut headers: Vec<&str> = vec!["dag"];
+    headers.extend(outcome.schedulers.iter().map(String::as_str));
+    let mut t = Table::new(
+        "Fig. 6(a) — makespans per DAG (paper avg: spear 820.1, graphene 869.8, tetris 890.2, cp 849.0, sjf 896.6)",
+        &headers,
+    );
+    for row in &outcome.rows {
+        let mut cells = vec![row.dag.to_string()];
+        cells.extend(row.outcomes.iter().map(|(_, m, _)| m.to_string()));
+        t.row(&cells);
+    }
+    let mut cells = vec!["mean".to_owned()];
+    cells.extend(outcome.mean_makespan.iter().map(|m| fmt_f(*m, 1)));
+    t.row(&cells);
+    t
+}
+
+/// Renders the Fig. 6(b) runtime table.
+pub fn runtime_table(outcome: &Outcome) -> Table {
+    let mut t = Table::new(
+        "Fig. 6(b) — scheduler runtime (paper: spear median ≈ graphene median; graphene mean ≈ 2× spear)",
+        &["scheduler", "mean s", "median s"],
+    );
+    for (i, name) in outcome.schedulers.iter().enumerate() {
+        t.row(&[
+            name.clone(),
+            fmt_f(outcome.mean_seconds[i], 3),
+            fmt_f(outcome.median_seconds[i], 3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_fig6_runs() {
+        let config = Config {
+            num_dags: 2,
+            tasks: 15,
+            spear_budget: (20, 5),
+            seed: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = PolicyNetwork::with_hidden(policy::feature_config(), &[16], &mut rng);
+        let outcome = run(&config, net);
+        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.schedulers[0], "spear");
+        assert_eq!(outcome.schedulers.len(), 5);
+        assert!(outcome.mean_makespan.iter().all(|&m| m > 0.0));
+        assert!((0.0..=1.0).contains(&outcome.spear_beats_graphene));
+        let t = makespan_table(&outcome);
+        assert_eq!(t.len(), 3); // 2 dags + mean
+        assert_eq!(runtime_table(&outcome).len(), 5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fig. 7(a): pure-MCTS makespan vs iteration budget, and Fig. 7(b): the
+//! fraction of jobs where MCTS beats Tetris vs budget.
+//!
+//! Paper setting: 100 DAGs × 100 tasks, minimum budget 5; MCTS beats
+//! Tetris on ≈56% of jobs at budget 600, 67% at 1000, 84% at 2200, and
+//! loses the majority below budget 500.
+
+use serde::{Deserialize, Serialize};
+use spear::{MctsConfig, MctsScheduler, Scheduler, TetrisScheduler};
+
+use crate::report::{fmt_f, Table};
+use crate::workload::{self, mean_u64};
+use crate::Scale;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random DAGs.
+    pub num_dags: usize,
+    /// Tasks per DAG.
+    pub tasks: usize,
+    /// Initial budgets to sweep.
+    pub budgets: Vec<u64>,
+    /// Budget floor (paper: 5).
+    pub min_budget: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Scale-dependent defaults (paper: 100 DAGs, budgets up to 2200).
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Config {
+                num_dags: 100,
+                tasks: 100,
+                budgets: vec![100, 300, 500, 600, 1000, 1500, 2200],
+                min_budget: 5,
+                seed: 7,
+            },
+            Scale::Quick => Config {
+                num_dags: 10,
+                tasks: 60,
+                budgets: vec![25, 50, 100, 200, 400],
+                min_budget: 5,
+                seed: 7,
+            },
+        }
+    }
+}
+
+/// One budget's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetPoint {
+    /// Initial budget of the sweep point.
+    pub budget: u64,
+    /// Mean makespan over the DAGs (Fig. 7(a)).
+    pub mean_makespan: f64,
+    /// Fraction of DAGs where MCTS's makespan < Tetris's (Fig. 7(b)).
+    pub beats_tetris: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// One point per budget.
+    pub points: Vec<BudgetPoint>,
+    /// Tetris's mean makespan on the same DAGs (the Fig. 7(a) reference).
+    pub tetris_mean: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Outcome {
+    let spec = workload::cluster();
+    let dags = workload::simulation_dags(config.num_dags, config.tasks, config.seed);
+    let tetris: Vec<u64> = dags
+        .iter()
+        .map(|d| {
+            TetrisScheduler::new()
+                .schedule(d, &spec)
+                .expect("fits")
+                .makespan()
+        })
+        .collect();
+
+    let mut points = Vec::with_capacity(config.budgets.len());
+    for &budget in &config.budgets {
+        let mut makespans = Vec::with_capacity(dags.len());
+        let mut wins = 0usize;
+        for (i, dag) in dags.iter().enumerate() {
+            let ms = MctsScheduler::pure(MctsConfig {
+                initial_budget: budget,
+                min_budget: config.min_budget,
+                seed: config.seed ^ i as u64,
+                ..MctsConfig::default()
+            })
+            .schedule(dag, &spec)
+            .expect("fits")
+            .makespan();
+            if ms < tetris[i] {
+                wins += 1;
+            }
+            makespans.push(ms);
+        }
+        let point = BudgetPoint {
+            budget,
+            mean_makespan: mean_u64(&makespans),
+            beats_tetris: wins as f64 / dags.len() as f64,
+        };
+        eprintln!(
+            "[fig7] budget {}: mean {:.1}, beats tetris {:.0}%",
+            point.budget,
+            point.mean_makespan,
+            100.0 * point.beats_tetris
+        );
+        points.push(point);
+    }
+    Outcome {
+        points,
+        tetris_mean: mean_u64(&tetris),
+    }
+}
+
+/// Renders Fig. 7(a): mean makespan vs budget.
+pub fn makespan_table(outcome: &Outcome) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig. 7(a) — pure-MCTS mean makespan vs budget (tetris reference {:.1})",
+            outcome.tetris_mean
+        ),
+        &["budget", "mean makespan"],
+    );
+    for p in &outcome.points {
+        t.row(&[p.budget.to_string(), fmt_f(p.mean_makespan, 1)]);
+    }
+    t
+}
+
+/// Renders Fig. 7(b): % of jobs where MCTS beats Tetris.
+pub fn winrate_table(outcome: &Outcome) -> Table {
+    let mut t = Table::new(
+        "Fig. 7(b) — % of jobs where MCTS beats Tetris (paper: 56% @600, 67% @1000, 84% @2200)",
+        &["budget", "beats tetris"],
+    );
+    for p in &outcome.points {
+        t.row(&[
+            p.budget.to_string(),
+            format!("{:.0}%", 100.0 * p.beats_tetris),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_runs_and_points_are_ordered() {
+        let outcome = run(&Config {
+            num_dags: 3,
+            tasks: 12,
+            budgets: vec![10, 40],
+            min_budget: 3,
+            seed: 3,
+        });
+        assert_eq!(outcome.points.len(), 2);
+        assert!(outcome.tetris_mean > 0.0);
+        for p in &outcome.points {
+            assert!((0.0..=1.0).contains(&p.beats_tetris));
+            assert!(p.mean_makespan > 0.0);
+        }
+        assert_eq!(makespan_table(&outcome).len(), 2);
+        assert_eq!(winrate_table(&outcome).len(), 2);
+    }
+}

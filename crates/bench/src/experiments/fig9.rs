@@ -1,0 +1,206 @@
+//! Fig. 9: the trace-driven experiment. (a)/(b) characterize the trace
+//! (task-count and runtime CDFs), (c) is the headline: the distribution
+//! of makespan reduction of Spear over Graphene across the 99 jobs.
+//!
+//! Paper: Spear (budget 100, min 50) performs no worse than Graphene on
+//! 90% of jobs and reduces the makespan by up to ≈20%.
+
+use serde::{Deserialize, Serialize};
+use spear::{
+    Graphene, MctsConfig, MctsScheduler, PolicyNetwork, Scheduler, SyntheticTraceSpec, Trace,
+    TraceStats,
+};
+
+use crate::report::{fmt_f, Table};
+use crate::workload;
+use crate::Scale;
+
+/// Fig. 9(c) parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Jobs to schedule (paper: all 99).
+    pub num_jobs: usize,
+    /// Spear budget (paper: 100 / 50).
+    pub spear_budget: (u64, u64),
+    /// Trace generator seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Scale-dependent defaults.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Config {
+                num_jobs: 99,
+                spear_budget: (100, 50),
+                seed: 2019,
+            },
+            Scale::Quick => Config {
+                num_jobs: 30,
+                spear_budget: (60, 20),
+                seed: 2019,
+            },
+        }
+    }
+}
+
+/// The trace used by all Fig. 9 parts for a given seed.
+pub fn trace(seed: u64) -> Trace {
+    SyntheticTraceSpec::paper().generate(seed)
+}
+
+/// Renders the Fig. 9(a) table: task-count CDF quantiles.
+pub fn task_count_table(trace: &Trace) -> Table {
+    let stats = TraceStats::compute(trace);
+    let mut t = Table::new(
+        format!(
+            "Fig. 9(a) — tasks per stage over {} jobs (paper medians: 14 map / 17 reduce; maxima 29 / 38)",
+            stats.jobs
+        ),
+        &["percentile", "map tasks", "reduce tasks"],
+    );
+    let map_cdf = TraceStats::map_count_cdf(trace);
+    let reduce_cdf = TraceStats::reduce_count_cdf(trace);
+    for pct in [10, 25, 50, 75, 90, 100] {
+        let pick = |cdf: &[(f64, f64)]| {
+            let idx = ((pct as f64 / 100.0) * cdf.len() as f64).ceil() as usize;
+            cdf[idx.clamp(1, cdf.len()) - 1].0
+        };
+        t.row(&[
+            format!("p{pct}"),
+            fmt_f(pick(&map_cdf), 0),
+            fmt_f(pick(&reduce_cdf), 0),
+        ]);
+    }
+    t
+}
+
+/// Renders the Fig. 9(b) table: per-job mean runtime CDF quantiles.
+pub fn runtime_table(trace: &Trace) -> Table {
+    let stats = TraceStats::compute(trace);
+    let mut t = Table::new(
+        format!(
+            "Fig. 9(b) — mean task runtimes (paper medians: map 73 s / reduce 32 s; here {:.0} / {:.0})",
+            stats.median_map_runtime, stats.median_reduce_runtime
+        ),
+        &["percentile", "map runtime", "reduce runtime"],
+    );
+    let map_cdf = TraceStats::map_runtime_cdf(trace);
+    let reduce_cdf = TraceStats::reduce_runtime_cdf(trace);
+    for pct in [10, 25, 50, 75, 90, 100] {
+        let pick = |cdf: &[(f64, f64)]| {
+            let idx = ((pct as f64 / 100.0) * cdf.len() as f64).ceil() as usize;
+            cdf[idx.clamp(1, cdf.len()) - 1].0
+        };
+        t.row(&[
+            format!("p{pct}"),
+            fmt_f(pick(&map_cdf), 1),
+            fmt_f(pick(&reduce_cdf), 1),
+        ]);
+    }
+    t
+}
+
+/// The Fig. 9(c) result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReductionOutcome {
+    /// Per-job `(job id, graphene makespan, spear makespan, reduction)`.
+    pub rows: Vec<(String, u64, u64, f64)>,
+    /// Fraction of jobs where Spear is no worse than Graphene.
+    pub no_worse: f64,
+    /// Maximum reduction achieved.
+    pub max_reduction: f64,
+    /// Mean reduction.
+    pub mean_reduction: f64,
+}
+
+/// Runs Fig. 9(c): Graphene vs Spear on every trace job, reporting the
+/// relative makespan reduction `(graphene − spear) / graphene`.
+pub fn run_reduction(config: &Config, policy: PolicyNetwork) -> ReductionOutcome {
+    let spec = workload::cluster();
+    let trace = trace(config.seed);
+    let mut graphene = Graphene::new();
+    let mut spear = MctsScheduler::drl(
+        MctsConfig {
+            initial_budget: config.spear_budget.0,
+            min_budget: config.spear_budget.1,
+            seed: config.seed,
+            ..MctsConfig::default()
+        },
+        policy,
+    );
+    let mut rows = Vec::new();
+    for (i, job) in trace.jobs.iter().take(config.num_jobs).enumerate() {
+        let dag = job.to_dag();
+        let g = graphene.schedule(&dag, &spec).expect("fits").makespan();
+        let s = spear.schedule(&dag, &spec).expect("fits").makespan();
+        let reduction = (g as f64 - s as f64) / g as f64;
+        if i % 10 == 0 {
+            eprintln!("[fig9c] job {i}: graphene {g} spear {s} ({:+.1}%)", 100.0 * reduction);
+        }
+        rows.push((job.id.clone(), g, s, reduction));
+    }
+    let n = rows.len().max(1) as f64;
+    let no_worse = rows.iter().filter(|r| r.3 >= 0.0).count() as f64 / n;
+    let max_reduction = rows.iter().map(|r| r.3).fold(f64::NEG_INFINITY, f64::max);
+    let mean_reduction = rows.iter().map(|r| r.3).sum::<f64>() / n;
+    ReductionOutcome {
+        rows,
+        no_worse,
+        max_reduction,
+        mean_reduction,
+    }
+}
+
+/// Renders the Fig. 9(c) table: the reduction distribution.
+pub fn reduction_table(outcome: &ReductionOutcome) -> Table {
+    let mut reductions: Vec<f64> = outcome.rows.iter().map(|r| r.3).collect();
+    reductions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut t = Table::new(
+        format!(
+            "Fig. 9(c) — reduction in job duration vs Graphene over {} jobs (no worse on {:.0}%, max {:.1}%, mean {:.1}%; paper: ≥0 on 90%, up to ≈20%)",
+            outcome.rows.len(),
+            100.0 * outcome.no_worse,
+            100.0 * outcome.max_reduction,
+            100.0 * outcome.mean_reduction,
+        ),
+        &["percentile", "reduction"],
+    );
+    for pct in [5, 10, 25, 50, 75, 90, 95, 100] {
+        let idx = ((pct as f64 / 100.0) * reductions.len() as f64).ceil() as usize;
+        let v = reductions[idx.clamp(1, reductions.len()) - 1];
+        t.row(&[format!("p{pct}"), format!("{:+.1}%", 100.0 * v)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_tables_render() {
+        let trace = trace(1);
+        assert_eq!(task_count_table(&trace).len(), 6);
+        assert_eq!(runtime_table(&trace).len(), 6);
+    }
+
+    #[test]
+    fn tiny_reduction_runs() {
+        let config = Config {
+            num_jobs: 2,
+            spear_budget: (10, 3),
+            seed: 8,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = PolicyNetwork::with_hidden(policy::feature_config(), &[12], &mut rng);
+        let outcome = run_reduction(&config, net);
+        assert_eq!(outcome.rows.len(), 2);
+        assert!((0.0..=1.0).contains(&outcome.no_worse));
+        assert!(outcome.max_reduction <= 1.0);
+        assert_eq!(reduction_table(&outcome).len(), 8);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per paper table/figure, plus the design ablations.
+
+pub mod ablations;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod value_ext;

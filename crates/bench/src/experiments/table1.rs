@@ -1,0 +1,163 @@
+//! Table I: runtime of the MCTS-only approach across graph sizes and
+//! budgets.
+//!
+//! Paper grid: graph sizes {50, 100} × budgets {500, 1000}, runtimes in
+//! seconds on a 24-core GCE VM. Absolute numbers differ on this host;
+//! the reproduced *shape* is the growth with both axes.
+
+use serde::{Deserialize, Serialize};
+use spear::{MctsConfig, MctsScheduler};
+
+use crate::report::{fmt_f, Table};
+use crate::workload::{self, mean_f64};
+use crate::Scale;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Graph sizes (rows of the paper table: 50, 100).
+    pub sizes: Vec<usize>,
+    /// Initial budgets (columns: 500, 1000).
+    pub budgets: Vec<u64>,
+    /// DAGs averaged per cell.
+    pub dags_per_cell: usize,
+    /// Budget floor (paper's Fig. 7 setting: 5).
+    pub min_budget: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Scale-dependent defaults.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Config {
+                sizes: vec![50, 100],
+                budgets: vec![500, 1000],
+                dags_per_cell: 5,
+                min_budget: 5,
+                seed: 11,
+            },
+            Scale::Quick => Config {
+                // Pure MCTS is cheap enough in Rust to keep the paper's
+                // grid even at quick scale (fewer DAGs per cell).
+                sizes: vec![50, 100],
+                budgets: vec![500, 1000],
+                dags_per_cell: 3,
+                min_budget: 5,
+                seed: 11,
+            },
+        }
+    }
+}
+
+/// One grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Graph size (tasks).
+    pub size: usize,
+    /// Initial budget.
+    pub budget: u64,
+    /// Mean wall-clock seconds per job.
+    pub seconds: f64,
+    /// Mean MCTS iterations per job.
+    pub iterations: f64,
+}
+
+/// The grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// All cells, row-major (size-major).
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the grid.
+pub fn run(config: &Config) -> Outcome {
+    let spec = workload::cluster();
+    let mut cells = Vec::new();
+    for &size in &config.sizes {
+        let dags = workload::simulation_dags(config.dags_per_cell, size, config.seed);
+        for &budget in &config.budgets {
+            let mut seconds = Vec::new();
+            let mut iterations = Vec::new();
+            for (i, dag) in dags.iter().enumerate() {
+                let (_, stats) = MctsScheduler::pure(MctsConfig {
+                    initial_budget: budget,
+                    min_budget: config.min_budget,
+                    seed: i as u64,
+                    ..MctsConfig::default()
+                })
+                .schedule_with_stats(dag, &spec)
+                .expect("fits");
+                seconds.push(stats.elapsed_seconds);
+                iterations.push(stats.iterations as f64);
+            }
+            let cell = Cell {
+                size,
+                budget,
+                seconds: mean_f64(&seconds),
+                iterations: mean_f64(&iterations),
+            };
+            eprintln!(
+                "[table1] size {} budget {}: {:.2}s, {:.0} iterations",
+                cell.size, cell.budget, cell.seconds, cell.iterations
+            );
+            cells.push(cell);
+        }
+    }
+    Outcome { cells }
+}
+
+/// Renders Table I.
+pub fn table(outcome: &Outcome, config: &Config) -> Table {
+    let mut headers = vec!["graph size".to_owned()];
+    headers.extend(config.budgets.iter().map(|b| format!("budget {b} (s)")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table I — runtime of the MCTS-only approach (s); grows with both graph size and budget",
+        &header_refs,
+    );
+    for &size in &config.sizes {
+        let mut cells = vec![size.to_string()];
+        for &budget in &config.budgets {
+            let c = outcome
+                .cells
+                .iter()
+                .find(|c| c.size == size && c.budget == budget)
+                .expect("grid is complete");
+            cells.push(fmt_f(c.seconds, 3));
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_grows_with_size_and_budget() {
+        let config = Config {
+            sizes: vec![10, 30],
+            budgets: vec![20, 80],
+            dags_per_cell: 2,
+            min_budget: 4,
+            seed: 0,
+        };
+        let outcome = run(&config);
+        assert_eq!(outcome.cells.len(), 4);
+        let get = |size, budget| {
+            outcome
+                .cells
+                .iter()
+                .find(|c| c.size == size && c.budget == budget)
+                .unwrap()
+        };
+        // Iterations grow with budget at fixed size…
+        assert!(get(30, 80).iterations > get(30, 20).iterations);
+        // …and wall-clock grows with size at fixed budget.
+        assert!(get(30, 80).seconds >= get(10, 80).seconds);
+        assert_eq!(table(&outcome, &config).len(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! The value-network extension experiment (beyond the paper; DESIGN.md):
+//! does truncating Spear's rollouts with a learned value function recover
+//! the wall-clock without giving up the quality?
+//!
+//! Variants at the same budget: full-rollout Spear (the paper), Spear
+//! with value-truncated rollouts at several truncation depths, and a
+//! no-learning control that truncates onto the analytic critical-path
+//! bound.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use spear::rl::{train_value_network, ValueNetwork, ValueTrainConfig};
+use spear::{MctsConfig, MctsScheduler, PolicyNetwork, Scheduler, TetrisScheduler};
+use spear_mcts::{BoundEvaluator, DrlPolicy};
+
+use crate::report::{fmt_f, Table};
+use crate::workload::{self, mean_f64, mean_u64};
+use crate::Scale;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of evaluation DAGs.
+    pub num_dags: usize,
+    /// Tasks per DAG.
+    pub tasks: usize,
+    /// Search budget for every variant.
+    pub budget: (u64, u64),
+    /// Rollout truncation depths to test.
+    pub truncations: Vec<u64>,
+    /// Value-network training jobs (generated separately from evaluation).
+    pub train_dags: usize,
+    /// Value-network training settings.
+    pub train: ValueTrainConfig,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Scale-dependent defaults.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => Config {
+                num_dags: 6,
+                tasks: 100,
+                budget: (100, 20),
+                truncations: vec![5, 15, 40],
+                train_dags: 16,
+                train: ValueTrainConfig {
+                    episodes_per_dag: 6,
+                    epochs: 25,
+                    batch_size: 128,
+                    learning_rate: 1e-3,
+                },
+                seed: 31,
+            },
+            Scale::Quick => Config {
+                num_dags: 4,
+                tasks: 50,
+                budget: (60, 12),
+                truncations: vec![4, 10],
+                train_dags: 6,
+                train: ValueTrainConfig {
+                    episodes_per_dag: 4,
+                    epochs: 15,
+                    batch_size: 128,
+                    learning_rate: 1e-3,
+                },
+                seed: 31,
+            },
+        }
+    }
+}
+
+/// One variant's aggregate outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Variant {
+    /// Variant label.
+    pub name: String,
+    /// Mean makespan.
+    pub mean_makespan: f64,
+    /// Mean wall-clock seconds.
+    pub mean_seconds: f64,
+    /// Mean simulated rollout steps per job.
+    pub mean_rollout_steps: f64,
+}
+
+/// The experiment outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// All variants, full-rollout Spear first.
+    pub variants: Vec<Variant>,
+    /// Tetris reference.
+    pub tetris_reference: f64,
+    /// Final value-regression loss.
+    pub value_loss: f64,
+}
+
+fn measure(name: &str, mut s: MctsScheduler, dags: &[spear::Dag]) -> Variant {
+    let spec = workload::cluster();
+    let mut makespans = Vec::new();
+    let mut seconds = Vec::new();
+    let mut steps = Vec::new();
+    for dag in dags {
+        let (schedule, stats) = s.schedule_with_stats(dag, &spec).expect("fits");
+        makespans.push(schedule.makespan());
+        seconds.push(stats.elapsed_seconds);
+        steps.push(stats.rollout_steps as f64);
+    }
+    let v = Variant {
+        name: name.to_owned(),
+        mean_makespan: mean_u64(&makespans),
+        mean_seconds: mean_f64(&seconds),
+        mean_rollout_steps: mean_f64(&steps),
+    };
+    eprintln!(
+        "[value-ext] {}: makespan {:.1}, {:.2}s, {:.0} rollout steps",
+        v.name, v.mean_makespan, v.mean_seconds, v.mean_rollout_steps
+    );
+    v
+}
+
+/// Runs the experiment: trains the value network against the given policy,
+/// then compares truncated against full rollouts.
+pub fn run(config: &Config, trained: PolicyNetwork) -> Outcome {
+    let spec = workload::cluster();
+    let eval_dags = workload::simulation_dags(config.num_dags, config.tasks, config.seed);
+    // Train the value function on *different* jobs of the training size.
+    let train_dags = workload::simulation_dags(config.train_dags, 25, config.seed ^ 0xabcd);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut value = ValueNetwork::new(
+        trained.feature_config().clone(),
+        &[64, 32],
+        &mut rng,
+    );
+    let mut policy_for_rollouts = trained.clone();
+    let loss = train_value_network(
+        &mut value,
+        &mut policy_for_rollouts,
+        &train_dags,
+        &spec,
+        &config.train,
+        &mut rng,
+    )
+    .expect("value training");
+    eprintln!(
+        "[value-ext] value regression loss {:.4} -> {:.4}",
+        loss.first().copied().unwrap_or(f64::NAN),
+        loss.last().copied().unwrap_or(f64::NAN)
+    );
+
+    let base = MctsConfig {
+        initial_budget: config.budget.0,
+        min_budget: config.budget.1,
+        seed: config.seed,
+        ..MctsConfig::default()
+    };
+    let mut variants = vec![measure(
+        "spear (full rollouts)",
+        MctsScheduler::drl(base.clone(), trained.clone()),
+        &eval_dags,
+    )];
+    for &k in &config.truncations {
+        variants.push(measure(
+            &format!("spear-value (truncate {k})"),
+            MctsScheduler::drl_with_value(base.clone(), trained.clone(), value.clone(), k),
+            &eval_dags,
+        ));
+    }
+    // No-learning control: truncate onto the analytic bound.
+    variants.push(measure(
+        "spear-bound (truncate, analytic)",
+        MctsScheduler::with_policy_and_evaluator(
+            base.clone(),
+            Box::new(DrlPolicy::new(trained)),
+            Box::new(BoundEvaluator),
+            *config.truncations.first().unwrap_or(&5),
+            "spear-bound",
+        ),
+        &eval_dags,
+    ));
+
+    let tetris_reference = mean_u64(
+        &eval_dags
+            .iter()
+            .map(|d| {
+                TetrisScheduler::new()
+                    .schedule(d, &spec)
+                    .expect("fits")
+                    .makespan()
+            })
+            .collect::<Vec<_>>(),
+    );
+    Outcome {
+        variants,
+        tetris_reference,
+        value_loss: loss.last().copied().unwrap_or(f64::NAN),
+    }
+}
+
+/// Renders the comparison table.
+pub fn table(outcome: &Outcome) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Extension — value-truncated rollouts (tetris reference {:.1}, value loss {:.4})",
+            outcome.tetris_reference, outcome.value_loss
+        ),
+        &["variant", "mean makespan", "mean s", "rollout steps"],
+    );
+    for v in &outcome.variants {
+        t.row(&[
+            v.name.clone(),
+            fmt_f(v.mean_makespan, 1),
+            fmt_f(v.mean_seconds, 2),
+            fmt_f(v.mean_rollout_steps, 0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_value_extension_runs() {
+        let config = Config {
+            num_dags: 2,
+            tasks: 10,
+            budget: (12, 4),
+            truncations: vec![3],
+            train_dags: 2,
+            train: ValueTrainConfig {
+                episodes_per_dag: 2,
+                epochs: 3,
+                batch_size: 64,
+                learning_rate: 1e-2,
+            },
+            seed: 5,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = PolicyNetwork::with_hidden(crate::policy::feature_config(), &[12], &mut rng);
+        let outcome = run(&config, net);
+        // full + 1 truncation + bound control.
+        assert_eq!(outcome.variants.len(), 3);
+        assert!(outcome.tetris_reference > 0.0);
+        // Truncation reduces simulated steps.
+        assert!(outcome.variants[1].mean_rollout_steps < outcome.variants[0].mean_rollout_steps);
+        assert_eq!(table(&outcome).len(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! The experiment harness: regenerates every table and figure of the
+//! Spear paper's evaluation section (§V).
+//!
+//! Each `fig*`/`table*` binary in `src/bin` is a thin wrapper around a
+//! module of [`experiments`]; all of them accept `--paper` for the paper's
+//! full parameters and default to `--quick`, a laptop-scale configuration
+//! that preserves the qualitative shape (who wins, by roughly what factor)
+//! at a fraction of the wall-clock. `run_all` regenerates everything and
+//! writes machine-readable artifacts to `results/`.
+//!
+//! | experiment | binary | paper result reproduced |
+//! |---|---|---|
+//! | Fig. 6(a) | `fig6a` | per-DAG makespans, Spear vs 4 baselines |
+//! | Fig. 6(b) | `fig6b` | scheduler runtime distributions |
+//! | Fig. 7(a) | `fig7a` | pure-MCTS makespan vs budget |
+//! | Fig. 7(b) | `fig7b` | % of jobs MCTS beats Tetris vs budget |
+//! | Table I   | `table1` | MCTS runtime vs graph size × budget |
+//! | Fig. 8(a) | `fig8a` | Spear@100 ≈ MCTS@1000 > Tetris/CP/SJF |
+//! | Fig. 8(b) | `fig8b` | the DRL learning curve |
+//! | Fig. 9(a,b) | `fig9ab` | trace task-count / runtime CDFs |
+//! | Fig. 9(c) | `fig9c` | makespan reduction vs Graphene CDF |
+//! | ablations | `ablations` | design-choice ablations (DESIGN.md §5) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod policy;
+pub mod report;
+pub mod workload;
+
+/// Experiment scale selection, shared by all binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale defaults: minutes of wall-clock, same qualitative
+    /// shapes.
+    Quick,
+    /// The paper's full parameters (hours on one core).
+    Paper,
+}
+
+impl Scale {
+    /// Parses the scale from process arguments: `--paper` selects
+    /// [`Scale::Paper`], anything else (or nothing) stays quick.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// A short tag for artifact names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}

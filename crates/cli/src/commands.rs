@@ -1,0 +1,336 @@
+//! The subcommand implementations.
+
+use std::error::Error;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spear::dag::generator::LayeredDagSpec;
+use spear::{
+    ClusterSpec, CpScheduler, Dag, FeatureConfig, Graphene, MctsConfig, MctsScheduler,
+    PolicyNetwork, RandomScheduler, ResourceVec, Scheduler, SjfScheduler, SyntheticTraceSpec,
+    TetrisScheduler, Trace, TraceStats,
+};
+
+use crate::args::Args;
+
+/// The `help` text.
+pub const HELP: &str = "\
+spear-cli — dependency-aware task scheduling with MCTS + deep RL
+
+USAGE:
+  spear-cli generate [--tasks 100] [--seed 0] [--trace] [--output file.json]
+  spear-cli schedule (--dag file.json | --stg file.stg [--drop-dummies])
+                     [--algo spear|mcts|tetris|sjf|cp|graphene|random]
+                     [--budget 100] [--min-budget 50] [--policy policy.json]
+                     [--capacity 1.0] [--seed 0] [--gantt]
+  spear-cli train    [--profile tiny|fast|paper] --output policy.json
+  spear-cli evaluate [--tasks 100] [--dags 5] [--seed 0] [--budget 200]
+  spear-cli stats    (--dag file.json | --stg file.stg | --trace-file file.json)
+
+All demands/capacities are fractions of a two-dimensional (CPU, memory)
+cluster unless the input file says otherwise.";
+
+fn cluster_for(dag: &Dag, args: &Args) -> Result<ClusterSpec, Box<dyn Error>> {
+    let capacity: f64 = args.get_or("capacity", 1.0)?;
+    Ok(ClusterSpec::new(ResourceVec::splat(dag.dims(), capacity))?)
+}
+
+/// Loads a DAG from `--dag file.json` or `--stg file.stg` (STG files get
+/// demands from the simulation distribution, seeded by `--seed`).
+fn load_dag(args: &Args) -> Result<Dag, Box<dyn Error>> {
+    if let Some(path) = args.get("dag") {
+        return Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?);
+    }
+    if let Some(path) = args.get("stg") {
+        let seed: u64 = args.get_or("seed", 0)?;
+        let model = spear::dag::stg::DemandModel::Normal {
+            dims: 2,
+            mean: 0.45,
+            std_dev: 0.2,
+            min: 0.05,
+            max: 1.0,
+        };
+        let dag = spear::dag::stg::parse_stg(
+            &std::fs::read_to_string(path)?,
+            &model,
+            args.flag("drop-dummies"),
+            &mut StdRng::seed_from_u64(seed),
+        )?;
+        return Ok(dag);
+    }
+    Err("need --dag file.json or --stg file.stg".into())
+}
+
+fn write_or_print(args: &Args, json: &str) -> Result<(), Box<dyn Error>> {
+    match args.get("output") {
+        Some(path) => {
+            std::fs::write(path, json)?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `spear-cli generate`: a random layered DAG, or with `--trace` the full
+/// synthetic 99-job production trace.
+pub fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let seed: u64 = args.get_or("seed", 0)?;
+    if args.flag("trace") {
+        let trace = SyntheticTraceSpec::paper().generate(seed);
+        return write_or_print(args, &serde_json::to_string_pretty(&trace)?);
+    }
+    let spec = LayeredDagSpec {
+        num_tasks: args.get_or("tasks", 100)?,
+        ..LayeredDagSpec::paper_simulation()
+    };
+    let dag = spec.generate(&mut StdRng::seed_from_u64(seed));
+    write_or_print(args, &serde_json::to_string_pretty(&dag)?)
+}
+
+fn build_scheduler(
+    algo: &str,
+    args: &Args,
+    dag_dims: usize,
+) -> Result<Box<dyn Scheduler>, Box<dyn Error>> {
+    let budget: u64 = args.get_or("budget", 100)?;
+    let min_budget: u64 = args.get_or("min-budget", budget / 2)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let config = MctsConfig {
+        initial_budget: budget,
+        min_budget,
+        seed,
+        ..MctsConfig::default()
+    };
+    Ok(match algo {
+        "tetris" => Box::new(TetrisScheduler::new()),
+        "sjf" => Box::new(SjfScheduler::new()),
+        "cp" => Box::new(CpScheduler::new()),
+        "graphene" => Box::new(Graphene::new()),
+        "random" => Box::new(RandomScheduler::seeded(seed)),
+        "mcts" => Box::new(MctsScheduler::pure(config)),
+        "spear" => {
+            let features = FeatureConfig::paper(dag_dims);
+            let policy = match args.get("policy") {
+                Some(path) => {
+                    let net = spear::nn::Mlp::load_from_path(path)?;
+                    PolicyNetwork::from_parts(features, net)
+                }
+                None => {
+                    eprintln!("note: no --policy given; using an untrained network");
+                    PolicyNetwork::new(features, &mut StdRng::seed_from_u64(seed))
+                }
+            };
+            Box::new(MctsScheduler::drl(config, policy))
+        }
+        other => return Err(format!("unknown --algo `{other}`").into()),
+    })
+}
+
+/// `spear-cli schedule`: schedule a DAG file and report the makespan.
+pub fn schedule(args: &Args) -> Result<(), Box<dyn Error>> {
+    let dag = load_dag(args)?;
+    let spec = cluster_for(&dag, args)?;
+    let algo = args.get("algo").unwrap_or("spear");
+    let mut scheduler = build_scheduler(algo, args, dag.dims())?;
+    let start = std::time::Instant::now();
+    let schedule = scheduler.schedule(&dag, &spec)?;
+    let elapsed = start.elapsed();
+    schedule.validate(&dag, &spec)?;
+    println!(
+        "{}: makespan {} (lower bound {}, serial {}) in {:.2?}",
+        scheduler.name(),
+        schedule.makespan(),
+        dag.makespan_lower_bound(spec.capacity()),
+        dag.total_work(),
+        elapsed
+    );
+    println!(
+        "utilization {:.1}%",
+        100.0 * schedule.utilization(&dag, &spec)
+    );
+    if args.flag("gantt") {
+        println!("{}", schedule.render_gantt(&dag, &spec, 100));
+    }
+    if let Some(out) = args.get("output") {
+        std::fs::write(out, serde_json::to_string_pretty(&schedule)?)?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `spear-cli train`: run the training pipeline and save the policy.
+pub fn train(args: &Args) -> Result<(), Box<dyn Error>> {
+    use spear::{train_policy, TrainingPipelineConfig};
+    let profile = args.get("profile").unwrap_or("fast");
+    let config = match profile {
+        "tiny" => TrainingPipelineConfig::tiny(),
+        "fast" => TrainingPipelineConfig::fast(),
+        "paper" => TrainingPipelineConfig::paper(),
+        other => return Err(format!("unknown --profile `{other}`").into()),
+    };
+    let output = args.require("output")?;
+    eprintln!(
+        "training profile `{profile}`: {} examples × {} tasks, {} epochs",
+        config.num_examples, config.example_spec.num_tasks, config.reinforce.epochs
+    );
+    let spec = ClusterSpec::unit(2);
+    let trained = train_policy(&config, &spec)?;
+    trained.policy.net().save_to_path(output)?;
+    println!(
+        "pretrain accuracy {:.0}%; final mean makespan {:.1}; saved to {output}",
+        100.0 * trained.pretrain_accuracy,
+        trained.curve.last().map_or(f64::NAN, |p| p.mean_makespan),
+    );
+    Ok(())
+}
+
+/// `spear-cli evaluate`: compare every scheduler on random workloads.
+pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let tasks: usize = args.get_or("tasks", 100)?;
+    let dags: usize = args.get_or("dags", 5)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let budget: u64 = args.get_or("budget", 200)?;
+    let gen = LayeredDagSpec {
+        num_tasks: tasks,
+        ..LayeredDagSpec::paper_simulation()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs: Vec<Dag> = (0..dags).map(|_| gen.generate(&mut rng)).collect();
+    let spec = ClusterSpec::unit(2);
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(TetrisScheduler::new()),
+        Box::new(SjfScheduler::new()),
+        Box::new(CpScheduler::new()),
+        Box::new(Graphene::new()),
+        Box::new(MctsScheduler::pure(MctsConfig {
+            initial_budget: budget,
+            min_budget: (budget / 5).max(1),
+            seed,
+            ..MctsConfig::default()
+        })),
+    ];
+    println!("{:<10} {:>12} {:>10}", "scheduler", "mean", "seconds");
+    for s in &mut schedulers {
+        let start = std::time::Instant::now();
+        let total: u64 = jobs
+            .iter()
+            .map(|d| s.schedule(d, &spec).map(|x| x.makespan()))
+            .sum::<Result<u64, _>>()?;
+        println!(
+            "{:<10} {:>12.1} {:>10.2}",
+            s.name(),
+            total as f64 / dags as f64,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+/// `spear-cli stats`: summarize a DAG or trace file.
+pub fn stats(args: &Args) -> Result<(), Box<dyn Error>> {
+    if args.get("dag").is_some() || args.get("stg").is_some() {
+        let dag = load_dag(args)?;
+        println!("tasks         : {}", dag.len());
+        println!("edges         : {}", dag.edges().len());
+        println!("dimensions    : {}", dag.dims());
+        println!("critical path : {}", dag.critical_path_length());
+        println!("total work    : {}", dag.total_work());
+        println!("width         : {}", spear::dag::topo::width(&dag));
+        println!("depth         : {}", spear::dag::topo::depth(&dag));
+        println!("max demand    : {}", dag.max_demand());
+        return Ok(());
+    }
+    if let Some(path) = args.get("trace-file") {
+        let trace: Trace = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        let s = TraceStats::compute(&trace);
+        println!("jobs                  : {}", s.jobs);
+        println!("median map tasks      : {}", s.median_map_tasks);
+        println!("median reduce tasks   : {}", s.median_reduce_tasks);
+        println!("max map / reduce      : {} / {}", s.max_map_tasks, s.max_reduce_tasks);
+        println!("median map runtime    : {}", s.median_map_runtime);
+        println!("median reduce runtime : {}", s.median_reduce_runtime);
+        return Ok(());
+    }
+    Err("stats needs --dag, --stg or --trace-file".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        let argv: Vec<String> = parts.iter().map(|s| (*s).to_owned()).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("spear-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_schedule_roundtrip() {
+        let dag_path = tmp("cli-dag.json");
+        generate(&args(&["--tasks", "12", "--seed", "3", "--output", &dag_path])).unwrap();
+        schedule(&args(&[
+            "--dag", &dag_path, "--algo", "cp", "--gantt",
+        ]))
+        .unwrap();
+        stats(&args(&["--dag", &dag_path])).unwrap();
+    }
+
+    #[test]
+    fn generate_trace_and_stats() {
+        let path = tmp("cli-trace.json");
+        generate(&args(&["--trace", "--seed", "1", "--output", &path])).unwrap();
+        stats(&args(&["--trace-file", &path])).unwrap();
+    }
+
+    #[test]
+    fn schedule_with_mcts_and_output() {
+        let dag_path = tmp("cli-dag2.json");
+        generate(&args(&["--tasks", "8", "--output", &dag_path])).unwrap();
+        let out = tmp("cli-schedule.json");
+        schedule(&args(&[
+            "--dag", &dag_path, "--algo", "mcts", "--budget", "15", "--output", &out,
+        ]))
+        .unwrap();
+        let loaded: spear::Schedule =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(loaded.makespan() > 0);
+    }
+
+    #[test]
+    fn unknown_algo_is_rejected() {
+        let dag_path = tmp("cli-dag3.json");
+        generate(&args(&["--tasks", "4", "--output", &dag_path])).unwrap();
+        let err = schedule(&args(&["--dag", &dag_path, "--algo", "magic"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("magic"));
+    }
+
+    #[test]
+    fn stats_requires_an_input() {
+        assert!(stats(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn schedules_stg_files() {
+        let path = tmp("cli-graph.stg");
+        std::fs::write(&path, "4\n0 0 0\n1 5 1 0\n2 7 1 0\n3 0 2 1 2\n").unwrap();
+        schedule(&args(&["--stg", &path, "--algo", "cp", "--drop-dummies"])).unwrap();
+        stats(&args(&["--stg", &path])).unwrap();
+    }
+
+    #[test]
+    fn evaluate_small_workload() {
+        evaluate(&args(&[
+            "--tasks", "8", "--dags", "2", "--budget", "10",
+        ]))
+        .unwrap();
+    }
+}

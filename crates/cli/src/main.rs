@@ -1,0 +1,9 @@
+//! The `spear-cli` binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = spear_cli::run(&argv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,58 @@
+//! The decoupled scheduling action space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use spear_dag::TaskId;
+
+/// One agent decision (paper §III-B).
+///
+/// For `n` ready tasks the action space is `{-1, 1, …, n}`: either commit
+/// one ready task to the cluster at the current time (time does not
+/// advance), or *process* — advance time to the next task completion. This
+/// decoupling shrinks the action space from `2^n` subsets to `n + 1`
+/// choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Start the given ready task now, consuming its demand.
+    Schedule(TaskId),
+    /// Advance the clock until at least one running task finishes
+    /// (the paper's `-1` action).
+    Process,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Schedule(t) => write!(f, "schedule({t})"),
+            Action::Process => write!(f, "process"),
+        }
+    }
+}
+
+impl Action {
+    /// The task this action schedules, if any.
+    pub fn task(self) -> Option<TaskId> {
+        match self {
+            Action::Schedule(t) => Some(t),
+            Action::Process => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Action::Schedule(TaskId::new(3)).to_string(), "schedule(t3)");
+        assert_eq!(Action::Process.to_string(), "process");
+    }
+
+    #[test]
+    fn task_accessor() {
+        assert_eq!(Action::Schedule(TaskId::new(1)).task(), Some(TaskId::new(1)));
+        assert_eq!(Action::Process.task(), None);
+    }
+}

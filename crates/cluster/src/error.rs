@@ -1,0 +1,127 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use spear_dag::TaskId;
+
+/// Errors from cluster construction, simulation steps and schedule
+/// validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The capacity vector has a non-positive or non-finite component.
+    InvalidCapacity,
+    /// A task demands more than the total cluster capacity in some
+    /// dimension; it can never be scheduled.
+    TaskExceedsCapacity(TaskId),
+    /// The DAG and the cluster disagree on resource dimensionality.
+    DimensionMismatch {
+        /// Dimensions of the cluster capacity vector.
+        cluster: usize,
+        /// Dimensions of the DAG's task demands.
+        dag: usize,
+    },
+    /// `Schedule(t)` was applied but `t` is not in the ready set.
+    TaskNotReady(TaskId),
+    /// `Schedule(t)` was applied but `t`'s demand exceeds the free capacity.
+    InsufficientResources(TaskId),
+    /// `Process` was applied with an empty cluster (nothing can finish, so
+    /// time would never advance).
+    NothingRunning,
+    /// An action was applied to a terminal state.
+    SimulationFinished,
+    /// Schedule validation: a task was never placed.
+    MissingPlacement(TaskId),
+    /// Schedule validation: a placement's duration disagrees with the task
+    /// runtime.
+    WrongDuration(TaskId),
+    /// Schedule validation: a task starts before one of its parents ends.
+    PrecedenceViolation {
+        /// The parent task.
+        parent: TaskId,
+        /// The child that started too early.
+        child: TaskId,
+    },
+    /// Schedule validation: total demand exceeds capacity at some time slot.
+    CapacityViolation {
+        /// The earliest offending time slot.
+        time: u64,
+        /// The offending resource dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidCapacity => {
+                write!(f, "cluster capacity must be positive and finite")
+            }
+            ClusterError::TaskExceedsCapacity(t) => {
+                write!(f, "task {t} demands more than the total cluster capacity")
+            }
+            ClusterError::DimensionMismatch { cluster, dag } => write!(
+                f,
+                "cluster has {cluster} resource dimensions but the dag has {dag}"
+            ),
+            ClusterError::TaskNotReady(t) => write!(f, "task {t} is not ready"),
+            ClusterError::InsufficientResources(t) => {
+                write!(f, "task {t} does not fit in the free capacity")
+            }
+            ClusterError::NothingRunning => {
+                write!(f, "cannot process an empty cluster")
+            }
+            ClusterError::SimulationFinished => {
+                write!(f, "simulation already reached the terminal state")
+            }
+            ClusterError::MissingPlacement(t) => write!(f, "task {t} was never placed"),
+            ClusterError::WrongDuration(t) => {
+                write!(f, "placement duration of task {t} differs from its runtime")
+            }
+            ClusterError::PrecedenceViolation { parent, child } => {
+                write!(f, "task {child} starts before its parent {parent} finishes")
+            }
+            ClusterError::CapacityViolation { time, dim } => write!(
+                f,
+                "capacity of dimension {dim} exceeded at time slot {time}"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let errors = [
+            ClusterError::InvalidCapacity,
+            ClusterError::TaskExceedsCapacity(TaskId::new(0)),
+            ClusterError::DimensionMismatch { cluster: 1, dag: 2 },
+            ClusterError::TaskNotReady(TaskId::new(1)),
+            ClusterError::InsufficientResources(TaskId::new(2)),
+            ClusterError::NothingRunning,
+            ClusterError::SimulationFinished,
+            ClusterError::MissingPlacement(TaskId::new(3)),
+            ClusterError::WrongDuration(TaskId::new(4)),
+            ClusterError::PrecedenceViolation {
+                parent: TaskId::new(0),
+                child: TaskId::new(1),
+            },
+            ClusterError::CapacityViolation { time: 9, dim: 1 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! The resource-time-space cluster simulator underlying every scheduler in
+//! the Spear reproduction.
+//!
+//! The paper (§III-B) models the cluster as a *resource-time space*: one
+//! rectangle per resource dimension, with width = capacity and height =
+//! time. Tasks occupy sub-rectangles for their runtime. The scheduling agent
+//! interacts with the cluster through the decoupled action space
+//! `{schedule task i, process}`: scheduling freezes time and commits a ready
+//! task that fits the free capacity; *process* advances the clock to the
+//! next task completion.
+//!
+//! The central type is [`SimState`]: a cheaply cloneable simulation state
+//! that MCTS snapshots per search node, the DRL agent featurizes, and the
+//! baseline schedulers drive greedily. A finished simulation freezes into a
+//! [`Schedule`], which can be [validated](Schedule::validate) against the
+//! DAG and cluster capacity.
+//!
+//! # Example
+//!
+//! ```
+//! use spear_dag::{DagBuilder, Task, ResourceVec};
+//! use spear_cluster::{ClusterSpec, SimState, Action};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new(1);
+//! let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+//! let c = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.6])));
+//! b.add_edge(a, c)?;
+//! let dag = b.build()?;
+//! let spec = ClusterSpec::new(ResourceVec::from_slice(&[1.0]))?;
+//!
+//! let mut sim = SimState::new(&dag, &spec)?;
+//! sim.apply(&dag, Action::Schedule(a))?;
+//! sim.apply(&dag, Action::Process)?; // a finishes at t=2
+//! sim.apply(&dag, Action::Schedule(c))?;
+//! sim.apply(&dag, Action::Process)?; // c finishes at t=5
+//! assert_eq!(sim.makespan(), Some(5));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod error;
+mod schedule;
+mod spec;
+mod state;
+mod timeline;
+
+pub use action::Action;
+pub use error::ClusterError;
+pub use schedule::{Placement, Schedule};
+pub use spec::ClusterSpec;
+pub use state::{Running, SimState};
+pub use timeline::ResourceTimeline;

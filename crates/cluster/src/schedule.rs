@@ -1,0 +1,433 @@
+//! Finished schedules and their validation.
+
+use serde::{Deserialize, Serialize};
+use spear_dag::{Dag, ResourceVec, TaskId};
+
+use crate::{ClusterError, ClusterSpec};
+
+/// The committed placement of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The placed task.
+    pub task: TaskId,
+    /// Start time slot (inclusive).
+    pub start: u64,
+    /// Finish time slot (exclusive): `start + runtime`.
+    pub finish: u64,
+}
+
+/// A complete schedule: one [`Placement`] per task plus the makespan.
+///
+/// Produced by [`SimState::into_schedule`](crate::SimState::into_schedule)
+/// or assembled directly. [`Schedule::validate`] checks the three
+/// correctness conditions every scheduler in this repository must satisfy:
+/// complete placement, precedence feasibility and capacity feasibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+    makespan: u64,
+}
+
+impl Schedule {
+    /// Assembles a schedule from placements (any order; they are sorted by
+    /// task id internally).
+    pub fn from_placements(mut placements: Vec<Placement>, makespan: u64) -> Self {
+        placements.sort_by_key(|p| p.task);
+        Schedule {
+            placements,
+            makespan,
+        }
+    }
+
+    /// Placements sorted by task id.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The placement of `task`, if present.
+    pub fn placement_of(&self, task: TaskId) -> Option<&Placement> {
+        self.placements
+            .binary_search_by_key(&task, |p| p.task)
+            .ok()
+            .map(|i| &self.placements[i])
+    }
+
+    /// The time the last task finishes.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Average cluster utilization over the makespan: occupied
+    /// resource-time area divided by total capacity × makespan, averaged
+    /// over dimensions. Between 0 and 1 for a valid schedule.
+    pub fn utilization(&self, dag: &Dag, spec: &ClusterSpec) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let dims = spec.dims();
+        let mut frac = 0.0;
+        for r in 0..dims {
+            let area: f64 = self
+                .placements
+                .iter()
+                .map(|p| dag.task(p.task).load(r))
+                .sum();
+            frac += area / (spec.capacity()[r] * self.makespan as f64);
+        }
+        frac / dims as f64
+    }
+
+    /// Renders the schedule as an ASCII Gantt chart: one row per task
+    /// (`#` = running), plus a per-slot utilization footer per resource
+    /// dimension (`0`–`9` tenths of capacity). Time is downsampled to at
+    /// most `max_width` columns.
+    ///
+    /// ```
+    /// use spear_dag::{DagBuilder, Task, ResourceVec};
+    /// use spear_cluster::{ClusterSpec, Schedule, Placement};
+    /// # let mut b = DagBuilder::new(1);
+    /// # let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])).with_name("map"));
+    /// # let dag = b.build().unwrap();
+    /// # let spec = ClusterSpec::unit(1);
+    /// # let s = Schedule::from_placements(vec![Placement { task: a, start: 0, finish: 2 }], 2);
+    /// let art = s.render_gantt(&dag, &spec, 40);
+    /// assert!(art.contains("map"));
+    /// assert!(art.contains("##"));
+    /// ```
+    pub fn render_gantt(&self, dag: &Dag, spec: &ClusterSpec, max_width: usize) -> String {
+        use std::fmt::Write as _;
+        let width = max_width.clamp(10, 400);
+        let span = self.makespan.max(1);
+        let slots_per_col = span.div_ceil(width as u64).max(1);
+        let cols = span.div_ceil(slots_per_col) as usize;
+
+        let label_width = dag
+            .tasks()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.name().map_or(format!("t{i}").len(), str::len))
+            .max()
+            .unwrap_or(2)
+            .min(16);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "makespan {span} slots, {} tasks ({} slots/column)",
+            dag.len(),
+            slots_per_col
+        );
+        for p in &self.placements {
+            let name = dag
+                .task(p.task)
+                .name()
+                .map_or_else(|| p.task.to_string(), str::to_owned);
+            let _ = write!(out, "{name:>label_width$} ");
+            for c in 0..cols {
+                let t0 = c as u64 * slots_per_col;
+                let t1 = t0 + slots_per_col;
+                let ch = if p.start < t1 && p.finish > t0 { '#' } else { '.' };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        // Utilization footer per dimension.
+        for r in 0..spec.dims() {
+            let _ = write!(out, "{:>label_width$} ", format!("util[{r}]"));
+            for c in 0..cols {
+                let t0 = c as u64 * slots_per_col;
+                let mut used = 0.0;
+                for p in &self.placements {
+                    if p.start <= t0 && p.finish > t0 {
+                        used += dag.task(p.task).demand()[r];
+                    }
+                }
+                let tenth = ((used / spec.capacity()[r]) * 10.0).round().clamp(0.0, 9.0);
+                out.push(char::from_digit(tenth as u32, 10).expect("0..=9"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Validates the schedule against the DAG and cluster.
+    ///
+    /// Checks, in order:
+    ///
+    /// 1. every task appears exactly once with duration equal to its
+    ///    runtime, and the recorded makespan equals the latest finish;
+    /// 2. every task starts at or after each parent's finish;
+    /// 3. at every time slot the summed demand of running tasks fits the
+    ///    cluster capacity.
+    ///
+    /// # Errors
+    ///
+    /// The corresponding [`ClusterError`] variant for the first violated
+    /// condition.
+    pub fn validate(&self, dag: &Dag, spec: &ClusterSpec) -> Result<(), ClusterError> {
+        spec.validate_dag(dag)?;
+        // 1. Completeness + durations.
+        let mut seen = vec![false; dag.len()];
+        for p in &self.placements {
+            if p.task.index() >= dag.len() || seen[p.task.index()] {
+                // Duplicate or out-of-range placements make the task set
+                // incomplete for some other id; report the earliest gap.
+                break;
+            }
+            seen[p.task.index()] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(ClusterError::MissingPlacement(TaskId::new(missing)));
+        }
+        let mut latest = 0;
+        for p in &self.placements {
+            if p.finish != p.start + dag.task(p.task).runtime() {
+                return Err(ClusterError::WrongDuration(p.task));
+            }
+            latest = latest.max(p.finish);
+        }
+        if latest != self.makespan {
+            // Report as a duration problem on the latest-finishing task.
+            let worst = self
+                .placements
+                .iter()
+                .max_by_key(|p| p.finish)
+                .expect("non-empty dag has placements");
+            return Err(ClusterError::WrongDuration(worst.task));
+        }
+        // 2. Precedence.
+        for e in dag.edges() {
+            let parent = self
+                .placement_of(e.from)
+                .expect("completeness checked above");
+            let child = self.placement_of(e.to).expect("completeness checked above");
+            if child.start < parent.finish {
+                return Err(ClusterError::PrecedenceViolation {
+                    parent: e.from,
+                    child: e.to,
+                });
+            }
+        }
+        // 3. Capacity, via an event sweep over start/finish boundaries.
+        let mut events: Vec<(u64, bool, TaskId)> = Vec::with_capacity(self.placements.len() * 2);
+        for p in &self.placements {
+            events.push((p.start, false, p.task)); // false = start
+            events.push((p.finish, true, p.task)); // true = end
+        }
+        // Ends sort before starts at the same instant: a task may begin
+        // exactly when another finishes.
+        events.sort_by_key(|&(t, is_start, _)| (t, !is_start));
+        let mut used = ResourceVec::zeros(spec.dims());
+        for (time, is_end, task) in events {
+            let demand = dag.task(task).demand();
+            if is_end {
+                used.saturating_sub_assign(demand);
+            } else {
+                used.add_assign(demand);
+                if !used.fits_within(spec.capacity()) {
+                    let dim = (0..spec.dims())
+                        .find(|&r| used[r] > spec.capacity()[r] + 1e-9)
+                        .unwrap_or(0);
+                    return Err(ClusterError::CapacityViolation { time, dim });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_dag::{DagBuilder, Task};
+
+    fn chain() -> Dag {
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let c = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.5])));
+        b.add_edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::unit(1)
+    }
+
+    fn valid_schedule() -> Schedule {
+        Schedule::from_placements(
+            vec![
+                Placement {
+                    task: TaskId::new(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    task: TaskId::new(1),
+                    start: 2,
+                    finish: 5,
+                },
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        valid_schedule().validate(&chain(), &spec()).unwrap();
+    }
+
+    #[test]
+    fn detects_missing_placement() {
+        let s = Schedule::from_placements(
+            vec![Placement {
+                task: TaskId::new(0),
+                start: 0,
+                finish: 2,
+            }],
+            2,
+        );
+        assert_eq!(
+            s.validate(&chain(), &spec()).unwrap_err(),
+            ClusterError::MissingPlacement(TaskId::new(1))
+        );
+    }
+
+    #[test]
+    fn detects_wrong_duration() {
+        let s = Schedule::from_placements(
+            vec![
+                Placement {
+                    task: TaskId::new(0),
+                    start: 0,
+                    finish: 3, // runtime is 2
+                },
+                Placement {
+                    task: TaskId::new(1),
+                    start: 3,
+                    finish: 6,
+                },
+            ],
+            6,
+        );
+        assert_eq!(
+            s.validate(&chain(), &spec()).unwrap_err(),
+            ClusterError::WrongDuration(TaskId::new(0))
+        );
+    }
+
+    #[test]
+    fn detects_wrong_makespan() {
+        let s = Schedule::from_placements(
+            vec![
+                Placement {
+                    task: TaskId::new(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    task: TaskId::new(1),
+                    start: 2,
+                    finish: 5,
+                },
+            ],
+            9,
+        );
+        assert!(matches!(
+            s.validate(&chain(), &spec()).unwrap_err(),
+            ClusterError::WrongDuration(_)
+        ));
+    }
+
+    #[test]
+    fn detects_precedence_violation() {
+        let s = Schedule::from_placements(
+            vec![
+                Placement {
+                    task: TaskId::new(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    task: TaskId::new(1),
+                    start: 1, // starts before parent finishes
+                    finish: 4,
+                },
+            ],
+            4,
+        );
+        assert_eq!(
+            s.validate(&chain(), &spec()).unwrap_err(),
+            ClusterError::PrecedenceViolation {
+                parent: TaskId::new(0),
+                child: TaskId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn detects_capacity_violation() {
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+        let dag = b.build().unwrap();
+        let s = Schedule::from_placements(
+            vec![
+                Placement {
+                    task: TaskId::new(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    task: TaskId::new(1),
+                    start: 0,
+                    finish: 2,
+                },
+            ],
+            2,
+        );
+        assert_eq!(
+            s.validate(&dag, &spec()).unwrap_err(),
+            ClusterError::CapacityViolation { time: 0, dim: 0 }
+        );
+    }
+
+    #[test]
+    fn back_to_back_tasks_are_allowed() {
+        // Start exactly at another task's finish with full capacity.
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[1.0])));
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[1.0])));
+        let dag = b.build().unwrap();
+        let s = Schedule::from_placements(
+            vec![
+                Placement {
+                    task: TaskId::new(0),
+                    start: 0,
+                    finish: 2,
+                },
+                Placement {
+                    task: TaskId::new(1),
+                    start: 2,
+                    finish: 4,
+                },
+            ],
+            4,
+        );
+        s.validate(&dag, &spec()).unwrap();
+    }
+
+    #[test]
+    fn utilization_of_serial_schedule() {
+        let dag = chain();
+        let s = valid_schedule();
+        // Area = 2*0.5 + 3*0.5 = 2.5 over 5 slots of capacity 1 => 0.5.
+        assert!((s.utilization(&dag, &spec()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_lookup() {
+        let s = valid_schedule();
+        assert_eq!(s.placement_of(TaskId::new(1)).unwrap().start, 2);
+        assert!(s.placement_of(TaskId::new(9)).is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Cluster capacity specification.
+
+use serde::{Deserialize, Serialize};
+use spear_dag::{Dag, ResourceVec};
+
+use crate::ClusterError;
+
+/// The static description of a cluster: its total capacity per resource
+/// dimension.
+///
+/// The paper's motivating example uses `[1.0, 1.0]` (unit CPU and memory);
+/// the DRL training setting uses 20 resource slots. Capacities are
+/// arbitrary positive reals here.
+///
+/// ```
+/// use spear_dag::ResourceVec;
+/// use spear_cluster::ClusterSpec;
+///
+/// let spec = ClusterSpec::new(ResourceVec::from_slice(&[1.0, 1.0]))?;
+/// assert_eq!(spec.dims(), 2);
+/// # Ok::<(), spear_cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    capacity: ResourceVec,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster with the given total capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidCapacity`] if any component is
+    /// non-positive or non-finite, or the vector is empty.
+    pub fn new(capacity: ResourceVec) -> Result<Self, ClusterError> {
+        if capacity.dims() == 0
+            || capacity
+                .as_slice()
+                .iter()
+                .any(|&c| !c.is_finite() || c <= 0.0)
+        {
+            return Err(ClusterError::InvalidCapacity);
+        }
+        Ok(ClusterSpec { capacity })
+    }
+
+    /// A unit-capacity cluster with `dims` dimensions — the motivating
+    /// example's setting.
+    pub fn unit(dims: usize) -> Self {
+        ClusterSpec {
+            capacity: ResourceVec::splat(dims.max(1), 1.0),
+        }
+    }
+
+    /// Total capacity per dimension.
+    pub fn capacity(&self) -> &ResourceVec {
+        &self.capacity
+    }
+
+    /// Number of resource dimensions.
+    pub fn dims(&self) -> usize {
+        self.capacity.dims()
+    }
+
+    /// Checks that `dag` is schedulable on this cluster: matching
+    /// dimensionality and every task demand within total capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::DimensionMismatch`] or
+    /// [`ClusterError::TaskExceedsCapacity`].
+    pub fn validate_dag(&self, dag: &Dag) -> Result<(), ClusterError> {
+        if dag.dims() != self.dims() {
+            return Err(ClusterError::DimensionMismatch {
+                cluster: self.dims(),
+                dag: dag.dims(),
+            });
+        }
+        for t in dag.task_ids() {
+            if !dag.task(t).demand().fits_within(&self.capacity) {
+                return Err(ClusterError::TaskExceedsCapacity(t));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterSpec {
+    /// Two unit dimensions (CPU + memory), the paper's default setting.
+    fn default() -> Self {
+        ClusterSpec::unit(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_dag::{DagBuilder, Task, TaskId};
+
+    #[test]
+    fn rejects_bad_capacity() {
+        assert_eq!(
+            ClusterSpec::new(ResourceVec::from_slice(&[0.0])).unwrap_err(),
+            ClusterError::InvalidCapacity
+        );
+        assert_eq!(
+            ClusterSpec::new(ResourceVec::from_slice(&[-1.0, 1.0])).unwrap_err(),
+            ClusterError::InvalidCapacity
+        );
+        assert_eq!(
+            ClusterSpec::new(ResourceVec::zeros(0)).unwrap_err(),
+            ClusterError::InvalidCapacity
+        );
+        assert_eq!(
+            ClusterSpec::new(ResourceVec::from_slice(&[f64::INFINITY])).unwrap_err(),
+            ClusterError::InvalidCapacity
+        );
+    }
+
+    #[test]
+    fn unit_and_default() {
+        assert_eq!(ClusterSpec::default(), ClusterSpec::unit(2));
+        assert_eq!(ClusterSpec::unit(3).capacity().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn validates_dag_dimensions() {
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5])));
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(2);
+        assert_eq!(
+            spec.validate_dag(&dag).unwrap_err(),
+            ClusterError::DimensionMismatch { cluster: 2, dag: 1 }
+        );
+    }
+
+    #[test]
+    fn validates_oversized_task() {
+        let mut b = DagBuilder::new(1);
+        let t = b.add_task(Task::new(1, ResourceVec::from_slice(&[1.5])));
+        let dag = b.build().unwrap();
+        assert_eq!(
+            ClusterSpec::unit(1).validate_dag(&dag).unwrap_err(),
+            ClusterError::TaskExceedsCapacity(TaskId::new(t.index()))
+        );
+    }
+
+    #[test]
+    fn accepts_feasible_dag() {
+        let mut b = DagBuilder::new(2);
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[1.0, 0.5])));
+        let dag = b.build().unwrap();
+        assert!(ClusterSpec::unit(2).validate_dag(&dag).is_ok());
+    }
+}

@@ -1,0 +1,424 @@
+//! The cloneable simulation state.
+
+use serde::{Deserialize, Serialize};
+use spear_dag::topo::ReadyTracker;
+use spear_dag::{Dag, ResourceVec, TaskId};
+
+use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule};
+
+/// A task currently occupying the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Running {
+    /// The occupying task.
+    pub task: TaskId,
+    /// Absolute time slot at which it releases its resources.
+    pub finish: u64,
+}
+
+/// The full state of a scheduling simulation: clock, free capacity, running
+/// tasks, ready frontier and the placements committed so far.
+///
+/// `SimState` is intentionally `Clone`-cheap (a handful of `Vec`s) so that
+/// MCTS can snapshot one per search-tree node. The DAG itself is *not* part
+/// of the state — callers pass `&Dag` to each operation, which keeps clones
+/// small and lets thousands of states share one graph.
+///
+/// The state machine accepts the two [`Action`]s of the paper's decoupled
+/// action space and enforces their legality; see [`SimState::legal_actions`]
+/// for the exact filter (which doubles as the paper's §III-C expansion
+/// pruning).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimState {
+    clock: u64,
+    free: ResourceVec,
+    running: Vec<Running>,
+    tracker: ReadyTracker,
+    starts: Vec<Option<u64>>,
+    max_finish: u64,
+}
+
+impl SimState {
+    /// Creates the initial state (time 0, empty cluster, sources ready).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DAG does not fit the cluster (dimension mismatch or a
+    /// task demanding more than total capacity — such a task could never be
+    /// scheduled and the simulation would deadlock).
+    pub fn new(dag: &Dag, spec: &ClusterSpec) -> Result<Self, ClusterError> {
+        spec.validate_dag(dag)?;
+        Ok(SimState {
+            clock: 0,
+            free: spec.capacity().clone(),
+            running: Vec::new(),
+            tracker: ReadyTracker::new(dag),
+            starts: vec![None; dag.len()],
+            max_finish: 0,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Free capacity at the current time.
+    pub fn free(&self) -> &ResourceVec {
+        &self.free
+    }
+
+    /// Tasks currently occupying the cluster.
+    pub fn running(&self) -> &[Running] {
+        &self.running
+    }
+
+    /// Ready tasks (all parents completed, not yet scheduled), sorted by id.
+    pub fn ready(&self) -> &[TaskId] {
+        self.tracker.ready()
+    }
+
+    /// Number of completed tasks.
+    pub fn completed(&self) -> usize {
+        self.tracker.completed()
+    }
+
+    /// Start time of `task`, if it has been scheduled.
+    pub fn start_of(&self, task: TaskId) -> Option<u64> {
+        self.starts[task.index()]
+    }
+
+    /// `true` once every task has been scheduled (they may still be
+    /// running; the makespan is already determined at that point, but the
+    /// simulation only becomes [terminal](Self::is_terminal) after the
+    /// final `Process` actions retire them).
+    pub fn all_scheduled(&self) -> bool {
+        self.starts.iter().all(Option::is_some)
+    }
+
+    /// `true` when every task has completed.
+    pub fn is_terminal(&self, dag: &Dag) -> bool {
+        self.tracker.all_done(dag)
+    }
+
+    /// The makespan — the time the last task finishes — or `None` while
+    /// some task is still unfinished.
+    pub fn makespan(&self) -> Option<u64> {
+        (self.running.is_empty() && self.starts.iter().all(Option::is_some))
+            .then_some(self.max_finish)
+    }
+
+    /// Largest finish time committed so far (a lower bound on the final
+    /// makespan).
+    pub fn max_finish(&self) -> u64 {
+        self.max_finish
+    }
+
+    /// Earliest finish time among running tasks, if any.
+    pub fn earliest_finish(&self) -> Option<u64> {
+        self.running.iter().map(|r| r.finish).min()
+    }
+
+    /// Whether `task` is ready and fits the current free capacity.
+    pub fn can_schedule(&self, dag: &Dag, task: TaskId) -> bool {
+        self.tracker.ready().contains(&task) && dag.task(task).demand().fits_within(&self.free)
+    }
+
+    /// The legal actions in this state, in deterministic order (schedules
+    /// sorted by task id, then `Process`).
+    ///
+    /// This implements the paper's expansion filters (§III-C):
+    ///
+    /// 1. `Process` is only legal when the cluster is non-empty (otherwise
+    ///    time could never advance).
+    /// 2. `Schedule(t)` is only legal when `t` is ready *and fits the free
+    ///    capacity right now* — i.e. it can start before the earliest finish
+    ///    time of the running tasks. A ready task that does not fit now
+    ///    gains nothing over waiting for the next completion, so it is
+    ///    pruned.
+    ///
+    /// Returns an empty vector exactly in terminal states: if nothing runs,
+    /// the frontier is non-empty (or the simulation finished) and every
+    /// frontier task fits an empty cluster because [`SimState::new`]
+    /// validated demands against total capacity.
+    pub fn legal_actions(&self, dag: &Dag) -> Vec<Action> {
+        let mut actions: Vec<Action> = self
+            .tracker
+            .ready()
+            .iter()
+            .filter(|&&t| dag.task(t).demand().fits_within(&self.free))
+            .map(|&t| Action::Schedule(t))
+            .collect();
+        if !self.running.is_empty() {
+            actions.push(Action::Process);
+        }
+        actions
+    }
+
+    /// Applies one action.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::TaskNotReady`] — scheduling a task whose parents
+    ///   are incomplete (or that already ran).
+    /// * [`ClusterError::InsufficientResources`] — scheduling a task that
+    ///   does not fit the free capacity.
+    /// * [`ClusterError::NothingRunning`] — processing an empty cluster.
+    /// * [`ClusterError::SimulationFinished`] — any action on a terminal
+    ///   state.
+    pub fn apply(&mut self, dag: &Dag, action: Action) -> Result<(), ClusterError> {
+        if self.is_terminal(dag) {
+            return Err(ClusterError::SimulationFinished);
+        }
+        match action {
+            Action::Schedule(task) => {
+                if !self.tracker.ready().contains(&task) {
+                    return Err(ClusterError::TaskNotReady(task));
+                }
+                let demand = dag.task(task).demand();
+                if !demand.fits_within(&self.free) {
+                    return Err(ClusterError::InsufficientResources(task));
+                }
+                self.tracker.take(task);
+                self.free.saturating_sub_assign(demand);
+                let finish = self.clock + dag.task(task).runtime();
+                self.running.push(Running { task, finish });
+                self.starts[task.index()] = Some(self.clock);
+                self.max_finish = self.max_finish.max(finish);
+                Ok(())
+            }
+            Action::Process => {
+                let next = self.earliest_finish().ok_or(ClusterError::NothingRunning)?;
+                self.clock = next;
+                let mut i = 0;
+                while i < self.running.len() {
+                    if self.running[i].finish == next {
+                        let done = self.running.swap_remove(i);
+                        self.free.add_assign(dag.task(done.task).demand());
+                        self.tracker.complete(dag, done.task);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the simulation to completion, letting `policy` pick among the
+    /// legal actions at every decision point. Returns the makespan.
+    ///
+    /// The `policy` closure receives the current state and its non-empty
+    /// legal action list and must return one of those actions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterError`] if the policy returns an illegal action.
+    pub fn run_with<P>(&mut self, dag: &Dag, mut policy: P) -> Result<u64, ClusterError>
+    where
+        P: FnMut(&SimState, &[Action]) -> Action,
+    {
+        while !self.is_terminal(dag) {
+            let actions = self.legal_actions(dag);
+            debug_assert!(!actions.is_empty(), "non-terminal state with no actions");
+            let action = policy(self, &actions);
+            self.apply(dag, action)?;
+        }
+        Ok(self.max_finish)
+    }
+
+    /// Freezes a terminal state into a [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation is not terminal yet.
+    pub fn into_schedule(self, dag: &Dag) -> Schedule {
+        assert!(
+            self.is_terminal(dag),
+            "cannot extract a schedule from an unfinished simulation"
+        );
+        let placements = self
+            .starts
+            .iter()
+            .enumerate()
+            .map(|(i, start)| {
+                let task = TaskId::new(i);
+                let start = start.expect("terminal state has all tasks scheduled");
+                Placement {
+                    task,
+                    start,
+                    finish: start + dag.task(task).runtime(),
+                }
+            })
+            .collect();
+        Schedule::from_placements(placements, self.max_finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_dag::{DagBuilder, Task};
+
+    fn two_independent() -> Dag {
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+        b.add_task(Task::new(3, ResourceVec::from_slice(&[0.6])));
+        b.build().unwrap()
+    }
+
+    fn chain() -> Dag {
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let c = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.5])));
+        b.add_edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_state() {
+        let dag = two_independent();
+        let sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        assert_eq!(sim.clock(), 0);
+        assert_eq!(sim.ready().len(), 2);
+        assert!(sim.running().is_empty());
+        assert!(!sim.is_terminal(&dag));
+        assert_eq!(sim.makespan(), None);
+    }
+
+    #[test]
+    fn tight_capacity_serializes_tasks() {
+        let dag = two_independent(); // each task needs 0.6 of 1.0
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        // Second task no longer fits.
+        assert_eq!(
+            sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap_err(),
+            ClusterError::InsufficientResources(TaskId::new(1))
+        );
+        sim.apply(&dag, Action::Process).unwrap();
+        assert_eq!(sim.clock(), 2);
+        sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap();
+        assert_eq!(sim.makespan(), Some(5));
+    }
+
+    #[test]
+    fn wide_capacity_runs_tasks_in_parallel() {
+        let dag = two_independent();
+        let spec = ClusterSpec::new(ResourceVec::from_slice(&[2.0])).unwrap();
+        let mut sim = SimState::new(&dag, &spec).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap(); // t=2: task 0 done
+        assert_eq!(sim.clock(), 2);
+        assert_eq!(sim.completed(), 1);
+        sim.apply(&dag, Action::Process).unwrap(); // t=3: task 1 done
+        assert_eq!(sim.makespan(), Some(3));
+    }
+
+    #[test]
+    fn dependencies_gate_readiness() {
+        let dag = chain();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        assert_eq!(
+            sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap_err(),
+            ClusterError::TaskNotReady(TaskId::new(1))
+        );
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap();
+        assert_eq!(sim.ready(), &[TaskId::new(1)]);
+    }
+
+    #[test]
+    fn process_requires_running_tasks() {
+        let dag = chain();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        assert_eq!(
+            sim.apply(&dag, Action::Process).unwrap_err(),
+            ClusterError::NothingRunning
+        );
+    }
+
+    #[test]
+    fn legal_actions_filtering() {
+        let dag = two_independent();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        // Initially: both tasks schedulable, no Process (empty cluster).
+        let a0 = sim.legal_actions(&dag);
+        assert_eq!(a0.len(), 2);
+        assert!(!a0.contains(&Action::Process));
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        // Now: task 1 does not fit; only Process remains.
+        assert_eq!(sim.legal_actions(&dag), vec![Action::Process]);
+    }
+
+    #[test]
+    fn terminal_state_rejects_actions() {
+        let dag = chain();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        let ms = sim
+            .run_with(&dag, |_, actions| actions[0])
+            .unwrap();
+        assert_eq!(ms, 5);
+        assert!(sim.is_terminal(&dag));
+        assert_eq!(
+            sim.apply(&dag, Action::Process).unwrap_err(),
+            ClusterError::SimulationFinished
+        );
+    }
+
+    #[test]
+    fn process_retires_simultaneous_finishers_together() {
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.3])));
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.3])));
+        let dag = b.build().unwrap();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap();
+        assert_eq!(sim.completed(), 2);
+        assert!(sim.is_terminal(&dag));
+        assert_eq!(sim.makespan(), Some(2));
+    }
+
+    #[test]
+    fn free_capacity_is_restored_after_completion() {
+        let dag = two_independent();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        assert!((sim.free()[0] - 0.4).abs() < 1e-9);
+        sim.apply(&dag, Action::Process).unwrap();
+        assert!((sim.free()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_schedule_produces_valid_schedule() {
+        let dag = chain();
+        let spec = ClusterSpec::unit(1);
+        let mut sim = SimState::new(&dag, &spec).unwrap();
+        sim.run_with(&dag, |_, actions| actions[0]).unwrap();
+        let schedule = sim.into_schedule(&dag);
+        assert_eq!(schedule.makespan(), 5);
+        schedule.validate(&dag, &spec).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished simulation")]
+    fn into_schedule_panics_when_unfinished() {
+        let dag = chain();
+        let sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        let _ = sim.into_schedule(&dag);
+    }
+
+    #[test]
+    fn run_with_always_offers_nonempty_actions() {
+        let dag = chain();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.run_with(&dag, |_, actions| {
+            assert!(!actions.is_empty());
+            actions[0]
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! The resource-time occupancy grid.
+//!
+//! [`ResourceTimeline`] is the "array of rectangles" view of the cluster
+//! (paper §III-B): per time slot, the summed demand of everything placed in
+//! that slot. It backs two consumers:
+//!
+//! * Graphene's **virtual placement** phase, which packs troublesome tasks
+//!   into an empty space forward (from time 0 up) or backward (from a
+//!   horizon down) while ignoring dependencies, and
+//! * the DRL featurizer, which renders the first `H` slots of the *actual*
+//!   cluster occupancy as part of the network input.
+
+use serde::{Deserialize, Serialize};
+use spear_dag::ResourceVec;
+
+/// A growable occupancy grid over time slots for a fixed-capacity cluster.
+///
+/// ```
+/// use spear_dag::ResourceVec;
+/// use spear_cluster::ResourceTimeline;
+///
+/// let mut tl = ResourceTimeline::new(ResourceVec::from_slice(&[1.0]));
+/// let d = ResourceVec::from_slice(&[0.6]);
+/// assert_eq!(tl.earliest_start(&d, 3, 0), 0);
+/// tl.place(&d, 0, 3);
+/// // A second 0.6-demand task no longer fits before t=3.
+/// assert_eq!(tl.earliest_start(&d, 2, 0), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTimeline {
+    capacity: ResourceVec,
+    used: Vec<ResourceVec>,
+}
+
+impl ResourceTimeline {
+    /// Creates an empty timeline for a cluster with the given capacity.
+    pub fn new(capacity: ResourceVec) -> Self {
+        ResourceTimeline {
+            capacity,
+            used: Vec::new(),
+        }
+    }
+
+    /// Cluster capacity per dimension.
+    pub fn capacity(&self) -> &ResourceVec {
+        &self.capacity
+    }
+
+    /// Number of slots currently materialized (the latest finish of any
+    /// placement; slots beyond are implicitly empty).
+    pub fn horizon(&self) -> u64 {
+        self.used.len() as u64
+    }
+
+    /// Occupancy at `slot` (zero beyond the horizon).
+    pub fn used_at(&self, slot: u64) -> ResourceVec {
+        self.used
+            .get(slot as usize)
+            .cloned()
+            .unwrap_or_else(|| ResourceVec::zeros(self.capacity.dims()))
+    }
+
+    /// Free capacity at `slot`.
+    pub fn free_at(&self, slot: u64) -> ResourceVec {
+        self.capacity.saturating_sub(&self.used_at(slot))
+    }
+
+    /// Whether `demand` fits in every slot of `[start, start + duration)`.
+    pub fn fits(&self, demand: &ResourceVec, start: u64, duration: u64) -> bool {
+        (start..start + duration).all(|s| {
+            let total = self.used_at(s).add(demand);
+            total.fits_within(&self.capacity)
+        })
+    }
+
+    /// The earliest start `>= not_before` at which `demand` fits for
+    /// `duration` consecutive slots. Always exists (beyond the horizon the
+    /// timeline is empty), provided `demand` fits the total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` exceeds the cluster capacity (it would never fit)
+    /// or `duration` is zero.
+    pub fn earliest_start(&self, demand: &ResourceVec, duration: u64, not_before: u64) -> u64 {
+        assert!(duration > 0, "duration must be positive");
+        assert!(
+            demand.fits_within(&self.capacity),
+            "demand exceeds cluster capacity"
+        );
+        let mut t = not_before;
+        loop {
+            if self.fits(demand, t, duration) {
+                return t;
+            }
+            t += 1;
+            // Beyond the horizon everything is free; the loop terminates.
+            debug_assert!(t <= self.horizon() + 1);
+        }
+    }
+
+    /// The latest start such that the task *finishes by* `deadline`
+    /// (`start + duration <= deadline`) and fits; `None` if no such start
+    /// exists. Used by Graphene's backward packing.
+    pub fn latest_start(
+        &self,
+        demand: &ResourceVec,
+        duration: u64,
+        deadline: u64,
+    ) -> Option<u64> {
+        if duration == 0 || duration > deadline {
+            return None;
+        }
+        let mut t = deadline - duration;
+        loop {
+            if self.fits(demand, t, duration) {
+                return Some(t);
+            }
+            if t == 0 {
+                return None;
+            }
+            t -= 1;
+        }
+    }
+
+    /// Commits `demand` to slots `[start, start + duration)`, growing the
+    /// grid as needed. Placement is unchecked — callers decide whether to
+    /// respect capacity (Graphene's virtual space never overflows because
+    /// it only places at `earliest_start`/`latest_start` results).
+    pub fn place(&mut self, demand: &ResourceVec, start: u64, duration: u64) {
+        let end = (start + duration) as usize;
+        while self.used.len() < end {
+            self.used.push(ResourceVec::zeros(self.capacity.dims()));
+        }
+        for s in start as usize..end {
+            self.used[s].add_assign(demand);
+        }
+    }
+
+    /// Average utilization of the materialized horizon (1.0 = full).
+    pub fn utilization(&self) -> f64 {
+        if self.used.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .used
+            .iter()
+            .map(|u| u.utilization_of(&self.capacity))
+            .sum();
+        total / self.used.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> ResourceTimeline {
+        ResourceTimeline::new(ResourceVec::from_slice(&[1.0, 1.0]))
+    }
+
+    #[test]
+    fn empty_timeline_is_free_everywhere() {
+        let tl = unit();
+        assert_eq!(tl.horizon(), 0);
+        assert!(tl.fits(&ResourceVec::from_slice(&[1.0, 1.0]), 100, 50));
+        assert_eq!(tl.free_at(42).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn place_and_query() {
+        let mut tl = unit();
+        tl.place(&ResourceVec::from_slice(&[0.5, 0.25]), 2, 3);
+        assert_eq!(tl.horizon(), 5);
+        assert_eq!(tl.used_at(1).as_slice(), &[0.0, 0.0]);
+        assert_eq!(tl.used_at(2).as_slice(), &[0.5, 0.25]);
+        assert_eq!(tl.used_at(4).as_slice(), &[0.5, 0.25]);
+        assert_eq!(tl.used_at(5).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn earliest_start_skips_busy_slots() {
+        let mut tl = unit();
+        tl.place(&ResourceVec::from_slice(&[0.8, 0.1]), 0, 4);
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        assert_eq!(tl.earliest_start(&d, 2, 0), 4);
+        // A small task can share slots with the big one.
+        let small = ResourceVec::from_slice(&[0.1, 0.1]);
+        assert_eq!(tl.earliest_start(&small, 2, 0), 0);
+        // not_before is honoured.
+        assert_eq!(tl.earliest_start(&small, 2, 3), 3);
+    }
+
+    #[test]
+    fn earliest_start_requires_contiguous_fit() {
+        let mut tl = unit();
+        // Busy at slot 2 only.
+        tl.place(&ResourceVec::from_slice(&[0.9, 0.9]), 2, 1);
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        // Duration 3 cannot straddle slot 2; first fit is 3.
+        assert_eq!(tl.earliest_start(&d, 3, 0), 3);
+        // Duration 2 fits at 0.
+        assert_eq!(tl.earliest_start(&d, 2, 0), 0);
+    }
+
+    #[test]
+    fn latest_start_packs_from_deadline() {
+        let mut tl = unit();
+        let d = ResourceVec::from_slice(&[0.6, 0.6]);
+        assert_eq!(tl.latest_start(&d, 3, 10), Some(7));
+        tl.place(&d, 7, 3);
+        // Second task of same demand cannot overlap [7,10): latest is 4.
+        assert_eq!(tl.latest_start(&d, 3, 10), Some(4));
+    }
+
+    #[test]
+    fn latest_start_none_when_impossible() {
+        let mut tl = unit();
+        tl.place(&ResourceVec::from_slice(&[0.9, 0.9]), 0, 10);
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        assert_eq!(tl.latest_start(&d, 3, 10), None);
+        // Duration longer than deadline.
+        assert_eq!(tl.latest_start(&d, 11, 10), None);
+        assert_eq!(tl.latest_start(&d, 0, 10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand exceeds cluster capacity")]
+    fn earliest_start_rejects_oversized_demand() {
+        let tl = unit();
+        tl.earliest_start(&ResourceVec::from_slice(&[1.5, 0.0]), 1, 0);
+    }
+
+    #[test]
+    fn utilization_accounts_for_horizon() {
+        let mut tl = ResourceTimeline::new(ResourceVec::from_slice(&[1.0]));
+        tl.place(&ResourceVec::from_slice(&[1.0]), 0, 1);
+        tl.place(&ResourceVec::from_slice(&[0.0]), 1, 1); // extends horizon
+        assert!((tl.utilization() - 0.5).abs() < 1e-9);
+    }
+}

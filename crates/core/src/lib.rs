@@ -1,0 +1,79 @@
+//! # Spear — dependency-aware task scheduling with MCTS + deep RL
+//!
+//! A from-scratch Rust reproduction of *"Spear: Optimized Dependency-Aware
+//! Task Scheduling with Deep Reinforcement Learning"* (Hu, Tu, Li — ICDCS
+//! 2019).
+//!
+//! Spear schedules the tasks of a DAG-structured job onto a cluster with
+//! multi-dimensional resource capacities, minimizing the makespan. It runs
+//! Monte Carlo Tree Search over the scheduling decisions and guides both
+//! the expansion and the rollout steps with a trained deep-reinforcement-
+//! learning policy, instead of the random policies of classic MCTS.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | concern | crate |
+//! |---|---|
+//! | DAG model, analyses, generators | [`spear_dag`] |
+//! | cluster simulator | [`spear_cluster`] |
+//! | baselines (Tetris/SJF/CP/Graphene) | [`spear_sched`] |
+//! | neural network | [`spear_nn`] |
+//! | DRL agent + training | [`spear_rl`] |
+//! | MCTS | [`spear_mcts`] |
+//! | trace substrate | [`spear_trace`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use spear::{SpearBuilder, Scheduler, ClusterSpec};
+//! use spear::dag::generator::LayeredDagSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A random 25-task job with CPU+memory demands.
+//! let dag = LayeredDagSpec::paper_training()
+//!     .generate(&mut rand::rngs::StdRng::seed_from_u64(1));
+//! let spec = ClusterSpec::unit(2);
+//!
+//! // Budget-100 Spear with an untrained policy (see `SpearBuilder::train`
+//! // for the full pipeline).
+//! let mut spear = SpearBuilder::new()
+//!     .initial_budget(100)
+//!     .min_budget(20)
+//!     .seed(7)
+//!     .build_untrained();
+//! let schedule = spear.schedule(&dag, &spec)?;
+//! schedule.validate(&dag, &spec)?;
+//! assert!(schedule.makespan() >= dag.critical_path_length());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+mod pipeline;
+mod spear;
+
+pub use crate::spear::{SpearBuilder, SpearScheduler};
+pub use pipeline::{train_policy, TrainedPolicy, TrainingPipelineConfig};
+
+// Re-export the workspace crates under short names.
+pub use spear_cluster as cluster;
+pub use spear_dag as dag;
+pub use spear_mcts as mcts;
+pub use spear_nn as nn;
+pub use spear_rl as rl;
+pub use spear_sched as sched;
+pub use spear_trace as trace;
+
+// The most-used types at the top level.
+pub use spear_cluster::{Action, ClusterError, ClusterSpec, Placement, Schedule, SimState};
+pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
+pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats};
+pub use spear_rl::{FeatureConfig, PolicyNetwork};
+pub use spear_sched::{
+    CpScheduler, Graphene, RandomScheduler, Scheduler, SjfScheduler, TetrisScheduler,
+};
+pub use spear_trace::{SyntheticTraceSpec, Trace, TraceJob, TraceStats};

@@ -1,0 +1,66 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::Dag;
+
+/// Renders `dag` in Graphviz DOT syntax. Node labels show the task name (or
+/// id), runtime and demand vector.
+///
+/// ```
+/// use spear_dag::{DagBuilder, Task, ResourceVec, dot};
+/// # fn main() -> Result<(), spear_dag::DagError> {
+/// let mut b = DagBuilder::new(1);
+/// let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])).with_name("map"));
+/// let c = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.7])));
+/// b.add_edge(a, c)?;
+/// let dag = b.build()?;
+/// let rendered = dot::to_dot(&dag);
+/// assert!(rendered.contains("digraph"));
+/// assert!(rendered.contains("map"));
+/// assert!(rendered.contains("t0 -> t1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(dag: &Dag) -> String {
+    let mut out = String::new();
+    out.push_str("digraph dag {\n  rankdir=TB;\n  node [shape=box];\n");
+    for id in dag.task_ids() {
+        let task = dag.task(id);
+        let label = match task.name() {
+            Some(name) => format!("{name}\\nrt={} d={}", task.runtime(), task.demand()),
+            None => format!("{id}\\nrt={} d={}", task.runtime(), task.demand()),
+        };
+        let _ = writeln!(out, "  {id} [label=\"{label}\"];");
+    }
+    for e in dag.edges() {
+        let _ = writeln!(out, "  {} -> {};", e.from, e.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DagBuilder, ResourceVec, Task};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = DagBuilder::new(2);
+        let t0 = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.1, 0.2])));
+        let t1 = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.3, 0.4])));
+        let t2 = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.5, 0.6])));
+        b.add_edge(t0, t1).unwrap();
+        b.add_edge(t1, t2).unwrap();
+        let dag = b.build().unwrap();
+        let s = to_dot(&dag);
+        for node in ["t0", "t1", "t2"] {
+            assert!(s.contains(node));
+        }
+        assert!(s.contains("t0 -> t1;"));
+        assert!(s.contains("t1 -> t2;"));
+        assert!(s.starts_with("digraph"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,370 @@
+//! Random workload generators matching the paper's evaluation section.
+//!
+//! Two families:
+//!
+//! * [`LayeredDagSpec`] — the synthetic simulation workload of §V-B: DAGs
+//!   with a fixed task count, per-level width drawn from a small range
+//!   (2–5 in the paper), and task runtimes/demands drawn from clipped
+//!   normal distributions.
+//! * [`MapReduceSpec`] — two-stage map→reduce jobs used to build the
+//!   trace-driven workload of §V-C (all reduce tasks depend on all map
+//!   tasks, as in a shuffle boundary).
+//!
+//! All generation is deterministic given the caller-provided RNG.
+
+use rand::Rng;
+
+use crate::{Dag, DagBuilder, ResourceVec, Task, TaskId};
+
+/// Draws one sample from a normal distribution via the Box–Muller
+/// transform, then clips it to `[min, max]`.
+///
+/// Implemented locally so the crate's only stochastic dependency is
+/// `rand`'s uniform source.
+pub fn clipped_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+) -> f64 {
+    debug_assert!(min <= max);
+    // Box–Muller: u1 in (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + std_dev * z).clamp(min, max)
+}
+
+/// Specification of a random layered DAG, mirroring the paper's simulation
+/// workload ("the number of tasks in each DAG is 100, the width of the DAG
+/// is between 2 and 5, runtimes and resource demands follow normal
+/// distributions").
+///
+/// Demands are expressed as absolute quantities against a cluster capacity
+/// of `1.0` per dimension by convention; scale them if your cluster differs.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spear_dag::generator::LayeredDagSpec;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let dag = LayeredDagSpec::paper_simulation().generate(&mut rng);
+/// assert_eq!(dag.len(), 100);
+/// let w = spear_dag::topo::width(&dag);
+/// assert!((2..=5).contains(&w));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredDagSpec {
+    /// Total number of tasks.
+    pub num_tasks: usize,
+    /// Minimum tasks per level (inclusive).
+    pub min_width: usize,
+    /// Maximum tasks per level (inclusive).
+    pub max_width: usize,
+    /// Resource dimensions per task.
+    pub dims: usize,
+    /// Mean of the runtime distribution (time slots).
+    pub runtime_mean: f64,
+    /// Standard deviation of the runtime distribution.
+    pub runtime_std: f64,
+    /// Runtimes are clipped to `[1, max_runtime]`.
+    pub max_runtime: u64,
+    /// Mean demand per dimension (fraction of unit capacity).
+    pub demand_mean: f64,
+    /// Standard deviation of the demand distribution.
+    pub demand_std: f64,
+    /// Demands are clipped to `[min_demand, max_demand]`.
+    pub min_demand: f64,
+    /// Upper demand clip; must not exceed cluster capacity or the task can
+    /// never run.
+    pub max_demand: f64,
+    /// Probability of adding one extra (skip-level) parent to each task, on
+    /// top of the mandatory previous-level parent.
+    pub extra_edge_prob: f64,
+}
+
+impl LayeredDagSpec {
+    /// The configuration used for the paper's simulations: 100 tasks,
+    /// width 2–5, two resources (CPU + memory), normal runtimes clipped to
+    /// a max of 20 slots and normal demands clipped to the unit capacity.
+    pub fn paper_simulation() -> Self {
+        LayeredDagSpec {
+            num_tasks: 100,
+            min_width: 2,
+            max_width: 5,
+            dims: 2,
+            runtime_mean: 10.0,
+            runtime_std: 4.0,
+            max_runtime: 20,
+            demand_mean: 0.45,
+            demand_std: 0.2,
+            min_demand: 0.05,
+            max_demand: 1.0,
+            extra_edge_prob: 0.25,
+        }
+    }
+
+    /// The smaller configuration used to train the DRL agent (§V-B.3):
+    /// 25 tasks per example.
+    pub fn paper_training() -> Self {
+        LayeredDagSpec {
+            num_tasks: 25,
+            ..Self::paper_simulation()
+        }
+    }
+
+    /// Generates one DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent (zero tasks, `min_width` of zero
+    /// or exceeding `max_width`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dag {
+        assert!(self.num_tasks > 0, "num_tasks must be positive");
+        assert!(
+            (1..=self.max_width).contains(&self.min_width),
+            "requires 1 <= min_width <= max_width"
+        );
+
+        // Partition tasks into levels with widths drawn uniformly from
+        // [min_width, max_width]; the final level takes the remainder.
+        let mut level_sizes = Vec::new();
+        let mut remaining = self.num_tasks;
+        while remaining > 0 {
+            let w = rng
+                .gen_range(self.min_width..=self.max_width)
+                .min(remaining);
+            level_sizes.push(w);
+            remaining -= w;
+        }
+
+        let mut builder = DagBuilder::new(self.dims);
+        let mut levels: Vec<Vec<TaskId>> = Vec::with_capacity(level_sizes.len());
+        for &size in &level_sizes {
+            let mut level = Vec::with_capacity(size);
+            for _ in 0..size {
+                let runtime = clipped_normal(
+                    rng,
+                    self.runtime_mean,
+                    self.runtime_std,
+                    1.0,
+                    self.max_runtime as f64,
+                )
+                .round() as u64;
+                let demand: ResourceVec = (0..self.dims)
+                    .map(|_| {
+                        clipped_normal(
+                            rng,
+                            self.demand_mean,
+                            self.demand_std,
+                            self.min_demand,
+                            self.max_demand,
+                        )
+                    })
+                    .collect();
+                level.push(builder.add_task(Task::new(runtime.max(1), demand)));
+            }
+            levels.push(level);
+        }
+
+        // Every non-source task gets one mandatory parent from the previous
+        // level (keeps the level structure = the paper's width bound), plus
+        // an optional extra parent from any earlier level.
+        for li in 1..levels.len() {
+            for &t in &levels[li] {
+                let prev = &levels[li - 1];
+                let parent = prev[rng.gen_range(0..prev.len())];
+                builder
+                    .add_edge(parent, t)
+                    .expect("mandatory edge endpoints exist and cannot duplicate");
+                if rng.gen::<f64>() < self.extra_edge_prob {
+                    let pl = rng.gen_range(0..li);
+                    let cand = levels[pl][rng.gen_range(0..levels[pl].len())];
+                    // Ignore duplicates of the mandatory edge.
+                    let _ = builder.add_edge(cand, t);
+                }
+            }
+        }
+
+        builder
+            .build()
+            .expect("layered construction is acyclic by design")
+    }
+}
+
+/// Specification of a two-stage MapReduce job: `num_map` map tasks feeding
+/// `num_reduce` reduce tasks through a full shuffle (every reduce depends
+/// on every map, which is how the paper's Hive trace jobs are shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReduceSpec {
+    /// Number of map tasks.
+    pub num_map: usize,
+    /// Number of reduce tasks.
+    pub num_reduce: usize,
+    /// Runtime of each map task (time slots), one entry per task.
+    pub map_runtimes: Vec<u64>,
+    /// Runtime of each reduce task (time slots), one entry per task.
+    pub reduce_runtimes: Vec<u64>,
+    /// Demand of every map task.
+    pub map_demand: ResourceVec,
+    /// Demand of every reduce task (typically larger, per the paper: reduce
+    /// demands are normally higher than map demands).
+    pub reduce_demand: ResourceVec,
+}
+
+impl MapReduceSpec {
+    /// Builds the job DAG: map tasks first (ids `0..num_map`), then reduce
+    /// tasks, with a full bipartite shuffle edge set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime vectors do not match the declared task counts
+    /// or if either stage is empty.
+    pub fn build(&self) -> Dag {
+        assert_eq!(self.map_runtimes.len(), self.num_map);
+        assert_eq!(self.reduce_runtimes.len(), self.num_reduce);
+        assert!(self.num_map > 0 && self.num_reduce > 0);
+        let dims = self.map_demand.dims();
+        let mut b = DagBuilder::new(dims);
+        let maps: Vec<TaskId> = self
+            .map_runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &rt)| {
+                b.add_task(Task::new(rt.max(1), self.map_demand.clone()).with_name(format!("map-{i}")))
+            })
+            .collect();
+        let reduces: Vec<TaskId> = self
+            .reduce_runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &rt)| {
+                b.add_task(
+                    Task::new(rt.max(1), self.reduce_demand.clone())
+                        .with_name(format!("reduce-{i}")),
+                )
+            })
+            .collect();
+        for &m in &maps {
+            for &r in &reduces {
+                b.add_edge(m, r).expect("bipartite edges are unique");
+            }
+        }
+        b.build().expect("two-stage graph is acyclic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clipped_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = clipped_normal(&mut rng, 0.5, 10.0, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clipped_normal_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| clipped_normal(&mut rng, 10.0, 2.0, 0.0, 20.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn paper_simulation_spec_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = LayeredDagSpec::paper_simulation().generate(&mut rng);
+        assert_eq!(dag.len(), 100);
+        assert_eq!(dag.dims(), 2);
+        let w = topo::width(&dag);
+        assert!((2..=5).contains(&w), "width {w} out of range");
+        for t in dag.tasks() {
+            assert!((1..=20).contains(&t.runtime()));
+            for r in 0..2 {
+                assert!((0.05..=1.0).contains(&t.demand()[r]));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let spec = LayeredDagSpec::paper_training();
+        let a = spec.generate(&mut StdRng::seed_from_u64(42));
+        let b = spec.generate(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = spec.generate(&mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_non_source_task_has_a_parent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dag = LayeredDagSpec::paper_simulation().generate(&mut rng);
+        let levels = topo::levels(&dag);
+        for t in dag.task_ids() {
+            if levels[t.index()] > 0 {
+                assert!(!dag.parents(t).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn single_wide_level_has_no_edges() {
+        let spec = LayeredDagSpec {
+            num_tasks: 4,
+            min_width: 4,
+            max_width: 4,
+            ..LayeredDagSpec::paper_simulation()
+        };
+        let dag = spec.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(dag.edges().len(), 0);
+        assert_eq!(topo::width(&dag), 4);
+    }
+
+    #[test]
+    fn mapreduce_builds_full_shuffle() {
+        let spec = MapReduceSpec {
+            num_map: 3,
+            num_reduce: 2,
+            map_runtimes: vec![5, 6, 7],
+            reduce_runtimes: vec![9, 10],
+            map_demand: ResourceVec::from_slice(&[0.1, 0.1]),
+            reduce_demand: ResourceVec::from_slice(&[0.3, 0.4]),
+        };
+        let dag = spec.build();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.edges().len(), 6);
+        assert_eq!(dag.sources().len(), 3);
+        assert_eq!(dag.sinks().len(), 2);
+        assert_eq!(dag.task(TaskId::new(0)).name(), Some("map-0"));
+        assert_eq!(dag.task(TaskId::new(3)).name(), Some("reduce-0"));
+        // Critical path = longest map + longest reduce.
+        assert_eq!(dag.critical_path_length(), 7 + 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mapreduce_rejects_mismatched_runtimes() {
+        let spec = MapReduceSpec {
+            num_map: 2,
+            num_reduce: 1,
+            map_runtimes: vec![5],
+            reduce_runtimes: vec![9],
+            map_demand: ResourceVec::from_slice(&[0.1]),
+            reduce_demand: ResourceVec::from_slice(&[0.3]),
+        };
+        let _ = spec.build();
+    }
+}

@@ -1,0 +1,139 @@
+//! Tasks and task identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ResourceVec;
+
+/// Identifier of a task within a [`Dag`](crate::Dag).
+///
+/// Task ids are dense indices assigned by
+/// [`DagBuilder::add_task`](crate::DagBuilder::add_task) in insertion
+/// order, which lets every other
+/// crate index per-task arrays with them.
+///
+/// ```
+/// use spear_dag::TaskId;
+/// let id = TaskId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "t3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Creates a task id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        TaskId(index)
+    }
+
+    /// The dense index of this task.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(index: usize) -> Self {
+        TaskId(index)
+    }
+}
+
+/// A single task of a job: an integer runtime (in time slots) plus a
+/// multi-dimensional resource demand held for the whole runtime.
+///
+/// ```
+/// use spear_dag::{Task, ResourceVec};
+/// let t = Task::new(5, ResourceVec::from_slice(&[0.25, 0.5])).with_name("reduce-0");
+/// assert_eq!(t.runtime(), 5);
+/// assert_eq!(t.name(), Some("reduce-0"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    runtime: u64,
+    demand: ResourceVec,
+    name: Option<String>,
+}
+
+impl Task {
+    /// Creates a task with the given runtime (time slots) and resource
+    /// demand.
+    pub fn new(runtime: u64, demand: ResourceVec) -> Self {
+        Task {
+            runtime,
+            demand,
+            name: None,
+        }
+    }
+
+    /// Attaches a human-readable name (e.g. `"map-3"`), useful in DOT dumps
+    /// and trace round-trips.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Runtime in time slots. Always ≥ 1 once the task is part of a built
+    /// [`Dag`](crate::Dag).
+    pub fn runtime(&self) -> u64 {
+        self.runtime
+    }
+
+    /// Resource demand held while the task runs.
+    pub fn demand(&self) -> &ResourceVec {
+        &self.demand
+    }
+
+    /// Optional task name.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The *load* of the task in dimension `r`: `runtime × demand[r]`, i.e.
+    /// the area the task occupies in the resource-time space. This is the
+    /// quantity the paper's b-load feature accumulates along paths.
+    pub fn load(&self, r: usize) -> f64 {
+        self.runtime as f64 * self.demand[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new(4, ResourceVec::from_slice(&[0.5]));
+        assert_eq!(t.runtime(), 4);
+        assert_eq!(t.demand().as_slice(), &[0.5]);
+        assert_eq!(t.name(), None);
+    }
+
+    #[test]
+    fn load_is_runtime_times_demand() {
+        let t = Task::new(4, ResourceVec::from_slice(&[0.5, 0.25]));
+        assert_eq!(t.load(0), 2.0);
+        assert_eq!(t.load(1), 1.0);
+    }
+
+    #[test]
+    fn with_name_sets_name() {
+        let t = Task::new(1, ResourceVec::zeros(1)).with_name("map-0");
+        assert_eq!(t.name(), Some("map-0"));
+    }
+
+    #[test]
+    fn task_id_ordering_follows_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert_eq!(TaskId::from(7).index(), 7);
+    }
+}

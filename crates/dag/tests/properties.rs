@@ -1,0 +1,213 @@
+//! Property-based tests for the DAG crate: generator invariants and graph
+//! analysis identities that must hold on *every* random graph.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spear_dag::analysis::{self, GraphFeatures};
+use spear_dag::generator::LayeredDagSpec;
+use spear_dag::{topo, Dag, ResourceVec};
+
+fn arb_spec() -> impl Strategy<Value = LayeredDagSpec> {
+    (
+        2usize..60,
+        1usize..4,
+        0usize..4,
+        1u64..25,
+        0.0f64..0.6,
+    )
+        .prop_map(|(num_tasks, min_width, extra_width, max_runtime, extra_edge_prob)| {
+            LayeredDagSpec {
+                num_tasks,
+                min_width,
+                max_width: min_width + extra_width,
+                dims: 2,
+                runtime_mean: max_runtime as f64 / 2.0,
+                runtime_std: max_runtime as f64 / 4.0,
+                max_runtime,
+                demand_mean: 0.4,
+                demand_std: 0.25,
+                min_demand: 0.01,
+                max_demand: 1.0,
+                extra_edge_prob,
+            }
+        })
+}
+
+fn generate(spec: &LayeredDagSpec, seed: u64) -> Dag {
+    spec.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator must honour its task count, runtime clip and demand
+    /// clip on every sample.
+    #[test]
+    fn generator_honours_spec(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        prop_assert_eq!(dag.len(), spec.num_tasks);
+        for t in dag.tasks() {
+            prop_assert!(t.runtime() >= 1);
+            prop_assert!(t.runtime() <= spec.max_runtime.max(1));
+            for r in 0..dag.dims() {
+                prop_assert!(t.demand()[r] >= spec.min_demand - 1e-12);
+                prop_assert!(t.demand()[r] <= spec.max_demand + 1e-12);
+            }
+        }
+    }
+
+    /// Width bound: every level holds at most `max_width` tasks.
+    #[test]
+    fn generator_respects_width(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        prop_assert!(topo::width(&dag) <= spec.max_width);
+    }
+
+    /// A generated graph is acyclic by construction: the topological order
+    /// covers all tasks and respects every edge.
+    #[test]
+    fn topological_order_is_consistent(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), dag.len());
+        let mut pos = vec![usize::MAX; dag.len()];
+        for (i, &t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for e in dag.edges() {
+            prop_assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    /// b-level decreases along edges by at least the successor contribution:
+    /// bl(u) >= runtime(u) + bl(v) for every edge u->v, with equality for
+    /// the maximal child.
+    #[test]
+    fn b_level_edge_monotonicity(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let bl = analysis::b_levels(&dag);
+        for e in dag.edges() {
+            prop_assert!(
+                bl[e.from.index()] >= dag.task(e.from).runtime() + bl[e.to.index()]
+            );
+        }
+        for v in dag.task_ids() {
+            let best = dag.children(v).iter().map(|c| bl[c.index()]).max().unwrap_or(0);
+            prop_assert_eq!(bl[v.index()], dag.task(v).runtime() + best);
+        }
+    }
+
+    /// t-level + b-level never exceeds the critical path, and the maximum
+    /// over tasks reaches it exactly.
+    #[test]
+    fn t_plus_b_level_bounded_by_critical_path(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let bl = analysis::b_levels(&dag);
+        let tl = analysis::t_levels(&dag);
+        let cp = dag.critical_path_length();
+        let mut max_sum = 0;
+        for i in 0..dag.len() {
+            prop_assert!(tl[i] + bl[i] <= cp);
+            max_sum = max_sum.max(tl[i] + bl[i]);
+        }
+        prop_assert_eq!(max_sum, cp);
+    }
+
+    /// b-load is monotone along edges and bounded below by the task's own
+    /// load in every dimension.
+    #[test]
+    fn b_load_monotonicity(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let loads = analysis::b_loads(&dag);
+        for (r, load_r) in loads.iter().enumerate() {
+            for v in dag.task_ids() {
+                prop_assert!(load_r[v.index()] >= dag.task(v).load(r) - 1e-9);
+            }
+            for e in dag.edges() {
+                prop_assert!(
+                    load_r[e.from.index()]
+                        >= dag.task(e.from).load(r) + load_r[e.to.index()] - 1e-9
+                );
+            }
+        }
+    }
+
+    /// The extracted critical path is a real path whose total runtime equals
+    /// the critical-path length.
+    #[test]
+    fn critical_path_is_a_real_path(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let path = analysis::critical_path_tasks(&dag);
+        prop_assert!(!path.is_empty());
+        for w in path.windows(2) {
+            prop_assert!(dag.children(w[0]).contains(&w[1]));
+        }
+        let total: u64 = path.iter().map(|&t| dag.task(t).runtime()).sum();
+        prop_assert_eq!(total, dag.critical_path_length());
+    }
+
+    /// The makespan lower bound is at least as large as both the
+    /// critical-path bound and the per-dimension load bound.
+    #[test]
+    fn lower_bound_dominates_components(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let cap = ResourceVec::from_slice(&[1.0, 1.0]);
+        let lb = dag.makespan_lower_bound(&cap);
+        prop_assert!(lb >= dag.critical_path_length());
+        for r in 0..2 {
+            let load: f64 = dag.tasks().iter().map(|t| t.runtime() as f64 * t.demand()[r]).sum();
+            prop_assert!(lb as f64 >= load.floor());
+        }
+    }
+
+    /// ReadyTracker processes every task exactly once when driven in
+    /// topological order.
+    #[test]
+    fn ready_tracker_full_walk(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let mut tracker = topo::ReadyTracker::new(&dag);
+        let mut done = 0;
+        for &t in dag.topological_order() {
+            prop_assert!(tracker.ready().contains(&t));
+            tracker.take(t);
+            tracker.complete(&dag, t);
+            done += 1;
+        }
+        prop_assert_eq!(done, dag.len());
+        prop_assert!(tracker.all_done(&dag));
+        prop_assert!(tracker.ready().is_empty());
+    }
+
+    /// GraphFeatures aggregates are consistent with the raw analyses.
+    #[test]
+    fn graph_features_consistency(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let f = GraphFeatures::compute(&dag);
+        let bl = analysis::b_levels(&dag);
+        prop_assert_eq!(f.critical_path(), bl.iter().copied().max().unwrap());
+        for t in dag.task_ids() {
+            prop_assert_eq!(f.task(t).b_level, bl[t.index()]);
+            prop_assert_eq!(f.task(t).children, dag.children(t).len());
+        }
+    }
+
+    /// Serde round-trip preserves the structure exactly and demands up to
+    /// one JSON float ulp.
+    #[test]
+    fn serde_roundtrip(spec in arb_spec(), seed in any::<u64>()) {
+        let dag = generate(&spec, seed);
+        let json = serde_json::to_string(&dag).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(dag.len(), back.len());
+        prop_assert_eq!(dag.edges(), back.edges());
+        prop_assert_eq!(dag.topological_order(), back.topological_order());
+        for (a, b) in dag.tasks().iter().zip(back.tasks()) {
+            prop_assert_eq!(a.runtime(), b.runtime());
+            for r in 0..dag.dims() {
+                prop_assert!((a.demand()[r] - b.demand()[r]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The per-decision iteration budget (paper Eq. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Budget schedule `max(initial / depth, min)`: as the search descends
+/// (one decision per scheduling step), the remaining solution space shrinks
+/// exponentially, so the iteration budget shrinks hyperbolically with a
+/// floor that guarantees enough samples at deep nodes.
+///
+/// ```
+/// use spear_mcts::BudgetSchedule;
+/// let b = BudgetSchedule::new(1000, 100);
+/// assert_eq!(b.at_depth(1), 1000);
+/// assert_eq!(b.at_depth(4), 250);
+/// assert_eq!(b.at_depth(50), 100); // the floor
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetSchedule {
+    initial: u64,
+    min: u64,
+}
+
+impl BudgetSchedule {
+    /// Creates a schedule with the given initial and minimum budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero (the search would never run).
+    pub fn new(initial: u64, min: u64) -> Self {
+        assert!(initial > 0, "initial budget must be positive");
+        BudgetSchedule { initial, min }
+    }
+
+    /// A flat schedule (`initial` at every depth) — the ablation baseline
+    /// for the decay design.
+    pub fn flat(budget: u64) -> Self {
+        Self::new(budget, budget)
+    }
+
+    /// The initial budget.
+    pub fn initial(&self) -> u64 {
+        self.initial
+    }
+
+    /// The floor budget.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Budget at decision depth `d` (1-based): `max(initial / d, min, 1)`.
+    pub fn at_depth(&self, depth: u64) -> u64 {
+        (self.initial / depth.max(1)).max(self.min).max(1)
+    }
+
+    /// Total iterations if the episode takes `decisions` decisions — used
+    /// to compare search effort across configurations.
+    pub fn total_for(&self, decisions: u64) -> u64 {
+        (1..=decisions).map(|d| self.at_depth(d)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_hyperbolically_with_floor() {
+        let b = BudgetSchedule::new(1000, 5);
+        assert_eq!(b.at_depth(1), 1000);
+        assert_eq!(b.at_depth(2), 500);
+        assert_eq!(b.at_depth(3), 333);
+        assert_eq!(b.at_depth(250), 5);
+    }
+
+    #[test]
+    fn flat_schedule_is_constant() {
+        let b = BudgetSchedule::flat(77);
+        for d in [1, 10, 1000] {
+            assert_eq!(b.at_depth(d), 77);
+        }
+    }
+
+    #[test]
+    fn never_returns_zero() {
+        let b = BudgetSchedule::new(10, 0);
+        assert_eq!(b.at_depth(100), 1);
+    }
+
+    #[test]
+    fn depth_zero_treated_as_one() {
+        let b = BudgetSchedule::new(100, 1);
+        assert_eq!(b.at_depth(0), 100);
+    }
+
+    #[test]
+    fn total_sums_the_series() {
+        let b = BudgetSchedule::new(10, 2);
+        // depths 1..=4: 10, 5, 3, 2 (10/4=2 -> max(2,2)).
+        assert_eq!(b.total_for(4), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial budget must be positive")]
+    fn rejects_zero_initial() {
+        let _ = BudgetSchedule::new(0, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Root-parallel MCTS.
+//!
+//! The paper notes (§V-B.1) that the scheduling latency "can be further
+//! reduced using multiprocessing techniques as MCTS can easily be
+//! parallelized". This module implements the simplest sound scheme, *root
+//! parallelization*: `workers` independent searches with different RNG
+//! seeds run concurrently, and the best schedule wins. Independent trees
+//! need no synchronization, and with max-value exploitation the best-of-K
+//! result is exactly what a K×-budget sequential search would have kept
+//! from those K subtrees.
+
+use crossbeam::thread;
+use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_dag::Dag;
+use spear_sched::Scheduler;
+
+use crate::{MctsScheduler, SearchStats};
+
+/// Runs `workers` independent [`MctsScheduler`]s concurrently and keeps
+/// the best schedule.
+///
+/// The factory receives a per-worker seed (derived from the base config's
+/// seed) and must build the scheduler for that worker — this is how the
+/// DRL policy network gets cloned per thread.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spear_dag::generator::LayeredDagSpec;
+/// use spear_cluster::ClusterSpec;
+/// use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts};
+/// use spear_sched::Scheduler;
+///
+/// let dag = LayeredDagSpec { num_tasks: 12, ..LayeredDagSpec::paper_training() }
+///     .generate(&mut rand::rngs::StdRng::seed_from_u64(3));
+/// let spec = ClusterSpec::unit(2);
+/// let mut parallel = RootParallelMcts::new(4, |seed| {
+///     MctsScheduler::pure(MctsConfig {
+///         initial_budget: 30,
+///         min_budget: 5,
+///         seed,
+///         ..MctsConfig::default()
+///     })
+/// });
+/// let schedule = parallel.schedule(&dag, &spec).unwrap();
+/// schedule.validate(&dag, &spec).unwrap();
+/// ```
+pub struct RootParallelMcts<F> {
+    workers: usize,
+    factory: F,
+}
+
+impl<F> RootParallelMcts<F>
+where
+    F: Fn(u64) -> MctsScheduler + Sync,
+{
+    /// Creates a pool of `workers` independent searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, factory: F) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        RootParallelMcts { workers, factory }
+    }
+
+    /// Number of concurrent searches.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Schedules `dag`, returning the best schedule plus the per-worker
+    /// statistics (in worker order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker error if any search fails (they can only
+    /// fail if the DAG does not fit the cluster).
+    pub fn schedule_with_stats(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, Vec<SearchStats>), ClusterError> {
+        let results: Vec<Result<(Schedule, SearchStats), ClusterError>> =
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.workers)
+                    .map(|w| {
+                        let factory = &self.factory;
+                        scope.spawn(move |_| {
+                            let mut scheduler = factory(w as u64);
+                            scheduler.schedule_with_stats(dag, spec)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("scoped threads never leak");
+
+        let mut best: Option<Schedule> = None;
+        let mut stats = Vec::with_capacity(self.workers);
+        for result in results {
+            let (schedule, s) = result?;
+            stats.push(s);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| schedule.makespan() < b.makespan());
+            if better {
+                best = Some(schedule);
+            }
+        }
+        Ok((best.expect("at least one worker"), stats))
+    }
+}
+
+impl<F> Scheduler for RootParallelMcts<F>
+where
+    F: Fn(u64) -> MctsScheduler + Sync,
+{
+    fn name(&self) -> &str {
+        "mcts-parallel"
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+        Ok(self.schedule_with_stats(dag, spec)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MctsConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spear_dag::generator::LayeredDagSpec;
+
+    fn dag(seed: u64) -> Dag {
+        LayeredDagSpec {
+            num_tasks: 14,
+            ..LayeredDagSpec::paper_training()
+        }
+        .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn factory(budget: u64) -> impl Fn(u64) -> MctsScheduler + Sync {
+        move |seed| {
+            MctsScheduler::pure(MctsConfig {
+                initial_budget: budget,
+                min_budget: 5,
+                seed,
+                ..MctsConfig::default()
+            })
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_is_valid() {
+        let dag = dag(1);
+        let spec = ClusterSpec::unit(2);
+        let mut p = RootParallelMcts::new(3, factory(20));
+        let (schedule, stats) = p.schedule_with_stats(&dag, &spec).unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(p.workers(), 3);
+        assert_eq!(p.name(), "mcts-parallel");
+    }
+
+    #[test]
+    fn best_of_workers_never_loses_to_any_single_worker() {
+        let dag = dag(2);
+        let spec = ClusterSpec::unit(2);
+        let (best, _) = RootParallelMcts::new(4, factory(25))
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        for seed in 0..4u64 {
+            let single = factory(25)(seed).schedule(&dag, &spec).unwrap();
+            assert!(best.makespan() <= single.makespan());
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic() {
+        let dag = dag(3);
+        let spec = ClusterSpec::unit(2);
+        let a = RootParallelMcts::new(2, factory(15))
+            .schedule(&dag, &spec)
+            .unwrap();
+        let b = RootParallelMcts::new(2, factory(15))
+            .schedule(&dag, &spec)
+            .unwrap();
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = RootParallelMcts::new(0, factory(10));
+    }
+}

@@ -1,0 +1,395 @@
+//! Expansion and rollout policies: random (classic MCTS), greedy
+//! heuristic, and DRL-guided (Spear).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use spear_cluster::{Action, ClusterSpec, SimState};
+use spear_dag::analysis::GraphFeatures;
+use spear_dag::Dag;
+use spear_rl::PolicyNetwork;
+
+/// Read-only context handed to policies at every decision.
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// The job being scheduled.
+    pub dag: &'a Dag,
+    /// The cluster.
+    pub spec: &'a ClusterSpec,
+    /// Precomputed graph features of the job.
+    pub features: &'a GraphFeatures,
+}
+
+/// A policy guiding MCTS in two places: picking which untried action to
+/// *expand*, and picking actions during the *rollout* simulation.
+///
+/// Classic MCTS uses [`RandomPolicy`] for both; Spear substitutes the
+/// trained [`DrlPolicy`].
+pub trait SearchPolicy {
+    /// Picks one of `untried` to expand (returns an index into `untried`).
+    ///
+    /// `untried` is never empty.
+    fn choose_expansion(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        untried: &[Action],
+        rng: &mut StdRng,
+    ) -> usize;
+
+    /// Picks one of `legal` during a rollout.
+    ///
+    /// `legal` is never empty.
+    fn choose_rollout(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        rng: &mut StdRng,
+    ) -> Action;
+
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Random choices — classic MCTS.
+///
+/// Expansion is uniformly random over the untried actions. Rollouts are
+/// *work-conserving* random: uniform over the schedulable tasks, taking
+/// `process` only when nothing fits. A rollout that idles the cluster at
+/// random produces makespans no real executor would, drowning the value
+/// signal in noise; restricting rollouts to work-conserving schedules
+/// keeps them unbiased over the space any list scheduler can reach, while
+/// the *tree* still explores deliberate idling through its `process`
+/// edges. (Verified to dominate fully-uniform rollouts at every budget —
+/// see the `rollout` ablation in `spear-bench`.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPolicy;
+
+impl SearchPolicy for RandomPolicy {
+    fn choose_expansion(
+        &mut self,
+        _ctx: &PolicyContext<'_>,
+        _state: &SimState,
+        untried: &[Action],
+        rng: &mut StdRng,
+    ) -> usize {
+        rng.gen_range(0..untried.len())
+    }
+
+    fn choose_rollout(
+        &mut self,
+        _ctx: &PolicyContext<'_>,
+        _state: &SimState,
+        legal: &[Action],
+        rng: &mut StdRng,
+    ) -> Action {
+        let schedulable = legal
+            .iter()
+            .filter(|a| matches!(a, Action::Schedule(_)))
+            .count();
+        if schedulable == 0 {
+            return Action::Process;
+        }
+        *legal
+            .iter()
+            .filter(|a| matches!(a, Action::Schedule(_)))
+            .nth(rng.gen_range(0..schedulable))
+            .expect("counted above")
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Fully uniform random choices, including `process` while tasks still
+/// fit — the ablation comparator for [`RandomPolicy`]'s work-conserving
+/// rollouts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformPolicy;
+
+impl SearchPolicy for UniformPolicy {
+    fn choose_expansion(
+        &mut self,
+        _ctx: &PolicyContext<'_>,
+        _state: &SimState,
+        untried: &[Action],
+        rng: &mut StdRng,
+    ) -> usize {
+        rng.gen_range(0..untried.len())
+    }
+
+    fn choose_rollout(
+        &mut self,
+        _ctx: &PolicyContext<'_>,
+        _state: &SimState,
+        legal: &[Action],
+        rng: &mut StdRng,
+    ) -> Action {
+        legal[rng.gen_range(0..legal.len())]
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+/// Greedy packing guidance: prefers scheduling the task with the largest
+/// Tetris alignment score, falling back to `process` last. A cheap
+/// learned-policy stand-in used in ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicPolicy;
+
+impl HeuristicPolicy {
+    fn score(ctx: &PolicyContext<'_>, state: &SimState, action: Action) -> f64 {
+        match action {
+            // Process only when nothing else scores: rank below any task.
+            Action::Process => f64::NEG_INFINITY,
+            Action::Schedule(t) => ctx.dag.task(t).demand().dot(state.free()),
+        }
+    }
+}
+
+impl SearchPolicy for HeuristicPolicy {
+    fn choose_expansion(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        untried: &[Action],
+        _rng: &mut StdRng,
+    ) -> usize {
+        let mut best = 0;
+        for i in 1..untried.len() {
+            if Self::score(ctx, state, untried[i]) > Self::score(ctx, state, untried[best]) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn choose_rollout(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        _rng: &mut StdRng,
+    ) -> Action {
+        let mut best = legal[0];
+        let mut best_score = Self::score(ctx, state, best);
+        for &a in &legal[1..] {
+            let s = Self::score(ctx, state, a);
+            if s > best_score {
+                best = a;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &str {
+        "heuristic"
+    }
+}
+
+/// The trained DRL agent as search guidance (the Spear configuration).
+///
+/// * **Expansion** picks the untried action to which the policy assigns the
+///   highest probability — "the DRL agent effectively sorts the actions by
+///   how promising they are" (§III-C).
+/// * **Rollout** samples from the policy's masked distribution, giving
+///   informed but still stochastic simulations.
+///
+/// Untried actions the network cannot see (tasks beyond the visible ready
+/// window) inherit a tiny epsilon probability so they are expanded last
+/// rather than never.
+#[derive(Debug, Clone)]
+pub struct DrlPolicy {
+    policy: PolicyNetwork,
+}
+
+impl DrlPolicy {
+    /// Wraps a trained policy network.
+    pub fn new(policy: PolicyNetwork) -> Self {
+        DrlPolicy { policy }
+    }
+
+    /// The wrapped network.
+    pub fn policy(&self) -> &PolicyNetwork {
+        &self.policy
+    }
+
+    /// Probability the network assigns to each action in `actions`.
+    fn action_probs(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        actions: &[Action],
+    ) -> Vec<f64> {
+        let (probs, view) = self
+            .policy
+            .action_distribution(ctx.dag, ctx.spec, state, ctx.features);
+        let process_idx = self.policy.feature_config().process_action();
+        actions
+            .iter()
+            .map(|&a| match a {
+                Action::Process => probs[process_idx],
+                Action::Schedule(t) => view
+                    .slot_tasks
+                    .iter()
+                    .position(|&s| s == Some(t))
+                    .map(|slot| probs[slot])
+                    // Backlogged tasks are invisible to the network.
+                    .unwrap_or(1e-9),
+            })
+            .collect()
+    }
+}
+
+impl SearchPolicy for DrlPolicy {
+    fn choose_expansion(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        untried: &[Action],
+        _rng: &mut StdRng,
+    ) -> usize {
+        let probs = self.action_probs(ctx, state, untried);
+        let mut best = 0;
+        for i in 1..probs.len() {
+            if probs[i] > probs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn choose_rollout(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        rng: &mut StdRng,
+    ) -> Action {
+        let probs = self.action_probs(ctx, state, legal);
+        let total: f64 = probs.iter().sum();
+        if total <= 0.0 {
+            return legal[rng.gen_range(0..legal.len())];
+        }
+        let x: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        for (a, &p) in legal.iter().zip(&probs) {
+            acc += p;
+            if x < acc {
+                return *a;
+            }
+        }
+        *legal.last().expect("legal is never empty")
+    }
+
+    fn name(&self) -> &str {
+        "drl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spear_dag::{DagBuilder, ResourceVec, Task, TaskId};
+    use spear_rl::FeatureConfig;
+
+    fn setup() -> (Dag, ClusterSpec, GraphFeatures) {
+        let mut b = DagBuilder::new(2);
+        b.add_task(Task::new(4, ResourceVec::from_slice(&[0.7, 0.2])));
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.2, 0.2])));
+        b.add_task(Task::new(3, ResourceVec::from_slice(&[0.1, 0.6])));
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(2);
+        let features = GraphFeatures::compute(&dag);
+        (dag, spec, features)
+    }
+
+    #[test]
+    fn random_policy_stays_in_range() {
+        let (dag, spec, features) = setup();
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let state = SimState::new(&dag, &spec).unwrap();
+        let legal = state.legal_actions(&dag);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = RandomPolicy;
+        for _ in 0..50 {
+            let idx = policy.choose_expansion(&ctx, &state, &legal, &mut rng);
+            assert!(idx < legal.len());
+            let a = policy.choose_rollout(&ctx, &state, &legal, &mut rng);
+            assert!(legal.contains(&a));
+        }
+    }
+
+    #[test]
+    fn heuristic_prefers_best_aligned_task() {
+        let (dag, spec, features) = setup();
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let state = SimState::new(&dag, &spec).unwrap();
+        let legal = state.legal_actions(&dag);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = HeuristicPolicy;
+        // Free = [1,1]: task 0 has the highest dot product (0.9).
+        let a = policy.choose_rollout(&ctx, &state, &legal, &mut rng);
+        assert_eq!(a, Action::Schedule(TaskId::new(0)));
+    }
+
+    #[test]
+    fn heuristic_prefers_any_task_over_process() {
+        let (dag, spec, features) = setup();
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let mut state = SimState::new(&dag, &spec).unwrap();
+        state.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        // Legal now: schedule 1 or 2 (both fit), or process.
+        let legal = state.legal_actions(&dag);
+        assert!(legal.contains(&Action::Process));
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = HeuristicPolicy.choose_rollout(&ctx, &state, &legal, &mut rng);
+        assert_ne!(a, Action::Process);
+    }
+
+    #[test]
+    fn drl_policy_produces_legal_choices() {
+        let (dag, spec, features) = setup();
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
+        let mut policy = DrlPolicy::new(net);
+        let mut state = SimState::new(&dag, &spec).unwrap();
+        while !state.is_terminal(&dag) {
+            let legal = state.legal_actions(&dag);
+            let idx = policy.choose_expansion(&ctx, &state, &legal, &mut rng);
+            assert!(idx < legal.len());
+            let a = policy.choose_rollout(&ctx, &state, &legal, &mut rng);
+            assert!(legal.contains(&a));
+            state.apply(&dag, a).unwrap();
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        let (_, _, _) = setup();
+        assert_eq!(RandomPolicy.name(), "random");
+        assert_eq!(HeuristicPolicy.name(), "heuristic");
+    }
+}

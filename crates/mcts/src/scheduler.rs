@@ -1,0 +1,374 @@
+//! The MCTS scheduler: budgeted decision loop around [`MctsSearch`].
+
+use serde::{Deserialize, Serialize};
+use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_dag::analysis::GraphFeatures;
+use spear_dag::Dag;
+use spear_rl::PolicyNetwork;
+use spear_sched::Scheduler;
+
+use crate::{
+    BudgetSchedule, DrlPolicy, HeuristicPolicy, MctsSearch, RandomPolicy, SearchPolicy,
+    StateEvaluator, ValueEvaluator,
+};
+
+/// Configuration of the MCTS scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MctsConfig {
+    /// Iteration budget at the first decision (paper: 1000 for pure MCTS,
+    /// 100 for Spear).
+    pub initial_budget: u64,
+    /// Budget floor at deep decisions (paper: 100 / 50).
+    pub min_budget: u64,
+    /// Exploration coefficient; the effective UCB constant is this value
+    /// times a greedy (Tetris) makespan estimate of the job, matching the
+    /// paper's "same order as the makespan of the DAG" guidance.
+    pub exploration_coeff: f64,
+    /// Use the budget decay of Eq. 4; `false` keeps the initial budget at
+    /// every depth (ablation).
+    pub decay_budget: bool,
+    /// Exploit the *maximum* rollout return per node (paper Eq. 5);
+    /// `false` falls back to classic mean-value UCB (ablation).
+    pub max_value_backprop: bool,
+    /// RNG seed for rollouts and tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            initial_budget: 1000,
+            min_budget: 100,
+            exploration_coeff: 0.06,
+            decay_budget: true,
+            max_value_backprop: true,
+            seed: 0,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// The budget schedule implied by this config.
+    pub fn budget(&self) -> BudgetSchedule {
+        if self.decay_budget {
+            BudgetSchedule::new(self.initial_budget, self.min_budget)
+        } else {
+            BudgetSchedule::flat(self.initial_budget)
+        }
+    }
+}
+
+/// Statistics of one scheduling run, reported by
+/// [`MctsScheduler::schedule_with_stats`] (feeds Table I and the
+/// ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Total MCTS iterations across all decisions.
+    pub iterations: u64,
+    /// Total simulated rollout steps.
+    pub rollout_steps: u64,
+    /// Total tree nodes allocated.
+    pub tree_nodes: usize,
+    /// Number of decisions (tree re-rootings) taken.
+    pub decisions: u64,
+    /// Wall-clock seconds spent searching.
+    pub elapsed_seconds: f64,
+}
+
+/// A scheduler that runs budgeted MCTS for every decision.
+///
+/// * [`MctsScheduler::pure`] — classic MCTS with random expansion/rollout
+///   (the paper's "MCTS" baseline);
+/// * [`MctsScheduler::heuristic`] — greedy Tetris-scored guidance
+///   (ablation);
+/// * [`MctsScheduler::drl`] — guided by a trained policy network: this is
+///   **Spear**.
+pub struct MctsScheduler {
+    config: MctsConfig,
+    policy: Box<dyn SearchPolicy + Send>,
+    evaluator: Option<(Box<dyn StateEvaluator + Send>, u64)>,
+    name: String,
+}
+
+impl std::fmt::Debug for MctsScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MctsScheduler")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl MctsScheduler {
+    /// Classic MCTS: random expansion and (work-conserving) random
+    /// rollout — see [`RandomPolicy`].
+    pub fn pure(config: MctsConfig) -> Self {
+        MctsScheduler {
+            config,
+            policy: Box::new(RandomPolicy),
+            evaluator: None,
+            name: "mcts".to_owned(),
+        }
+    }
+
+    /// MCTS guided by the greedy packing heuristic.
+    pub fn heuristic(config: MctsConfig) -> Self {
+        MctsScheduler {
+            config,
+            policy: Box::new(HeuristicPolicy),
+            evaluator: None,
+            name: "mcts-heuristic".to_owned(),
+        }
+    }
+
+    /// MCTS guided by a trained DRL policy — the full Spear scheduler.
+    pub fn drl(config: MctsConfig, policy: PolicyNetwork) -> Self {
+        MctsScheduler {
+            config,
+            policy: Box::new(DrlPolicy::new(policy)),
+            evaluator: None,
+            name: "spear".to_owned(),
+        }
+    }
+
+    /// The full Spear scheduler with **truncated rollouts**: after
+    /// `truncate_steps` simulated actions the rollout stops and the
+    /// trained value network bootstraps the remaining makespan — an
+    /// extension beyond the paper that attacks the rollout cost (see the
+    /// `value_extension` experiment).
+    pub fn drl_with_value(
+        config: MctsConfig,
+        policy: PolicyNetwork,
+        value: spear_rl::ValueNetwork,
+        truncate_steps: u64,
+    ) -> Self {
+        MctsScheduler {
+            config,
+            policy: Box::new(DrlPolicy::new(policy)),
+            evaluator: Some((Box::new(ValueEvaluator::new(value)), truncate_steps)),
+            name: "spear-value".to_owned(),
+        }
+    }
+
+    /// Any policy with any rollout evaluator (ablations).
+    pub fn with_policy_and_evaluator(
+        config: MctsConfig,
+        policy: Box<dyn SearchPolicy + Send>,
+        evaluator: Box<dyn StateEvaluator + Send>,
+        truncate_steps: u64,
+        name: impl Into<String>,
+    ) -> Self {
+        MctsScheduler {
+            config,
+            policy,
+            evaluator: Some((evaluator, truncate_steps)),
+            name: name.into(),
+        }
+    }
+
+    /// Builds with any custom search policy under a custom name.
+    pub fn with_policy(
+        config: MctsConfig,
+        policy: Box<dyn SearchPolicy + Send>,
+        name: impl Into<String>,
+    ) -> Self {
+        MctsScheduler {
+            config,
+            policy,
+            evaluator: None,
+            name: name.into(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MctsConfig {
+        &self.config
+    }
+
+    /// Schedules `dag` and reports search statistics alongside.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+    pub fn schedule_with_stats(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, SearchStats), ClusterError> {
+        let start = std::time::Instant::now();
+        let features = GraphFeatures::compute(dag);
+        // Scale exploration to the makespan magnitude (paper §IV).
+        let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
+        let exploration = self.config.exploration_coeff * estimate.max(1.0);
+        let budget = self.config.budget();
+
+        let mut search = MctsSearch::new(
+            dag,
+            spec,
+            &features,
+            self.policy.as_mut(),
+            exploration,
+            self.config.seed,
+        )?;
+        search.set_max_value_mode(self.config.max_value_backprop);
+        if let Some((evaluator, steps)) = self.evaluator.as_mut() {
+            search.set_rollout_truncation(*steps, evaluator.as_mut());
+        }
+        let mut decisions = 0u64;
+        while !search.is_terminal() {
+            decisions += 1;
+            for _ in 0..budget.at_depth(decisions) {
+                search.run_iteration();
+            }
+            let action = search.best_action();
+            search.advance(action);
+        }
+        let stats = SearchStats {
+            iterations: search.iterations(),
+            rollout_steps: search.rollout_steps(),
+            tree_nodes: search.tree_size(),
+            decisions,
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        };
+        let schedule = search.root_state().clone().into_schedule(dag);
+        Ok((schedule, stats))
+    }
+}
+
+impl Scheduler for MctsScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+        Ok(self.schedule_with_stats(dag, spec)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spear_dag::generator::LayeredDagSpec;
+    use spear_rl::FeatureConfig;
+    use spear_sched::RandomScheduler;
+
+    fn small_config() -> MctsConfig {
+        MctsConfig {
+            initial_budget: 40,
+            min_budget: 8,
+            ..MctsConfig::default()
+        }
+    }
+
+    fn small_dag(seed: u64) -> Dag {
+        LayeredDagSpec {
+            num_tasks: 15,
+            ..LayeredDagSpec::paper_training()
+        }
+        .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn pure_mcts_schedules_validly() {
+        let dag = small_dag(1);
+        let spec = ClusterSpec::unit(2);
+        let (schedule, stats) = MctsScheduler::pure(small_config())
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert!(stats.iterations > 0);
+        assert!(stats.tree_nodes > 1);
+        assert!(stats.decisions >= dag.len() as u64);
+        assert!(stats.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn mcts_beats_random_scheduling() {
+        let spec = ClusterSpec::unit(2);
+        let mut mcts_total = 0u64;
+        let mut random_total = 0u64;
+        for seed in 0..3 {
+            let dag = small_dag(seed);
+            let m = MctsScheduler::pure(MctsConfig {
+                initial_budget: 120,
+                min_budget: 20,
+                seed,
+                ..MctsConfig::default()
+            })
+            .schedule(&dag, &spec)
+            .unwrap();
+            let r = RandomScheduler::seeded(seed).schedule(&dag, &spec).unwrap();
+            mcts_total += m.makespan();
+            random_total += r.makespan();
+        }
+        assert!(
+            mcts_total <= random_total,
+            "mcts {mcts_total} vs random {random_total}"
+        );
+    }
+
+    #[test]
+    fn mcts_is_deterministic_per_seed() {
+        let dag = small_dag(2);
+        let spec = ClusterSpec::unit(2);
+        let a = MctsScheduler::pure(small_config()).schedule(&dag, &spec).unwrap();
+        let b = MctsScheduler::pure(small_config()).schedule(&dag, &spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heuristic_guidance_works() {
+        let dag = small_dag(3);
+        let spec = ClusterSpec::unit(2);
+        let s = MctsScheduler::heuristic(small_config())
+            .schedule(&dag, &spec)
+            .unwrap();
+        s.validate(&dag, &spec).unwrap();
+    }
+
+    #[test]
+    fn drl_guidance_works_untrained() {
+        let dag = small_dag(4);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+        let mut spear = MctsScheduler::drl(small_config(), policy);
+        assert_eq!(spear.name(), "spear");
+        let s = spear.schedule(&dag, &spec).unwrap();
+        s.validate(&dag, &spec).unwrap();
+    }
+
+    #[test]
+    fn flat_budget_runs_more_iterations() {
+        let dag = small_dag(5);
+        let spec = ClusterSpec::unit(2);
+        let (_, decayed) = MctsScheduler::pure(MctsConfig {
+            initial_budget: 30,
+            min_budget: 2,
+            decay_budget: true,
+            ..MctsConfig::default()
+        })
+        .schedule_with_stats(&dag, &spec)
+        .unwrap();
+        let (_, flat) = MctsScheduler::pure(MctsConfig {
+            initial_budget: 30,
+            min_budget: 2,
+            decay_budget: false,
+            ..MctsConfig::default()
+        })
+        .schedule_with_stats(&dag, &spec)
+        .unwrap();
+        assert!(flat.iterations > decayed.iterations);
+    }
+
+    #[test]
+    fn makespan_respects_bounds() {
+        let dag = small_dag(6);
+        let spec = ClusterSpec::unit(2);
+        let s = MctsScheduler::pure(small_config()).schedule(&dag, &spec).unwrap();
+        assert!(s.makespan() >= dag.makespan_lower_bound(spec.capacity()));
+        assert!(s.makespan() <= dag.total_work());
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the MCTS engine: schedule validity under every
+//! policy, determinism, bound respect, and budget accounting.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spear_cluster::ClusterSpec;
+use spear_dag::generator::LayeredDagSpec;
+use spear_dag::Dag;
+use spear_mcts::{BudgetSchedule, MctsConfig, MctsScheduler, UniformPolicy};
+use spear_rl::{FeatureConfig, PolicyNetwork};
+use spear_sched::Scheduler;
+
+fn random_dag(num_tasks: usize, seed: u64) -> Dag {
+    LayeredDagSpec {
+        num_tasks,
+        min_width: 1,
+        max_width: 4,
+        ..LayeredDagSpec::paper_simulation()
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn config(budget: u64, seed: u64) -> MctsConfig {
+    MctsConfig {
+        initial_budget: budget,
+        min_budget: (budget / 5).max(2),
+        seed,
+        ..MctsConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every guidance policy yields a valid, bounded schedule.
+    #[test]
+    fn all_policies_yield_valid_schedules(
+        num_tasks in 1usize..16,
+        dag_seed in any::<u64>(),
+        search_seed in any::<u64>(),
+    ) {
+        let dag = random_dag(num_tasks, dag_seed);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(search_seed);
+        let net = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[8], &mut rng);
+        let mut schedulers: Vec<MctsScheduler> = vec![
+            MctsScheduler::pure(config(15, search_seed)),
+            MctsScheduler::heuristic(config(15, search_seed)),
+            MctsScheduler::drl(config(10, search_seed), net),
+            MctsScheduler::with_policy(
+                config(15, search_seed),
+                Box::new(UniformPolicy),
+                "uniform",
+            ),
+        ];
+        for s in &mut schedulers {
+            let schedule = s.schedule(&dag, &spec).unwrap();
+            schedule.validate(&dag, &spec).unwrap();
+            prop_assert!(schedule.makespan() >= dag.makespan_lower_bound(spec.capacity()));
+            prop_assert!(schedule.makespan() <= dag.total_work());
+        }
+    }
+
+    /// The same seed reproduces the same schedule and statistics.
+    #[test]
+    fn search_is_deterministic(
+        num_tasks in 1usize..14,
+        dag_seed in any::<u64>(),
+        search_seed in any::<u64>(),
+    ) {
+        let dag = random_dag(num_tasks, dag_seed);
+        let spec = ClusterSpec::unit(2);
+        let (s1, st1) = MctsScheduler::pure(config(20, search_seed))
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        let (s2, st2) = MctsScheduler::pure(config(20, search_seed))
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(st1.iterations, st2.iterations);
+        prop_assert_eq!(st1.tree_nodes, st2.tree_nodes);
+    }
+
+    /// Iteration accounting: the total equals the budget series over the
+    /// decisions actually taken.
+    #[test]
+    fn iterations_match_budget_series(
+        num_tasks in 1usize..12,
+        dag_seed in any::<u64>(),
+        budget in 4u64..40,
+    ) {
+        let dag = random_dag(num_tasks, dag_seed);
+        let spec = ClusterSpec::unit(2);
+        let cfg = config(budget, 1);
+        let schedule = BudgetSchedule::new(cfg.initial_budget, cfg.min_budget);
+        let (_, stats) = MctsScheduler::pure(cfg)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        prop_assert_eq!(stats.iterations, schedule.total_for(stats.decisions));
+    }
+
+    /// Budget decay never exceeds the flat schedule and respects its floor.
+    #[test]
+    fn budget_schedule_bounds(initial in 1u64..10_000, min in 0u64..500, depth in 1u64..300) {
+        let b = BudgetSchedule::new(initial, min);
+        let at = b.at_depth(depth);
+        prop_assert!(at >= min.max(1));
+        prop_assert!(at <= initial.max(min.max(1)));
+        // Monotone non-increasing in depth.
+        prop_assert!(b.at_depth(depth + 1) <= at);
+    }
+
+    /// Cross-validation against the exact solver: on tiny jobs, MCTS can
+    /// never beat a branch-and-bound-*proven* optimum (a violation would
+    /// mean the bound or the simulator is broken), and with a healthy
+    /// budget it usually reaches it.
+    #[test]
+    fn mcts_never_beats_proven_optimum(
+        num_tasks in 2usize..8,
+        dag_seed in any::<u64>(),
+        search_seed in any::<u64>(),
+    ) {
+        use spear_sched::bnb;
+        let dag = random_dag(num_tasks, dag_seed);
+        let spec = ClusterSpec::unit(2);
+        if let Some(opt) = bnb::optimal_makespan(&dag, &spec, 300_000).unwrap() {
+            let mcts = MctsScheduler::pure(config(150, search_seed))
+                .schedule(&dag, &spec)
+                .unwrap()
+                .makespan();
+            prop_assert!(mcts >= opt, "mcts {} beat the proven optimum {}", mcts, opt);
+        }
+    }
+}
+
+/// Value-truncated Spear produces valid schedules and meaningfully fewer
+/// rollout steps than untruncated Spear at the same budget.
+#[test]
+fn value_truncated_spear_is_valid_and_cheaper() {
+    use spear_rl::{train_value_network, PolicyNetwork, ValueNetwork, ValueTrainConfig};
+    let dag = random_dag(14, 9);
+    let spec = ClusterSpec::unit(2);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
+    let mut value = ValueNetwork::new(FeatureConfig::small(2), &[16], &mut rng);
+    train_value_network(
+        &mut value,
+        &mut policy,
+        std::slice::from_ref(&dag),
+        &spec,
+        &ValueTrainConfig {
+            episodes_per_dag: 3,
+            epochs: 5,
+            batch_size: 64,
+            learning_rate: 1e-2,
+        },
+        &mut rng,
+    )
+    .unwrap();
+
+    let cfg = config(30, 1);
+    let (full_sched, full_stats) = MctsScheduler::drl(cfg.clone(), policy.clone())
+        .schedule_with_stats(&dag, &spec)
+        .unwrap();
+    let (trunc_sched, trunc_stats) =
+        MctsScheduler::drl_with_value(cfg, policy, value, 4)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+    full_sched.validate(&dag, &spec).unwrap();
+    trunc_sched.validate(&dag, &spec).unwrap();
+    assert!(
+        trunc_stats.rollout_steps < full_stats.rollout_steps,
+        "truncation did not reduce rollout steps: {} vs {}",
+        trunc_stats.rollout_steps,
+        full_stats.rollout_steps
+    );
+}
+
+/// The analytic bound evaluator also works as a truncation target.
+#[test]
+fn bound_evaluator_truncation_is_valid() {
+    use spear_mcts::{BoundEvaluator, RandomPolicy};
+    let dag = random_dag(12, 4);
+    let spec = ClusterSpec::unit(2);
+    let mut s = MctsScheduler::with_policy_and_evaluator(
+        config(25, 2),
+        Box::new(RandomPolicy),
+        Box::new(BoundEvaluator),
+        3,
+        "mcts-bound",
+    );
+    let schedule = s.schedule(&dag, &spec).unwrap();
+    schedule.validate(&dag, &spec).unwrap();
+    assert_eq!(s.name(), "mcts-bound");
+}

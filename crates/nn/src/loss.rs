@@ -1,0 +1,209 @@
+//! Losses: softmax cross-entropy (supervised pre-training) and the
+//! REINFORCE policy-gradient pseudo-loss.
+
+use crate::{softmax, softmax_masked, Matrix};
+
+/// Mean softmax cross-entropy over a batch, with optional per-row legality
+/// masks. Returns `(loss, d_logits)` where `d_logits` is the gradient of
+/// the *mean* loss w.r.t. the logits (already divided by the batch size).
+///
+/// `targets[i]` is the class index of row `i`; when `masks` is provided,
+/// illegal classes get zero probability and zero gradient (targets must be
+/// legal).
+///
+/// # Panics
+///
+/// Panics if lengths disagree or a target is out of range / masked out.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    masks: Option<&[Vec<bool>]>,
+) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "one target per row");
+    if let Some(m) = masks {
+        assert_eq!(m.len(), targets.len(), "one mask per row");
+    }
+    let n = logits.rows() as f64;
+    let mut d = Matrix::zeros(logits.rows(), logits.cols());
+    let mut total = 0.0;
+    for r in 0..logits.rows() {
+        let target = targets[r];
+        assert!(target < logits.cols(), "target out of range");
+        let probs = match masks {
+            Some(m) => {
+                assert!(m[r][target], "target class is masked out");
+                softmax_masked(logits.row(r), &m[r])
+            }
+            None => softmax(logits.row(r)),
+        };
+        total += -(probs[target].max(1e-300)).ln();
+        for (c, &p) in probs.iter().enumerate() {
+            let indicator = if c == target { 1.0 } else { 0.0 };
+            d.set(r, c, (p - indicator) / n);
+        }
+    }
+    (total / n, d)
+}
+
+/// Gradient of the REINFORCE objective for a batch of (state, action,
+/// advantage) steps: `d_logits[r] = scale · advantage[r] · (probs − onehot)`.
+///
+/// With `advantage = G_t − baseline` this is the gradient of
+/// `−Σ advantage · log π(a|s)` — descending it *increases* the log
+/// probability of actions with positive advantage, exactly Eq. (3) of the
+/// paper. Rows are masked by the legal-action sets recorded during the
+/// episode so that illegal logits receive no gradient.
+///
+/// # Panics
+///
+/// Panics if lengths disagree or an action is out of range / masked out.
+pub fn policy_gradient(
+    logits: &Matrix,
+    actions: &[usize],
+    advantages: &[f64],
+    masks: &[Vec<bool>],
+    scale: f64,
+) -> Matrix {
+    assert_eq!(logits.rows(), actions.len(), "one action per row");
+    assert_eq!(logits.rows(), advantages.len(), "one advantage per row");
+    assert_eq!(logits.rows(), masks.len(), "one mask per row");
+    let mut d = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let action = actions[r];
+        assert!(action < logits.cols(), "action out of range");
+        assert!(masks[r][action], "sampled action is masked out");
+        let probs = softmax_masked(logits.row(r), &masks[r]);
+        for c in 0..logits.cols() {
+            if !masks[r][c] {
+                continue;
+            }
+            let indicator = if c == action { 1.0 } else { 0.0 };
+            d.set(r, c, scale * advantages[r] * (probs[c] - indicator));
+        }
+    }
+    d
+}
+
+/// Mean entropy of the (masked) policy over a batch of logit rows — used as
+/// a diagnostic during training (a collapsing entropy signals premature
+/// determinism).
+pub fn mean_entropy(logits: &Matrix, masks: &[Vec<bool>]) -> f64 {
+    assert_eq!(logits.rows(), masks.len(), "one mask per row");
+    if logits.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (r, mask) in masks.iter().enumerate() {
+        let probs = softmax_masked(logits.row(r), mask);
+        total += -probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>();
+    }
+    total / logits.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0], None);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_k() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1], None);
+        assert!((loss - 4.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.2, 1.0], &[2.0, 0.0, -1.0]]);
+        let (_, d) = softmax_cross_entropy(&logits, &[2, 0], None);
+        for r in 0..2 {
+            let s: f64 = d.row(r).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    /// Finite-difference check of the cross-entropy gradient.
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let logits = Matrix::from_rows(&[&[0.5, -1.0, 0.3]]);
+        let (_, d) = softmax_cross_entropy(&logits, &[1], None);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, c, lp.get(0, c) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, c, lm.get(0, c) - eps);
+            let (fp, _) = softmax_cross_entropy(&lp, &[1], None);
+            let (fm, _) = softmax_cross_entropy(&lm, &[1], None);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - d.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_cross_entropy_ignores_illegal_classes() {
+        // Class 0 has a huge logit but is illegal; loss only sees 1 and 2.
+        let logits = Matrix::from_rows(&[&[100.0, 1.0, 1.0]]);
+        let masks = vec![vec![false, true, true]];
+        let (loss, d) = softmax_cross_entropy(&logits, &[1], Some(&masks));
+        assert!((loss - 2.0f64.ln()).abs() < 1e-9);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn policy_gradient_pushes_toward_positive_advantage() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let masks = vec![vec![true, true]];
+        // Positive advantage on action 0: its gradient entry must be
+        // negative (descending increases the logit).
+        let d = policy_gradient(&logits, &[0], &[1.0], &masks, 1.0);
+        assert!(d.get(0, 0) < 0.0);
+        assert!(d.get(0, 1) > 0.0);
+        // Negative advantage flips the direction.
+        let d = policy_gradient(&logits, &[0], &[-1.0], &masks, 1.0);
+        assert!(d.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn policy_gradient_respects_mask() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0, 9.0]]);
+        let masks = vec![vec![true, true, false]];
+        let d = policy_gradient(&logits, &[1], &[2.0], &masks, 1.0);
+        assert_eq!(d.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_advantage_gives_zero_gradient() {
+        let logits = Matrix::from_rows(&[&[0.4, -0.4]]);
+        let masks = vec![vec![true, true]];
+        let d = policy_gradient(&logits, &[0], &[0.0], &masks, 1.0);
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_deterministic() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let masks = vec![vec![true, true]];
+        assert!((mean_entropy(&logits, &masks) - 2.0f64.ln()).abs() < 1e-9);
+        let peaked = Matrix::from_rows(&[&[100.0, 0.0]]);
+        assert!(mean_entropy(&peaked, &masks) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "target class is masked out")]
+    fn masked_target_panics() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let masks = vec![vec![true, false]];
+        let _ = softmax_cross_entropy(&logits, &[1], Some(&masks));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the neural-network crate: softmax invariants,
+//! gradient-check on random architectures, and optimizer sanity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spear_nn::{loss, softmax, softmax_masked, Matrix, Mlp, MlpConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax always returns a probability distribution.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0f64..50.0, 1..20)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Softmax is shift-invariant.
+    #[test]
+    fn softmax_shift_invariance(
+        logits in prop::collection::vec(-10.0f64..10.0, 1..10),
+        shift in -100.0f64..100.0,
+    ) {
+        let a = softmax(&logits);
+        let shifted: Vec<f64> = logits.iter().map(|l| l + shift).collect();
+        let b = softmax(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Masked softmax puts zero mass on illegal entries and renormalizes.
+    #[test]
+    fn masked_softmax_distribution(
+        pairs in prop::collection::vec((-20.0f64..20.0, any::<bool>()), 1..15),
+    ) {
+        let logits: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+        let mut mask: Vec<bool> = pairs.iter().map(|(_, m)| *m).collect();
+        if !mask.iter().any(|&m| m) {
+            mask[0] = true;
+        }
+        let p = softmax_masked(&logits, &mask);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (prob, &legal) in p.iter().zip(&mask) {
+            if !legal {
+                prop_assert_eq!(*prob, 0.0);
+            }
+        }
+    }
+
+    /// Cross-entropy gradients match finite differences on random small
+    /// networks and inputs.
+    #[test]
+    fn network_gradient_check(
+        seed in any::<u64>(),
+        input_dim in 2usize..6,
+        hidden in 2usize..8,
+        classes in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(MlpConfig::new(input_dim, &[hidden], classes), &mut rng);
+        let x = Matrix::from_fn(2, input_dim, |r, c| ((r * 7 + c * 3 + seed as usize) % 10) as f64 / 10.0 - 0.4);
+        let targets = [0usize, classes - 1];
+
+        let logits = net.forward(&x);
+        let (_, d) = loss::softmax_cross_entropy(&logits, &targets, None);
+        net.zero_grad();
+        net.backward(&d);
+
+        let eval = |net: &mut Mlp| {
+            let logits = net.forward(&x);
+            loss::softmax_cross_entropy(&logits, &targets, None).0
+        };
+        let eps = 1e-6;
+        // Check a sample of weight entries in each layer.
+        for li in 0..net.layers().len() {
+            let n = net.layers()[li].weights().as_slice().len();
+            for idx in (0..n).step_by(n.div_ceil(4)) {
+                let mut plus = net.clone();
+                plus.layers_mut()[li].weights_mut().as_mut_slice()[idx] += eps;
+                let mut minus = net.clone();
+                minus.layers_mut()[li].weights_mut().as_mut_slice()[idx] -= eps;
+                let numeric = (eval(&mut plus) - eval(&mut minus)) / (2.0 * eps);
+                let analytic = net.layers()[li].grad_weights().as_slice()[idx];
+                prop_assert!(
+                    (numeric - analytic).abs() < 1e-4 * (1.0 + analytic.abs()),
+                    "layer {} dW[{}]: numeric {} vs analytic {}", li, idx, numeric, analytic
+                );
+            }
+        }
+    }
+
+    /// Save/load round-trips preserve network outputs bit-for-bit (weights
+    /// survive JSON because serde_json serializes f64 with enough digits
+    /// to reproduce the value to within an ulp).
+    #[test]
+    fn save_load_outputs_match(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(MlpConfig::new(4, &[6, 5], 3), &mut rng);
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let mut loaded = Mlp::load(buf.as_slice()).unwrap();
+        let x = [0.25, -0.5, 0.75, -1.0];
+        let a = net.forward_one(&x);
+        let b = loaded.forward_one(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    /// The policy gradient is zero exactly when all advantages are zero.
+    #[test]
+    fn policy_gradient_zero_iff_zero_advantage(
+        logits in prop::collection::vec(-5.0f64..5.0, 4),
+        advantage in -3.0f64..3.0,
+    ) {
+        let m = Matrix::from_vec(1, 4, logits);
+        let masks = vec![vec![true; 4]];
+        let d = loss::policy_gradient(&m, &[1], &[advantage], &masks, 1.0);
+        let all_zero = d.as_slice().iter().all(|&v| v.abs() < 1e-15);
+        prop_assert_eq!(all_zero, advantage == 0.0);
+    }
+}
+
+/// A Tanh-activation network also trains (the activation enum is not
+/// ReLU-only).
+#[test]
+fn tanh_network_learns() {
+    use rand::SeedableRng;
+    use spear_nn::{loss, Activation, Matrix, Mlp, MlpConfig, Optimizer, RmsProp};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut config = MlpConfig::new(2, &[12], 2);
+    config.activation = Activation::Tanh;
+    let mut net = Mlp::new(config, &mut rng);
+    let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    let y = [1usize, 0];
+    let mut opt = RmsProp::new(1e-2, 0.9, 1e-9);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..200 {
+        let logits = net.forward(&x);
+        let (l, d) = loss::softmax_cross_entropy(&logits, &y, None);
+        net.zero_grad();
+        net.backward(&d);
+        opt.step(&mut net);
+        net.zero_grad();
+        first.get_or_insert(l);
+        last = l;
+    }
+    assert!(last < first.unwrap() / 2.0, "{first:?} -> {last}");
+}

@@ -1,0 +1,298 @@
+//! REINFORCE with an averaged-rollout baseline (paper §II-B, Eq. 2–3 and
+//! §IV).
+//!
+//! For every training example (a DAG), the trainer simulates `rollouts`
+//! episodes with the stochastic policy, uses the mean return as the
+//! baseline, and ascends `advantage · ∇ log π(a|s)` accumulated over all
+//! steps of all rollouts. The paper trains on 144 random 25-task examples
+//! with 20 rollouts each; both counts are configurable because wall-clock
+//! budgets differ.
+
+use rand::Rng;
+use spear_cluster::{ClusterError, ClusterSpec};
+use spear_dag::analysis::GraphFeatures;
+use spear_dag::Dag;
+use spear_nn::{loss, Matrix, Optimizer, RmsProp};
+
+use crate::episode::run_episode_with_features;
+use crate::{PolicyNetwork, SelectionMode};
+
+/// Hyper-parameters of the REINFORCE phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReinforceConfig {
+    /// Training epochs (passes over the example set).
+    pub epochs: usize,
+    /// Monte-Carlo rollouts per example per epoch (paper: 20); their mean
+    /// return is the baseline.
+    pub rollouts: usize,
+    /// Optional global gradient-norm clip (stabilizes small-batch runs).
+    pub max_grad_norm: Option<f64>,
+    /// Normalize returns by the Tetris estimate of each DAG so examples of
+    /// different scales contribute comparable advantages.
+    pub normalize_returns: bool,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        ReinforceConfig {
+            epochs: 100,
+            rollouts: 20,
+            max_grad_norm: Some(10.0),
+            normalize_returns: true,
+        }
+    }
+}
+
+/// One point of the learning curve (Fig. 8(b)).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainingCurvePoint {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean makespan over every rollout of every example in the epoch —
+    /// the negative of the mean reward.
+    pub mean_makespan: f64,
+    /// Mean policy entropy over the epoch's decisions (diagnostic).
+    pub mean_entropy: f64,
+}
+
+/// The REINFORCE trainer. Owns the optimizer; borrows the policy per call
+/// so callers can evaluate between epochs.
+#[derive(Debug)]
+pub struct ReinforceTrainer {
+    config: ReinforceConfig,
+    optimizer: RmsProp,
+}
+
+impl ReinforceTrainer {
+    /// Creates a trainer with the paper's RMSProp hyper-parameters.
+    pub fn new(config: ReinforceConfig) -> Self {
+        ReinforceTrainer {
+            config,
+            optimizer: RmsProp::default_paper(),
+        }
+    }
+
+    /// Creates a trainer with a custom optimizer learning rate (the
+    /// paper's 1e-4 needs thousands of epochs; larger rates converge in
+    /// fewer for the scaled-down experiments).
+    pub fn with_learning_rate(config: ReinforceConfig, alpha: f64) -> Self {
+        let mut optimizer = RmsProp::default_paper();
+        optimizer.set_alpha(alpha);
+        ReinforceTrainer { config, optimizer }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReinforceConfig {
+        &self.config
+    }
+
+    /// Runs one training epoch over `examples`, updating the policy once
+    /// per example (mini-batch = the example's rollouts). Returns the
+    /// epoch's curve point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        policy: &mut PolicyNetwork,
+        examples: &[(Dag, GraphFeatures)],
+        spec: &ClusterSpec,
+        epoch: usize,
+        rng: &mut R,
+    ) -> Result<TrainingCurvePoint, ClusterError> {
+        let mut makespan_sum = 0.0;
+        let mut makespan_count = 0usize;
+        let mut entropy_sum = 0.0;
+        let mut entropy_count = 0usize;
+
+        for (dag, features) in examples {
+            // 1. Roll out.
+            let episodes: Vec<_> = (0..self.config.rollouts)
+                .map(|_| {
+                    run_episode_with_features(
+                        policy,
+                        dag,
+                        spec,
+                        features,
+                        SelectionMode::Sample,
+                        true,
+                        rng,
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+
+            // 2. Baseline = mean return over the rollouts (paper §IV).
+            let mean_ret: f64 =
+                episodes.iter().map(|e| e.ret()).sum::<f64>() / episodes.len() as f64;
+            let scale = if self.config.normalize_returns {
+                // Returns are O(makespan); normalize by the mean magnitude
+                // so advantages are O(1) regardless of DAG size.
+                mean_ret.abs().max(1.0)
+            } else {
+                1.0
+            };
+
+            for e in &episodes {
+                makespan_sum += e.makespan as f64;
+            }
+            makespan_count += episodes.len();
+
+            // 3. Accumulate the policy gradient over all steps.
+            policy.net_mut().zero_grad();
+            let total_steps: usize = episodes.iter().map(|e| e.steps.len()).sum();
+            if total_steps == 0 {
+                continue;
+            }
+            for episode in &episodes {
+                let advantage = (episode.ret() - mean_ret) / scale;
+                if advantage == 0.0 {
+                    continue;
+                }
+                let rows: Vec<&[f64]> = episode
+                    .steps
+                    .iter()
+                    .map(|s| s.features.as_slice())
+                    .collect();
+                let x = Matrix::from_rows(&rows);
+                let actions: Vec<usize> = episode.steps.iter().map(|s| s.action).collect();
+                let masks: Vec<Vec<bool>> =
+                    episode.steps.iter().map(|s| s.mask.clone()).collect();
+                let advantages = vec![advantage; actions.len()];
+                let logits = policy.net_mut().forward(&x);
+                entropy_sum += loss::mean_entropy(&logits, &masks) * actions.len() as f64;
+                entropy_count += actions.len();
+                let d = loss::policy_gradient(
+                    &logits,
+                    &actions,
+                    &advantages,
+                    &masks,
+                    1.0 / total_steps as f64,
+                );
+                policy.net_mut().backward(&d);
+            }
+
+            // 4. Update.
+            if let Some(max_norm) = self.config.max_grad_norm {
+                policy.net_mut().clip_grad_norm(max_norm);
+            }
+            self.optimizer.step(policy.net_mut());
+            policy.net_mut().zero_grad();
+        }
+
+        Ok(TrainingCurvePoint {
+            epoch,
+            mean_makespan: makespan_sum / makespan_count.max(1) as f64,
+            mean_entropy: entropy_sum / entropy_count.max(1) as f64,
+        })
+    }
+
+    /// Runs the full training loop, returning the learning curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        policy: &mut PolicyNetwork,
+        dags: &[Dag],
+        spec: &ClusterSpec,
+        rng: &mut R,
+    ) -> Result<Vec<TrainingCurvePoint>, ClusterError> {
+        let examples: Vec<(Dag, GraphFeatures)> = dags
+            .iter()
+            .map(|d| (d.clone(), GraphFeatures::compute(d)))
+            .collect();
+        let mut curve = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            curve.push(self.train_epoch(policy, &examples, spec, epoch, rng)?);
+        }
+        Ok(curve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spear_dag::generator::LayeredDagSpec;
+
+    /// End-to-end smoke test: a few epochs on tiny DAGs must improve (or
+    /// at least not catastrophically regress) the mean makespan, and the
+    /// curve must be fully recorded.
+    #[test]
+    fn reinforce_improves_tiny_policy() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let dags: Vec<Dag> = (0..3)
+            .map(|_| {
+                LayeredDagSpec {
+                    num_tasks: 8,
+                    ..LayeredDagSpec::paper_training()
+                }
+                .generate(&mut rng)
+            })
+            .collect();
+        let spec = ClusterSpec::unit(2);
+        let mut policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[24], &mut rng);
+        let mut trainer = ReinforceTrainer::with_learning_rate(
+            ReinforceConfig {
+                epochs: 15,
+                rollouts: 8,
+                max_grad_norm: Some(5.0),
+                normalize_returns: true,
+            },
+            1e-2,
+        );
+        let curve = trainer.train(&mut policy, &dags, &spec, &mut rng).unwrap();
+        assert_eq!(curve.len(), 15);
+        let first: f64 = curve[..3].iter().map(|p| p.mean_makespan).sum::<f64>() / 3.0;
+        let last: f64 = curve[curve.len() - 3..]
+            .iter()
+            .map(|p| p.mean_makespan)
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            last <= first * 1.05,
+            "training diverged: first {first}, last {last}"
+        );
+        for p in &curve {
+            assert!(p.mean_makespan.is_finite());
+            assert!(p.mean_entropy >= 0.0);
+        }
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = ReinforceConfig::default();
+        assert_eq!(cfg.rollouts, 20);
+    }
+
+    #[test]
+    fn trainer_is_deterministic_given_seed() {
+        let make_curve = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = LayeredDagSpec {
+                num_tasks: 6,
+                ..LayeredDagSpec::paper_training()
+            }
+            .generate(&mut rng);
+            let spec = ClusterSpec::unit(2);
+            let mut policy =
+                PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
+            let mut trainer = ReinforceTrainer::new(ReinforceConfig {
+                epochs: 3,
+                rollouts: 4,
+                max_grad_norm: None,
+                normalize_returns: false,
+            });
+            trainer
+                .train(&mut policy, &[dag], &spec, &mut rng)
+                .unwrap()
+        };
+        let a = make_curve(5);
+        let b = make_curve(5);
+        assert_eq!(a, b);
+    }
+}

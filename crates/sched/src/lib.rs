@@ -1,0 +1,89 @@
+//! Baseline DAG schedulers for the Spear reproduction.
+//!
+//! All schedulers implement the [`Scheduler`] trait and drive the
+//! [`spear_cluster::SimState`] simulator, so every algorithm is compared on
+//! the identical substrate:
+//!
+//! * [`TetrisScheduler`] — multi-resource packing by alignment score
+//!   (dot-product of demand and free capacity), dependency-oblivious
+//!   beyond readiness (Grandl et al., SIGCOMM 2014).
+//! * [`SjfScheduler`] — Shortest Job First over ready tasks.
+//! * [`CpScheduler`] — largest Critical Path (b-level) first, the classic
+//!   list-scheduling heuristic, with child-count tiebreak.
+//! * [`RandomScheduler`] — uniformly random choices; the sanity floor.
+//! * [`Graphene`] — the state-of-the-art baseline: identifies troublesome
+//!   tasks by runtime threshold, virtually packs them forward and backward
+//!   in the resource-time space, and executes the best derived order.
+//!
+//! The generic machinery ([`PriorityListScheduler`], [`TaskScorer`],
+//! [`execute_priority_order`]) is public so downstream crates (the DRL
+//! expert, MCTS rollouts) can build their own greedy policies.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use spear_dag::generator::LayeredDagSpec;
+//! use spear_cluster::ClusterSpec;
+//! use spear_sched::{Scheduler, TetrisScheduler, CpScheduler};
+//!
+//! # fn main() -> Result<(), spear_cluster::ClusterError> {
+//! let dag = LayeredDagSpec::paper_training()
+//!     .generate(&mut rand::rngs::StdRng::seed_from_u64(1));
+//! let spec = ClusterSpec::unit(2);
+//! let tetris = TetrisScheduler::new().schedule(&dag, &spec)?;
+//! let cp = CpScheduler::new().schedule(&dag, &spec)?;
+//! assert!(tetris.makespan() >= dag.critical_path_length());
+//! assert!(cp.makespan() >= dag.critical_path_length());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bnb;
+mod graphene;
+mod list;
+mod scorers;
+
+pub use bnb::{BnBConfig, BnBOutcome, BnBScheduler};
+pub use graphene::{Graphene, GrapheneConfig, PackDirection};
+pub use list::{execute_priority_order, PriorityListScheduler, ScoreContext, TaskScorer};
+pub use scorers::{
+    CpScheduler, CpScorer, RandomScheduler, RandomScorer, SjfScheduler, SjfScorer,
+    TetrisScheduler, TetrisScorer,
+};
+
+use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_dag::Dag;
+
+/// A makespan-minimizing DAG scheduler.
+///
+/// Implementations take `&mut self` because several schedulers carry
+/// internal RNG state. The returned [`Schedule`] always passes
+/// [`Schedule::validate`] for the same `dag` and `spec`.
+pub trait Scheduler {
+    /// Human-readable name used in experiment reports (e.g. `"tetris"`).
+    fn name(&self) -> &str;
+
+    /// Produces a complete schedule of `dag` on `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] if the DAG cannot run on the cluster
+    /// (dimension mismatch or an oversized task).
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError>;
+}
+
+/// A quick greedy estimate of the makespan of `dag` on `spec`, produced by
+/// the Tetris packer. The paper (§IV) uses this to scale the MCTS
+/// exploration constant to the same order of magnitude as the exploitation
+/// score.
+///
+/// # Errors
+///
+/// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+pub fn greedy_makespan_estimate(dag: &Dag, spec: &ClusterSpec) -> Result<u64, ClusterError> {
+    Ok(TetrisScheduler::new().schedule(dag, spec)?.makespan())
+}

@@ -1,0 +1,281 @@
+//! Generic greedy list scheduling.
+//!
+//! Every heuristic baseline is the same greedy loop with a different
+//! priority: while some ready task fits the free capacity, schedule the
+//! highest-scoring one; otherwise process the cluster. The loop is the
+//! resource- and dependency-aware *executor*; the [`TaskScorer`] is the
+//! *policy*.
+
+use spear_cluster::{Action, ClusterError, ClusterSpec, Schedule, SimState};
+use spear_dag::analysis::GraphFeatures;
+use spear_dag::{Dag, TaskId};
+
+use crate::Scheduler;
+
+/// Everything a [`TaskScorer`] may inspect when ranking a candidate task.
+#[derive(Debug)]
+pub struct ScoreContext<'a> {
+    /// The job being scheduled.
+    pub dag: &'a Dag,
+    /// The current simulation state (clock, free capacity, running set).
+    pub state: &'a SimState,
+    /// Precomputed static graph features (b-level, b-load, children).
+    pub features: &'a GraphFeatures,
+}
+
+/// Ranks ready-and-fitting tasks for the greedy list scheduler; the task
+/// with the highest score is scheduled next. Ties break toward the lower
+/// task id, keeping every scheduler deterministic.
+pub trait TaskScorer {
+    /// Scheduler name for reports.
+    fn name(&self) -> &str;
+
+    /// Score of scheduling `task` now; higher runs first.
+    fn score(&mut self, ctx: &ScoreContext<'_>, task: TaskId) -> f64;
+}
+
+/// The greedy list scheduler: repeatedly schedules the best-scoring ready
+/// task that fits, processing the cluster only when nothing fits.
+///
+/// ```
+/// use spear_dag::{DagBuilder, Task, ResourceVec, TaskId};
+/// use spear_cluster::ClusterSpec;
+/// use spear_sched::{PriorityListScheduler, ScoreContext, Scheduler, TaskScorer};
+///
+/// /// Prefers higher task ids — a deliberately silly policy.
+/// struct Backwards;
+/// impl TaskScorer for Backwards {
+///     fn name(&self) -> &str { "backwards" }
+///     fn score(&mut self, _ctx: &ScoreContext<'_>, task: TaskId) -> f64 {
+///         task.index() as f64
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new(1);
+/// b.add_task(Task::new(1, ResourceVec::from_slice(&[1.0])));
+/// b.add_task(Task::new(1, ResourceVec::from_slice(&[1.0])));
+/// let dag = b.build()?;
+/// let schedule = PriorityListScheduler::new(Backwards)
+///     .schedule(&dag, &ClusterSpec::unit(1))?;
+/// // Task 1 was scheduled first.
+/// assert_eq!(schedule.placement_of(TaskId::new(1)).unwrap().start, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PriorityListScheduler<S> {
+    scorer: S,
+}
+
+impl<S: TaskScorer> PriorityListScheduler<S> {
+    /// Wraps a scorer into a full scheduler.
+    pub fn new(scorer: S) -> Self {
+        PriorityListScheduler { scorer }
+    }
+
+    /// Access to the wrapped scorer.
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+}
+
+impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
+    fn name(&self) -> &str {
+        self.scorer.name()
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+        let features = GraphFeatures::compute(dag);
+        let mut sim = SimState::new(dag, spec)?;
+        while !sim.is_terminal(dag) {
+            let candidates: Vec<TaskId> = sim
+                .ready()
+                .iter()
+                .copied()
+                .filter(|&t| dag.task(t).demand().fits_within(sim.free()))
+                .collect();
+            let action = if candidates.is_empty() {
+                Action::Process
+            } else {
+                let ctx = ScoreContext {
+                    dag,
+                    state: &sim,
+                    features: &features,
+                };
+                let best = select_best(&candidates, |t| self.scorer.score(&ctx, t));
+                Action::Schedule(best)
+            };
+            sim.apply(dag, action)?;
+        }
+        Ok(sim.into_schedule(dag))
+    }
+}
+
+/// Picks the candidate with the highest score; ties break toward the lower
+/// task id.
+fn select_best<F: FnMut(TaskId) -> f64>(candidates: &[TaskId], mut score: F) -> TaskId {
+    debug_assert!(!candidates.is_empty());
+    let mut best = candidates[0];
+    let mut best_score = score(best);
+    for &t in &candidates[1..] {
+        let s = score(t);
+        if s > best_score {
+            best = t;
+            best_score = s;
+        }
+    }
+    best
+}
+
+/// Executes a fixed priority order dependency- and resource-aware: at every
+/// decision point the earliest-in-order ready task that fits is scheduled.
+///
+/// This is Graphene's final stage (running the order derived from the
+/// virtual placement through the real cluster) and is generally useful for
+/// turning any total order of tasks into a valid schedule.
+///
+/// `order` must contain every task exactly once.
+///
+/// # Errors
+///
+/// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the DAG's tasks.
+pub fn execute_priority_order(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    order: &[TaskId],
+) -> Result<Schedule, ClusterError> {
+    assert_eq!(order.len(), dag.len(), "order must cover every task");
+    let mut rank = vec![usize::MAX; dag.len()];
+    for (i, &t) in order.iter().enumerate() {
+        assert!(
+            rank[t.index()] == usize::MAX,
+            "order contains task {t} twice"
+        );
+        rank[t.index()] = i;
+    }
+
+    let mut sim = SimState::new(dag, spec)?;
+    while !sim.is_terminal(dag) {
+        let candidate = sim
+            .ready()
+            .iter()
+            .copied()
+            .filter(|&t| dag.task(t).demand().fits_within(sim.free()))
+            .min_by_key(|&t| rank[t.index()]);
+        let action = match candidate {
+            Some(t) => Action::Schedule(t),
+            None => Action::Process,
+        };
+        sim.apply(dag, action)?;
+    }
+    Ok(sim.into_schedule(dag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_dag::{DagBuilder, ResourceVec, Task};
+
+    struct ById;
+    impl TaskScorer for ById {
+        fn name(&self) -> &str {
+            "by-id"
+        }
+        fn score(&mut self, _ctx: &ScoreContext<'_>, task: TaskId) -> f64 {
+            -(task.index() as f64)
+        }
+    }
+
+    fn three_independent() -> Dag {
+        let mut b = DagBuilder::new(1);
+        for _ in 0..3 {
+            b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn list_scheduler_serializes_when_capacity_tight() {
+        let dag = three_independent();
+        let s = PriorityListScheduler::new(ById)
+            .schedule(&dag, &ClusterSpec::unit(1))
+            .unwrap();
+        assert_eq!(s.makespan(), 6);
+        s.validate(&dag, &ClusterSpec::unit(1)).unwrap();
+        // Scheduled in id order.
+        for i in 0..3 {
+            assert_eq!(s.placement_of(TaskId::new(i)).unwrap().start, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn list_scheduler_packs_when_capacity_allows() {
+        let dag = three_independent();
+        let spec = spear_cluster::ClusterSpec::new(ResourceVec::from_slice(&[1.3])).unwrap();
+        let s = PriorityListScheduler::new(ById).schedule(&dag, &spec).unwrap();
+        assert_eq!(s.makespan(), 4); // two in parallel (1.2 <= 1.3), then one
+        s.validate(&dag, &spec).unwrap();
+    }
+
+    #[test]
+    fn tie_break_is_lowest_id() {
+        struct Constant;
+        impl TaskScorer for Constant {
+            fn name(&self) -> &str {
+                "constant"
+            }
+            fn score(&mut self, _ctx: &ScoreContext<'_>, _task: TaskId) -> f64 {
+                1.0
+            }
+        }
+        let dag = three_independent();
+        let s = PriorityListScheduler::new(Constant)
+            .schedule(&dag, &ClusterSpec::unit(1))
+            .unwrap();
+        assert_eq!(s.placement_of(TaskId::new(0)).unwrap().start, 0);
+    }
+
+    #[test]
+    fn execute_order_respects_dependencies() {
+        // 0 -> 1; order says 1 first, but 1 is not ready, so 0 runs first.
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let c = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        b.add_edge(a, c).unwrap();
+        let dag = b.build().unwrap();
+        let s = execute_priority_order(&dag, &ClusterSpec::unit(1), &[c, a]).unwrap();
+        assert_eq!(s.placement_of(a).unwrap().start, 0);
+        assert_eq!(s.placement_of(c).unwrap().start, 2);
+        s.validate(&dag, &ClusterSpec::unit(1)).unwrap();
+    }
+
+    #[test]
+    fn execute_order_follows_order_among_ready() {
+        let dag = three_independent();
+        let order = [TaskId::new(2), TaskId::new(0), TaskId::new(1)];
+        let s = execute_priority_order(&dag, &ClusterSpec::unit(1), &order).unwrap();
+        assert_eq!(s.placement_of(TaskId::new(2)).unwrap().start, 0);
+        assert_eq!(s.placement_of(TaskId::new(0)).unwrap().start, 2);
+        assert_eq!(s.placement_of(TaskId::new(1)).unwrap().start, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover every task")]
+    fn execute_order_rejects_short_order() {
+        let dag = three_independent();
+        let _ = execute_priority_order(&dag, &ClusterSpec::unit(1), &[TaskId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn execute_order_rejects_duplicates() {
+        let dag = three_independent();
+        let order = [TaskId::new(0), TaskId::new(0), TaskId::new(1)];
+        let _ = execute_priority_order(&dag, &ClusterSpec::unit(1), &order);
+    }
+}

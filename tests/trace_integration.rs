@@ -1,0 +1,89 @@
+//! Trace-driven integration: the synthetic production trace feeds real
+//! schedulers end-to-end, and its statistics match the paper's.
+
+use spear::{
+    ClusterSpec, Graphene, Scheduler, SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats,
+};
+
+#[test]
+fn trace_statistics_match_paper() {
+    let trace = SyntheticTraceSpec::paper().generate(2026);
+    let stats = TraceStats::compute(&trace);
+    assert_eq!(stats.jobs, 99);
+    assert!(stats.max_map_tasks <= 29);
+    assert!(stats.max_reduce_tasks <= 38);
+    assert!((10.0..=18.0).contains(&stats.median_map_tasks));
+    assert!((13.0..=21.0).contains(&stats.median_reduce_tasks));
+    // Fig. 9(b) medians ≈ 73 (map) / 32 (reduce); allow sampling noise.
+    assert!((45.0..=110.0).contains(&stats.median_map_runtime));
+    assert!((20.0..=48.0).contains(&stats.median_reduce_runtime));
+}
+
+#[test]
+fn trace_jobs_schedule_end_to_end() {
+    let trace = SyntheticTraceSpec::paper().generate(3);
+    let spec = ClusterSpec::unit(2);
+    for job in trace.jobs.iter().take(5) {
+        let dag = job.to_dag();
+        let g = Graphene::new().schedule(&dag, &spec).unwrap();
+        g.validate(&dag, &spec).unwrap();
+        let t = TetrisScheduler::new().schedule(&dag, &spec).unwrap();
+        t.validate(&dag, &spec).unwrap();
+        // Reduce tasks can only start after every map finishes.
+        let last_map_finish = (0..job.num_map())
+            .map(|i| g.placement_of(spear::TaskId::new(i)).unwrap().finish)
+            .max()
+            .unwrap();
+        for r in 0..job.num_reduce() {
+            let p = g
+                .placement_of(spear::TaskId::new(job.num_map() + r))
+                .unwrap();
+            assert!(p.start >= last_map_finish);
+        }
+    }
+}
+
+#[test]
+fn trace_roundtrips_through_json_files() {
+    let trace = SyntheticTraceSpec::paper().generate(4);
+    let dir = std::env::temp_dir().join("spear-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    trace.save_to_path(&path).unwrap();
+    let loaded = Trace::load_from_path(&path).unwrap();
+    // Structure round-trips exactly; demands up to one JSON float ulp.
+    assert_eq!(trace.jobs.len(), loaded.jobs.len());
+    for (a, b) in trace.jobs.iter().zip(&loaded.jobs) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.map_runtimes, b.map_runtimes);
+        assert_eq!(a.reduce_runtimes, b.reduce_runtimes);
+        for (da, db) in a.map_demands.iter().zip(&b.map_demands) {
+            for r in 0..da.dims() {
+                assert!((da[r] - db[r]).abs() < 1e-12);
+            }
+        }
+        for (da, db) in a.reduce_demands.iter().zip(&b.reduce_demands) {
+            for r in 0..da.dims() {
+                assert!((da[r] - db[r]).abs() < 1e-12);
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cdf_helpers_cover_all_jobs() {
+    let trace = SyntheticTraceSpec::paper().generate(5);
+    assert_eq!(TraceStats::map_count_cdf(&trace).len(), 99);
+    assert_eq!(TraceStats::reduce_runtime_cdf(&trace).len(), 99);
+    let cdf = TraceStats::map_count_cdf(&trace);
+    assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn filter_is_idempotent_on_generated_traces() {
+    let trace = SyntheticTraceSpec::paper().generate(6);
+    let n = trace.jobs.len();
+    let filtered = trace.filtered(5);
+    assert_eq!(filtered.jobs.len(), n, "generator already filters");
+}
