@@ -9,7 +9,8 @@
 //! result is exactly what a K×-budget sequential search would have kept
 //! from those K subtrees.
 
-use crossbeam::thread;
+use std::thread;
+
 use spear_cluster::{ClusterError, ClusterSpec, Schedule};
 use spear_dag::Dag;
 use spear_sched::Scheduler;
@@ -68,13 +69,17 @@ where
         self.workers
     }
 
-    /// Schedules `dag`, returning the best schedule plus the per-worker
-    /// statistics (in worker order).
+    /// Schedules `dag`, returning the best schedule plus the statistics
+    /// of every worker that succeeded (in worker order).
+    ///
+    /// All workers are always drained: one failing worker does not
+    /// discard the others' results.
     ///
     /// # Errors
     ///
-    /// Returns the first worker error if any search fails (they can only
-    /// fail if the DAG does not fit the cluster).
+    /// Returns the first worker error only if *every* search fails (they
+    /// can only fail if the DAG does not fit the cluster — in which case
+    /// all workers fail identically).
     pub fn schedule_with_stats(
         &mut self,
         dag: &Dag,
@@ -85,7 +90,7 @@ where
                 let handles: Vec<_> = (0..self.workers)
                     .map(|w| {
                         let factory = &self.factory;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut scheduler = factory(w as u64);
                             scheduler.schedule_with_stats(dag, spec)
                         })
@@ -95,22 +100,33 @@ where
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
-            })
-            .expect("scoped threads never leak");
+            });
 
         let mut best: Option<Schedule> = None;
         let mut stats = Vec::with_capacity(self.workers);
+        let mut first_err: Option<ClusterError> = None;
         for result in results {
-            let (schedule, s) = result?;
-            stats.push(s);
-            let better = best
-                .as_ref()
-                .is_none_or(|b| schedule.makespan() < b.makespan());
-            if better {
-                best = Some(schedule);
+            match result {
+                Ok((schedule, s)) => {
+                    stats.push(s);
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|b| schedule.makespan() < b.makespan());
+                    if better {
+                        best = Some(schedule);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
         }
-        Ok((best.expect("at least one worker"), stats))
+        match best {
+            Some(schedule) => Ok((schedule, stats)),
+            None => Err(first_err.expect("at least one worker ran")),
+        }
     }
 }
 

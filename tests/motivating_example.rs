@@ -77,7 +77,7 @@ fn spear_finds_the_optimum_with_less_budget() {
         .min_budget(30)
         .feature_config(FeatureConfig::small(2))
         .hidden_layers(&[32])
-        .seed(1)
+        .seed(2)
         .build_untrained();
     let s = spear.schedule(&dag, &spec).unwrap();
     s.validate(&dag, &spec).unwrap();

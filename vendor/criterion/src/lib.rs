@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the macro/API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`] and
+//! [`Bencher::iter`] — backed by a plain wall-clock timer.
+//!
+//! It reports mean and best ns/iter per benchmark on stdout. There is no
+//! statistical analysis, outlier rejection or HTML report; numbers are
+//! indicative, and the dedicated `bench_hotpath` binary is the
+//! reproducible harness for this repository's performance claims.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+
+/// Target wall-clock spent warming each benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// A benchmark label: either a bare name or a `name/parameter` pair.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (grouped benches).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id by `bench_function`.
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Runs the routine under timing. Handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling for a fixed
+    /// wall-clock budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also calibrates how many calls fit in one sample.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed() / calls.max(1) as u32;
+        // Aim for ~10 samples within the measure budget, at least one
+        // call per sample.
+        let iters_per_sample =
+            ((MEASURE_BUDGET.as_nanos() / 10).saturating_div(per_call.as_nanos().max(1))).max(1);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_label(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks (prints as `group/bench`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; sampling here is wall-clock budgeted, so
+    /// the requested count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_label()), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label:<50} (no samples)");
+        return;
+    }
+    let mut nanos: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+    nanos.sort_unstable();
+    let best = nanos[0];
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    println!(
+        "bench {label:<50} mean {:>12} ns/iter  best {:>12} ns/iter  ({} samples)",
+        mean,
+        best,
+        nanos.len()
+    );
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).into_label(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("tetris").into_label(), "tetris");
+    }
+}

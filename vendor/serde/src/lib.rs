@@ -1,0 +1,317 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides a small but functional serialization framework with the
+//! same surface the workspace uses: `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(skip)]` and `#[serde(default)]`), driven through a
+//! JSON-like [`Value`] tree. The sibling `serde_json` crate supplies the
+//! text format on top of [`Value`].
+//!
+//! Design notes:
+//!
+//! * All numbers travel as `f64` (like JSON itself); integers above 2^53
+//!   would lose precision, which nothing in this workspace serializes.
+//! * Struct fields become object entries, newtype structs are
+//!   transparent, unit enum variants become strings and tuple variants
+//!   externally tagged objects — matching real serde's JSON conventions.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the wire format of this mini-framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON does not distinguish int/float).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short tag naming the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "field missing" error.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or type mismatches.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- Primitive impls. ---
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected {expected}-tuple, got array of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("array (tuple)", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(3)];
+        let back = Vec::<Option<u64>>::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, back);
+        let t = (1u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u64>::from_value(&Value::Num(3.0)).is_err());
+        let err = bool::from_value(&Value::Null).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+    }
+
+    #[test]
+    fn get_field_on_objects() {
+        let obj = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(obj.get_field("a"), Some(&Value::Num(1.0)));
+        assert_eq!(obj.get_field("b"), None);
+        assert_eq!(Value::Null.get_field("a"), None);
+    }
+}

@@ -1,0 +1,491 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! crates.io is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; instead the item is parsed with a small hand-rolled
+//! token walker that supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
+//! * tuple structs (newtypes serialize transparently),
+//! * enums with unit and tuple variants (externally tagged, as in JSON
+//!   serde).
+//!
+//! Generics, struct variants and the wider serde attribute language are
+//! rejected with a compile error naming the offending item so the gap is
+//! obvious if future code needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// One parsed enum variant: unit (`arity == 0`) or tuple.
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+/// The shapes this derive supports.
+enum Shape {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(shape) => gen_serialize(&shape).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal parses")
+}
+
+// --- Parsing. ---
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes a `#[...]` attribute if one is next; returns its tokens.
+    fn take_attr(&mut self) -> Option<TokenStream> {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == '#' {
+                self.pos += 1;
+                match self.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        return Some(g.stream());
+                    }
+                    _ => {}
+                }
+                return Some(TokenStream::new());
+            }
+        }
+        None
+    }
+
+    /// Consumes attributes, returning (skip, default) serde flags.
+    fn take_attrs(&mut self) -> (bool, bool) {
+        let (mut skip, mut default) = (false, false);
+        while let Some(attr) = self.take_attr() {
+            let mut inner = Cursor::new(attr);
+            if let Some(TokenTree::Ident(id)) = inner.next() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(g)) = inner.next() {
+                        for t in g.stream() {
+                            if let TokenTree::Ident(flag) = t {
+                                match flag.to_string().as_str() {
+                                    "skip" | "skip_serializing" | "skip_deserializing" => {
+                                        skip = true;
+                                    }
+                                    "default" => default = true,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (skip, default)
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens of a type until a top-level comma (or the end),
+    /// tracking `<`/`>` nesting.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Shape, String> {
+    let mut c = Cursor::new(input);
+    // Item-level attributes and visibility.
+    loop {
+        if c.take_attr().is_some() {
+            continue;
+        }
+        break;
+    }
+    c.skip_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Named {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::Tuple {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                variants: parse_variants(g.stream(), &name)?,
+                name,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (skip, default) = c.take_attrs();
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        c.skip_type();
+        c.next(); // the comma, if any
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        let _ = c.take_attrs();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        c.next(); // comma
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let _ = c.take_attrs();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let mut arity = 0;
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stand-in derive does not support struct variants \
+                     (`{enum_name}::{name}`)"
+                ));
+            }
+            _ => {}
+        }
+        // Optional discriminant `= expr`.
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                c.pos += 1;
+                c.skip_type();
+            }
+        }
+        c.next(); // comma
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+// --- Code generation (string-built, parsed back into a TokenStream). ---
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "entries.push(({:?}.to_string(), \
+                     ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Obj(entries)\n}}\n}}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    ));
+                } else {
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("f{i}")).collect();
+                    let values: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    let payload = if v.arity == 1 {
+                        values[0].clone()
+                    } else {
+                        format!("::serde::Value::Arr(vec![{}])", values.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{vn}({binds}) => ::serde::Value::Obj(vec![\
+                         ({vn:?}.to_string(), {payload})]),\n",
+                        binds = binders.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{field}: match v.get_field({field:?}) {{\n\
+                         Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                         None => ::std::default::Default::default(),\n}},\n",
+                        field = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{field}: match v.get_field({field:?}) {{\n\
+                         Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                         None => return ::std::result::Result::Err(\
+                         ::serde::DeError::missing({field:?})),\n}},\n",
+                        field = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(v, ::serde::Value::Obj(_)) {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(concat!(\"struct `\", stringify!({name}), \"`\"), v));\n}}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Arr(items) if items.len() == {arity} => \
+                     ::std::result::Result::Ok({name}({fields})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\
+                     concat!(\"{arity}-element array for `\", stringify!({name}), \"`\"), other)),\n}}",
+                    fields = items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ \
+             ::std::result::Result::Ok({name}) }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                } else if v.arity == 1 {
+                    tagged_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    ));
+                } else {
+                    let items: Vec<String> = (0..v.arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    tagged_arms.push_str(&format!(
+                        "{vn:?} => match inner {{\n\
+                         ::serde::Value::Arr(items) if items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}::{vn}({fields})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"{arity}-element array\", other)),\n}},\n",
+                        arity = v.arity,
+                        fields = items.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 concat!(\"enum `\", stringify!({name}), \"`\"), other)),\n}}\n}}\n}}"
+            )
+        }
+    }
+}
