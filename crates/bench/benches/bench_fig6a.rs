@@ -4,12 +4,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spear_bench::{policy, workload};
 use spear::{Graphene, MctsConfig, MctsScheduler, PolicyNetwork, Scheduler};
+use spear_bench::{policy, workload};
 
 fn bench_fig6a(c: &mut Criterion) {
     let spec = workload::cluster();
-    let dag = workload::simulation_dags(1, 100, 42).pop().expect("one dag");
+    let dag = workload::simulation_dags(1, 100, 42)
+        .pop()
+        .expect("one dag");
     let mut group = c.benchmark_group("fig6a_spear_vs_graphene");
     group.sample_size(10);
 

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the allocation-free hot-path variants:
+//! buffer-reusing featurization and inference, batched forward passes, and
+//! the scratch-based simulation step loop that MCTS rollouts run on.
+//!
+//! `bench_policy_inference` measures the allocating counterparts; comparing
+//! the two suites shows what the `_into` paths buy per call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spear::dag::analysis::GraphFeatures;
+use spear::dag::TaskId;
+use spear::nn::Matrix;
+use spear::rl::{Featurizer, StateView};
+use spear::{Action, PolicyNetwork, SimState};
+use spear_bench::{policy, workload};
+
+fn bench_hot_loop(c: &mut Criterion) {
+    let spec = workload::cluster();
+    let dag = workload::simulation_dags(1, 100, 3).pop().expect("one dag");
+    let features = GraphFeatures::compute(&dag);
+    let state = SimState::new(&dag, &spec).expect("fits");
+    let fz = Featurizer::new(policy::feature_config());
+    let mut net = PolicyNetwork::new(policy::feature_config(), &mut StdRng::seed_from_u64(0));
+
+    // Featurization into reused buffers (vs `featurize_100_tasks`).
+    let mut ready_scratch: Vec<TaskId> = Vec::new();
+    let mut view = StateView::default();
+    c.bench_function("featurize_into_100_tasks", |b| {
+        b.iter(|| {
+            fz.featurize_into(
+                &dag,
+                &spec,
+                &state,
+                &features,
+                &mut ready_scratch,
+                &mut view,
+            )
+        })
+    });
+
+    // Single-row inference through scratch activations (vs
+    // `mlp_forward_paper_arch`).
+    let fresh = fz.featurize(&dag, &spec, &state, &features);
+    let mut forward_scratch = spear::nn::ForwardScratch::default();
+    c.bench_function("mlp_forward_one_into_paper_arch", |b| {
+        b.iter(|| {
+            net.net()
+                .forward_one_into(&fresh.features, &mut forward_scratch)
+                .len()
+        })
+    });
+
+    // Batched matrix-matrix inference: one pass over 64 identical rows.
+    // Per-row cost should land well under 64 single-row passes because the
+    // layer weights are streamed once per batch instead of once per row.
+    let rows: Vec<&[f64]> = (0..64).map(|_| fresh.features.as_slice()).collect();
+    let batch = Matrix::from_rows(&rows);
+    c.bench_function("mlp_forward_batch_64_paper_arch", |b| {
+        b.iter(|| net.net().forward_batch(&batch))
+    });
+
+    // Full inference path into caller-owned buffers: featurize + forward +
+    // masked softmax, zero steady-state allocations.
+    let mut probs: Vec<f64> = Vec::new();
+    c.bench_function("action_distribution_into_paper_arch", |b| {
+        b.iter(|| {
+            net.action_distribution_into(&dag, &spec, &state, &features, &mut probs, &mut view)
+        })
+    });
+
+    // Action enumeration into a reused buffer (vs `legal_actions_100_tasks`).
+    let mut legal: Vec<Action> = Vec::new();
+    c.bench_function("legal_actions_into_100_tasks", |b| {
+        b.iter(|| {
+            state.legal_actions_into(&dag, &mut legal);
+            legal.len()
+        })
+    });
+
+    // A full scratch-based episode: `clone_from` the root, then step with
+    // `legal_actions_into` + `apply_legal` until terminal — exactly the
+    // shape of one MCTS rollout.
+    let mut scratch = state.clone();
+    c.bench_function("rollout_episode_100_tasks_scratch", |b| {
+        b.iter(|| {
+            scratch.clone_from(&state);
+            while !scratch.is_terminal(&dag) {
+                scratch.legal_actions_into(&dag, &mut legal);
+                let action = legal[0];
+                scratch.apply_legal(&dag, action);
+            }
+            scratch.makespan().expect("terminal state")
+        })
+    });
+}
+
+criterion_group!(benches, bench_hot_loop);
+criterion_main!(benches);

@@ -2,15 +2,17 @@
 //! sizes and budgets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spear_bench::workload;
 use spear::{MctsConfig, MctsScheduler, Scheduler};
+use spear_bench::workload;
 
 fn bench_mcts_runtime(c: &mut Criterion) {
     let spec = workload::cluster();
     let mut group = c.benchmark_group("table1_mcts_runtime");
     group.sample_size(10);
     for size in [50usize, 100] {
-        let dag = workload::simulation_dags(1, size, 11).pop().expect("one dag");
+        let dag = workload::simulation_dags(1, size, 11)
+            .pop()
+            .expect("one dag");
         for budget in [100u64, 500] {
             group.bench_function(
                 BenchmarkId::new(format!("tasks_{size}"), format!("budget_{budget}")),

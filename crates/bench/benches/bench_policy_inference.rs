@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spear_bench::{policy, workload};
 use spear::dag::analysis::GraphFeatures;
 use spear::rl::Featurizer;
 use spear::{PolicyNetwork, SimState};
+use spear_bench::{policy, workload};
 
 fn bench_policy_inference(c: &mut Criterion) {
     let spec = workload::cluster();

@@ -2,8 +2,8 @@
 //! the paper's 100-task workload (the per-job cost behind Fig. 6(b)).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spear_bench::workload;
 use spear::{CpScheduler, Graphene, Scheduler, SjfScheduler, TetrisScheduler};
+use spear_bench::workload;
 
 fn bench_schedulers(c: &mut Criterion) {
     let spec = workload::cluster();
@@ -12,10 +12,20 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function(BenchmarkId::from_parameter("tetris"), |b| {
-        b.iter(|| TetrisScheduler::new().schedule(&dag, &spec).unwrap().makespan())
+        b.iter(|| {
+            TetrisScheduler::new()
+                .schedule(&dag, &spec)
+                .unwrap()
+                .makespan()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("sjf"), |b| {
-        b.iter(|| SjfScheduler::new().schedule(&dag, &spec).unwrap().makespan())
+        b.iter(|| {
+            SjfScheduler::new()
+                .schedule(&dag, &spec)
+                .unwrap()
+                .makespan()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("cp"), |b| {
         b.iter(|| CpScheduler::new().schedule(&dag, &spec).unwrap().makespan())

@@ -1,0 +1,273 @@
+//! The reproducible hot-path benchmark: measures MCTS search throughput
+//! (iterations/sec, rollout steps/sec, policy inferences/sec) on a fixed
+//! fig6a-style workload and writes `BENCH_mcts.json` at the repository
+//! root.
+//!
+//! Usage:
+//!
+//! * `bench_hotpath` — full measurement; if a committed baseline exists at
+//!   `crates/bench/baseline/bench_hotpath_baseline.json`, speedup factors
+//!   against it are included in the output.
+//! * `bench_hotpath --save-baseline` — additionally snapshots this run as
+//!   the committed baseline (run once *before* an optimization lands).
+//! * `bench_hotpath --quick` — a seconds-scale smoke configuration for CI;
+//!   writes `BENCH_mcts_quick.json` instead and never compares against the
+//!   full baseline.
+//!
+//! Makespans per DAG are part of the output: across a pure performance
+//! refactor they must not move (the same check the golden determinism
+//! test enforces).
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use spear::{
+    ClusterSpec, Dag, FeatureConfig, MctsConfig, MctsScheduler, PolicyNetwork, SearchStats,
+};
+use spear_bench::workload;
+
+/// Workload generator seed (same family as fig6a's simulation DAGs).
+const WORKLOAD_SEED: u64 = 42;
+
+/// Search seed for both scheduler families.
+const SEARCH_SEED: u64 = 7;
+
+/// Throughput and determinism record of one scheduler family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SectionMetrics {
+    iterations: u64,
+    rollout_steps: u64,
+    policy_inferences: u64,
+    elapsed_seconds: f64,
+    iterations_per_sec: f64,
+    rollout_steps_per_sec: f64,
+    policy_inferences_per_sec: f64,
+    makespans: Vec<u64>,
+}
+
+impl SectionMetrics {
+    fn from_runs(runs: &[(u64, SearchStats)], elapsed_seconds: f64) -> Self {
+        let iterations: u64 = runs.iter().map(|(_, s)| s.iterations).sum();
+        let rollout_steps: u64 = runs.iter().map(|(_, s)| s.rollout_steps).sum();
+        let policy_inferences: u64 = runs.iter().map(|(_, s)| s.policy_inferences).sum();
+        let per_sec = |count: u64| count as f64 / elapsed_seconds.max(1e-9);
+        SectionMetrics {
+            iterations,
+            rollout_steps,
+            policy_inferences,
+            elapsed_seconds,
+            iterations_per_sec: per_sec(iterations),
+            rollout_steps_per_sec: per_sec(rollout_steps),
+            policy_inferences_per_sec: per_sec(policy_inferences),
+            makespans: runs.iter().map(|&(m, _)| m).collect(),
+        }
+    }
+}
+
+/// One full measurement: workload parameters + both scheduler families.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HotpathReport {
+    mode: String,
+    dags: usize,
+    tasks: usize,
+    workload_seed: u64,
+    pure: SectionMetrics,
+    drl: SectionMetrics,
+}
+
+/// Current-over-baseline throughput ratios.
+#[derive(Debug, Serialize)]
+struct Speedup {
+    pure_iterations_per_sec: f64,
+    pure_rollout_steps_per_sec: f64,
+    drl_iterations_per_sec: f64,
+    drl_policy_inferences_per_sec: f64,
+}
+
+/// What `BENCH_mcts.json` holds.
+#[derive(Debug, Serialize)]
+struct BenchOutput {
+    report: HotpathReport,
+    baseline: Option<HotpathReport>,
+    speedup: Option<Speedup>,
+}
+
+struct ModeParams {
+    tag: &'static str,
+    dags: usize,
+    tasks: usize,
+    pure_budget: (u64, u64),
+    drl_budget: (u64, u64),
+}
+
+const FULL: ModeParams = ModeParams {
+    tag: "full",
+    dags: 6,
+    tasks: 50,
+    pure_budget: (800, 160),
+    drl_budget: (40, 8),
+};
+
+const QUICK: ModeParams = ModeParams {
+    tag: "quick",
+    dags: 2,
+    tasks: 30,
+    pure_budget: (60, 12),
+    drl_budget: (15, 3),
+};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline/bench_hotpath_baseline.json")
+}
+
+fn measure(
+    dags: &[Dag],
+    spec: &ClusterSpec,
+    mut scheduler: MctsScheduler,
+) -> (Vec<(u64, SearchStats)>, f64) {
+    let start = std::time::Instant::now();
+    let runs: Vec<(u64, SearchStats)> = dags
+        .iter()
+        .map(|dag| {
+            let (schedule, stats) = scheduler
+                .schedule_with_stats(dag, spec)
+                .expect("workload fits cluster");
+            schedule
+                .validate(dag, spec)
+                .expect("schedule must be valid");
+            (schedule.makespan(), stats)
+        })
+        .collect();
+    (runs, start.elapsed().as_secs_f64())
+}
+
+fn pure_scheduler(params: &ModeParams) -> MctsScheduler {
+    MctsScheduler::pure(MctsConfig {
+        initial_budget: params.pure_budget.0,
+        min_budget: params.pure_budget.1,
+        seed: SEARCH_SEED,
+        ..MctsConfig::default()
+    })
+}
+
+fn drl_scheduler(params: &ModeParams) -> MctsScheduler {
+    // An untrained paper-architecture policy: inference cost is identical
+    // to a trained one, and no multi-minute training enters the harness.
+    let mut rng = StdRng::seed_from_u64(0);
+    let policy = PolicyNetwork::new(FeatureConfig::paper(2), &mut rng);
+    MctsScheduler::drl(
+        MctsConfig {
+            initial_budget: params.drl_budget.0,
+            min_budget: params.drl_budget.1,
+            seed: SEARCH_SEED,
+            ..MctsConfig::default()
+        },
+        policy,
+    )
+}
+
+fn run_report(params: &ModeParams) -> HotpathReport {
+    let dags = workload::simulation_dags(params.dags, params.tasks, WORKLOAD_SEED);
+    let spec = workload::cluster();
+    eprintln!(
+        "[bench_hotpath] {} mode: {} DAGs x {} tasks",
+        params.tag, params.dags, params.tasks
+    );
+    let (pure_runs, pure_elapsed) = measure(&dags, &spec, pure_scheduler(params));
+    eprintln!("[bench_hotpath] pure MCTS done in {pure_elapsed:.2}s");
+    let (drl_runs, drl_elapsed) = measure(&dags, &spec, drl_scheduler(params));
+    eprintln!("[bench_hotpath] DRL-guided done in {drl_elapsed:.2}s");
+    HotpathReport {
+        mode: params.tag.to_string(),
+        dags: params.dags,
+        tasks: params.tasks,
+        workload_seed: WORKLOAD_SEED,
+        pure: SectionMetrics::from_runs(&pure_runs, pure_elapsed),
+        drl: SectionMetrics::from_runs(&drl_runs, drl_elapsed),
+    }
+}
+
+fn comparable(a: &HotpathReport, b: &HotpathReport) -> bool {
+    a.mode == b.mode && a.dags == b.dags && a.tasks == b.tasks && a.workload_seed == b.workload_seed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let save_baseline = args.iter().any(|a| a == "--save-baseline");
+    let params = if quick { &QUICK } else { &FULL };
+
+    let report = run_report(params);
+
+    let baseline: Option<HotpathReport> = std::fs::read_to_string(baseline_path())
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .filter(|b| comparable(b, &report));
+    let speedup = baseline.as_ref().map(|b| Speedup {
+        pure_iterations_per_sec: report.pure.iterations_per_sec / b.pure.iterations_per_sec,
+        pure_rollout_steps_per_sec: report.pure.rollout_steps_per_sec
+            / b.pure.rollout_steps_per_sec,
+        drl_iterations_per_sec: report.drl.iterations_per_sec / b.drl.iterations_per_sec,
+        drl_policy_inferences_per_sec: report.drl.policy_inferences_per_sec
+            / b.drl.policy_inferences_per_sec,
+    });
+
+    println!(
+        "pure: {:>10.0} iterations/s  {:>12.0} rollout steps/s  makespans {:?}",
+        report.pure.iterations_per_sec, report.pure.rollout_steps_per_sec, report.pure.makespans
+    );
+    println!(
+        "drl:  {:>10.0} iterations/s  {:>12.0} rollout steps/s  {:>10.0} inferences/s  makespans {:?}",
+        report.drl.iterations_per_sec,
+        report.drl.rollout_steps_per_sec,
+        report.drl.policy_inferences_per_sec,
+        report.drl.makespans
+    );
+    if let Some(s) = &speedup {
+        println!(
+            "speedup vs baseline: pure {:.2}x iterations/s, {:.2}x rollout steps/s; drl {:.2}x iterations/s, {:.2}x inferences/s",
+            s.pure_iterations_per_sec,
+            s.pure_rollout_steps_per_sec,
+            s.drl_iterations_per_sec,
+            s.drl_policy_inferences_per_sec
+        );
+    } else {
+        println!("no comparable baseline at {}", baseline_path().display());
+    }
+
+    if save_baseline {
+        let path = baseline_path();
+        std::fs::create_dir_all(path.parent().expect("has parent"))
+            .expect("cannot create baseline dir");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("report serializes"),
+        )
+        .expect("cannot write baseline");
+        eprintln!("[bench_hotpath] baseline saved to {}", path.display());
+    }
+
+    let out_name = if quick {
+        "BENCH_mcts_quick.json"
+    } else {
+        "BENCH_mcts.json"
+    };
+    let out_path = repo_root().join(out_name);
+    let output = BenchOutput {
+        report,
+        baseline,
+        speedup,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&output).expect("output serializes"),
+    )
+    .expect("cannot write benchmark output");
+    eprintln!("[bench_hotpath] wrote {}", out_path.display());
+}

@@ -61,7 +61,8 @@ fn main() {
 
     eprintln!("== ablations ==");
     let mut ab = ablations::run(&ablations::Config::for_scale(scale), trained.clone());
-    ab.training = ablations::run_training_levels(&ablations::Config::for_scale(scale), trained, 12345);
+    ab.training =
+        ablations::run_training_levels(&ablations::Config::for_scale(scale), trained, 12345);
     for table in ablations::tables(&ab) {
         push(table.render());
     }

@@ -118,12 +118,7 @@ pub fn run_training_levels(
     ]
 }
 
-fn measure(
-    name: &str,
-    mut scheduler: MctsScheduler,
-    dags: &[Dag],
-    spec: &ClusterSpec,
-) -> Variant {
+fn measure(name: &str, mut scheduler: MctsScheduler, dags: &[Dag], spec: &ClusterSpec) -> Variant {
     let mut makespans = Vec::new();
     let mut seconds = Vec::new();
     let mut iterations = Vec::new();
@@ -275,7 +270,10 @@ pub fn tables(outcome: &Outcome) -> Vec<Table> {
             ),
             &outcome.rollout,
         ),
-        group_table("Ablation — backpropagation (paper Eq. 5)", &outcome.backprop),
+        group_table(
+            "Ablation — backpropagation (paper Eq. 5)",
+            &outcome.backprop,
+        ),
         group_table("Ablation — budget schedule (paper Eq. 4)", &outcome.budget),
         group_table(
             "Ablation — search guidance at equal budget",

@@ -136,7 +136,10 @@ pub fn run_reduction(config: &Config, policy: PolicyNetwork) -> ReductionOutcome
         let s = spear.schedule(&dag, &spec).expect("fits").makespan();
         let reduction = (g as f64 - s as f64) / g as f64;
         if i % 10 == 0 {
-            eprintln!("[fig9c] job {i}: graphene {g} spear {s} ({:+.1}%)", 100.0 * reduction);
+            eprintln!(
+                "[fig9c] job {i}: graphene {g} spear {s} ({:+.1}%)",
+                100.0 * reduction
+            );
         }
         rows.push((job.id.clone(), g, s, reduction));
     }

@@ -129,11 +129,7 @@ pub fn run(config: &Config, trained: PolicyNetwork) -> Outcome {
     // Train the value function on *different* jobs of the training size.
     let train_dags = workload::simulation_dags(config.train_dags, 25, config.seed ^ 0xabcd);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut value = ValueNetwork::new(
-        trained.feature_config().clone(),
-        &[64, 32],
-        &mut rng,
-    );
+    let mut value = ValueNetwork::new(trained.feature_config().clone(), &[64, 32], &mut rng);
     let mut policy_for_rollouts = trained.clone();
     let loss = train_value_network(
         &mut value,

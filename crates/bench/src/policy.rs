@@ -6,8 +6,7 @@
 //! binaries; delete the file to force retraining.
 
 use spear::{
-    train_policy, ClusterSpec, FeatureConfig, PolicyNetwork, TrainedPolicy,
-    TrainingPipelineConfig,
+    train_policy, ClusterSpec, FeatureConfig, PolicyNetwork, TrainedPolicy, TrainingPipelineConfig,
 };
 
 use crate::{report, Scale};

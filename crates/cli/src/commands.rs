@@ -248,7 +248,10 @@ pub fn stats(args: &Args) -> Result<(), Box<dyn Error>> {
         println!("jobs                  : {}", s.jobs);
         println!("median map tasks      : {}", s.median_map_tasks);
         println!("median reduce tasks   : {}", s.median_reduce_tasks);
-        println!("max map / reduce      : {} / {}", s.max_map_tasks, s.max_reduce_tasks);
+        println!(
+            "max map / reduce      : {} / {}",
+            s.max_map_tasks, s.max_reduce_tasks
+        );
         println!("median map runtime    : {}", s.median_map_runtime);
         println!("median reduce runtime : {}", s.median_reduce_runtime);
         return Ok(());
@@ -274,11 +277,11 @@ mod tests {
     #[test]
     fn generate_then_schedule_roundtrip() {
         let dag_path = tmp("cli-dag.json");
-        generate(&args(&["--tasks", "12", "--seed", "3", "--output", &dag_path])).unwrap();
-        schedule(&args(&[
-            "--dag", &dag_path, "--algo", "cp", "--gantt",
+        generate(&args(&[
+            "--tasks", "12", "--seed", "3", "--output", &dag_path,
         ]))
         .unwrap();
+        schedule(&args(&["--dag", &dag_path, "--algo", "cp", "--gantt"])).unwrap();
         stats(&args(&["--dag", &dag_path])).unwrap();
     }
 
@@ -328,9 +331,6 @@ mod tests {
 
     #[test]
     fn evaluate_small_workload() {
-        evaluate(&args(&[
-            "--tasks", "8", "--dags", "2", "--budget", "10",
-        ]))
-        .unwrap();
+        evaluate(&args(&["--tasks", "8", "--dags", "2", "--budget", "10"])).unwrap();
     }
 }

@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn task_accessor() {
-        assert_eq!(Action::Schedule(TaskId::new(1)).task(), Some(TaskId::new(1)));
+        assert_eq!(
+            Action::Schedule(TaskId::new(1)).task(),
+            Some(TaskId::new(1))
+        );
         assert_eq!(Action::Process.task(), None);
     }
 }

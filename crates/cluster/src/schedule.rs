@@ -126,7 +126,11 @@ impl Schedule {
             for c in 0..cols {
                 let t0 = c as u64 * slots_per_col;
                 let t1 = t0 + slots_per_col;
-                let ch = if p.start < t1 && p.finish > t0 { '#' } else { '.' };
+                let ch = if p.start < t1 && p.finish > t0 {
+                    '#'
+                } else {
+                    '.'
+                };
                 out.push(ch);
             }
             out.push('\n');

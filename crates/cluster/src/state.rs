@@ -27,14 +27,42 @@ pub struct Running {
 /// action space and enforces their legality; see [`SimState::legal_actions`]
 /// for the exact filter (which doubles as the paper's §III-C expansion
 /// pruning).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimState {
     clock: u64,
     free: ResourceVec,
     running: Vec<Running>,
     tracker: ReadyTracker,
     starts: Vec<Option<u64>>,
+    scheduled: usize,
     max_finish: u64,
+}
+
+// Manual `Clone` so `clone_from` reuses every interior allocation. MCTS
+// clones one state per rollout; with `clone_from` into a persistent scratch
+// state the steady-state rollout loop does zero heap allocations.
+impl Clone for SimState {
+    fn clone(&self) -> Self {
+        SimState {
+            clock: self.clock,
+            free: self.free.clone(),
+            running: self.running.clone(),
+            tracker: self.tracker.clone(),
+            starts: self.starts.clone(),
+            scheduled: self.scheduled,
+            max_finish: self.max_finish,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.clock = source.clock;
+        self.free.clone_from(&source.free);
+        self.running.clone_from(&source.running);
+        self.tracker.clone_from(&source.tracker);
+        self.starts.clone_from(&source.starts);
+        self.scheduled = source.scheduled;
+        self.max_finish = source.max_finish;
+    }
 }
 
 impl SimState {
@@ -53,16 +81,19 @@ impl SimState {
             running: Vec::new(),
             tracker: ReadyTracker::new(dag),
             starts: vec![None; dag.len()],
+            scheduled: 0,
             max_finish: 0,
         })
     }
 
     /// Current simulation time.
+    #[inline]
     pub fn clock(&self) -> u64 {
         self.clock
     }
 
     /// Free capacity at the current time.
+    #[inline]
     pub fn free(&self) -> &ResourceVec {
         &self.free
     }
@@ -73,6 +104,7 @@ impl SimState {
     }
 
     /// Ready tasks (all parents completed, not yet scheduled), sorted by id.
+    #[inline]
     pub fn ready(&self) -> &[TaskId] {
         self.tracker.ready()
     }
@@ -91,20 +123,22 @@ impl SimState {
     /// running; the makespan is already determined at that point, but the
     /// simulation only becomes [terminal](Self::is_terminal) after the
     /// final `Process` actions retire them).
+    #[inline]
     pub fn all_scheduled(&self) -> bool {
-        self.starts.iter().all(Option::is_some)
+        self.scheduled == self.starts.len()
     }
 
     /// `true` when every task has completed.
+    #[inline]
     pub fn is_terminal(&self, dag: &Dag) -> bool {
         self.tracker.all_done(dag)
     }
 
     /// The makespan — the time the last task finishes — or `None` while
     /// some task is still unfinished.
+    #[inline]
     pub fn makespan(&self) -> Option<u64> {
-        (self.running.is_empty() && self.starts.iter().all(Option::is_some))
-            .then_some(self.max_finish)
+        (self.running.is_empty() && self.all_scheduled()).then_some(self.max_finish)
     }
 
     /// Largest finish time committed so far (a lower bound on the final
@@ -114,6 +148,7 @@ impl SimState {
     }
 
     /// Earliest finish time among running tasks, if any.
+    #[inline]
     pub fn earliest_finish(&self) -> Option<u64> {
         self.running.iter().map(|r| r.finish).min()
     }
@@ -141,17 +176,26 @@ impl SimState {
     /// frontier task fits an empty cluster because [`SimState::new`]
     /// validated demands against total capacity.
     pub fn legal_actions(&self, dag: &Dag) -> Vec<Action> {
-        let mut actions: Vec<Action> = self
-            .tracker
-            .ready()
-            .iter()
-            .filter(|&&t| dag.task(t).demand().fits_within(&self.free))
-            .map(|&t| Action::Schedule(t))
-            .collect();
-        if !self.running.is_empty() {
-            actions.push(Action::Process);
-        }
+        let mut actions = Vec::new();
+        self.legal_actions_into(dag, &mut actions);
         actions
+    }
+
+    /// Writes the legal actions into `out` (cleared first), in the same
+    /// deterministic order as [`SimState::legal_actions`]. The buffer keeps
+    /// its allocation across calls, so the MCTS rollout loop can enumerate
+    /// actions without touching the heap in steady state.
+    #[inline]
+    pub fn legal_actions_into(&self, dag: &Dag, out: &mut Vec<Action>) {
+        out.clear();
+        for &t in self.tracker.ready() {
+            if dag.task(t).demand().fits_within(&self.free) {
+                out.push(Action::Schedule(t));
+            }
+        }
+        if !self.running.is_empty() {
+            out.push(Action::Process);
+        }
     }
 
     /// Applies one action.
@@ -174,32 +218,66 @@ impl SimState {
                 if !self.tracker.ready().contains(&task) {
                     return Err(ClusterError::TaskNotReady(task));
                 }
-                let demand = dag.task(task).demand();
-                if !demand.fits_within(&self.free) {
+                if !dag.task(task).demand().fits_within(&self.free) {
                     return Err(ClusterError::InsufficientResources(task));
                 }
-                self.tracker.take(task);
-                self.free.saturating_sub_assign(demand);
-                let finish = self.clock + dag.task(task).runtime();
-                self.running.push(Running { task, finish });
-                self.starts[task.index()] = Some(self.clock);
-                self.max_finish = self.max_finish.max(finish);
+                self.schedule_unchecked(dag, task);
                 Ok(())
             }
             Action::Process => {
-                let next = self.earliest_finish().ok_or(ClusterError::NothingRunning)?;
-                self.clock = next;
-                let mut i = 0;
-                while i < self.running.len() {
-                    if self.running[i].finish == next {
-                        let done = self.running.swap_remove(i);
-                        self.free.add_assign(dag.task(done.task).demand());
-                        self.tracker.complete(dag, done.task);
-                    } else {
-                        i += 1;
-                    }
+                if self.running.is_empty() {
+                    return Err(ClusterError::NothingRunning);
                 }
+                self.process_unchecked(dag);
                 Ok(())
+            }
+        }
+    }
+
+    /// Applies an action known to be legal — i.e. one the caller just
+    /// obtained from [`SimState::legal_actions_into`] on this exact state.
+    /// Skips the legality re-checks of [`SimState::apply`] (they become
+    /// `debug_assert`s), which matters in the MCTS rollout loop where every
+    /// action is legal by construction.
+    #[inline]
+    pub fn apply_legal(&mut self, dag: &Dag, action: Action) {
+        debug_assert!(!self.is_terminal(dag), "apply_legal on a terminal state");
+        match action {
+            Action::Schedule(task) => {
+                debug_assert!(self.tracker.ready().contains(&task));
+                debug_assert!(dag.task(task).demand().fits_within(&self.free));
+                self.schedule_unchecked(dag, task);
+            }
+            Action::Process => {
+                debug_assert!(!self.running.is_empty());
+                self.process_unchecked(dag);
+            }
+        }
+    }
+
+    fn schedule_unchecked(&mut self, dag: &Dag, task: TaskId) {
+        self.tracker.take(task);
+        self.free.saturating_sub_assign(dag.task(task).demand());
+        let finish = self.clock + dag.task(task).runtime();
+        self.running.push(Running { task, finish });
+        self.starts[task.index()] = Some(self.clock);
+        self.scheduled += 1;
+        self.max_finish = self.max_finish.max(finish);
+    }
+
+    fn process_unchecked(&mut self, dag: &Dag) {
+        let next = self
+            .earliest_finish()
+            .expect("process_unchecked requires running tasks");
+        self.clock = next;
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].finish == next {
+                let done = self.running.swap_remove(i);
+                self.free.add_assign(dag.task(done.task).demand());
+                self.tracker.complete_in_place(dag, done.task);
+            } else {
+                i += 1;
             }
         }
     }
@@ -292,7 +370,8 @@ mod tests {
         sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
         // Second task no longer fits.
         assert_eq!(
-            sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap_err(),
+            sim.apply(&dag, Action::Schedule(TaskId::new(1)))
+                .unwrap_err(),
             ClusterError::InsufficientResources(TaskId::new(1))
         );
         sim.apply(&dag, Action::Process).unwrap();
@@ -321,7 +400,8 @@ mod tests {
         let dag = chain();
         let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
         assert_eq!(
-            sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap_err(),
+            sim.apply(&dag, Action::Schedule(TaskId::new(1)))
+                .unwrap_err(),
             ClusterError::TaskNotReady(TaskId::new(1))
         );
         sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
@@ -356,9 +436,7 @@ mod tests {
     fn terminal_state_rejects_actions() {
         let dag = chain();
         let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
-        let ms = sim
-            .run_with(&dag, |_, actions| actions[0])
-            .unwrap();
+        let ms = sim.run_with(&dag, |_, actions| actions[0]).unwrap();
         assert_eq!(ms, 5);
         assert!(sim.is_terminal(&dag));
         assert_eq!(

@@ -101,12 +101,7 @@ impl ResourceTimeline {
     /// The latest start such that the task *finishes by* `deadline`
     /// (`start + duration <= deadline`) and fits; `None` if no such start
     /// exists. Used by Graphene's backward packing.
-    pub fn latest_start(
-        &self,
-        demand: &ResourceVec,
-        duration: u64,
-        deadline: u64,
-    ) -> Option<u64> {
+    pub fn latest_start(&self, demand: &ResourceVec, duration: u64, deadline: u64) -> Option<u64> {
         if duration == 0 || duration > deadline {
             return None;
         }

@@ -260,6 +260,9 @@ fn gantt_renders_rows_and_footer() {
     // The CPU hog occupies full capacity while it runs: a '9' (or higher
     // digit column) must appear in the dim-0 footer.
     let footer: Vec<&str> = art.lines().filter(|l| l.contains("util[0]")).collect();
-    assert!(footer[0].contains('9') || footer[0].contains('8'), "{footer:?}");
+    assert!(
+        footer[0].contains('9') || footer[0].contains('8'),
+        "{footer:?}"
+    );
     let _ = (a, c);
 }

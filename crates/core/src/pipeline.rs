@@ -8,7 +8,9 @@ use spear_dag::generator::LayeredDagSpec;
 use spear_dag::Dag;
 use spear_nn::RmsProp;
 use spear_rl::pretrain::{self, PretrainConfig};
-use spear_rl::{FeatureConfig, PolicyNetwork, ReinforceConfig, ReinforceTrainer, TrainingCurvePoint};
+use spear_rl::{
+    FeatureConfig, PolicyNetwork, ReinforceConfig, ReinforceTrainer, TrainingCurvePoint,
+};
 
 /// Configuration of [`train_policy`].
 #[derive(Debug, Clone)]
@@ -153,8 +155,9 @@ pub fn train_policy(
     // Phase 1: imitate the critical-path expert (§IV).
     let dataset = pretrain::build_dataset(&policy, &examples, spec)?;
     let mut opt = RmsProp::new(config.pretrain_alpha, 0.9, 1e-9);
-    let pretrain_loss = pretrain::train(&mut policy, &dataset, &mut opt, &config.pretrain, &mut rng);
-    let pretrain_accuracy = pretrain::accuracy(&mut policy, &dataset);
+    let pretrain_loss =
+        pretrain::train(&mut policy, &dataset, &mut opt, &config.pretrain, &mut rng);
+    let pretrain_accuracy = pretrain::accuracy(&policy, &dataset);
 
     // Phase 2: REINFORCE with the averaged baseline.
     let mut trainer =

@@ -234,7 +234,9 @@ impl MapReduceSpec {
             .iter()
             .enumerate()
             .map(|(i, &rt)| {
-                b.add_task(Task::new(rt.max(1), self.map_demand.clone()).with_name(format!("map-{i}")))
+                b.add_task(
+                    Task::new(rt.max(1), self.map_demand.clone()).with_name(format!("map-{i}")),
+                )
             })
             .collect();
         let reduces: Vec<TaskId> = self
@@ -277,8 +279,10 @@ mod tests {
     fn clipped_normal_is_roughly_centered() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| clipped_normal(&mut rng, 10.0, 2.0, 0.0, 20.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| clipped_normal(&mut rng, 10.0, 2.0, 0.0, 20.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "sample mean {mean}");
     }
 

@@ -35,8 +35,8 @@ pub mod dot;
 mod error;
 pub mod generator;
 mod graph;
-pub mod stg;
 mod resources;
+pub mod stg;
 mod task;
 pub mod topo;
 

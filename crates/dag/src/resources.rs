@@ -23,8 +23,21 @@ use serde::{Deserialize, Serialize};
 /// let free = capacity.saturating_sub(&demand);
 /// assert!((free[0] - 0.6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct ResourceVec(Vec<f64>);
+
+// Manual `Clone` so `clone_from` reuses the destination's allocation: the
+// MCTS rollout scratch copies a `ResourceVec` per rollout and must not
+// allocate in steady state (the derived impl falls back to a fresh `Vec`).
+impl Clone for ResourceVec {
+    fn clone(&self) -> Self {
+        ResourceVec(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl ResourceVec {
     /// Creates a zero vector with `dims` dimensions.
@@ -50,11 +63,13 @@ impl ResourceVec {
     }
 
     /// Number of resource dimensions.
+    #[inline]
     pub fn dims(&self) -> usize {
         self.0.len()
     }
 
     /// Returns the raw quantities.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.0
     }
@@ -71,6 +86,7 @@ impl ResourceVec {
 
     /// Component-wise `self <= other` within a small tolerance; the "does
     /// this demand fit in this free space" test used by every scheduler.
+    #[inline]
     pub fn fits_within(&self, other: &ResourceVec) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
         self.0
@@ -94,6 +110,7 @@ impl ResourceVec {
     /// # Panics
     ///
     /// Panics if the dimensions differ.
+    #[inline]
     pub fn add_assign(&mut self, other: &ResourceVec) {
         assert_eq!(self.dims(), other.dims(), "resource dimension mismatch");
         for (a, b) in self.0.iter_mut().zip(&other.0) {
@@ -124,6 +141,7 @@ impl ResourceVec {
     /// # Panics
     ///
     /// Panics if the dimensions differ.
+    #[inline]
     pub fn saturating_sub_assign(&mut self, other: &ResourceVec) {
         assert_eq!(self.dims(), other.dims(), "resource dimension mismatch");
         for (a, b) in self.0.iter_mut().zip(&other.0) {
@@ -137,6 +155,7 @@ impl ResourceVec {
     /// # Panics
     ///
     /// Panics if the dimensions differ.
+    #[inline]
     pub fn dot(&self, other: &ResourceVec) -> f64 {
         assert_eq!(self.dims(), other.dims(), "resource dimension mismatch");
         self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()

@@ -211,9 +211,7 @@ pub fn parse_stg<R: Rng + ?Sized>(
     }
 
     let is_dummy = |i: usize| {
-        drop_dummies
-            && tasks[i].time == 0
-            && (tasks[i].preds.is_empty() || succs[i].is_empty())
+        drop_dummies && tasks[i].time == 0 && (tasks[i].preds.is_empty() || succs[i].is_empty())
     };
 
     // Map retained STG ids to dense new ids.
@@ -234,9 +232,8 @@ pub fn parse_stg<R: Rng + ?Sized>(
         if new_id[i] == usize::MAX {
             continue;
         }
-        builder.add_task(
-            Task::new(t.time.max(1), demands.sample(rng)).with_name(format!("stg-{i}")),
-        );
+        builder
+            .add_task(Task::new(t.time.max(1), demands.sample(rng)).with_name(format!("stg-{i}")));
     }
     // Edges: skip through dropped dummies (entry dummies have no preds to
     // forward; exit dummies have no succs — so only direct edges between

@@ -69,11 +69,30 @@ pub fn depth(dag: &Dag) -> usize {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReadyTracker {
     pending_parents: Vec<u32>,
     ready: Vec<TaskId>,
     completed: usize,
+}
+
+// Manual `Clone` so `clone_from` reuses both vectors' allocations; the MCTS
+// rollout scratch clones a tracker per rollout and must not allocate in
+// steady state.
+impl Clone for ReadyTracker {
+    fn clone(&self) -> Self {
+        ReadyTracker {
+            pending_parents: self.pending_parents.clone(),
+            ready: self.ready.clone(),
+            completed: self.completed,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.pending_parents.clone_from(&source.pending_parents);
+        self.ready.clone_from(&source.ready);
+        self.completed = source.completed;
+    }
 }
 
 impl ReadyTracker {
@@ -92,16 +111,19 @@ impl ReadyTracker {
     }
 
     /// Tasks currently ready, sorted by id.
+    #[inline]
     pub fn ready(&self) -> &[TaskId] {
         &self.ready
     }
 
     /// Number of tasks completed so far.
+    #[inline]
     pub fn completed(&self) -> usize {
         self.completed
     }
 
     /// Whether all `n` tasks of the DAG have completed.
+    #[inline]
     pub fn all_done(&self, dag: &Dag) -> bool {
         self.completed == dag.len()
     }
@@ -111,6 +133,7 @@ impl ReadyTracker {
     /// # Panics
     ///
     /// Panics if `task` is not currently ready.
+    #[inline]
     pub fn take(&mut self, task: TaskId) {
         let pos = self
             .ready
@@ -138,6 +161,24 @@ impl ReadyTracker {
             self.ready.insert(pos, t);
         }
         newly
+    }
+
+    /// Marks `task` completed, inserting newly ready children directly into
+    /// the (sorted) ready set without allocating. The hot-path variant of
+    /// [`ReadyTracker::complete`] for callers that discard the newly-ready
+    /// list — e.g. the MCTS rollout loop.
+    #[inline]
+    pub fn complete_in_place(&mut self, dag: &Dag, task: TaskId) {
+        self.completed += 1;
+        for &c in dag.children(task) {
+            let p = &mut self.pending_parents[c.index()];
+            debug_assert!(*p > 0, "completing a parent twice");
+            *p -= 1;
+            if *p == 0 {
+                let pos = self.ready.partition_point(|&r| r < c);
+                self.ready.insert(pos, c);
+            }
+        }
     }
 }
 

@@ -10,29 +10,22 @@ use spear_dag::generator::LayeredDagSpec;
 use spear_dag::{topo, Dag, ResourceVec};
 
 fn arb_spec() -> impl Strategy<Value = LayeredDagSpec> {
-    (
-        2usize..60,
-        1usize..4,
-        0usize..4,
-        1u64..25,
-        0.0f64..0.6,
+    (2usize..60, 1usize..4, 0usize..4, 1u64..25, 0.0f64..0.6).prop_map(
+        |(num_tasks, min_width, extra_width, max_runtime, extra_edge_prob)| LayeredDagSpec {
+            num_tasks,
+            min_width,
+            max_width: min_width + extra_width,
+            dims: 2,
+            runtime_mean: max_runtime as f64 / 2.0,
+            runtime_std: max_runtime as f64 / 4.0,
+            max_runtime,
+            demand_mean: 0.4,
+            demand_std: 0.25,
+            min_demand: 0.01,
+            max_demand: 1.0,
+            extra_edge_prob,
+        },
     )
-        .prop_map(|(num_tasks, min_width, extra_width, max_runtime, extra_edge_prob)| {
-            LayeredDagSpec {
-                num_tasks,
-                min_width,
-                max_width: min_width + extra_width,
-                dims: 2,
-                runtime_mean: max_runtime as f64 / 2.0,
-                runtime_std: max_runtime as f64 / 4.0,
-                max_runtime,
-                demand_mean: 0.4,
-                demand_std: 0.25,
-                min_demand: 0.01,
-                max_demand: 1.0,
-                extra_edge_prob,
-            }
-        })
 }
 
 fn generate(spec: &LayeredDagSpec, seed: u64) -> Dag {

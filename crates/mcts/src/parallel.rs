@@ -85,22 +85,21 @@ where
         dag: &Dag,
         spec: &ClusterSpec,
     ) -> Result<(Schedule, Vec<SearchStats>), ClusterError> {
-        let results: Vec<Result<(Schedule, SearchStats), ClusterError>> =
-            thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.workers)
-                    .map(|w| {
-                        let factory = &self.factory;
-                        scope.spawn(move || {
-                            let mut scheduler = factory(w as u64);
-                            scheduler.schedule_with_stats(dag, spec)
-                        })
+        let results: Vec<Result<(Schedule, SearchStats), ClusterError>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|w| {
+                    let factory = &self.factory;
+                    scope.spawn(move || {
+                        let mut scheduler = factory(w as u64);
+                        scheduler.schedule_with_stats(dag, spec)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
         let mut best: Option<Schedule> = None;
         let mut stats = Vec::with_capacity(self.workers);

@@ -6,7 +6,7 @@ use rand::Rng;
 use spear_cluster::{Action, ClusterSpec, SimState};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
-use spear_rl::PolicyNetwork;
+use spear_rl::{PolicyNetwork, StateView};
 
 /// Read-only context handed to policies at every decision.
 #[derive(Debug)]
@@ -49,6 +49,12 @@ pub trait SearchPolicy {
 
     /// Policy name for reports.
     fn name(&self) -> &str;
+
+    /// Cumulative policy-network forward passes this policy has run.
+    /// Non-learned policies report zero.
+    fn inferences(&self) -> u64 {
+        0
+    }
 }
 
 /// Random choices — classic MCTS.
@@ -205,12 +211,26 @@ impl SearchPolicy for HeuristicPolicy {
 #[derive(Debug, Clone)]
 pub struct DrlPolicy {
     policy: PolicyNetwork,
+    inferences: u64,
+    // Reused across inferences: slot probabilities, featurized view, and
+    // the per-action probabilities handed back to the search. Rollouts run
+    // one inference per step, so without these the guidance path would
+    // allocate its way through every simulation.
+    probs: Vec<f64>,
+    view: StateView,
+    action_probs: Vec<f64>,
 }
 
 impl DrlPolicy {
     /// Wraps a trained policy network.
     pub fn new(policy: PolicyNetwork) -> Self {
-        DrlPolicy { policy }
+        DrlPolicy {
+            policy,
+            inferences: 0,
+            probs: Vec::new(),
+            view: StateView::default(),
+            action_probs: Vec::new(),
+        }
     }
 
     /// The wrapped network.
@@ -218,30 +238,40 @@ impl DrlPolicy {
         &self.policy
     }
 
-    /// Probability the network assigns to each action in `actions`.
+    /// Probability the network assigns to each action in `actions`. The
+    /// returned slice borrows the policy's scratch buffer and has one entry
+    /// per action.
     fn action_probs(
         &mut self,
         ctx: &PolicyContext<'_>,
         state: &SimState,
         actions: &[Action],
-    ) -> Vec<f64> {
-        let (probs, view) = self
-            .policy
-            .action_distribution(ctx.dag, ctx.spec, state, ctx.features);
+    ) -> &[f64] {
+        self.inferences += 1;
+        self.policy.action_distribution_into(
+            ctx.dag,
+            ctx.spec,
+            state,
+            ctx.features,
+            &mut self.probs,
+            &mut self.view,
+        );
         let process_idx = self.policy.feature_config().process_action();
-        actions
-            .iter()
-            .map(|&a| match a {
-                Action::Process => probs[process_idx],
-                Action::Schedule(t) => view
+        self.action_probs.clear();
+        self.action_probs.extend(actions.iter().map(|&a| {
+            match a {
+                Action::Process => self.probs[process_idx],
+                Action::Schedule(t) => self
+                    .view
                     .slot_tasks
                     .iter()
                     .position(|&s| s == Some(t))
-                    .map(|slot| probs[slot])
+                    .map(|slot| self.probs[slot])
                     // Backlogged tasks are invisible to the network.
                     .unwrap_or(1e-9),
-            })
-            .collect()
+            }
+        }));
+        &self.action_probs
     }
 }
 
@@ -253,6 +283,10 @@ impl SearchPolicy for DrlPolicy {
         untried: &[Action],
         _rng: &mut StdRng,
     ) -> usize {
+        // A single candidate needs no inference: the argmax is forced.
+        if untried.len() == 1 {
+            return 0;
+        }
         let probs = self.action_probs(ctx, state, untried);
         let mut best = 0;
         for i in 1..probs.len() {
@@ -270,6 +304,17 @@ impl SearchPolicy for DrlPolicy {
         legal: &[Action],
         rng: &mut StdRng,
     ) -> Action {
+        // A single legal action (usually a forced `process` on a saturated
+        // cluster) needs no inference — a sizable share of rollout steps.
+        // The network assigns a lone legal action positive probability
+        // (masked softmax over its own mask, or the backlog epsilon), so
+        // the full path below would always take the one-draw sampling
+        // branch; drawing here keeps the RNG stream — and therefore every
+        // downstream decision — bit-identical.
+        if legal.len() == 1 {
+            let _: f64 = rng.gen();
+            return legal[0];
+        }
         let probs = self.action_probs(ctx, state, legal);
         let total: f64 = probs.iter().sum();
         if total <= 0.0 {
@@ -277,7 +322,7 @@ impl SearchPolicy for DrlPolicy {
         }
         let x: f64 = rng.gen::<f64>() * total;
         let mut acc = 0.0;
-        for (a, &p) in legal.iter().zip(&probs) {
+        for (a, &p) in legal.iter().zip(probs) {
             acc += p;
             if x < acc {
                 return *a;
@@ -288,6 +333,10 @@ impl SearchPolicy for DrlPolicy {
 
     fn name(&self) -> &str {
         "drl"
+    }
+
+    fn inferences(&self) -> u64 {
+        self.inferences
     }
 }
 

@@ -71,6 +71,9 @@ pub struct SearchStats {
     pub tree_nodes: usize,
     /// Number of decisions (tree re-rootings) taken.
     pub decisions: u64,
+    /// Policy-network forward passes (zero for non-DRL policies).
+    #[serde(default)]
+    pub policy_inferences: u64,
     /// Wall-clock seconds spent searching.
     pub elapsed_seconds: f64,
 }
@@ -201,6 +204,7 @@ impl MctsScheduler {
         let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
         let exploration = self.config.exploration_coeff * estimate.max(1.0);
         let budget = self.config.budget();
+        let inferences_before = self.policy.inferences();
 
         let mut search = MctsSearch::new(
             dag,
@@ -228,6 +232,7 @@ impl MctsScheduler {
             rollout_steps: search.rollout_steps(),
             tree_nodes: search.tree_size(),
             decisions,
+            policy_inferences: search.policy_inferences() - inferences_before,
             elapsed_seconds: start.elapsed().as_secs_f64(),
         };
         let schedule = search.root_state().clone().into_schedule(dag);
@@ -313,8 +318,12 @@ mod tests {
     fn mcts_is_deterministic_per_seed() {
         let dag = small_dag(2);
         let spec = ClusterSpec::unit(2);
-        let a = MctsScheduler::pure(small_config()).schedule(&dag, &spec).unwrap();
-        let b = MctsScheduler::pure(small_config()).schedule(&dag, &spec).unwrap();
+        let a = MctsScheduler::pure(small_config())
+            .schedule(&dag, &spec)
+            .unwrap();
+        let b = MctsScheduler::pure(small_config())
+            .schedule(&dag, &spec)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -367,7 +376,9 @@ mod tests {
     fn makespan_respects_bounds() {
         let dag = small_dag(6);
         let spec = ClusterSpec::unit(2);
-        let s = MctsScheduler::pure(small_config()).schedule(&dag, &spec).unwrap();
+        let s = MctsScheduler::pure(small_config())
+            .schedule(&dag, &spec)
+            .unwrap();
         assert!(s.makespan() >= dag.makespan_lower_bound(spec.capacity()));
         assert!(s.makespan() <= dag.total_work());
     }

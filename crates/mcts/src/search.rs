@@ -9,6 +9,42 @@ use spear_dag::Dag;
 use crate::tree::{Node, NodeId, Tree};
 use crate::{PolicyContext, SearchPolicy, StateEvaluator};
 
+/// Reusable buffers for the rollout hot loop. The search owns one scratch
+/// and `clone_from`s the leaf state into it, so steady-state rollouts do
+/// zero heap allocations: the state's interior vectors and the legal-action
+/// buffer keep their capacity across rollouts.
+#[derive(Default)]
+struct RolloutScratch {
+    state: Option<SimState>,
+    legal: Vec<Action>,
+}
+
+/// Entries in the precomputed `ln` table used by UCB selection. Selection
+/// evaluates `ln(visits)` once per node on every descent; a table lookup
+/// replaces the libm call for all but astronomically visited nodes and is
+/// bit-identical to computing `(k as f64).ln()` directly.
+const LN_TABLE_SIZE: usize = 4096;
+
+fn ln_table() -> Vec<f64> {
+    (0..LN_TABLE_SIZE as u64)
+        .map(|k| (k.max(1) as f64).ln())
+        .collect()
+}
+
+/// Strictly-greater comparison of a `(primary, tiebreak)` selection key
+/// under [`f64::total_cmp`]. IEEE `>` is always false when either side is
+/// NaN, so a NaN value (e.g. from a misbehaving evaluator) would silently
+/// freeze an argmax on whichever candidate came first; `total_cmp` imposes
+/// a total order instead, keeping selection deterministic. For the finite
+/// keys produced by healthy searches the result is identical to tuple `>`.
+fn key_gt(a: (f64, f64), b: (f64, f64)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1.total_cmp(&b.1) == std::cmp::Ordering::Greater,
+    }
+}
+
 /// A Monte Carlo tree search over scheduling states of one DAG.
 ///
 /// The search is built once per job and driven decision by decision:
@@ -24,11 +60,14 @@ pub struct MctsSearch<'a, P: SearchPolicy + ?Sized> {
     policy: &'a mut P,
     tree: Tree,
     root: NodeId,
+    root_state: SimState,
     exploration: f64,
     max_value_mode: bool,
     evaluator: Option<&'a mut dyn StateEvaluator>,
     truncate_after: u64,
     rng: StdRng,
+    scratch: RolloutScratch,
+    ln_table: Vec<f64>,
     iterations: u64,
     rollout_steps: u64,
 }
@@ -50,17 +89,22 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         exploration: f64,
         seed: u64,
     ) -> Result<Self, ClusterError> {
-        let state = SimState::new(dag, spec)?;
+        let root_state = SimState::new(dag, spec)?;
         let mut tree = Tree::new();
-        let untried = state.legal_actions(dag);
+        let untried = root_state.legal_actions(dag);
         let terminal = untried.is_empty();
+        let terminal_value = if terminal {
+            -(root_state.makespan().unwrap_or(0) as f64)
+        } else {
+            0.0
+        };
         let root = tree.push(Node {
             parent: None,
             action: None,
-            state,
             children: Vec::new(),
             untried,
             terminal,
+            terminal_value,
             visits: 0,
             max_value: f64::NEG_INFINITY,
             sum_value: 0.0,
@@ -72,11 +116,14 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             policy,
             tree,
             root,
+            root_state,
             exploration,
             max_value_mode: true,
             evaluator: None,
             truncate_after: u64::MAX,
             rng: StdRng::seed_from_u64(seed),
+            scratch: RolloutScratch::default(),
+            ln_table: ln_table(),
             iterations: 0,
             rollout_steps: 0,
         })
@@ -111,7 +158,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
 
     /// The current root state.
     pub fn root_state(&self) -> &SimState {
-        &self.tree.node(self.root).state
+        &self.root_state
     }
 
     /// Whether the committed schedule is complete.
@@ -127,6 +174,11 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     /// Total simulated rollout steps so far.
     pub fn rollout_steps(&self) -> u64 {
         self.rollout_steps
+    }
+
+    /// Cumulative policy-network forward passes of the guiding policy.
+    pub fn policy_inferences(&self) -> u64 {
+        self.policy.inferences()
     }
 
     /// Nodes allocated so far.
@@ -147,38 +199,58 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     /// backpropagate the return.
     pub fn run_iteration(&mut self) {
         self.iterations += 1;
-        // --- Selection. ---
+        // The whole iteration runs inside the reusable scratch: the root
+        // state is `clone_from`ed in, selection replays each chosen action,
+        // and the rollout continues from wherever the replay stopped. In
+        // steady state nothing here allocates except the new node itself.
+        let RolloutScratch { state, mut legal } = std::mem::take(&mut self.scratch);
+        let mut state = match state {
+            Some(mut s) => {
+                s.clone_from(&self.root_state);
+                s
+            }
+            None => self.root_state.clone(),
+        };
+        // --- Selection (replaying the path into the scratch state). ---
         let mut id = self.root;
         while self.tree.node(id).fully_expanded() && !self.tree.node(id).terminal {
-            id = self.select_child(id);
+            let (action, child) = self.select_child(id);
+            state.apply_legal(self.dag, action);
+            id = child;
         }
         // Terminal leaf: its value is exact; just reinforce it.
         if self.tree.node(id).terminal {
-            let value = -(self.tree.node(id).state.makespan().unwrap_or(0) as f64);
-            self.tree.backpropagate(id, value);
+            let value = self.tree.node(id).terminal_value;
+            self.tree.backpropagate_to(id, self.root, value);
+            self.scratch = RolloutScratch {
+                state: Some(state),
+                legal,
+            };
             return;
         }
         // --- Expansion (policy-guided instead of random, §III-C). ---
         let child = {
             let ctx = self.ctx();
             let node = self.tree.node(id);
-            let pick =
-                self.policy
-                    .choose_expansion(&ctx, &node.state, &node.untried, &mut self.rng);
+            let pick = self
+                .policy
+                .choose_expansion(&ctx, &state, &node.untried, &mut self.rng);
             let action = self.tree.node_mut(id).untried.swap_remove(pick);
-            let mut state = self.tree.node(id).state.clone();
-            state
-                .apply(self.dag, action)
-                .expect("untried actions are legal by construction");
+            state.apply_legal(self.dag, action);
             let untried = state.legal_actions(self.dag);
             let terminal = untried.is_empty();
+            let terminal_value = if terminal {
+                -(state.makespan().unwrap_or(0) as f64)
+            } else {
+                0.0
+            };
             let child = self.tree.push(Node {
                 parent: Some(id),
                 action: Some(action),
-                state,
                 children: Vec::new(),
                 untried,
                 terminal,
+                terminal_value,
                 visits: 0,
                 max_value: f64::NEG_INFINITY,
                 sum_value: 0.0,
@@ -186,21 +258,35 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             self.tree.node_mut(id).children.push((action, child));
             child
         };
-        // --- Simulation. ---
-        let value = self.rollout(child);
-        // --- Backpropagation. ---
-        self.tree.backpropagate(child, value);
+        // --- Simulation (continues in the scratch state). ---
+        let value = self.rollout(&mut state, &mut legal);
+        // --- Backpropagation (stops at the current root: ancestors above
+        // it are never read again after re-rooting). ---
+        self.tree.backpropagate_to(child, self.root, value);
+        self.scratch = RolloutScratch {
+            state: Some(state),
+            legal,
+        };
     }
 
     /// UCB child selection (paper Eq. 5): exploit the max rollout return,
     /// explore by visit counts, tie-break with the mean return.
-    fn select_child(&self, id: NodeId) -> NodeId {
+    fn select_child(&self, id: NodeId) -> (Action, NodeId) {
         let node = self.tree.node(id);
         debug_assert!(!node.children.is_empty());
-        let ln_n = (node.visits.max(1) as f64).ln();
-        let mut best = node.children[0].1;
+        // With one child there is nothing to compare; skip the UCB math.
+        // Single-child nodes are common on deep exploit chains (states
+        // where only `process` is legal), so this fast path matters.
+        if node.children.len() == 1 {
+            return node.children[0];
+        }
+        let ln_n = match self.ln_table.get(node.visits as usize) {
+            Some(&ln) => ln,
+            None => (node.visits.max(1) as f64).ln(),
+        };
+        let mut best = node.children[0];
         let mut best_key = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for &(_, child_id) in &node.children {
+        for &(action, child_id) in &node.children {
             let child = self.tree.node(child_id);
             let ucb = if child.visits == 0 {
                 f64::INFINITY
@@ -208,34 +294,38 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
                 self.exploit_value(child) + self.exploration * (ln_n / child.visits as f64).sqrt()
             };
             let key = (ucb, child.mean_value());
-            if key > best_key {
+            if key_gt(key, best_key) {
                 best_key = key;
-                best = child_id;
+                best = (action, child_id);
             }
         }
         best
     }
 
-    /// Simulates from `id`'s state to completion with the rollout policy;
-    /// returns the negative makespan.
-    fn rollout(&mut self, id: NodeId) -> f64 {
-        let mut state = self.tree.node(id).state.clone();
+    /// Simulates `state` (the freshly expanded child, already replayed into
+    /// the scratch) to completion with the rollout policy; returns the
+    /// negative makespan.
+    ///
+    /// `state` and `legal` are the search's [`RolloutScratch`] buffers, so
+    /// the step loop below performs no heap allocations once they have
+    /// warmed up: actions are enumerated with
+    /// [`SimState::legal_actions_into`] and applied with
+    /// [`SimState::apply_legal`].
+    fn rollout(&mut self, state: &mut SimState, legal: &mut Vec<Action>) -> f64 {
         let ctx = self.ctx();
         let mut steps = 0u64;
         while !state.is_terminal(self.dag) {
             if steps >= self.truncate_after {
                 if let Some(evaluator) = self.evaluator.as_deref_mut() {
-                    return -evaluator.estimate_final_makespan(&ctx, &state);
+                    return -evaluator.estimate_final_makespan(&ctx, state);
                 }
             }
-            let legal = state.legal_actions(self.dag);
+            state.legal_actions_into(self.dag, legal);
             debug_assert!(!legal.is_empty());
             let action = self
                 .policy
-                .choose_rollout(&ctx, &state, &legal, &mut self.rng);
-            state
-                .apply(self.dag, action)
-                .expect("rollout policies return legal actions");
+                .choose_rollout(&ctx, state, legal, &mut self.rng);
+            state.apply_legal(self.dag, action);
             self.rollout_steps += 1;
             steps += 1;
         }
@@ -259,7 +349,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         for &(action, child_id) in &node.children {
             let child = self.tree.node(child_id);
             let key = (self.exploit_value(child), child.mean_value());
-            if best.is_none_or(|(_, bk)| key > bk) {
+            if best.is_none_or(|(_, bk)| key_gt(key, bk)) {
                 best = Some((action, key));
             }
         }
@@ -273,6 +363,9 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     ///
     /// Panics if `action` is illegal in the root state.
     pub fn advance(&mut self, action: Action) {
+        self.root_state
+            .apply(self.dag, action)
+            .expect("advancing with an illegal action");
         let existing = self
             .tree
             .node(self.root)
@@ -283,17 +376,20 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         let child = match existing {
             Some(id) => id,
             None => {
-                let mut state = self.tree.node(self.root).state.clone();
-                state.apply(self.dag, action).expect("advancing with an illegal action");
-                let untried = state.legal_actions(self.dag);
+                let untried = self.root_state.legal_actions(self.dag);
                 let terminal = untried.is_empty();
+                let terminal_value = if terminal {
+                    -(self.root_state.makespan().unwrap_or(0) as f64)
+                } else {
+                    0.0
+                };
                 let id = self.tree.push(Node {
                     parent: Some(self.root),
                     action: Some(action),
-                    state,
                     children: Vec::new(),
                     untried,
                     terminal,
+                    terminal_value,
                     visits: 0,
                     max_value: f64::NEG_INFINITY,
                     sum_value: 0.0,
@@ -325,8 +421,7 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let features = GraphFeatures::compute(&dag);
         let mut policy = RandomPolicy;
-        let mut search =
-            MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 1).unwrap();
+        let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 1).unwrap();
         assert_eq!(search.tree_size(), 1);
         for _ in 0..20 {
             search.run_iteration();
@@ -342,8 +437,7 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let features = GraphFeatures::compute(&dag);
         let mut policy = RandomPolicy;
-        let mut search =
-            MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 2).unwrap();
+        let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 2).unwrap();
         for _ in 0..10 {
             search.run_iteration();
         }
@@ -368,8 +462,7 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let features = GraphFeatures::compute(&dag);
         let mut policy = RandomPolicy;
-        let mut search =
-            MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 4).unwrap();
+        let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 4).unwrap();
         while !search.is_terminal() {
             for _ in 0..5 {
                 search.run_iteration();
@@ -389,8 +482,7 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let features = GraphFeatures::compute(&dag);
         let mut policy = RandomPolicy;
-        let mut search =
-            MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 5).unwrap();
+        let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 5).unwrap();
         for _ in 0..10 {
             search.run_iteration();
         }
@@ -407,16 +499,76 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let features = GraphFeatures::compute(&dag);
         let mut policy = RandomPolicy;
-        let mut search =
-            MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 6).unwrap();
+        let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 6).unwrap();
         // No iterations: advancing must create the child on demand.
         let size_before = search.tree_size();
         search.advance(Action::Schedule(TaskId::new(1)));
         assert_eq!(search.tree_size(), size_before + 1);
-        assert_eq!(
-            search.root_state().start_of(TaskId::new(1)),
-            Some(0)
-        );
+        assert_eq!(search.root_state().start_of(TaskId::new(1)), Some(0));
+    }
+
+    #[test]
+    fn key_gt_matches_tuple_gt_on_finite_keys_and_totals_nan() {
+        // Finite keys: identical to the tuple `>` it replaced.
+        assert!(key_gt((2.0, 0.0), (1.0, 9.0)));
+        assert!(!key_gt((1.0, 9.0), (2.0, 0.0)));
+        assert!(key_gt((1.0, 1.0), (1.0, 0.0)));
+        assert!(!key_gt((1.0, 0.0), (1.0, 0.0)));
+        assert!(key_gt((f64::INFINITY, 0.0), (1e308, 0.0)));
+        assert!(!key_gt((f64::INFINITY, 0.0), (f64::INFINITY, 0.0)));
+        // NaN keys: totally ordered (positive NaN above +inf) instead of
+        // incomparable, so exactly one direction is "greater" and repeated
+        // argmax scans stay deterministic.
+        assert!(key_gt((f64::NAN, 0.0), (f64::INFINITY, 0.0)));
+        assert!(!key_gt((f64::INFINITY, 0.0), (f64::NAN, 0.0)));
+        assert!(!key_gt((f64::NAN, 0.0), (f64::NAN, 0.0)));
+        assert!(key_gt((1.0, f64::NAN), (1.0, f64::INFINITY)));
+    }
+
+    /// A truncation evaluator that poisons every rollout value with NaN.
+    struct NanEvaluator;
+
+    impl StateEvaluator for NanEvaluator {
+        fn estimate_final_makespan(&mut self, _: &PolicyContext<'_>, _: &SimState) -> f64 {
+            f64::NAN
+        }
+
+        fn name(&self) -> &str {
+            "nan"
+        }
+    }
+
+    /// With IEEE `>` a NaN-valued child could never win a comparison, so
+    /// selection silently froze on the first child. Under `total_cmp` the
+    /// search stays deterministic and completes even when every backed-up
+    /// value is NaN.
+    #[test]
+    fn nan_rollout_values_do_not_break_determinism() {
+        let run = |seed: u64| {
+            let dag = two_task_dag();
+            let spec = ClusterSpec::unit(1);
+            let features = GraphFeatures::compute(&dag);
+            let mut policy = RandomPolicy;
+            let mut evaluator = NanEvaluator;
+            let mut search =
+                MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, seed).unwrap();
+            search.set_rollout_truncation(0, &mut evaluator);
+            let mut actions = Vec::new();
+            while !search.is_terminal() {
+                for _ in 0..8 {
+                    search.run_iteration();
+                }
+                let a = search.best_action();
+                actions.push(a);
+                search.advance(a);
+            }
+            (actions, search.root_state().makespan().unwrap())
+        };
+        let (actions_a, makespan_a) = run(11);
+        let (actions_b, makespan_b) = run(11);
+        assert_eq!(actions_a, actions_b, "NaN values broke determinism");
+        assert_eq!(makespan_a, makespan_b);
+        assert_eq!(makespan_a, 5); // schedule is still complete and valid
     }
 
     /// On a DAG where one root choice is clearly better, sufficient budget
@@ -435,8 +587,7 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let features = GraphFeatures::compute(&dag);
         let mut policy = RandomPolicy;
-        let mut search =
-            MctsSearch::new(&dag, &spec, &features, &mut policy, 10.0, 7).unwrap();
+        let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 10.0, 7).unwrap();
         while !search.is_terminal() {
             for _ in 0..60 {
                 search.run_iteration();

@@ -1,11 +1,17 @@
 //! The arena-allocated search tree.
 
-use spear_cluster::{Action, SimState};
+use spear_cluster::Action;
 
 /// Index of a node in the [`Tree`] arena.
 pub type NodeId = usize;
 
-/// One search-tree node: a simulation state plus MCTS statistics.
+/// One search-tree node: MCTS statistics for one reachable state.
+///
+/// Nodes do **not** store their simulation state. The search reconstructs a
+/// leaf's state by replaying the action path into a reusable scratch state
+/// during selection — replays are a handful of cheap `apply` calls, while
+/// storing a state per node costs a multi-`Vec` clone on every expansion
+/// and bloats the arena until UCB selection is bound on cache misses.
 ///
 /// Values are rollout *returns* (negative makespans), so larger is better.
 /// Both the maximum and the sum of returns are tracked: selection and the
@@ -16,14 +22,16 @@ pub struct Node {
     pub parent: Option<NodeId>,
     /// The action that led here from the parent.
     pub action: Option<Action>,
-    /// The simulation state after applying `action` to the parent state.
-    pub state: SimState,
     /// Expanded children, in expansion order.
     pub children: Vec<(Action, NodeId)>,
     /// Legal actions not yet expanded.
     pub untried: Vec<Action>,
-    /// Whether `state` is terminal.
+    /// Whether the node's state is terminal.
     pub terminal: bool,
+    /// Exact return of the completed schedule (only meaningful when
+    /// `terminal`; recorded at expansion so terminal reinforcement does not
+    /// need the state).
+    pub terminal_value: f64,
     /// Number of rollouts that passed through this node.
     pub visits: u64,
     /// Best rollout return seen through this node.
@@ -121,29 +129,41 @@ impl Tree {
             }
         }
     }
+
+    /// Propagates a rollout return from `id` up to `stop` inclusive, then
+    /// halts. After the search re-roots (see `MctsSearch::advance`), nodes
+    /// above the current root are never consulted again, so updating them
+    /// is pure waste — and the wasted path grows with every committed
+    /// decision. `stop` must be an ancestor of `id` (or `id` itself).
+    pub fn backpropagate_to(&mut self, mut id: NodeId, stop: NodeId, value: f64) {
+        loop {
+            let node = &mut self.nodes[id];
+            node.visits += 1;
+            node.max_value = node.max_value.max(value);
+            node.sum_value += value;
+            if id == stop {
+                break;
+            }
+            match node.parent {
+                Some(p) => id = p,
+                None => break,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spear_cluster::ClusterSpec;
-    use spear_dag::{DagBuilder, ResourceVec, Task};
-
-    fn leaf_state() -> SimState {
-        let mut b = DagBuilder::new(1);
-        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5])));
-        let dag = b.build().unwrap();
-        SimState::new(&dag, &ClusterSpec::unit(1)).unwrap()
-    }
 
     fn make_node(parent: Option<NodeId>) -> Node {
         Node {
             parent,
             action: None,
-            state: leaf_state(),
             children: Vec::new(),
             untried: Vec::new(),
             terminal: false,
+            terminal_value: 0.0,
             visits: 0,
             max_value: f64::NEG_INFINITY,
             sum_value: 0.0,

@@ -164,10 +164,9 @@ fn value_truncated_spear_is_valid_and_cheaper() {
     let (full_sched, full_stats) = MctsScheduler::drl(cfg.clone(), policy.clone())
         .schedule_with_stats(&dag, &spec)
         .unwrap();
-    let (trunc_sched, trunc_stats) =
-        MctsScheduler::drl_with_value(cfg, policy, value, 4)
-            .schedule_with_stats(&dag, &spec)
-            .unwrap();
+    let (trunc_sched, trunc_stats) = MctsScheduler::drl_with_value(cfg, policy, value, 4)
+        .schedule_with_stats(&dag, &spec)
+        .unwrap();
     full_sched.validate(&dag, &spec).unwrap();
     trunc_sched.validate(&dag, &spec).unwrap();
     assert!(

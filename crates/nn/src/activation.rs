@@ -18,10 +18,25 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation to every element of `z` in place.
     pub fn forward_inplace(self, z: &mut Matrix) {
+        self.forward_slice_inplace(z.as_mut_slice());
+    }
+
+    /// Applies the activation to a raw slice in place — the allocation-free
+    /// inference path works on borrowed buffers instead of matrices.
+    #[inline]
+    pub fn forward_slice_inplace(self, z: &mut [f64]) {
         match self {
-            Activation::Relu => z.map_inplace(|v| v.max(0.0)),
+            Activation::Relu => {
+                for v in z.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
             Activation::Identity => {}
-            Activation::Tanh => z.map_inplace(f64::tanh),
+            Activation::Tanh => {
+                for v in z.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
         }
     }
 
@@ -65,12 +80,7 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 /// Numerically stable log-softmax of one logit row.
 pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let log_sum: f64 = logits
-        .iter()
-        .map(|&l| (l - max).exp())
-        .sum::<f64>()
-        .ln()
-        + max;
+    let log_sum: f64 = logits.iter().map(|&l| (l - max).exp()).sum::<f64>().ln() + max;
     logits.iter().map(|&l| l - log_sum).collect()
 }
 
@@ -90,6 +100,20 @@ pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
 /// assert!((p[1] - 0.5).abs() < 1e-12);
 /// ```
 pub fn softmax_masked(logits: &[f64], mask: &[bool]) -> Vec<f64> {
+    let mut out = Vec::new();
+    softmax_masked_into(logits, mask, &mut out);
+    out
+}
+
+/// [`softmax_masked`] into a caller-owned buffer (cleared first), for hot
+/// loops that must not allocate per call. Performs the exact same
+/// floating-point operations in the same order as [`softmax_masked`].
+///
+/// # Panics
+///
+/// Panics if `mask` has a different length than `logits` or no entry is
+/// legal.
+pub fn softmax_masked_into(logits: &[f64], mask: &[bool], out: &mut Vec<f64>) {
     assert_eq!(logits.len(), mask.len(), "mask length mismatch");
     assert!(mask.iter().any(|&m| m), "at least one action must be legal");
     let max = logits
@@ -98,13 +122,17 @@ pub fn softmax_masked(logits: &[f64], mask: &[bool]) -> Vec<f64> {
         .filter(|(_, &m)| m)
         .map(|(&l, _)| l)
         .fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits
-        .iter()
-        .zip(mask)
-        .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 })
-        .collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(
+        logits
+            .iter()
+            .zip(mask)
+            .map(|(&l, &m)| if m { (l - max).exp() } else { 0.0 }),
+    );
+    let sum: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +201,15 @@ mod tests {
     #[should_panic(expected = "at least one action must be legal")]
     fn masked_softmax_rejects_empty_mask() {
         let _ = softmax_masked(&[1.0], &[false]);
+    }
+
+    #[test]
+    fn masked_softmax_into_matches_allocating_version() {
+        let logits = [0.3, -1.2, 2.0, 0.7];
+        let mask = [true, false, true, true];
+        let mut out = vec![99.0; 2]; // stale contents must be discarded
+        softmax_masked_into(&logits, &mask, &mut out);
+        assert_eq!(out, softmax_masked(&logits, &mask));
     }
 
     #[test]

@@ -113,6 +113,50 @@ impl Dense {
         z
     }
 
+    /// Inference-only forward pass: no activation caching (so no `backward`
+    /// afterwards), no clones. Same floating-point operations as
+    /// [`Dense::forward`], hence bit-identical outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim()`.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        self.activation.forward_inplace(&mut z);
+        z
+    }
+
+    /// Single-example inference into a caller-owned buffer: computes
+    /// `act(x · W + b)` without touching the heap. The accumulation order
+    /// (k ascending per output, zero inputs skipped, bias added after the
+    /// products) matches [`Matrix::matmul`] + bias broadcast exactly, so
+    /// the result is bit-identical to [`Dense::forward`] on a 1-row batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward_one_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let n = self.output_dim();
+        out.clear();
+        out.resize(n, 0.0);
+        let w = self.weights.as_slice();
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let wrow = &w[k * n..(k + 1) * n];
+            for (cv, &wv) in out.iter_mut().zip(wrow) {
+                *cv += a * wv;
+            }
+        }
+        for (cv, &b) in out.iter_mut().zip(&self.bias) {
+            *cv += b;
+        }
+        self.activation.forward_slice_inplace(out);
+    }
+
     /// Backward pass: given `d_out = ∂L/∂a`, accumulates `∂L/∂W`, `∂L/∂b`
     /// and returns `∂L/∂x`.
     ///
@@ -201,9 +245,8 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[1.0, 0.2, -0.7]]);
         let eps = 1e-6;
 
-        let loss = |layer: &mut Dense, x: &Matrix| -> f64 {
-            layer.forward(x).as_slice().iter().sum()
-        };
+        let loss =
+            |layer: &mut Dense, x: &Matrix| -> f64 { layer.forward(x).as_slice().iter().sum() };
 
         let base = loss(&mut layer, &x);
         let _ = base;

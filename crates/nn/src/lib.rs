@@ -50,8 +50,8 @@ mod matrix;
 mod mlp;
 mod optim;
 
-pub use activation::{log_softmax, softmax, softmax_masked, Activation};
+pub use activation::{log_softmax, softmax, softmax_masked, softmax_masked_into, Activation};
 pub use layer::Dense;
 pub use matrix::Matrix;
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{ForwardScratch, Mlp, MlpConfig};
 pub use optim::{Optimizer, RmsProp, Sgd};

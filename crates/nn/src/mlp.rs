@@ -42,6 +42,15 @@ impl MlpConfig {
     }
 }
 
+/// Reusable buffers for [`Mlp::forward_one_into`]: two layer-activation
+/// vectors swapped between layers. One scratch per inference site keeps the
+/// hot path allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    front: Vec<f64>,
+    back: Vec<f64>,
+}
+
 /// A fully connected network: hidden layers with a shared activation and a
 /// linear logits layer. See the [crate docs](crate) for a training example.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -114,6 +123,48 @@ impl Mlp {
     pub fn forward_one(&mut self, features: &[f64]) -> Vec<f64> {
         let logits = self.forward(&Matrix::row_vector(features));
         logits.row(0).to_vec()
+    }
+
+    /// Inference-only batch forward: a single matrix-matrix pass per layer
+    /// with no activation caching (and so no [`Mlp::backward`] afterwards)
+    /// and no cache clones. Logits are bit-identical to [`Mlp::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width disagrees with the config.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.config.input, "input width mismatch");
+        let mut a = self.layers[0].infer(x);
+        for layer in &self.layers[1..] {
+            a = layer.infer(&a);
+        }
+        a
+    }
+
+    /// Single-example inference through reusable ping-pong buffers: zero
+    /// heap allocations in steady state (the scratch grows to the widest
+    /// layer once and is reused). Returns the logits as a slice borrowed
+    /// from the scratch. Bit-identical to [`Mlp::forward_one`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` disagrees with the config.
+    pub fn forward_one_into<'s>(
+        &self,
+        features: &[f64],
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        assert_eq!(features.len(), self.config.input, "input width mismatch");
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("an MLP always has a logits layer");
+        first.forward_one_into(features, &mut scratch.front);
+        for layer in rest {
+            layer.forward_one_into(&scratch.front, &mut scratch.back);
+            std::mem::swap(&mut scratch.front, &mut scratch.back);
+        }
+        &scratch.front
     }
 
     /// Backward pass from `d_logits = ∂L/∂logits`, accumulating gradients
@@ -230,6 +281,32 @@ mod tests {
     }
 
     #[test]
+    fn forward_batch_is_bit_identical_to_forward() {
+        let mut net = small_net(4);
+        let x = Matrix::from_rows(&[
+            &[0.4, -0.2, 0.9],
+            &[-0.5, 0.3, 0.1],
+            &[0.0, 1.0, -1.0],
+            &[2.0, -2.0, 0.5],
+            &[0.7, 0.0, 0.0],
+        ]);
+        let cached = net.forward(&x);
+        let uncached = net.forward_batch(&x);
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn forward_one_into_is_bit_identical_to_forward_one() {
+        let mut net = small_net(5);
+        let mut scratch = ForwardScratch::default();
+        for features in [[0.4, -0.2, 0.9], [0.0, 0.0, 0.0], [-1.5, 2.5, 0.0]] {
+            let boxed = net.forward_one(&features);
+            let scratched = net.forward_one_into(&features, &mut scratch);
+            assert_eq!(boxed.as_slice(), scratched);
+        }
+    }
+
+    #[test]
     fn parameter_count() {
         let net = small_net(0);
         // 3*5+5 + 5*4+4 + 4*2+2 = 20 + 24 + 10 = 54.
@@ -249,9 +326,8 @@ mod tests {
         let mut net = small_net(1);
         let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-0.5, 0.3, 0.1]]);
 
-        let loss = |net: &mut Mlp| -> f64 {
-            net.forward(&x).as_slice().iter().map(|v| v * v).sum()
-        };
+        let loss =
+            |net: &mut Mlp| -> f64 { net.forward(&x).as_slice().iter().map(|v| v * v).sum() };
 
         // Analytic: dL/dlogits = 2·logits.
         let logits = net.forward(&x);
@@ -327,9 +403,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero-width hidden layer")]
     fn rejects_zero_width() {
-        let _ = Mlp::new(
-            MlpConfig::new(3, &[0], 2),
-            &mut StdRng::seed_from_u64(0),
-        );
+        let _ = Mlp::new(MlpConfig::new(3, &[0], 2), &mut StdRng::seed_from_u64(0));
     }
 }

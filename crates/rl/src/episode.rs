@@ -133,8 +133,15 @@ mod tests {
     fn episode_completes_and_is_bounded() {
         let (dag, spec, mut policy) = setup();
         let mut rng = StdRng::seed_from_u64(1);
-        let ep = run_episode(&mut policy, &dag, &spec, SelectionMode::Sample, true, &mut rng)
-            .unwrap();
+        let ep = run_episode(
+            &mut policy,
+            &dag,
+            &spec,
+            SelectionMode::Sample,
+            true,
+            &mut rng,
+        )
+        .unwrap();
         assert!(ep.makespan >= dag.critical_path_length());
         assert!(ep.makespan <= dag.total_work());
         assert_eq!(ep.ret(), -(ep.makespan as f64));
@@ -144,17 +151,21 @@ mod tests {
     fn recording_captures_every_decision() {
         let (dag, spec, mut policy) = setup();
         let mut rng = StdRng::seed_from_u64(2);
-        let ep = run_episode(&mut policy, &dag, &spec, SelectionMode::Sample, true, &mut rng)
-            .unwrap();
+        let ep = run_episode(
+            &mut policy,
+            &dag,
+            &spec,
+            SelectionMode::Sample,
+            true,
+            &mut rng,
+        )
+        .unwrap();
         // At least one schedule decision per task plus at least one
         // process decision.
         assert!(ep.steps.len() > dag.len());
         for step in &ep.steps {
             assert!(step.mask[step.action], "recorded an illegal action");
-            assert_eq!(
-                step.features.len(),
-                policy.feature_config().input_dim()
-            );
+            assert_eq!(step.features.len(), policy.feature_config().input_dim());
         }
     }
 
@@ -162,8 +173,15 @@ mod tests {
     fn unrecorded_episode_has_no_steps() {
         let (dag, spec, mut policy) = setup();
         let mut rng = StdRng::seed_from_u64(3);
-        let ep = run_episode(&mut policy, &dag, &spec, SelectionMode::Sample, false, &mut rng)
-            .unwrap();
+        let ep = run_episode(
+            &mut policy,
+            &dag,
+            &spec,
+            SelectionMode::Sample,
+            false,
+            &mut rng,
+        )
+        .unwrap();
         assert!(ep.steps.is_empty());
         assert!(ep.makespan > 0);
     }

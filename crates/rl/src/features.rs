@@ -77,7 +77,7 @@ impl FeatureConfig {
 
 /// The featurized view of one simulation state: the network input, the
 /// tasks occupying each visible slot, and the action legality mask.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StateView {
     /// Flat feature vector of length [`FeatureConfig::input_dim`].
     pub features: Vec<f64>,
@@ -113,13 +113,25 @@ impl Featurizer {
     /// Orders the ready set by descending b-level, breaking ties by
     /// descending child count then ascending id (the CP ordering), and
     /// truncates to the visible window.
-    pub fn visible_ready(
+    pub fn visible_ready(&self, state: &SimState, features: &GraphFeatures) -> Vec<TaskId> {
+        let mut ready = Vec::new();
+        self.visible_ready_into(state, features, &mut ready);
+        ready
+    }
+
+    /// [`Featurizer::visible_ready`] into a caller-owned buffer (cleared
+    /// first).
+    pub fn visible_ready_into(
         &self,
         state: &SimState,
         features: &GraphFeatures,
-    ) -> Vec<TaskId> {
-        let mut ready: Vec<TaskId> = state.ready().to_vec();
-        ready.sort_by_key(|&t| {
+        out: &mut Vec<TaskId>,
+    ) {
+        out.clear();
+        out.extend_from_slice(state.ready());
+        // Unstable sort: keys are unique (the id tiebreak), so the result
+        // matches a stable sort while skipping its temp-buffer allocation.
+        out.sort_unstable_by_key(|&t| {
             let f = features.task(t);
             (
                 std::cmp::Reverse(f.b_level),
@@ -127,8 +139,7 @@ impl Featurizer {
                 t,
             )
         });
-        ready.truncate(self.config.max_ready);
-        ready
+        out.truncate(self.config.max_ready);
     }
 
     /// Featurizes one state.
@@ -143,38 +154,75 @@ impl Featurizer {
         state: &SimState,
         features: &GraphFeatures,
     ) -> StateView {
+        let mut view = StateView::default();
+        let mut ready = Vec::new();
+        self.featurize_into(dag, spec, state, features, &mut ready, &mut view);
+        view
+    }
+
+    /// [`Featurizer::featurize`] into caller-owned buffers: the view's
+    /// vectors and a ready-ordering scratch are cleared and refilled, so a
+    /// caller that reuses them featurizes without heap allocations. The
+    /// pushed values are bit-identical to [`Featurizer::featurize`] — in
+    /// particular the occupancy image accumulates running tasks per pixel
+    /// in the same order, just task-outer instead of pixel-outer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DAG/cluster dimensionality disagrees with the config.
+    pub fn featurize_into(
+        &self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        state: &SimState,
+        features: &GraphFeatures,
+        ready_scratch: &mut Vec<TaskId>,
+        view: &mut StateView,
+    ) {
         assert_eq!(dag.dims(), self.config.dims, "dimension mismatch");
         assert_eq!(spec.dims(), self.config.dims, "dimension mismatch");
         let cfg = &self.config;
-        let mut out = Vec::with_capacity(cfg.input_dim());
+        let out = &mut view.features;
+        out.clear();
+        out.reserve(cfg.input_dim());
 
         // --- Cluster occupancy image over [clock, clock + horizon). ---
-        // used[r][h] = fraction of capacity r occupied at clock + h.
+        // out[r * horizon + h] = fraction of capacity r occupied at
+        // clock + h. A task running until `finish` covers the first
+        // `finish - clock` pixels of its row.
         let clock = state.clock();
+        out.resize(cfg.dims * cfg.horizon, 0.0);
+        for run in state.running() {
+            let span = run.finish.saturating_sub(clock).min(cfg.horizon as u64) as usize;
+            if span == 0 {
+                continue;
+            }
+            let demand = dag.task(run.task).demand();
+            for r in 0..cfg.dims {
+                let d = demand[r];
+                for v in &mut out[r * cfg.horizon..r * cfg.horizon + span] {
+                    *v += d;
+                }
+            }
+        }
         for r in 0..cfg.dims {
             let cap = spec.capacity()[r];
-            for h in 0..cfg.horizon {
-                let t = clock + h as u64;
-                let mut used = 0.0;
-                for run in state.running() {
-                    if run.finish > t {
-                        used += dag.task(run.task).demand()[r];
-                    }
-                }
-                out.push((used / cap).min(1.0));
+            for v in &mut out[r * cfg.horizon..(r + 1) * cfg.horizon] {
+                *v = (*v / cap).min(1.0);
             }
         }
 
         // --- Ready-task slots. ---
-        let visible = self.visible_ready(state, features);
+        self.visible_ready_into(state, features, ready_scratch);
         let max_rt = dag.max_runtime().max(1) as f64;
         let cp = features.critical_path().max(1) as f64;
         let max_children = features.max_children().max(1) as f64;
-        let mut slot_tasks = vec![None; cfg.max_ready];
-        for (slot, &task) in visible.iter().enumerate() {
-            slot_tasks[slot] = Some(task);
+        view.slot_tasks.clear();
+        view.slot_tasks.resize(cfg.max_ready, None);
+        for (slot, &task) in ready_scratch.iter().enumerate() {
+            view.slot_tasks[slot] = Some(task);
         }
-        for slot_task in &slot_tasks {
+        for slot_task in &view.slot_tasks {
             match *slot_task {
                 Some(task) => {
                     let t = dag.task(task);
@@ -209,19 +257,14 @@ impl Featurizer {
         debug_assert_eq!(out.len(), cfg.input_dim());
 
         // --- Legality mask. ---
-        let mut mask = vec![false; cfg.action_dim()];
-        for (slot, task) in slot_tasks.iter().enumerate() {
+        view.mask.clear();
+        view.mask.resize(cfg.action_dim(), false);
+        for (slot, task) in view.slot_tasks.iter().enumerate() {
             if let Some(t) = *task {
-                mask[slot] = dag.task(t).demand().fits_within(state.free());
+                view.mask[slot] = dag.task(t).demand().fits_within(state.free());
             }
         }
-        mask[cfg.process_action()] = !state.running().is_empty();
-
-        StateView {
-            features: out,
-            slot_tasks,
-            mask,
-        }
+        view.mask[cfg.process_action()] = !state.running().is_empty();
     }
 }
 
@@ -336,6 +379,22 @@ mod tests {
         // Backlog global = 3/8.
         let backlog_idx = f.config().input_dim() - 3;
         assert!((view.features[backlog_idx] - 3.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn featurize_into_reused_buffers_match_fresh_featurize() {
+        let (dag, spec, gf, f) = setup();
+        let mut state = SimState::new(&dag, &spec).unwrap();
+        let mut ready = Vec::new();
+        let mut view = StateView::default();
+        // Drive a whole episode through the same buffers; every refill must
+        // equal a from-scratch featurization bit for bit.
+        while !state.is_terminal(&dag) {
+            f.featurize_into(&dag, &spec, &state, &gf, &mut ready, &mut view);
+            assert_eq!(view, f.featurize(&dag, &spec, &state, &gf));
+            let legal = state.legal_actions(&dag);
+            state.apply(&dag, legal[0]).unwrap();
+        }
     }
 
     #[test]

@@ -3,18 +3,25 @@
 use rand::Rng;
 use spear_cluster::{Action, ClusterSpec, SimState};
 use spear_dag::analysis::GraphFeatures;
-use spear_dag::Dag;
-use spear_nn::{softmax_masked, Mlp, MlpConfig};
+use spear_dag::{Dag, TaskId};
+use spear_nn::{softmax_masked_into, ForwardScratch, Mlp, MlpConfig};
 
 use crate::{FeatureConfig, Featurizer, StateView};
 
 /// The DRL scheduling policy: maps a [`SimState`] to a distribution over
 /// `{schedule visible slot i, process}` and converts the chosen network
 /// action back into a simulator [`Action`].
+///
+/// The policy owns the scratch buffers of its inference path (featurizer
+/// ready-ordering and MLP activations), so repeated
+/// [`PolicyNetwork::action_distribution_into`] calls touch the heap only
+/// until the buffers reach their steady-state sizes.
 #[derive(Debug, Clone)]
 pub struct PolicyNetwork {
     featurizer: Featurizer,
     net: Mlp,
+    ready_scratch: Vec<TaskId>,
+    forward_scratch: ForwardScratch,
 }
 
 impl PolicyNetwork {
@@ -25,10 +32,7 @@ impl PolicyNetwork {
             MlpConfig::paper(config.input_dim(), config.action_dim()),
             rng,
         );
-        PolicyNetwork {
-            featurizer: Featurizer::new(config),
-            net,
-        }
+        Self::from_parts_unchecked(config, net)
     }
 
     /// Creates a policy with a custom network architecture (hidden widths),
@@ -42,10 +46,7 @@ impl PolicyNetwork {
             MlpConfig::new(config.input_dim(), hidden, config.action_dim()),
             rng,
         );
-        PolicyNetwork {
-            featurizer: Featurizer::new(config),
-            net,
-        }
+        Self::from_parts_unchecked(config, net)
     }
 
     /// Wraps an existing network (e.g. loaded from disk).
@@ -56,9 +57,15 @@ impl PolicyNetwork {
     pub fn from_parts(config: FeatureConfig, net: Mlp) -> Self {
         assert_eq!(net.config().input, config.input_dim(), "input mismatch");
         assert_eq!(net.config().output, config.action_dim(), "output mismatch");
+        Self::from_parts_unchecked(config, net)
+    }
+
+    fn from_parts_unchecked(config: FeatureConfig, net: Mlp) -> Self {
         PolicyNetwork {
             featurizer: Featurizer::new(config),
             net,
+            ready_scratch: Vec::new(),
+            forward_scratch: ForwardScratch::default(),
         }
     }
 
@@ -91,10 +98,31 @@ impl PolicyNetwork {
         state: &SimState,
         features: &GraphFeatures,
     ) -> (Vec<f64>, StateView) {
-        let view = self.featurizer.featurize(dag, spec, state, features);
-        let logits = self.net.forward_one(&view.features);
-        let probs = softmax_masked(&logits, &view.mask);
+        let mut probs = Vec::new();
+        let mut view = StateView::default();
+        self.action_distribution_into(dag, spec, state, features, &mut probs, &mut view);
         (probs, view)
+    }
+
+    /// [`PolicyNetwork::action_distribution`] into caller-owned buffers —
+    /// the allocation-free inference hot path used by the MCTS guidance
+    /// policy. `probs` and `view` are cleared and refilled; the values are
+    /// bit-identical to the allocating variant.
+    pub fn action_distribution_into(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        state: &SimState,
+        features: &GraphFeatures,
+        probs: &mut Vec<f64>,
+        view: &mut StateView,
+    ) {
+        self.featurizer
+            .featurize_into(dag, spec, state, features, &mut self.ready_scratch, view);
+        let logits = self
+            .net
+            .forward_one_into(&view.features, &mut self.forward_scratch);
+        softmax_masked_into(logits, &view.mask, probs);
     }
 
     /// Picks a network action: samples from the masked distribution, or
@@ -197,13 +225,29 @@ mod tests {
     }
 
     #[test]
+    fn distribution_into_reused_buffers_matches_allocating_variant() {
+        let (dag, spec, gf, mut policy) = setup();
+        let mut state = SimState::new(&dag, &spec).unwrap();
+        let mut probs = Vec::new();
+        let mut view = StateView::default();
+        while !state.is_terminal(&dag) {
+            policy.action_distribution_into(&dag, &spec, &state, &gf, &mut probs, &mut view);
+            let (fresh_probs, fresh_view) = policy.action_distribution(&dag, &spec, &state, &gf);
+            assert_eq!(probs, fresh_probs);
+            assert_eq!(view, fresh_view);
+            let idx = view.mask.iter().position(|&m| m).expect("a legal action");
+            let action = policy.action_from_index(&view, idx);
+            state.apply(&dag, action).unwrap();
+        }
+    }
+
+    #[test]
     fn chosen_actions_are_always_legal() {
         let (dag, spec, gf, mut policy) = setup();
         let mut rng = StdRng::seed_from_u64(2);
         let mut state = SimState::new(&dag, &spec).unwrap();
         while !state.is_terminal(&dag) {
-            let (idx, view) =
-                policy.choose_action_index(&dag, &spec, &state, &gf, false, &mut rng);
+            let (idx, view) = policy.choose_action_index(&dag, &spec, &state, &gf, false, &mut rng);
             assert!(view.mask[idx], "sampled an illegal action");
             let action = policy.action_from_index(&view, idx);
             state.apply(&dag, action).unwrap();
@@ -244,7 +288,10 @@ mod tests {
         let cfg = policy.feature_config().clone();
         let net = policy.net().clone();
         let rebuilt = PolicyNetwork::from_parts(cfg, net);
-        assert_eq!(rebuilt.net().parameter_count(), policy.net().parameter_count());
+        assert_eq!(
+            rebuilt.net().parameter_count(),
+            policy.net().parameter_count()
+        );
     }
 
     #[test]

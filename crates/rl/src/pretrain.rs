@@ -85,24 +85,36 @@ pub fn train<O: Optimizer, R: Rng + ?Sized>(
     history
 }
 
+/// Rows per [`Mlp::forward_batch`](spear_nn::Mlp::forward_batch) call in
+/// [`accuracy`]: large enough to amortize the per-pass weight streaming,
+/// small enough to bound the activation matrices.
+const ACCURACY_CHUNK: usize = 256;
+
 /// Fraction of dataset rows on which the policy's argmax agrees with the
-/// expert — the imitation accuracy.
-pub fn accuracy(policy: &mut PolicyNetwork, data: &ExpertDataset) -> f64 {
+/// expert — the imitation accuracy. Evaluates the network in batched
+/// matrix-matrix passes (no gradient caching), so it is cheap to call
+/// between epochs.
+pub fn accuracy(policy: &PolicyNetwork, data: &ExpertDataset) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
+    let mut probs = Vec::new();
     let mut correct = 0usize;
-    for i in 0..data.len() {
-        let logits = policy.net_mut().forward_one(&data.features[i]);
-        let probs = spear_nn::softmax_masked(&logits, &data.masks[i]);
-        let argmax = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
-            .map(|(i, _)| i)
-            .expect("non-empty action space");
-        if argmax == data.actions[i] {
-            correct += 1;
+    for chunk_start in (0..data.len()).step_by(ACCURACY_CHUNK) {
+        let chunk = chunk_start..(chunk_start + ACCURACY_CHUNK).min(data.len());
+        let rows: Vec<&[f64]> = chunk.clone().map(|i| data.features[i].as_slice()).collect();
+        let logits = policy.net().forward_batch(&Matrix::from_rows(&rows));
+        for (r, i) in chunk.enumerate() {
+            spear_nn::softmax_masked_into(logits.row(r), &data.masks[i], &mut probs);
+            let argmax = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+                .map(|(i, _)| i)
+                .expect("non-empty action space");
+            if argmax == data.actions[i] {
+                correct += 1;
+            }
         }
     }
     correct as f64 / data.len() as f64
@@ -134,7 +146,7 @@ mod tests {
         let data = build_dataset(&policy, &dags, &spec).unwrap();
         assert!(data.len() > 40);
 
-        let acc_before = accuracy(&mut policy, &data);
+        let acc_before = accuracy(&policy, &data);
         let mut opt = RmsProp::new(1e-3, 0.9, 1e-9);
         let history = train(
             &mut policy,
@@ -146,7 +158,7 @@ mod tests {
             },
             &mut rng,
         );
-        let acc_after = accuracy(&mut policy, &data);
+        let acc_after = accuracy(&policy, &data);
         assert!(
             history.last().unwrap() < history.first().unwrap(),
             "loss did not decrease: {history:?}"

@@ -156,8 +156,7 @@ impl ReinforceTrainer {
                     .collect();
                 let x = Matrix::from_rows(&rows);
                 let actions: Vec<usize> = episode.steps.iter().map(|s| s.action).collect();
-                let masks: Vec<Vec<bool>> =
-                    episode.steps.iter().map(|s| s.mask.clone()).collect();
+                let masks: Vec<Vec<bool>> = episode.steps.iter().map(|s| s.mask.clone()).collect();
                 let advantages = vec![advantage; actions.len()];
                 let logits = policy.net_mut().forward(&x);
                 entropy_sum += loss::mean_entropy(&logits, &masks) * actions.len() as f64;
@@ -279,17 +278,14 @@ mod tests {
             }
             .generate(&mut rng);
             let spec = ClusterSpec::unit(2);
-            let mut policy =
-                PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
+            let mut policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
             let mut trainer = ReinforceTrainer::new(ReinforceConfig {
                 epochs: 3,
                 rollouts: 4,
                 max_grad_norm: None,
                 normalize_returns: false,
             });
-            trainer
-                .train(&mut policy, &[dag], &spec, &mut rng)
-                .unwrap()
+            trainer.train(&mut policy, &[dag], &spec, &mut rng).unwrap()
         };
         let a = make_curve(5);
         let b = make_curve(5);

@@ -229,7 +229,9 @@ mod tests {
         let mut b = DagBuilder::new(1);
         b.add_task(Task::new(5, ResourceVec::from_slice(&[0.5])));
         let dag = b.build().unwrap();
-        let outcome = BnBScheduler::new().solve(&dag, &ClusterSpec::unit(1)).unwrap();
+        let outcome = BnBScheduler::new()
+            .solve(&dag, &ClusterSpec::unit(1))
+            .unwrap();
         assert!(outcome.proved_optimal);
         assert_eq!(outcome.schedule.makespan(), 5);
     }

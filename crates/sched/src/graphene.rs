@@ -100,12 +100,7 @@ impl Graphene {
     /// The troublesome set for a given runtime threshold: tasks whose
     /// runtime is at least `threshold × max_runtime` (plus optionally
     /// high-demand tasks).
-    pub fn troublesome_tasks(
-        &self,
-        dag: &Dag,
-        spec: &ClusterSpec,
-        threshold: f64,
-    ) -> Vec<TaskId> {
+    pub fn troublesome_tasks(&self, dag: &Dag, spec: &ClusterSpec, threshold: f64) -> Vec<TaskId> {
         let cutoff = threshold * dag.max_runtime() as f64;
         dag.task_ids()
             .filter(|&t| {
@@ -157,9 +152,7 @@ impl Graphene {
         for (seq, &t) in group_t.iter().chain(group_o.iter()).enumerate() {
             let task = dag.task(t);
             let start = match direction {
-                PackDirection::Forward => {
-                    timeline.earliest_start(task.demand(), task.runtime(), 0)
-                }
+                PackDirection::Forward => timeline.earliest_start(task.demand(), task.runtime(), 0),
                 PackDirection::Backward => timeline
                     .latest_start(task.demand(), task.runtime(), horizon)
                     // Fragmented space near the horizon: fall back to the
@@ -282,7 +275,9 @@ mod tests {
     #[test]
     fn details_report_winning_parameters() {
         let dag = LayeredDagSpec::paper_training().generate(&mut StdRng::seed_from_u64(3));
-        let (s, choice) = Graphene::new().schedule_with_details(&dag, &spec2()).unwrap();
+        let (s, choice) = Graphene::new()
+            .schedule_with_details(&dag, &spec2())
+            .unwrap();
         assert!([0.2, 0.4, 0.6, 0.8].contains(&choice.threshold));
         assert!(choice.troublesome <= dag.len());
         s.validate(&dag, &spec2()).unwrap();

@@ -51,8 +51,8 @@ pub use bnb::{BnBConfig, BnBOutcome, BnBScheduler};
 pub use graphene::{Graphene, GrapheneConfig, PackDirection};
 pub use list::{execute_priority_order, PriorityListScheduler, ScoreContext, TaskScorer};
 pub use scorers::{
-    CpScheduler, CpScorer, RandomScheduler, RandomScorer, SjfScheduler, SjfScorer,
-    TetrisScheduler, TetrisScorer,
+    CpScheduler, CpScorer, RandomScheduler, RandomScorer, SjfScheduler, SjfScorer, TetrisScheduler,
+    TetrisScorer,
 };
 
 use spear_cluster::{ClusterError, ClusterSpec, Schedule};

@@ -217,7 +217,9 @@ mod tests {
     fn list_scheduler_packs_when_capacity_allows() {
         let dag = three_independent();
         let spec = spear_cluster::ClusterSpec::new(ResourceVec::from_slice(&[1.3])).unwrap();
-        let s = PriorityListScheduler::new(ById).schedule(&dag, &spec).unwrap();
+        let s = PriorityListScheduler::new(ById)
+            .schedule(&dag, &spec)
+            .unwrap();
         assert_eq!(s.makespan(), 4); // two in parallel (1.2 <= 1.3), then one
         s.validate(&dag, &spec).unwrap();
     }

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 use spear_cluster::{ClusterError, ClusterSpec, Schedule};
 use spear_dag::{Dag, TaskId};
 
-use crate::{PriorityListScheduler, ScoreContext, Scheduler, TaskScorer};
+use crate::{PriorityListScheduler, Scheduler, ScoreContext, TaskScorer};
 
 /// Tetris (Grandl et al., SIGCOMM 2014): packs the ready task whose demand
 /// vector is best *aligned* with the free capacity — the dot product
@@ -208,9 +208,7 @@ mod tests {
         // score 0.8 vs 0.7 vs 0.4), then the CPU task fits the CPU-rich
         // remainder better than the memory task.
         assert_eq!(s.placement_of(occupier).unwrap().start, 0);
-        assert!(
-            s.placement_of(cpu_task).unwrap().start <= s.placement_of(mem_task).unwrap().start
-        );
+        assert!(s.placement_of(cpu_task).unwrap().start <= s.placement_of(mem_task).unwrap().start);
         s.validate(&dag, &spec2()).unwrap();
     }
 

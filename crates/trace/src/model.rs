@@ -54,7 +54,11 @@ impl TraceJob {
     /// aligned with the runtimes.
     pub fn to_dag(&self) -> Dag {
         assert!(self.num_map() > 0 && self.num_reduce() > 0, "empty stage");
-        assert_eq!(self.map_demands.len(), self.num_map(), "map demands misaligned");
+        assert_eq!(
+            self.map_demands.len(),
+            self.num_map(),
+            "map demands misaligned"
+        );
         assert_eq!(
             self.reduce_demands.len(),
             self.num_reduce(),
@@ -193,7 +197,10 @@ mod tests {
         };
         let kept = trace.filtered(5);
         assert_eq!(kept.jobs.len(), 2);
-        assert!(kept.jobs.iter().all(|j| j.num_map() > 5 && j.num_reduce() > 5));
+        assert!(kept
+            .jobs
+            .iter()
+            .all(|j| j.num_map() > 5 && j.num_reduce() > 5));
     }
 
     #[test]

@@ -81,7 +81,13 @@ impl TraceStats {
 
     /// CDF of map-task counts (Fig. 9(a), map series).
     pub fn map_count_cdf(trace: &Trace) -> Vec<(f64, f64)> {
-        cdf_points(&trace.jobs.iter().map(|j| j.num_map() as f64).collect::<Vec<_>>())
+        cdf_points(
+            &trace
+                .jobs
+                .iter()
+                .map(|j| j.num_map() as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// CDF of reduce-task counts (Fig. 9(a), reduce series).
@@ -97,7 +103,13 @@ impl TraceStats {
 
     /// CDF of per-job mean map runtimes (Fig. 9(b), map series).
     pub fn map_runtime_cdf(trace: &Trace) -> Vec<(f64, f64)> {
-        cdf_points(&trace.jobs.iter().map(|j| j.mean_map_runtime()).collect::<Vec<_>>())
+        cdf_points(
+            &trace
+                .jobs
+                .iter()
+                .map(|j| j.mean_map_runtime())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// CDF of per-job mean reduce runtimes (Fig. 9(b), reduce series).
@@ -149,7 +161,11 @@ mod tests {
     #[test]
     fn stats_of_known_trace() {
         let trace = Trace {
-            jobs: vec![job(10, 20, 50, 30), job(14, 16, 73, 32), job(20, 18, 90, 40)],
+            jobs: vec![
+                job(10, 20, 50, 30),
+                job(14, 16, 73, 32),
+                job(20, 18, 90, 40),
+            ],
         };
         let s = TraceStats::compute(&trace);
         assert_eq!(s.jobs, 3);

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push((s.name().to_owned(), schedule.makespan()));
     }
 
-    println!("{:<10} {:>10} {:>12}", "scheduler", "makespan", "vs optimal");
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "scheduler", "makespan", "vs optimal"
+    );
     let optimal = motivating_optimal_makespan();
     for (name, ms) in &rows {
         println!(

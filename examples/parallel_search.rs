@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for workers in [2, 4, 8] {
         let start = std::time::Instant::now();
-        let (best, stats) = RootParallelMcts::new(workers, factory)
-            .schedule_with_stats(&dag, &spec)?;
+        let (best, stats) =
+            RootParallelMcts::new(workers, factory).schedule_with_stats(&dag, &spec)?;
         best.validate(&dag, &spec)?;
         let total_iterations: u64 = stats.iter().map(|s| s.iterations).sum();
         println!(

@@ -23,10 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .generate(&mut StdRng::seed_from_u64(7));
     let spec = ClusterSpec::unit(2);
 
-    println!("job: {} tasks, critical path {} slots, total work {} slots", dag.len(), dag.critical_path_length(), dag.total_work());
-    println!("lower bound on any makespan: {} slots", dag.makespan_lower_bound(spec.capacity()));
+    println!(
+        "job: {} tasks, critical path {} slots, total work {} slots",
+        dag.len(),
+        dag.critical_path_length(),
+        dag.total_work()
+    );
+    println!(
+        "lower bound on any makespan: {} slots",
+        dag.makespan_lower_bound(spec.capacity())
+    );
     println!();
-    println!("{:<10} {:>10} {:>12}", "scheduler", "makespan", "utilization");
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "scheduler", "makespan", "utilization"
+    );
 
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(TetrisScheduler::new()),

@@ -7,9 +7,7 @@
 //! cargo run -p spear-core --example trace_scheduling --release
 //! ```
 
-use spear::{
-    ClusterSpec, Graphene, Scheduler, SpearBuilder, SyntheticTraceSpec, TraceStats,
-};
+use spear::{ClusterSpec, Graphene, Scheduler, SpearBuilder, SyntheticTraceSpec, TraceStats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = SyntheticTraceSpec::paper().generate(2019);

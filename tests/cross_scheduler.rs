@@ -116,8 +116,7 @@ fn schedulers_agree_on_trivial_jobs() {
 fn wider_cluster_never_hurts_search() {
     let dag = random_dag(20, 9);
     let narrow = ClusterSpec::unit(2);
-    let wide =
-        ClusterSpec::new(spear::ResourceVec::from_slice(&[2.0, 2.0])).unwrap();
+    let wide = ClusterSpec::new(spear::ResourceVec::from_slice(&[2.0, 2.0])).unwrap();
     let m_narrow = MctsScheduler::pure(search_config(1))
         .schedule(&dag, &narrow)
         .unwrap()

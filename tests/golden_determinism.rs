@@ -1,0 +1,128 @@
+//! Golden determinism tests: fixed-seed searches must reproduce exactly
+//! the schedules recorded here. These constants pin the behavior of the
+//! MCTS hot path — any refactor that changes RNG call order, float
+//! summation order, or action enumeration order will trip them.
+//!
+//! To regenerate after an *intentional* behavior change, run
+//! `cargo test --release --test golden_determinism -- --ignored --nocapture`
+//! and copy the printed tables.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spear::dag::generator::LayeredDagSpec;
+use spear::{ClusterSpec, Dag, FeatureConfig, MctsConfig, MctsScheduler, PolicyNetwork, Schedule};
+
+/// Number of fixed workload DAGs each golden table covers.
+const GOLDEN_DAGS: usize = 3;
+
+/// Tasks per workload DAG (fig6a-style simulation workload).
+const GOLDEN_TASKS: usize = 50;
+
+/// Workload generator seed.
+const GOLDEN_SEED: u64 = 42;
+
+/// `(makespan, schedule fingerprint)` per DAG for pure MCTS.
+const PURE_GOLDEN: [(u64, u64); GOLDEN_DAGS] = [
+    (324, 0xc4060ce07e851569),
+    (341, 0xf34dcf43c265d051),
+    (370, 0x9196126c9e1c5389),
+];
+
+/// `(makespan, schedule fingerprint)` per DAG for DRL-guided search.
+const DRL_GOLDEN: [(u64, u64); GOLDEN_DAGS] = [
+    (344, 0xd0bf2cd026048d95),
+    (337, 0x4f191505c3866175),
+    (356, 0xb2451e3e80597f51),
+];
+
+/// The fixed workload: same generator family as the fig6a experiment.
+fn workload() -> (Vec<Dag>, ClusterSpec) {
+    let spec = LayeredDagSpec {
+        num_tasks: GOLDEN_TASKS,
+        ..LayeredDagSpec::paper_simulation()
+    };
+    let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
+    let dags = (0..GOLDEN_DAGS).map(|_| spec.generate(&mut rng)).collect();
+    (dags, ClusterSpec::unit(2))
+}
+
+fn pure_scheduler() -> MctsScheduler {
+    MctsScheduler::pure(MctsConfig {
+        initial_budget: 80,
+        min_budget: 16,
+        seed: 7,
+        ..MctsConfig::default()
+    })
+}
+
+fn drl_scheduler() -> MctsScheduler {
+    let mut rng = StdRng::seed_from_u64(0);
+    let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+    MctsScheduler::drl(
+        MctsConfig {
+            initial_budget: 30,
+            min_budget: 6,
+            seed: 7,
+            ..MctsConfig::default()
+        },
+        policy,
+    )
+}
+
+/// FNV-1a over every task's start time in task order: detects any change
+/// to the schedule, not just its makespan.
+fn fingerprint(schedule: &Schedule) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for p in schedule.placements() {
+        fold(p.task.index() as u64);
+        fold(p.start);
+    }
+    h
+}
+
+fn run(mut scheduler: MctsScheduler) -> Vec<(u64, u64)> {
+    use spear::Scheduler;
+    let (dags, spec) = workload();
+    dags.iter()
+        .map(|dag| {
+            let s = scheduler
+                .schedule(dag, &spec)
+                .expect("workload fits cluster");
+            s.validate(dag, &spec).expect("schedule must be valid");
+            (s.makespan(), fingerprint(&s))
+        })
+        .collect()
+}
+
+#[test]
+fn pure_mcts_matches_golden_schedules() {
+    assert_eq!(run(pure_scheduler()), PURE_GOLDEN);
+}
+
+#[test]
+fn drl_guided_matches_golden_schedules() {
+    assert_eq!(run(drl_scheduler()), DRL_GOLDEN);
+}
+
+/// Prints the current tables; run with `-- --ignored --nocapture` to
+/// regenerate the constants above.
+#[test]
+#[ignore = "generator for the golden constants, not a check"]
+fn print_golden_tables() {
+    for (name, results) in [
+        ("PURE", run(pure_scheduler())),
+        ("DRL", run(drl_scheduler())),
+    ] {
+        println!("const {name}_GOLDEN: [(u64, u64); GOLDEN_DAGS] = [");
+        for (makespan, fp) in results {
+            println!("    ({makespan}, {fp:#018x}),");
+        }
+        println!("];");
+    }
+}

@@ -16,11 +16,17 @@ fn greedy_baselines_are_suboptimal() {
     for (name, makespan) in [
         (
             "tetris",
-            TetrisScheduler::new().schedule(&dag, &spec).unwrap().makespan(),
+            TetrisScheduler::new()
+                .schedule(&dag, &spec)
+                .unwrap()
+                .makespan(),
         ),
         (
             "sjf",
-            SjfScheduler::new().schedule(&dag, &spec).unwrap().makespan(),
+            SjfScheduler::new()
+                .schedule(&dag, &spec)
+                .unwrap()
+                .makespan(),
         ),
         (
             "cp",
@@ -87,7 +93,10 @@ fn spear_finds_the_optimum_with_less_budget() {
 #[test]
 fn improvement_is_twenty_percent() {
     let (dag, spec, _) = motivating_example();
-    let greedy = TetrisScheduler::new().schedule(&dag, &spec).unwrap().makespan();
+    let greedy = TetrisScheduler::new()
+        .schedule(&dag, &spec)
+        .unwrap()
+        .makespan();
     let spear = motivating_optimal_makespan();
     let reduction = (greedy - spear) as f64 / greedy as f64;
     assert!(

@@ -31,17 +31,30 @@ struct Variant {
 
 /// The shapes this derive supports.
 enum Shape {
-    Named { name: String, fields: Vec<Field> },
-    Tuple { name: String, arity: usize },
-    Unit { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    Named {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize`.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(shape) => gen_serialize(&shape).parse().expect("generated code parses"),
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -50,13 +63,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(shape) => gen_deserialize(&shape).parse().expect("generated code parses"),
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("literal parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
 }
 
 // --- Parsing. ---
@@ -190,12 +207,10 @@ fn parse_item(input: TokenStream) -> Result<Shape, String> {
     }
     match kind.as_str() {
         "struct" => match c.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Shape::Named {
-                    name,
-                    fields: parse_named_fields(g.stream())?,
-                })
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Named {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 Ok(Shape::Tuple {
                     name,
@@ -411,9 +426,7 @@ fn gen_deserialize(shape: &Shape) -> String {
         }
         Shape::Tuple { name, arity } => {
             let body = if *arity == 1 {
-                format!(
-                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-                )
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
             } else {
                 let items: Vec<String> = (0..*arity)
                     .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))

@@ -375,9 +375,7 @@ impl Parser<'_> {
                             // replacement character.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        other => {
-                            return Err(Error(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 _ => {
