@@ -1,5 +1,8 @@
 //! Runs the design-choice ablations of DESIGN.md §5.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::ablations;
 use spear_bench::{policy, report, workload, Scale};
 

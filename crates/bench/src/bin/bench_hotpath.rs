@@ -18,6 +18,9 @@
 //! refactor they must not move (the same check the golden determinism
 //! test enforces).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::path::{Path, PathBuf};
 
 use rand::rngs::StdRng;

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 6(a): per-DAG makespans of Spear vs the baselines.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig6;
 use spear_bench::{policy, report, workload, Scale};
 

@@ -1,6 +1,9 @@
 //! Regenerates Fig. 6(b): scheduler runtime comparison (same runs as
 //! Fig. 6(a), reported on the time axis).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig6;
 use spear_bench::{policy, report, workload, Scale};
 

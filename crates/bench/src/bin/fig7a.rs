@@ -1,5 +1,8 @@
 //! Regenerates Fig. 7(a): pure-MCTS makespan vs iteration budget.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig7;
 use spear_bench::{report, Scale};
 

@@ -1,6 +1,9 @@
 //! Regenerates Fig. 7(b): fraction of jobs where MCTS beats Tetris, per
 //! budget.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig7;
 use spear_bench::{report, Scale};
 

@@ -1,6 +1,9 @@
 //! Regenerates Fig. 8(a): Spear at a tenth of the budget vs pure MCTS vs
 //! the greedy baselines.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig8;
 use spear_bench::{policy, report, workload, Scale};
 

@@ -1,6 +1,9 @@
 //! Regenerates Fig. 8(b): the DRL learning curve with Tetris/SJF
 //! reference lines.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig8;
 use spear_bench::{report, Scale};
 

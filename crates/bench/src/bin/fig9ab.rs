@@ -1,6 +1,9 @@
 //! Regenerates Fig. 9(a)/(b): the trace's task-count and mean-runtime
 //! distributions.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig9;
 use spear_bench::{report, Scale};
 

@@ -1,6 +1,9 @@
 //! Regenerates Fig. 9(c): the distribution of makespan reduction of Spear
 //! over Graphene on the trace jobs.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::fig9;
 use spear_bench::{policy, report, workload, Scale};
 

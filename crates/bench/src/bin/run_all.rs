@@ -1,6 +1,9 @@
 //! Regenerates every table and figure in one go, writing artifacts to
 //! `results/` and a combined report to `results/experiments_<scale>.md`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::{ablations, fig6, fig7, fig8, fig9, table1};
 use spear_bench::{policy, report, workload, Scale};
 

@@ -1,5 +1,8 @@
 //! Regenerates Table I: MCTS runtime across graph sizes and budgets.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::table1;
 use spear_bench::{report, Scale};
 

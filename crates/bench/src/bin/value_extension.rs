@@ -1,6 +1,9 @@
 //! Runs the value-network rollout-truncation extension (beyond the
 //! paper; see DESIGN.md).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spear_bench::experiments::value_ext;
 use spear_bench::{policy, report, workload, Scale};
 

@@ -131,7 +131,7 @@ pub fn run_reduction(config: &Config, policy: PolicyNetwork) -> ReductionOutcome
     );
     let mut rows = Vec::new();
     for (i, job) in trace.jobs.iter().take(config.num_jobs).enumerate() {
-        let dag = job.to_dag();
+        let dag = job.to_dag().expect("trace job builds a DAG");
         let g = graphene.schedule(&dag, &spec).expect("fits").makespan();
         let s = spear.schedule(&dag, &spec).expect("fits").makespan();
         let reduction = (g as f64 - s as f64) / g as f64;

@@ -1,5 +1,8 @@
 //! The `spear-cli` binary.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = spear_cli::run(&argv) {

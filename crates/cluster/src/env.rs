@@ -1,0 +1,604 @@
+//! The environment layer: one place where episodes are stepped.
+//!
+//! Every consumer of the simulator used to hand-roll the same
+//! `legal_actions` → pick → `apply` → `is_terminal` loop with slightly
+//! different buffering, RNG threading and error handling. This module is
+//! the single seam they now share:
+//!
+//! * [`Env`] — the MDP view of the simulator (`reset` / `legal_into` /
+//!   `step` / `observe` / `is_terminal` / `makespan`), implemented by
+//!   [`SimEnv`] over [`SimState`];
+//! * [`DecisionPolicy`] — "given the observation and the legal actions,
+//!   pick one", generic over the RNG so both seeded and deterministic
+//!   policies fit;
+//! * [`EpisodeDriver`] — owns the scratch buffers from the allocation-free
+//!   hot path (`legal_actions_into` / `apply_legal`) and runs episodes to
+//!   termination (or a step bound) without allocating in steady state.
+//!
+//! The n+1 decoupled action semantics (which actions are legal, what a
+//! step does) live in [`SimState`]; everything above this module only
+//! decides *which* legal action to take.
+
+use rand::{Rng, RngCore};
+use spear_dag::Dag;
+
+use crate::{Action, ClusterSpec, Schedule, SimState, SpearError};
+
+/// The static part of an environment an episode runs in: the job and the
+/// cluster. Passed to every [`DecisionPolicy::decide`] call so policies
+/// need not capture the borrows themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvContext<'a> {
+    /// The job being scheduled.
+    pub dag: &'a Dag,
+    /// The cluster it runs on.
+    pub spec: &'a ClusterSpec,
+}
+
+/// The MDP interface over the scheduling simulator.
+///
+/// `legal_into` and `step_trusted` are the allocation-free pair from the
+/// hot path; `step` is the checked variant that returns a typed error for
+/// illegal actions instead of corrupting the state.
+pub trait Env {
+    /// The job being scheduled.
+    fn dag(&self) -> &Dag;
+
+    /// The cluster capacity model.
+    fn spec(&self) -> &ClusterSpec;
+
+    /// Rewinds to the initial state of the episode.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DAG cannot run on the cluster.
+    fn reset(&mut self) -> Result<(), SpearError>;
+
+    /// Writes the legal actions of the current state into `out` (clearing
+    /// it first): ready-and-fitting `Schedule` actions in ascending task-id
+    /// order, then `Process` if anything is running. Non-terminal states
+    /// always have at least one legal action.
+    fn legal_into(&self, out: &mut Vec<Action>);
+
+    /// Applies `action` after checking its legality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::Cluster`] if `action` is illegal in the
+    /// current state; the state is unchanged on error.
+    fn step(&mut self, action: Action) -> Result<(), SpearError>;
+
+    /// Applies an action known to be legal (obtained from
+    /// [`Env::legal_into`] on this exact state) without re-checking;
+    /// legality is debug-asserted. The hot-path counterpart of
+    /// [`Env::step`].
+    fn step_trusted(&mut self, action: Action);
+
+    /// The full observation of the current state.
+    fn observe(&self) -> &SimState;
+
+    /// Whether every task has finished.
+    fn is_terminal(&self) -> bool;
+
+    /// The episode's makespan, once terminal.
+    fn makespan(&self) -> Option<u64>;
+
+    /// The static context handed to policies.
+    fn ctx(&self) -> EnvContext<'_> {
+        EnvContext {
+            dag: self.dag(),
+            spec: self.spec(),
+        }
+    }
+}
+
+/// The standard single-job environment: a [`SimState`] plus the borrows it
+/// is stepped against.
+///
+/// `clone`/`clone_from` reuse the state's interior allocations, so keeping
+/// one `SimEnv` as a scratch and `clone_from`ing a root into it (the MCTS
+/// pattern) stays allocation-free.
+#[derive(Debug)]
+pub struct SimEnv<'a> {
+    dag: &'a Dag,
+    spec: &'a ClusterSpec,
+    state: SimState,
+}
+
+impl<'a> SimEnv<'a> {
+    /// Creates the environment in the initial state of `dag` on `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DAG cannot run on the cluster.
+    pub fn new(dag: &'a Dag, spec: &'a ClusterSpec) -> Result<Self, SpearError> {
+        let state = SimState::new(dag, spec)?;
+        Ok(SimEnv { dag, spec, state })
+    }
+
+    /// Adopts an existing simulation state (e.g. a replayed search node).
+    pub fn from_state(dag: &'a Dag, spec: &'a ClusterSpec, state: SimState) -> Self {
+        SimEnv { dag, spec, state }
+    }
+
+    /// The current simulation state (same as [`Env::observe`]).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Releases the owned simulation state (the reverse of
+    /// [`SimEnv::from_state`]).
+    pub fn into_state(self) -> SimState {
+        self.state
+    }
+
+    /// Extracts the completed schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::IncompleteEpisode`] if the episode has not
+    /// reached the terminal state.
+    pub fn into_schedule(self) -> Result<Schedule, SpearError> {
+        if !self.state.is_terminal(self.dag) {
+            return Err(SpearError::IncompleteEpisode);
+        }
+        Ok(self.state.into_schedule(self.dag))
+    }
+}
+
+impl Clone for SimEnv<'_> {
+    fn clone(&self) -> Self {
+        SimEnv {
+            dag: self.dag,
+            spec: self.spec,
+            state: self.state.clone(),
+        }
+    }
+
+    /// Reuses `self.state`'s interior allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.dag = source.dag;
+        self.spec = source.spec;
+        self.state.clone_from(&source.state);
+    }
+}
+
+impl Env for SimEnv<'_> {
+    fn dag(&self) -> &Dag {
+        self.dag
+    }
+
+    fn spec(&self) -> &ClusterSpec {
+        self.spec
+    }
+
+    fn reset(&mut self) -> Result<(), SpearError> {
+        self.state = SimState::new(self.dag, self.spec)?;
+        Ok(())
+    }
+
+    fn legal_into(&self, out: &mut Vec<Action>) {
+        self.state.legal_actions_into(self.dag, out);
+    }
+
+    fn step(&mut self, action: Action) -> Result<(), SpearError> {
+        self.state.apply(self.dag, action)?;
+        Ok(())
+    }
+
+    fn step_trusted(&mut self, action: Action) {
+        self.state.apply_legal(self.dag, action);
+    }
+
+    fn observe(&self) -> &SimState {
+        &self.state
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.state.is_terminal(self.dag)
+    }
+
+    fn makespan(&self) -> Option<u64> {
+        self.state.makespan()
+    }
+}
+
+/// A decision rule over legal actions: the policy side of an episode.
+///
+/// Generic over the RNG (`R: Rng + ?Sized`) so stochastic policies thread
+/// the caller's seeded generator while deterministic policies accept any —
+/// including [`NoRng`], which panics if drawn from.
+pub trait DecisionPolicy<R: Rng + ?Sized> {
+    /// Picks one of `legal` for the current `state`. `legal` is exactly
+    /// [`Env::legal_into`]'s output for `state` and is never empty.
+    fn decide(
+        &mut self,
+        ctx: &EnvContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        rng: &mut R,
+    ) -> Action;
+
+    /// Policy name for reports.
+    fn name(&self) -> &str {
+        "policy"
+    }
+}
+
+impl<R: Rng + ?Sized, P: DecisionPolicy<R> + ?Sized> DecisionPolicy<R> for &mut P {
+    fn decide(
+        &mut self,
+        ctx: &EnvContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        rng: &mut R,
+    ) -> Action {
+        (**self).decide(ctx, state, legal, rng)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Wraps a closure `(ctx, state, legal) -> Action` as a deterministic
+/// [`DecisionPolicy`] (for any RNG type). The greedy baselines and the
+/// expert are all closures over a scorer.
+#[derive(Debug, Clone)]
+pub struct FnPolicy<F>(pub F);
+
+impl<R, F> DecisionPolicy<R> for FnPolicy<F>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&EnvContext<'_>, &SimState, &[Action]) -> Action,
+{
+    fn decide(
+        &mut self,
+        ctx: &EnvContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        _rng: &mut R,
+    ) -> Action {
+        (self.0)(ctx, state, legal)
+    }
+
+    fn name(&self) -> &str {
+        "fn-policy"
+    }
+}
+
+/// The RNG for callers whose policies are deterministic: any draw is a
+/// bug, so it panics instead of silently de-synchronizing a stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRng;
+
+impl RngCore for NoRng {
+    fn next_u64(&mut self) -> u64 {
+        panic!("a deterministic policy drew randomness from NoRng");
+    }
+}
+
+/// How a [`EpisodeDriver::drive`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveOutcome {
+    /// The episode reached the terminal state; the environment now has a
+    /// makespan and a complete schedule.
+    Terminal {
+        /// Actions applied during this call.
+        steps: u64,
+    },
+    /// The step bound was hit first (checked *before* each decision, so a
+    /// truncated call never consumes policy randomness for the unreached
+    /// step); the environment holds a partial state.
+    Truncated {
+        /// Actions applied during this call.
+        steps: u64,
+    },
+}
+
+impl DriveOutcome {
+    /// Actions applied during the call, terminal or not.
+    pub fn steps(&self) -> u64 {
+        match *self {
+            DriveOutcome::Terminal { steps } | DriveOutcome::Truncated { steps } => steps,
+        }
+    }
+
+    /// Whether the episode completed.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, DriveOutcome::Terminal { .. })
+    }
+}
+
+/// Runs episodes of a [`DecisionPolicy`] on an [`Env`], owning the
+/// legal-action scratch buffer so steady-state stepping performs no heap
+/// allocations (PR 1's hot-path contract, now behind one reusable driver).
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeDriver<P> {
+    policy: P,
+    legal: Vec<Action>,
+}
+
+impl<P> EpisodeDriver<P> {
+    /// Creates a driver around `policy` with an empty scratch buffer.
+    pub fn new(policy: P) -> Self {
+        EpisodeDriver {
+            policy,
+            legal: Vec::new(),
+        }
+    }
+
+    /// Creates a driver reusing an already-warm scratch buffer — lets hot
+    /// paths rebuild a short-lived driver per episode without losing the
+    /// buffer's capacity.
+    pub fn from_parts(policy: P, legal: Vec<Action>) -> Self {
+        EpisodeDriver { policy, legal }
+    }
+
+    /// Releases the policy and the scratch buffer (see
+    /// [`EpisodeDriver::from_parts`]).
+    pub fn into_parts(self) -> (P, Vec<Action>) {
+        (self.policy, self.legal)
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the wrapped policy.
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Steps `env` until it is terminal or `max_steps` actions were
+    /// applied, checking every action's legality ([`Env::step`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::Cluster`] if the policy picks an illegal
+    /// action.
+    pub fn drive<R, E>(
+        &mut self,
+        env: &mut E,
+        rng: &mut R,
+        max_steps: u64,
+    ) -> Result<DriveOutcome, SpearError>
+    where
+        R: Rng + ?Sized,
+        E: Env,
+        P: DecisionPolicy<R>,
+    {
+        let mut steps = 0u64;
+        while !env.is_terminal() {
+            if steps >= max_steps {
+                return Ok(DriveOutcome::Truncated { steps });
+            }
+            env.legal_into(&mut self.legal);
+            debug_assert!(!self.legal.is_empty(), "non-terminal state has no actions");
+            let ctx = env.ctx();
+            let action = self.policy.decide(&ctx, env.observe(), &self.legal, rng);
+            env.step(action)?;
+            steps += 1;
+        }
+        Ok(DriveOutcome::Terminal { steps })
+    }
+
+    /// Like [`EpisodeDriver::drive`] but applies actions through
+    /// [`Env::step_trusted`] — the allocation- and check-free loop for hot
+    /// paths whose policies are known to pick only legal actions (legality
+    /// is still debug-asserted).
+    pub fn drive_trusted<R, E>(&mut self, env: &mut E, rng: &mut R, max_steps: u64) -> DriveOutcome
+    where
+        R: Rng + ?Sized,
+        E: Env,
+        P: DecisionPolicy<R>,
+    {
+        let mut steps = 0u64;
+        while !env.is_terminal() {
+            if steps >= max_steps {
+                return DriveOutcome::Truncated { steps };
+            }
+            env.legal_into(&mut self.legal);
+            debug_assert!(!self.legal.is_empty(), "non-terminal state has no actions");
+            let ctx = env.ctx();
+            let action = self.policy.decide(&ctx, env.observe(), &self.legal, rng);
+            env.step_trusted(action);
+            steps += 1;
+        }
+        DriveOutcome::Terminal { steps }
+    }
+
+    /// Runs one full episode of `dag` on `spec` from the initial state and
+    /// returns the completed schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DAG cannot run on the cluster or the policy picks an
+    /// illegal action.
+    pub fn run<R>(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        rng: &mut R,
+    ) -> Result<Schedule, SpearError>
+    where
+        R: Rng + ?Sized,
+        P: DecisionPolicy<R>,
+    {
+        let mut env = SimEnv::new(dag, spec)?;
+        self.drive(&mut env, rng, u64::MAX)?;
+        env.into_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spear_dag::{DagBuilder, ResourceVec, Task, TaskId};
+
+    fn diamond() -> Dag {
+        // 0 -> {1, 2} -> 3
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let l = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.4])));
+        let r = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.4])));
+        let d = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        b.add_edge(a, l).unwrap();
+        b.add_edge(a, r).unwrap();
+        b.add_edge(l, d).unwrap();
+        b.add_edge(r, d).unwrap();
+        b.build().unwrap()
+    }
+
+    /// First legal action — deterministic, so it runs with [`NoRng`].
+    fn first_legal() -> FnPolicy<impl FnMut(&EnvContext<'_>, &SimState, &[Action]) -> Action> {
+        FnPolicy(|_: &EnvContext<'_>, _: &SimState, legal: &[Action]| legal[0])
+    }
+
+    #[test]
+    fn env_reset_and_step_round_trip() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut env = SimEnv::new(&dag, &spec).unwrap();
+        assert!(!env.is_terminal());
+        assert_eq!(env.makespan(), None);
+        let mut legal = Vec::new();
+        env.legal_into(&mut legal);
+        assert_eq!(legal, vec![Action::Schedule(TaskId::new(0))]);
+        env.step(legal[0]).unwrap();
+        assert_eq!(env.observe().start_of(TaskId::new(0)), Some(0));
+        env.reset().unwrap();
+        assert_eq!(env.observe().start_of(TaskId::new(0)), None);
+        assert_eq!(env.ctx().dag.len(), 4);
+    }
+
+    #[test]
+    fn illegal_step_is_a_typed_error_and_leaves_state_intact() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut env = SimEnv::new(&dag, &spec).unwrap();
+        let err = env.step(Action::Schedule(TaskId::new(3))).unwrap_err();
+        assert_eq!(
+            err,
+            SpearError::Cluster(crate::ClusterError::TaskNotReady(TaskId::new(3)))
+        );
+        assert_eq!(env.observe().clock(), 0);
+    }
+
+    #[test]
+    fn driver_completes_episode_and_matches_hand_rolled_loop() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let driven = EpisodeDriver::new(first_legal())
+            .run(&dag, &spec, &mut NoRng)
+            .unwrap();
+
+        // The same policy, hand-rolled.
+        let mut state = SimState::new(&dag, &spec).unwrap();
+        while !state.is_terminal(&dag) {
+            let legal = state.legal_actions(&dag);
+            state.apply(&dag, legal[0]).unwrap();
+        }
+        let manual = state.into_schedule(&dag);
+        assert_eq!(driven, manual);
+        driven.validate(&dag, &spec).unwrap();
+    }
+
+    #[test]
+    fn trusted_and_checked_drives_are_identical() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut a = SimEnv::new(&dag, &spec).unwrap();
+        let mut b = SimEnv::new(&dag, &spec).unwrap();
+        let mut driver = EpisodeDriver::new(first_legal());
+        let oa = driver.drive(&mut a, &mut NoRng, u64::MAX).unwrap();
+        let ob = driver.drive_trusted(&mut b, &mut NoRng, u64::MAX);
+        assert_eq!(oa, ob);
+        assert!(oa.is_terminal());
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.into_schedule().unwrap(), b.into_schedule().unwrap());
+    }
+
+    #[test]
+    fn truncation_stops_before_the_decision() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut env = SimEnv::new(&dag, &spec).unwrap();
+        let mut draws = 0u64;
+        let mut driver = EpisodeDriver::new(FnPolicy(
+            |_: &EnvContext<'_>, _: &SimState, legal: &[Action]| {
+                draws += 1;
+                legal[0]
+            },
+        ));
+        let outcome = driver.drive(&mut env, &mut NoRng, 2).unwrap();
+        assert_eq!(outcome, DriveOutcome::Truncated { steps: 2 });
+        drop(driver);
+        // Exactly two decisions were made: the bound is checked before the
+        // third decision, not after it.
+        assert_eq!(draws, 2);
+        assert!(!outcome.is_terminal());
+        // A partial episode refuses to produce a schedule.
+        assert_eq!(
+            env.into_schedule().unwrap_err(),
+            SpearError::IncompleteEpisode
+        );
+    }
+
+    #[test]
+    fn driver_resumes_after_truncation() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut env = SimEnv::new(&dag, &spec).unwrap();
+        let mut driver = EpisodeDriver::new(first_legal());
+        let mut total = 0;
+        loop {
+            let outcome = driver.drive(&mut env, &mut NoRng, 1).unwrap();
+            total += outcome.steps();
+            if outcome.is_terminal() {
+                break;
+            }
+        }
+        assert!(total > 0);
+        assert!(env.makespan().is_some());
+    }
+
+    #[test]
+    fn stochastic_policies_thread_the_callers_rng() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        struct UniformRandom;
+        impl<R: Rng + ?Sized> DecisionPolicy<R> for UniformRandom {
+            fn decide(
+                &mut self,
+                _: &EnvContext<'_>,
+                _: &SimState,
+                legal: &[Action],
+                rng: &mut R,
+            ) -> Action {
+                legal[rng.gen_range(0..legal.len())]
+            }
+        }
+        let run = |seed: u64| {
+            EpisodeDriver::new(UniformRandom)
+                .run(&dag, &spec, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
+        };
+        assert_eq!(run(9), run(9), "same seed, same schedule");
+    }
+
+    #[test]
+    fn clone_from_reuses_env_scratch() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let root = SimEnv::new(&dag, &spec).unwrap();
+        let mut scratch = root.clone();
+        scratch.step_trusted(Action::Schedule(TaskId::new(0)));
+        scratch.clone_from(&root);
+        assert_eq!(scratch.observe().start_of(TaskId::new(0)), None);
+        assert_eq!(scratch.observe().clock(), 0);
+    }
+}

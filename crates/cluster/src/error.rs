@@ -1,9 +1,10 @@
-//! Error types for the simulator.
+//! Error types for the simulator and the workspace-wide [`SpearError`].
 
 use std::error::Error;
 use std::fmt;
 
-use spear_dag::TaskId;
+use spear_dag::stg::StgError;
+use spear_dag::{DagError, TaskId};
 
 /// Errors from cluster construction, simulation steps and schedule
 /// validation.
@@ -92,6 +93,128 @@ impl fmt::Display for ClusterError {
 
 impl Error for ClusterError {}
 
+/// The workspace-wide error type: every fallible scheduling, simulation or
+/// parsing path funnels into one of these variants, so callers match on a
+/// single enum instead of juggling per-crate error types.
+///
+/// The [`Context`](SpearError::Context) variant attaches a human-readable
+/// breadcrumb (which job, which file, which phase) on the way up; build it
+/// with [`ErrorContext::context`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpearError {
+    /// A simulator or schedule-validation error.
+    Cluster(ClusterError),
+    /// A DAG construction or validation error.
+    Dag(DagError),
+    /// An STG workload-file parse error.
+    Stg(StgError),
+    /// An episode ended (or was read) before reaching the terminal state,
+    /// e.g. asking a truncated driver run for a complete schedule.
+    IncompleteEpisode,
+    /// A wrapped error with a human-readable breadcrumb.
+    Context {
+        /// What the failing operation was doing.
+        context: String,
+        /// The underlying error.
+        source: Box<SpearError>,
+    },
+}
+
+impl SpearError {
+    /// Wraps the error with a breadcrumb describing the failing operation.
+    #[must_use]
+    pub fn context(self, context: impl Into<String>) -> SpearError {
+        SpearError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The innermost error, unwrapping any [`Context`](SpearError::Context)
+    /// layers.
+    pub fn root_cause(&self) -> &SpearError {
+        match self {
+            SpearError::Context { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for SpearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpearError::Cluster(e) => write!(f, "{e}"),
+            SpearError::Dag(e) => write!(f, "{e}"),
+            SpearError::Stg(e) => write!(f, "{e}"),
+            SpearError::IncompleteEpisode => {
+                write!(f, "episode ended before reaching the terminal state")
+            }
+            SpearError::Context { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl Error for SpearError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpearError::Cluster(e) => Some(e),
+            SpearError::Dag(e) => Some(e),
+            SpearError::Stg(e) => Some(e),
+            SpearError::IncompleteEpisode => None,
+            SpearError::Context { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl From<ClusterError> for SpearError {
+    fn from(e: ClusterError) -> Self {
+        SpearError::Cluster(e)
+    }
+}
+
+impl From<DagError> for SpearError {
+    fn from(e: DagError) -> Self {
+        SpearError::Dag(e)
+    }
+}
+
+impl From<StgError> for SpearError {
+    fn from(e: StgError) -> Self {
+        SpearError::Stg(e)
+    }
+}
+
+/// Extension trait adding [`SpearError::context`] breadcrumbs to any
+/// `Result` whose error converts into [`SpearError`].
+///
+/// ```
+/// use spear_cluster::{ClusterError, ErrorContext, SpearError};
+///
+/// let r: Result<(), ClusterError> = Err(ClusterError::NothingRunning);
+/// let e = r.context("processing job 7").unwrap_err();
+/// assert!(e.to_string().starts_with("processing job 7:"));
+/// assert_eq!(e.root_cause(), &SpearError::Cluster(ClusterError::NothingRunning));
+/// ```
+pub trait ErrorContext<T> {
+    /// Converts the error into [`SpearError`] and attaches `context`.
+    fn context(self, context: impl Into<String>) -> Result<T, SpearError>;
+
+    /// Like [`ErrorContext::context`] but builds the breadcrumb lazily —
+    /// use when formatting it is not free.
+    fn with_context<C: Into<String>, F: FnOnce() -> C>(self, f: F) -> Result<T, SpearError>;
+}
+
+impl<T, E: Into<SpearError>> ErrorContext<T> for Result<T, E> {
+    fn context(self, context: impl Into<String>) -> Result<T, SpearError> {
+        self.map_err(|e| e.into().context(context))
+    }
+
+    fn with_context<C: Into<String>, F: FnOnce() -> C>(self, f: F) -> Result<T, SpearError> {
+        self.map_err(|e| e.into().context(f()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +246,43 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ClusterError>();
+        assert_send_sync::<SpearError>();
+    }
+
+    #[test]
+    fn spear_error_wraps_and_displays_sources() {
+        let e: SpearError = ClusterError::NothingRunning.into();
+        assert_eq!(e.to_string(), ClusterError::NothingRunning.to_string());
+        assert!(e.source().is_some());
+        let d: SpearError = DagError::Cycle.into();
+        assert_eq!(d.to_string(), DagError::Cycle.to_string());
+        let s: SpearError = StgError::MissingHeader.into();
+        assert_eq!(s.to_string(), StgError::MissingHeader.to_string());
+        assert!(!SpearError::IncompleteEpisode.to_string().is_empty());
+    }
+
+    #[test]
+    fn context_chains_and_root_cause_unwraps() {
+        let r: Result<(), ClusterError> = Err(ClusterError::SimulationFinished);
+        let e = r
+            .context("stepping the episode")
+            .with_context(|| format!("scheduling job {}", 3))
+            .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("scheduling job 3"));
+        assert!(msg.contains("stepping the episode"));
+        assert!(msg.contains("terminal state"));
+        assert_eq!(
+            e.root_cause(),
+            &SpearError::Cluster(ClusterError::SimulationFinished)
+        );
+        // `source()` walks the same chain std-style.
+        let mut depth = 0;
+        let mut cur: &dyn Error = &e;
+        while let Some(next) = cur.source() {
+            depth += 1;
+            cur = next;
+        }
+        assert_eq!(depth, 3); // two context layers + the ClusterError leaf
     }
 }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod env;
 mod error;
 mod schedule;
 mod spec;
@@ -50,7 +51,10 @@ mod state;
 mod timeline;
 
 pub use action::Action;
-pub use error::ClusterError;
+pub use env::{
+    DecisionPolicy, DriveOutcome, Env, EnvContext, EpisodeDriver, FnPolicy, NoRng, SimEnv,
+};
+pub use error::{ClusterError, ErrorContext, SpearError};
 pub use schedule::{Placement, Schedule};
 pub use spec::ClusterSpec;
 pub use state::{Running, SimState};

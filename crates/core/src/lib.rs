@@ -15,7 +15,7 @@
 //! | concern | crate |
 //! |---|---|
 //! | DAG model, analyses, generators | [`spear_dag`] |
-//! | cluster simulator | [`spear_cluster`] |
+//! | cluster simulator + environment layer | [`spear_cluster`] |
 //! | baselines (Tetris/SJF/CP/Graphene) | [`spear_sched`] |
 //! | neural network | [`spear_nn`] |
 //! | DRL agent + training | [`spear_rl`] |
@@ -68,8 +68,14 @@ pub use spear_rl as rl;
 pub use spear_sched as sched;
 pub use spear_trace as trace;
 
+// The environment layer: unified episode stepping for every consumer.
+pub use spear_cluster::env;
+
 // The most-used types at the top level.
-pub use spear_cluster::{Action, ClusterError, ClusterSpec, Placement, Schedule, SimState};
+pub use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, SimEnv};
+pub use spear_cluster::{
+    Action, ClusterError, ClusterSpec, ErrorContext, Placement, Schedule, SimState, SpearError,
+};
 pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
 pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats};
 pub use spear_rl::{FeatureConfig, PolicyNetwork};

@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spear_cluster::{ClusterError, ClusterSpec};
+use spear_cluster::{ClusterSpec, SpearError};
 use spear_dag::generator::LayeredDagSpec;
 use spear_dag::Dag;
 use spear_nn::RmsProp;
@@ -141,7 +141,7 @@ pub struct TrainedPolicy {
 pub fn train_policy(
     config: &TrainingPipelineConfig,
     spec: &ClusterSpec,
-) -> Result<TrainedPolicy, ClusterError> {
+) -> Result<TrainedPolicy, SpearError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let examples: Vec<Dag> = (0..config.num_examples)
         .map(|_| config.example_spec.generate(&mut rng))

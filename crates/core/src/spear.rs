@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::Dag;
 use spear_mcts::{MctsConfig, MctsScheduler, SearchStats};
 use spear_rl::{FeatureConfig, PolicyNetwork};
@@ -151,12 +151,12 @@ impl SpearScheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+    /// Returns [`SpearError`] if the DAG cannot run on the cluster.
     pub fn schedule_with_stats(
         &mut self,
         dag: &Dag,
         spec: &ClusterSpec,
-    ) -> Result<(Schedule, SearchStats), ClusterError> {
+    ) -> Result<(Schedule, SearchStats), SpearError> {
         self.inner.schedule_with_stats(dag, spec)
     }
 
@@ -171,7 +171,7 @@ impl Scheduler for SpearScheduler {
         "spear"
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         self.inner.schedule(dag, spec)
     }
 }

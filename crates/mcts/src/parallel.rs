@@ -11,7 +11,7 @@
 
 use std::thread;
 
-use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::Dag;
 use spear_sched::Scheduler;
 
@@ -84,8 +84,8 @@ where
         &mut self,
         dag: &Dag,
         spec: &ClusterSpec,
-    ) -> Result<(Schedule, Vec<SearchStats>), ClusterError> {
-        let results: Vec<Result<(Schedule, SearchStats), ClusterError>> = thread::scope(|scope| {
+    ) -> Result<(Schedule, Vec<SearchStats>), SpearError> {
+        let results: Vec<Result<(Schedule, SearchStats), SpearError>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|w| {
                     let factory = &self.factory;
@@ -103,7 +103,7 @@ where
 
         let mut best: Option<Schedule> = None;
         let mut stats = Vec::with_capacity(self.workers);
-        let mut first_err: Option<ClusterError> = None;
+        let mut first_err: Option<SpearError> = None;
         for result in results {
             match result {
                 Ok((schedule, s)) => {
@@ -137,7 +137,7 @@ where
         "mcts-parallel"
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.schedule_with_stats(dag, spec)?.0)
     }
 }

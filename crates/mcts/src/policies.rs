@@ -3,6 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use spear_cluster::env::{DecisionPolicy, EnvContext};
 use spear_cluster::{Action, ClusterSpec, SimState};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
@@ -54,6 +55,38 @@ pub trait SearchPolicy {
     /// Non-learned policies report zero.
     fn inferences(&self) -> u64 {
         0
+    }
+}
+
+/// Adapts the rollout half of a [`SearchPolicy`] to the environment
+/// layer's [`DecisionPolicy`], so rollouts run on the shared
+/// [`EpisodeDriver`](spear_cluster::env::EpisodeDriver). The adapter
+/// rebuilds the richer [`PolicyContext`] — which carries the precomputed
+/// graph features the env layer deliberately does not know about — from
+/// the driver's [`EnvContext`] at every decision.
+pub(crate) struct RolloutAdapter<'p, 'f, P: SearchPolicy + ?Sized> {
+    pub policy: &'p mut P,
+    pub features: &'f GraphFeatures,
+}
+
+impl<P: SearchPolicy + ?Sized> DecisionPolicy<StdRng> for RolloutAdapter<'_, '_, P> {
+    fn decide(
+        &mut self,
+        ctx: &EnvContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        rng: &mut StdRng,
+    ) -> Action {
+        let ctx = PolicyContext {
+            dag: ctx.dag,
+            spec: ctx.spec,
+            features: self.features,
+        };
+        self.policy.choose_rollout(&ctx, state, legal, rng)
+    }
+
+    fn name(&self) -> &str {
+        self.policy.name()
     }
 }
 

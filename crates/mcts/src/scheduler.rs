@@ -1,7 +1,8 @@
 //! The MCTS scheduler: budgeted decision loop around [`MctsSearch`].
 
 use serde::{Deserialize, Serialize};
-use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_cluster::env::SimEnv;
+use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 use spear_rl::PolicyNetwork;
@@ -192,12 +193,12 @@ impl MctsScheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+    /// Returns [`SpearError`] if the DAG cannot run on the cluster.
     pub fn schedule_with_stats(
         &mut self,
         dag: &Dag,
         spec: &ClusterSpec,
-    ) -> Result<(Schedule, SearchStats), ClusterError> {
+    ) -> Result<(Schedule, SearchStats), SpearError> {
         let start = std::time::Instant::now();
         let features = GraphFeatures::compute(dag);
         // Scale exploration to the makespan magnitude (paper §IV).
@@ -225,7 +226,7 @@ impl MctsScheduler {
                 search.run_iteration();
             }
             let action = search.best_action();
-            search.advance(action);
+            search.advance(action)?;
         }
         let stats = SearchStats {
             iterations: search.iterations(),
@@ -235,7 +236,8 @@ impl MctsScheduler {
             policy_inferences: search.policy_inferences() - inferences_before,
             elapsed_seconds: start.elapsed().as_secs_f64(),
         };
-        let schedule = search.root_state().clone().into_schedule(dag);
+        let schedule =
+            SimEnv::from_state(dag, spec, search.root_state().clone()).into_schedule()?;
         Ok((schedule, stats))
     }
 }
@@ -245,7 +247,7 @@ impl Scheduler for MctsScheduler {
         &self.name
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.schedule_with_stats(dag, spec)?.0)
     }
 }

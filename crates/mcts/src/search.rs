@@ -2,20 +2,22 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spear_cluster::{Action, ClusterError, ClusterSpec, SimState};
+use spear_cluster::env::{DriveOutcome, Env, EpisodeDriver, SimEnv};
+use spear_cluster::{Action, ClusterSpec, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 
+use crate::policies::RolloutAdapter;
 use crate::tree::{Node, NodeId, Tree};
 use crate::{PolicyContext, SearchPolicy, StateEvaluator};
 
 /// Reusable buffers for the rollout hot loop. The search owns one scratch
-/// and `clone_from`s the leaf state into it, so steady-state rollouts do
-/// zero heap allocations: the state's interior vectors and the legal-action
-/// buffer keep their capacity across rollouts.
+/// and `clone_from`s the root environment into it, so steady-state rollouts
+/// do zero heap allocations: the state's interior vectors and the
+/// legal-action buffer keep their capacity across rollouts.
 #[derive(Default)]
-struct RolloutScratch {
-    state: Option<SimState>,
+struct RolloutScratch<'a> {
+    env: Option<SimEnv<'a>>,
     legal: Vec<Action>,
 }
 
@@ -60,13 +62,13 @@ pub struct MctsSearch<'a, P: SearchPolicy + ?Sized> {
     policy: &'a mut P,
     tree: Tree,
     root: NodeId,
-    root_state: SimState,
+    root_env: SimEnv<'a>,
     exploration: f64,
     max_value_mode: bool,
     evaluator: Option<&'a mut dyn StateEvaluator>,
     truncate_after: u64,
     rng: StdRng,
-    scratch: RolloutScratch,
+    scratch: RolloutScratch<'a>,
     ln_table: Vec<f64>,
     iterations: u64,
     rollout_steps: u64,
@@ -88,13 +90,13 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         policy: &'a mut P,
         exploration: f64,
         seed: u64,
-    ) -> Result<Self, ClusterError> {
-        let root_state = SimState::new(dag, spec)?;
+    ) -> Result<Self, SpearError> {
+        let root_env = SimEnv::new(dag, spec)?;
         let mut tree = Tree::new();
-        let untried = root_state.legal_actions(dag);
+        let untried = root_env.observe().legal_actions(dag);
         let terminal = untried.is_empty();
         let terminal_value = if terminal {
-            -(root_state.makespan().unwrap_or(0) as f64)
+            -(root_env.makespan().unwrap_or(0) as f64)
         } else {
             0.0
         };
@@ -116,7 +118,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             policy,
             tree,
             root,
-            root_state,
+            root_env,
             exploration,
             max_value_mode: true,
             evaluator: None,
@@ -158,7 +160,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
 
     /// The current root state.
     pub fn root_state(&self) -> &SimState {
-        &self.root_state
+        self.root_env.state()
     }
 
     /// Whether the committed schedule is complete.
@@ -200,22 +202,23 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     pub fn run_iteration(&mut self) {
         self.iterations += 1;
         // The whole iteration runs inside the reusable scratch: the root
-        // state is `clone_from`ed in, selection replays each chosen action,
-        // and the rollout continues from wherever the replay stopped. In
-        // steady state nothing here allocates except the new node itself.
-        let RolloutScratch { state, mut legal } = std::mem::take(&mut self.scratch);
-        let mut state = match state {
-            Some(mut s) => {
-                s.clone_from(&self.root_state);
-                s
+        // environment is `clone_from`ed in, selection replays each chosen
+        // action, and the rollout continues from wherever the replay
+        // stopped. In steady state nothing here allocates except the new
+        // node itself.
+        let RolloutScratch { env, mut legal } = std::mem::take(&mut self.scratch);
+        let mut env = match env {
+            Some(mut e) => {
+                e.clone_from(&self.root_env);
+                e
             }
-            None => self.root_state.clone(),
+            None => self.root_env.clone(),
         };
-        // --- Selection (replaying the path into the scratch state). ---
+        // --- Selection (replaying the path into the scratch env). ---
         let mut id = self.root;
         while self.tree.node(id).fully_expanded() && !self.tree.node(id).terminal {
             let (action, child) = self.select_child(id);
-            state.apply_legal(self.dag, action);
+            env.step_trusted(action);
             id = child;
         }
         // Terminal leaf: its value is exact; just reinforce it.
@@ -223,7 +226,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             let value = self.tree.node(id).terminal_value;
             self.tree.backpropagate_to(id, self.root, value);
             self.scratch = RolloutScratch {
-                state: Some(state),
+                env: Some(env),
                 legal,
             };
             return;
@@ -232,15 +235,15 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         let child = {
             let ctx = self.ctx();
             let node = self.tree.node(id);
-            let pick = self
-                .policy
-                .choose_expansion(&ctx, &state, &node.untried, &mut self.rng);
+            let pick =
+                self.policy
+                    .choose_expansion(&ctx, env.observe(), &node.untried, &mut self.rng);
             let action = self.tree.node_mut(id).untried.swap_remove(pick);
-            state.apply_legal(self.dag, action);
-            let untried = state.legal_actions(self.dag);
+            env.step_trusted(action);
+            let untried = env.observe().legal_actions(self.dag);
             let terminal = untried.is_empty();
             let terminal_value = if terminal {
-                -(state.makespan().unwrap_or(0) as f64)
+                -(env.makespan().unwrap_or(0) as f64)
             } else {
                 0.0
             };
@@ -258,13 +261,13 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             self.tree.node_mut(id).children.push((action, child));
             child
         };
-        // --- Simulation (continues in the scratch state). ---
-        let value = self.rollout(&mut state, &mut legal);
+        // --- Simulation (continues in the scratch env). ---
+        let value = self.rollout(&mut env, &mut legal);
         // --- Backpropagation (stops at the current root: ancestors above
         // it are never read again after re-rooting). ---
         self.tree.backpropagate_to(child, self.root, value);
         self.scratch = RolloutScratch {
-            state: Some(state),
+            env: Some(env),
             legal,
         };
     }
@@ -302,34 +305,43 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         best
     }
 
-    /// Simulates `state` (the freshly expanded child, already replayed into
+    /// Simulates `env` (the freshly expanded child, already replayed into
     /// the scratch) to completion with the rollout policy; returns the
     /// negative makespan.
     ///
-    /// `state` and `legal` are the search's [`RolloutScratch`] buffers, so
-    /// the step loop below performs no heap allocations once they have
-    /// warmed up: actions are enumerated with
-    /// [`SimState::legal_actions_into`] and applied with
-    /// [`SimState::apply_legal`].
-    fn rollout(&mut self, state: &mut SimState, legal: &mut Vec<Action>) -> f64 {
-        let ctx = self.ctx();
-        let mut steps = 0u64;
-        while !state.is_terminal(self.dag) {
-            if steps >= self.truncate_after {
-                if let Some(evaluator) = self.evaluator.as_deref_mut() {
-                    return -evaluator.estimate_final_makespan(&ctx, state);
-                }
+    /// `env` and `legal` are the search's [`RolloutScratch`] buffers. The
+    /// step loop is the shared [`EpisodeDriver`] in trusted mode, rebuilt
+    /// around the scratch legal buffer each rollout so the hot path stays
+    /// allocation-free once the buffers have warmed up: actions are
+    /// enumerated into the reused buffer and applied with
+    /// [`Env::step_trusted`].
+    fn rollout(&mut self, env: &mut SimEnv<'a>, legal: &mut Vec<Action>) -> f64 {
+        // Truncation only applies when an evaluator can bootstrap the
+        // remainder; without one the rollout always runs to termination.
+        let max_steps = if self.evaluator.is_some() {
+            self.truncate_after
+        } else {
+            u64::MAX
+        };
+        let adapter = RolloutAdapter {
+            policy: &mut *self.policy,
+            features: self.features,
+        };
+        let mut driver = EpisodeDriver::from_parts(adapter, std::mem::take(legal));
+        let outcome = driver.drive_trusted(env, &mut self.rng, max_steps);
+        *legal = driver.into_parts().1;
+        self.rollout_steps += outcome.steps();
+        match outcome {
+            DriveOutcome::Terminal { .. } => -(env.makespan().expect("terminal state") as f64),
+            DriveOutcome::Truncated { .. } => {
+                let ctx = self.ctx();
+                let evaluator = self
+                    .evaluator
+                    .as_deref_mut()
+                    .expect("truncation implies an evaluator");
+                -evaluator.estimate_final_makespan(&ctx, env.observe())
             }
-            state.legal_actions_into(self.dag, legal);
-            debug_assert!(!legal.is_empty());
-            let action = self
-                .policy
-                .choose_rollout(&ctx, state, legal, &mut self.rng);
-            state.apply_legal(self.dag, action);
-            self.rollout_steps += 1;
-            steps += 1;
         }
-        -(state.makespan().expect("terminal state") as f64)
     }
 
     /// The best root action by exploitation only: maximum value first,
@@ -359,13 +371,12 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     /// Commits `action`: re-roots the tree at the corresponding child
     /// (creating it if the action was never expanded).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `action` is illegal in the root state.
-    pub fn advance(&mut self, action: Action) {
-        self.root_state
-            .apply(self.dag, action)
-            .expect("advancing with an illegal action");
+    /// Returns [`SpearError`] if `action` is illegal in the root state;
+    /// the search is left unchanged.
+    pub fn advance(&mut self, action: Action) -> Result<(), SpearError> {
+        self.root_env.step(action)?;
         let existing = self
             .tree
             .node(self.root)
@@ -376,10 +387,10 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         let child = match existing {
             Some(id) => id,
             None => {
-                let untried = self.root_state.legal_actions(self.dag);
+                let untried = self.root_env.observe().legal_actions(self.dag);
                 let terminal = untried.is_empty();
                 let terminal_value = if terminal {
-                    -(self.root_state.makespan().unwrap_or(0) as f64)
+                    -(self.root_env.makespan().unwrap_or(0) as f64)
                 } else {
                     0.0
                 };
@@ -399,6 +410,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             }
         };
         self.root = child;
+        Ok(())
     }
 }
 
@@ -468,7 +480,7 @@ mod tests {
                 search.run_iteration();
             }
             let a = search.best_action();
-            search.advance(a);
+            search.advance(a).unwrap();
         }
         let makespan = search.root_state().makespan().unwrap();
         // Tight capacity: tasks must serialize, makespan = 5 regardless of
@@ -487,7 +499,7 @@ mod tests {
             search.run_iteration();
         }
         let size_before = search.tree_size();
-        search.advance(Action::Schedule(TaskId::new(0)));
+        search.advance(Action::Schedule(TaskId::new(0))).unwrap();
         // The child existed (both root actions were expanded in 10
         // iterations), so no node was allocated.
         assert_eq!(search.tree_size(), size_before);
@@ -502,7 +514,7 @@ mod tests {
         let mut search = MctsSearch::new(&dag, &spec, &features, &mut policy, 5.0, 6).unwrap();
         // No iterations: advancing must create the child on demand.
         let size_before = search.tree_size();
-        search.advance(Action::Schedule(TaskId::new(1)));
+        search.advance(Action::Schedule(TaskId::new(1))).unwrap();
         assert_eq!(search.tree_size(), size_before + 1);
         assert_eq!(search.root_state().start_of(TaskId::new(1)), Some(0));
     }
@@ -560,7 +572,7 @@ mod tests {
                 }
                 let a = search.best_action();
                 actions.push(a);
-                search.advance(a);
+                search.advance(a).unwrap();
             }
             (actions, search.root_state().makespan().unwrap())
         };
@@ -593,7 +605,7 @@ mod tests {
                 search.run_iteration();
             }
             let a = search.best_action();
-            search.advance(a);
+            search.advance(a).unwrap();
         }
         // Optimal: schedule short (t=0..1), then long and gated co-run.
         // long 1..9? No: long fits with short? 0.5+0.6 > 1 — they cannot

@@ -1,7 +1,8 @@
 //! Full-episode rollouts of the policy on the simulator.
 
 use rand::Rng;
-use spear_cluster::{ClusterError, ClusterSpec, SimState};
+use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, SimEnv};
+use spear_cluster::{Action, ClusterSpec, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 
@@ -67,9 +68,53 @@ pub fn run_episode<R: Rng + ?Sized>(
     mode: SelectionMode,
     record: bool,
     rng: &mut R,
-) -> Result<Episode, ClusterError> {
+) -> Result<Episode, SpearError> {
     let features = GraphFeatures::compute(dag);
     run_episode_with_features(policy, dag, spec, &features, mode, record, rng)
+}
+
+/// [`PolicyNetwork`] adapted to the environment layer's
+/// [`DecisionPolicy`]: each decision featurizes the state, runs one
+/// masked forward pass, and (optionally) records the decision for the
+/// policy-gradient update.
+struct NetworkPolicy<'a, 'b> {
+    policy: &'a mut PolicyNetwork,
+    features: &'a GraphFeatures,
+    greedy: bool,
+    record: Option<&'b mut Vec<StepRecord>>,
+}
+
+impl<R: Rng + ?Sized> DecisionPolicy<R> for NetworkPolicy<'_, '_> {
+    fn decide(
+        &mut self,
+        ctx: &EnvContext<'_>,
+        state: &SimState,
+        _legal: &[Action],
+        rng: &mut R,
+    ) -> Action {
+        let (idx, view) = self.policy.choose_action_index(
+            ctx.dag,
+            ctx.spec,
+            state,
+            self.features,
+            self.greedy,
+            rng,
+        );
+        let action = self.policy.action_from_index(&view, idx);
+        if let Some(steps) = self.record.as_deref_mut() {
+            steps.push(StepRecord {
+                features: view.features,
+                action: idx,
+                mask: view.mask,
+                clock: state.clock(),
+            });
+        }
+        action
+    }
+
+    fn name(&self) -> &str {
+        "policy-network"
+    }
 }
 
 /// Like [`run_episode`] but reuses precomputed [`GraphFeatures`] — the
@@ -86,27 +131,20 @@ pub fn run_episode_with_features<R: Rng + ?Sized>(
     mode: SelectionMode,
     record: bool,
     rng: &mut R,
-) -> Result<Episode, ClusterError> {
-    let mut state = SimState::new(dag, spec)?;
+) -> Result<Episode, SpearError> {
     let mut steps = Vec::new();
-    let greedy = mode == SelectionMode::Greedy;
-    while !state.is_terminal(dag) {
-        let (idx, view) = policy.choose_action_index(dag, spec, &state, features, greedy, rng);
-        let action = policy.action_from_index(&view, idx);
-        if record {
-            steps.push(StepRecord {
-                features: view.features,
-                action: idx,
-                mask: view.mask,
-                clock: state.clock(),
-            });
-        }
-        state.apply(dag, action)?;
-    }
-    Ok(Episode {
-        steps,
-        makespan: state.makespan().expect("terminal state has a makespan"),
-    })
+    let mut env = SimEnv::new(dag, spec)?;
+    let mut driver = EpisodeDriver::new(NetworkPolicy {
+        policy,
+        features,
+        greedy: mode == SelectionMode::Greedy,
+        record: record.then_some(&mut steps),
+    });
+    let outcome = driver.drive(&mut env, rng, u64::MAX)?;
+    debug_assert!(outcome.is_terminal());
+    drop(driver);
+    let makespan = env.makespan().ok_or(SpearError::IncompleteEpisode)?;
+    Ok(Episode { steps, makespan })
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! in the network's own action space, and [`collect_expert_dataset`] turns
 //! its decisions into `(features, action, mask)` training rows.
 
-use spear_cluster::{ClusterError, ClusterSpec, SimState};
+use spear_cluster::env::{Env, EnvContext, EpisodeDriver, FnPolicy, NoRng, SimEnv};
+use spear_cluster::{Action, ClusterSpec, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 
@@ -79,27 +80,30 @@ pub fn collect_expert_dataset(
     featurizer: &Featurizer,
     dag: &Dag,
     spec: &ClusterSpec,
-) -> Result<(ExpertDataset, u64), ClusterError> {
+) -> Result<(ExpertDataset, u64), SpearError> {
     let features = GraphFeatures::compute(dag);
     let expert = CpExpert::new();
-    let mut state = SimState::new(dag, spec)?;
     let mut data = ExpertDataset::default();
-    while !state.is_terminal(dag) {
-        let view = featurizer.featurize(dag, spec, &state, &features);
-        let idx = expert.action_index(&view);
-        let action = if idx == featurizer.config().process_action() {
-            spear_cluster::Action::Process
-        } else {
-            spear_cluster::Action::Schedule(
-                view.slot_tasks[idx].expect("legal slot actions hold a task"),
-            )
-        };
-        data.features.push(view.features);
-        data.actions.push(idx);
-        data.masks.push(view.mask);
-        state.apply(dag, action)?;
-    }
-    Ok((data, state.makespan().expect("terminal")))
+    let mut env = SimEnv::new(dag, spec)?;
+    let mut driver = EpisodeDriver::new(FnPolicy(
+        |ctx: &EnvContext<'_>, state: &SimState, _legal: &[Action]| {
+            let view = featurizer.featurize(ctx.dag, ctx.spec, state, &features);
+            let idx = expert.action_index(&view);
+            let action = if idx == featurizer.config().process_action() {
+                Action::Process
+            } else {
+                Action::Schedule(view.slot_tasks[idx].expect("legal slot actions hold a task"))
+            };
+            data.features.push(view.features);
+            data.actions.push(idx);
+            data.masks.push(view.mask);
+            action
+        },
+    ));
+    driver.drive(&mut env, &mut NoRng, u64::MAX)?;
+    drop(driver);
+    let makespan = env.makespan().ok_or(SpearError::IncompleteEpisode)?;
+    Ok((data, makespan))
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use spear_cluster::{ClusterError, ClusterSpec};
+use spear_cluster::{ClusterSpec, SpearError};
 use spear_dag::Dag;
 use spear_nn::{loss, Matrix, Optimizer};
 
@@ -39,7 +39,7 @@ pub fn build_dataset(
     policy: &PolicyNetwork,
     dags: &[Dag],
     spec: &ClusterSpec,
-) -> Result<ExpertDataset, ClusterError> {
+) -> Result<ExpertDataset, SpearError> {
     let mut data = ExpertDataset::default();
     for dag in dags {
         let (d, _) = collect_expert_dataset(policy.featurizer(), dag, spec)?;

@@ -9,7 +9,7 @@
 //! budgets differ.
 
 use rand::Rng;
-use spear_cluster::{ClusterError, ClusterSpec};
+use spear_cluster::{ClusterSpec, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 use spear_nn::{loss, Matrix, Optimizer, RmsProp};
@@ -100,7 +100,7 @@ impl ReinforceTrainer {
         spec: &ClusterSpec,
         epoch: usize,
         rng: &mut R,
-    ) -> Result<TrainingCurvePoint, ClusterError> {
+    ) -> Result<TrainingCurvePoint, SpearError> {
         let mut makespan_sum = 0.0;
         let mut makespan_count = 0usize;
         let mut entropy_sum = 0.0;
@@ -197,7 +197,7 @@ impl ReinforceTrainer {
         dags: &[Dag],
         spec: &ClusterSpec,
         rng: &mut R,
-    ) -> Result<Vec<TrainingCurvePoint>, ClusterError> {
+    ) -> Result<Vec<TrainingCurvePoint>, SpearError> {
         let examples: Vec<(Dag, GraphFeatures)> = dags
             .iter()
             .map(|d| (d.clone(), GraphFeatures::compute(d)))

@@ -16,7 +16,7 @@
 //! episodes.
 
 use rand::Rng;
-use spear_cluster::{ClusterError, ClusterSpec, SimState};
+use spear_cluster::{ClusterSpec, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 use spear_nn::{Matrix, Mlp, MlpConfig, Optimizer, RmsProp};
@@ -130,7 +130,7 @@ pub fn train_value_network<R: Rng + ?Sized>(
     spec: &ClusterSpec,
     config: &ValueTrainConfig,
     rng: &mut R,
-) -> Result<Vec<f64>, ClusterError> {
+) -> Result<Vec<f64>, SpearError> {
     assert_eq!(
         policy.feature_config(),
         value.feature_config(),

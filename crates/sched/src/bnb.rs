@@ -16,7 +16,8 @@
 //! * a configurable node budget; the result reports whether the search
 //!   completed (proving optimality) or was truncated.
 
-use spear_cluster::{Action, ClusterError, ClusterSpec, Schedule, SimState};
+use spear_cluster::env::{Env, SimEnv};
+use spear_cluster::{Action, ClusterSpec, Schedule, SimState, SpearError};
 use spear_dag::analysis;
 use spear_dag::{Dag, TaskId};
 
@@ -71,8 +72,8 @@ impl BnBScheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError`] if the DAG cannot run on the cluster.
-    pub fn solve(&self, dag: &Dag, spec: &ClusterSpec) -> Result<BnBOutcome, ClusterError> {
+    /// Returns [`SpearError`] if the DAG cannot run on the cluster.
+    pub fn solve(&self, dag: &Dag, spec: &ClusterSpec) -> Result<BnBOutcome, SpearError> {
         // Incumbent: the greedy packer.
         let greedy = TetrisScheduler::new().schedule(dag, spec)?;
         let b_levels = analysis::b_levels(dag);
@@ -85,10 +86,10 @@ impl BnBScheduler {
             nodes: 0,
             max_nodes: self.config.max_nodes,
         };
-        let root = SimState::new(dag, spec)?;
-        let exhausted = search.dfs(&root);
+        let root = SimEnv::new(dag, spec)?;
+        let exhausted = search.dfs(&root)?;
         let schedule = match search.best_state {
-            Some(state) => state.into_schedule(dag),
+            Some(state) => SimEnv::from_state(dag, spec, state).into_schedule()?,
             None => greedy,
         };
         Ok(BnBOutcome {
@@ -104,7 +105,7 @@ impl Scheduler for BnBScheduler {
         "bnb"
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.solve(dag, spec)?.schedule)
     }
 }
@@ -156,26 +157,34 @@ impl Search<'_> {
         lb
     }
 
-    /// Returns `true` if the subtree was fully explored within the node
-    /// budget.
-    fn dfs(&mut self, state: &SimState) -> bool {
+    /// Returns `Ok(true)` if the subtree was fully explored within the
+    /// node budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (legal actions never fail to apply, but
+    /// the checked [`Env::step`] surfaces any violation as a typed error
+    /// instead of panicking).
+    fn dfs(&mut self, env: &SimEnv<'_>) -> Result<bool, SpearError> {
         if self.nodes >= self.max_nodes {
-            return false;
+            return Ok(false);
         }
         self.nodes += 1;
-        if state.is_terminal(self.dag) {
-            let makespan = state.makespan().expect("terminal");
-            if makespan < self.best {
-                self.best = makespan;
-                self.best_state = Some(state.clone());
+        if env.is_terminal() {
+            if let Some(makespan) = env.makespan() {
+                if makespan < self.best {
+                    self.best = makespan;
+                    self.best_state = Some(env.observe().clone());
+                }
             }
-            return true;
+            return Ok(true);
         }
-        if self.lower_bound(state) >= self.best {
-            return true; // pruned, but fully accounted for
+        if self.lower_bound(env.observe()) >= self.best {
+            return Ok(true); // pruned, but fully accounted for
         }
         let mut exhausted = true;
-        let mut actions = state.legal_actions(self.dag);
+        let mut actions = Vec::new();
+        env.legal_into(&mut actions);
         // Schedule actions ascending by id; process last (already the
         // simulator's order, but make it explicit for the symmetry
         // argument).
@@ -184,16 +193,14 @@ impl Search<'_> {
             Action::Process => (1, usize::MAX),
         });
         for action in actions {
-            let mut child = state.clone();
-            child
-                .apply(self.dag, action)
-                .expect("legal actions always apply");
-            exhausted &= self.dfs(&child);
+            let mut child = env.clone();
+            child.step(action)?;
+            exhausted &= self.dfs(&child)?;
             if self.nodes >= self.max_nodes {
-                return false;
+                return Ok(false);
             }
         }
-        exhausted
+        Ok(exhausted)
     }
 }
 
@@ -202,12 +209,12 @@ impl Search<'_> {
 ///
 /// # Errors
 ///
-/// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+/// Returns [`SpearError`] if the DAG cannot run on the cluster.
 pub fn optimal_makespan(
     dag: &Dag,
     spec: &ClusterSpec,
     max_nodes: u64,
-) -> Result<Option<u64>, ClusterError> {
+) -> Result<Option<u64>, SpearError> {
     let outcome = BnBScheduler::with_config(BnBConfig { max_nodes }).solve(dag, spec)?;
     Ok(outcome.proved_optimal.then(|| outcome.schedule.makespan()))
 }

@@ -15,7 +15,7 @@
 //! ignoring multi-resource demands.
 
 use serde::{Deserialize, Serialize};
-use spear_cluster::{ClusterError, ClusterSpec, ResourceTimeline, Schedule};
+use spear_cluster::{ClusterSpec, ResourceTimeline, Schedule, SpearError};
 use spear_dag::{Dag, TaskId};
 
 use crate::{execute_priority_order, Scheduler};
@@ -72,7 +72,7 @@ pub struct GrapheneChoice {
 /// use spear_cluster::ClusterSpec;
 /// use spear_sched::{Graphene, Scheduler};
 ///
-/// # fn main() -> Result<(), spear_cluster::ClusterError> {
+/// # fn main() -> Result<(), spear_cluster::SpearError> {
 /// let dag = LayeredDagSpec::paper_training()
 ///     .generate(&mut rand::rngs::StdRng::seed_from_u64(5));
 /// let spec = ClusterSpec::unit(2);
@@ -180,12 +180,12 @@ impl Graphene {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+    /// Returns [`SpearError`] if the DAG cannot run on the cluster.
     pub fn schedule_with_details(
         &self,
         dag: &Dag,
         spec: &ClusterSpec,
-    ) -> Result<(Schedule, GrapheneChoice), ClusterError> {
+    ) -> Result<(Schedule, GrapheneChoice), SpearError> {
         spec.validate_dag(dag)?;
         let mut best: Option<(Schedule, GrapheneChoice)> = None;
         for &threshold in &self.config.runtime_thresholds {
@@ -218,7 +218,7 @@ impl Scheduler for Graphene {
         "graphene"
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.schedule_with_details(dag, spec)?.0)
     }
 }

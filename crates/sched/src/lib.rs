@@ -27,7 +27,7 @@
 //! use spear_cluster::ClusterSpec;
 //! use spear_sched::{Scheduler, TetrisScheduler, CpScheduler};
 //!
-//! # fn main() -> Result<(), spear_cluster::ClusterError> {
+//! # fn main() -> Result<(), spear_cluster::SpearError> {
 //! let dag = LayeredDagSpec::paper_training()
 //!     .generate(&mut rand::rngs::StdRng::seed_from_u64(1));
 //! let spec = ClusterSpec::unit(2);
@@ -55,7 +55,7 @@ pub use scorers::{
     TetrisScorer,
 };
 
-use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::Dag;
 
 /// A makespan-minimizing DAG scheduler.
@@ -71,9 +71,9 @@ pub trait Scheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError`] if the DAG cannot run on the cluster
+    /// Returns [`SpearError`] if the DAG cannot run on the cluster
     /// (dimension mismatch or an oversized task).
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError>;
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError>;
 }
 
 /// A quick greedy estimate of the makespan of `dag` on `spec`, produced by
@@ -83,7 +83,7 @@ pub trait Scheduler {
 ///
 /// # Errors
 ///
-/// Returns [`ClusterError`] if the DAG cannot run on the cluster.
-pub fn greedy_makespan_estimate(dag: &Dag, spec: &ClusterSpec) -> Result<u64, ClusterError> {
+/// Returns [`SpearError`] if the DAG cannot run on the cluster.
+pub fn greedy_makespan_estimate(dag: &Dag, spec: &ClusterSpec) -> Result<u64, SpearError> {
     Ok(TetrisScheduler::new().schedule(dag, spec)?.makespan())
 }

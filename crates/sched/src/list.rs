@@ -6,7 +6,8 @@
 //! resource- and dependency-aware *executor*; the [`TaskScorer`] is the
 //! *policy*.
 
-use spear_cluster::{Action, ClusterError, ClusterSpec, Schedule, SimState};
+use spear_cluster::env::{EnvContext, EpisodeDriver, FnPolicy, NoRng};
+use spear_cluster::{Action, ClusterSpec, Schedule, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::{Dag, TaskId};
 
@@ -85,47 +86,45 @@ impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
         self.scorer.name()
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         let features = GraphFeatures::compute(dag);
-        let mut sim = SimState::new(dag, spec)?;
-        while !sim.is_terminal(dag) {
-            let candidates: Vec<TaskId> = sim
-                .ready()
-                .iter()
-                .copied()
-                .filter(|&t| dag.task(t).demand().fits_within(sim.free()))
-                .collect();
-            let action = if candidates.is_empty() {
-                Action::Process
-            } else {
-                let ctx = ScoreContext {
-                    dag,
-                    state: &sim,
-                    features: &features,
-                };
-                let best = select_best(&candidates, |t| self.scorer.score(&ctx, t));
-                Action::Schedule(best)
+        let scorer = &mut self.scorer;
+        // The legal `Schedule` actions are exactly the ready-and-fitting
+        // candidates, already in ascending task-id order; the greedy policy
+        // just ranks them (strict `>` keeps ties on the lowest id).
+        let policy = FnPolicy(|ctx: &EnvContext<'_>, state: &SimState, legal: &[Action]| {
+            let score_ctx = ScoreContext {
+                dag: ctx.dag,
+                state,
+                features: &features,
             };
-            sim.apply(dag, action)?;
-        }
-        Ok(sim.into_schedule(dag))
+            select_best(legal, |t| scorer.score(&score_ctx, t))
+        });
+        EpisodeDriver::new(policy).run(dag, spec, &mut NoRng)
     }
 }
 
-/// Picks the candidate with the highest score; ties break toward the lower
-/// task id.
-fn select_best<F: FnMut(TaskId) -> f64>(candidates: &[TaskId], mut score: F) -> TaskId {
-    debug_assert!(!candidates.is_empty());
-    let mut best = candidates[0];
-    let mut best_score = score(best);
-    for &t in &candidates[1..] {
+/// Picks the `Schedule` action with the highest score (ties break toward
+/// the lower task id, the slice order), or `Process` when nothing fits.
+fn select_best<F: FnMut(TaskId) -> f64>(legal: &[Action], mut score: F) -> Action {
+    let mut best: Option<(TaskId, f64)> = None;
+    for &action in legal {
+        let Action::Schedule(t) = action else {
+            continue;
+        };
         let s = score(t);
-        if s > best_score {
-            best = t;
-            best_score = s;
+        let better = match best {
+            Some((_, best_score)) => s > best_score,
+            None => true,
+        };
+        if better {
+            best = Some((t, s));
         }
     }
-    best
+    match best {
+        Some((t, _)) => Action::Schedule(t),
+        None => Action::Process,
+    }
 }
 
 /// Executes a fixed priority order dependency- and resource-aware: at every
@@ -139,7 +138,7 @@ fn select_best<F: FnMut(TaskId) -> f64>(candidates: &[TaskId], mut score: F) -> 
 ///
 /// # Errors
 ///
-/// Returns [`ClusterError`] if the DAG cannot run on the cluster.
+/// Returns [`SpearError`] if the DAG cannot run on the cluster.
 ///
 /// # Panics
 ///
@@ -148,7 +147,7 @@ pub fn execute_priority_order(
     dag: &Dag,
     spec: &ClusterSpec,
     order: &[TaskId],
-) -> Result<Schedule, ClusterError> {
+) -> Result<Schedule, SpearError> {
     assert_eq!(order.len(), dag.len(), "order must cover every task");
     let mut rank = vec![usize::MAX; dag.len()];
     for (i, &t) in order.iter().enumerate() {
@@ -159,21 +158,17 @@ pub fn execute_priority_order(
         rank[t.index()] = i;
     }
 
-    let mut sim = SimState::new(dag, spec)?;
-    while !sim.is_terminal(dag) {
-        let candidate = sim
-            .ready()
+    let policy = FnPolicy(|_: &EnvContext<'_>, _: &SimState, legal: &[Action]| {
+        legal
             .iter()
-            .copied()
-            .filter(|&t| dag.task(t).demand().fits_within(sim.free()))
-            .min_by_key(|&t| rank[t.index()]);
-        let action = match candidate {
-            Some(t) => Action::Schedule(t),
-            None => Action::Process,
-        };
-        sim.apply(dag, action)?;
-    }
-    Ok(sim.into_schedule(dag))
+            .filter_map(|&a| match a {
+                Action::Schedule(t) => Some(t),
+                Action::Process => None,
+            })
+            .min_by_key(|&t| rank[t.index()])
+            .map_or(Action::Process, Action::Schedule)
+    });
+    EpisodeDriver::new(policy).run(dag, spec, &mut NoRng)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spear_cluster::{ClusterError, ClusterSpec, Schedule};
+use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::{Dag, TaskId};
 
 use crate::{PriorityListScheduler, Scheduler, ScoreContext, TaskScorer};
@@ -111,7 +111,7 @@ macro_rules! wrap_scheduler {
                 &mut self,
                 dag: &Dag,
                 spec: &ClusterSpec,
-            ) -> Result<Schedule, ClusterError> {
+            ) -> Result<Schedule, SpearError> {
                 self.inner.schedule(dag, spec)
             }
         }
@@ -178,7 +178,7 @@ impl Scheduler for RandomScheduler {
         "random"
     }
 
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, ClusterError> {
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         self.inner.schedule(dag, spec)
     }
 }

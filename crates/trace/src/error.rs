@@ -1,0 +1,96 @@
+//! Typed errors for trace validation and DAG conversion.
+
+use spear_dag::DagError;
+
+/// Errors raised while turning trace jobs into schedulable DAGs.
+///
+/// `spear-trace` sits below the cluster layer, so this is its own error
+/// type rather than a [`spear_cluster::SpearError`] variant; callers that
+/// mix the two go through `Box<dyn Error>` or wrap at the call site.
+///
+/// [`spear_cluster::SpearError`]: https://docs.rs/spear-cluster
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A job has no map tasks or no reduce tasks; the two-stage shuffle
+    /// DAG needs at least one of each.
+    EmptyStage {
+        /// The offending job id.
+        job: String,
+    },
+    /// A stage's demand vector count does not match its runtime count.
+    MisalignedDemands {
+        /// The offending job id.
+        job: String,
+        /// `"map"` or `"reduce"`.
+        stage: &'static str,
+        /// Number of runtimes in the stage.
+        runtimes: usize,
+        /// Number of demand vectors in the stage.
+        demands: usize,
+    },
+    /// Building the DAG failed (e.g. mismatched resource dimensions
+    /// between map and reduce demands).
+    Dag(DagError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::EmptyStage { job } => {
+                write!(f, "job {job}: a two-stage job needs map and reduce tasks")
+            }
+            TraceError::MisalignedDemands {
+                job,
+                stage,
+                runtimes,
+                demands,
+            } => write!(
+                f,
+                "job {job}: {stage} stage has {runtimes} runtimes but {demands} demand vectors"
+            ),
+            TraceError::Dag(e) => write!(f, "building the two-stage DAG: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for TraceError {
+    fn from(e: DagError) -> Self {
+        TraceError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_job() {
+        let e = TraceError::EmptyStage { job: "q1".into() };
+        assert!(e.to_string().contains("q1"));
+        let e = TraceError::MisalignedDemands {
+            job: "q2".into(),
+            stage: "map",
+            runtimes: 3,
+            demands: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("q2") && s.contains("map") && s.contains('3') && s.contains('2'));
+    }
+
+    #[test]
+    fn dag_errors_are_chained() {
+        use std::error::Error;
+        let e = TraceError::from(DagError::Cycle);
+        assert!(e.source().is_some());
+    }
+}

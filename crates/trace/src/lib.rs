@@ -25,17 +25,19 @@
 //!
 //! let trace = SyntheticTraceSpec::paper().generate(7);
 //! assert_eq!(trace.jobs.len(), 99);
-//! let dag = trace.jobs[0].to_dag();
+//! let dag = trace.jobs[0].to_dag().unwrap();
 //! assert!(dag.len() > 10);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod model;
 mod stats;
 mod synth;
 
+pub use error::TraceError;
 pub use model::{Trace, TraceJob};
 pub use stats::{cdf_points, median_u64, TraceStats};
 pub use synth::SyntheticTraceSpec;

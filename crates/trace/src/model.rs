@@ -6,6 +6,8 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 use spear_dag::{Dag, DagBuilder, ResourceVec, Task};
 
+use crate::TraceError;
+
 /// One MapReduce job from a (real or synthetic) production trace:
 /// per-task runtimes *and* per-task multi-resource demands for both
 /// stages. Real production tasks differ in both (§II-C), and that
@@ -48,22 +50,33 @@ impl TraceJob {
     /// Builds the two-stage DAG: map tasks first (ids `0..num_map`), then
     /// reduce tasks, with a full map→reduce shuffle edge set.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either stage is empty or the demand vectors are not
-    /// aligned with the runtimes.
-    pub fn to_dag(&self) -> Dag {
-        assert!(self.num_map() > 0 && self.num_reduce() > 0, "empty stage");
-        assert_eq!(
-            self.map_demands.len(),
-            self.num_map(),
-            "map demands misaligned"
-        );
-        assert_eq!(
-            self.reduce_demands.len(),
-            self.num_reduce(),
-            "reduce demands misaligned"
-        );
+    /// Returns [`TraceError`] if either stage is empty, the demand vectors
+    /// are not aligned with the runtimes, or the demands disagree on
+    /// resource dimensions.
+    pub fn to_dag(&self) -> Result<Dag, TraceError> {
+        if self.num_map() == 0 || self.num_reduce() == 0 {
+            return Err(TraceError::EmptyStage {
+                job: self.id.clone(),
+            });
+        }
+        if self.map_demands.len() != self.num_map() {
+            return Err(TraceError::MisalignedDemands {
+                job: self.id.clone(),
+                stage: "map",
+                runtimes: self.num_map(),
+                demands: self.map_demands.len(),
+            });
+        }
+        if self.reduce_demands.len() != self.num_reduce() {
+            return Err(TraceError::MisalignedDemands {
+                job: self.id.clone(),
+                stage: "reduce",
+                runtimes: self.num_reduce(),
+                demands: self.reduce_demands.len(),
+            });
+        }
         let dims = self.map_demands[0].dims();
         let mut b = DagBuilder::new(dims);
         let maps: Vec<_> = self
@@ -86,10 +99,10 @@ impl TraceJob {
             .collect();
         for &m in &maps {
             for &r in &reduces {
-                b.add_edge(m, r).expect("bipartite edges are unique");
+                b.add_edge(m, r)?;
             }
         }
-        b.build().expect("two-stage graph is acyclic")
+        Ok(b.build()?)
     }
 }
 
@@ -184,10 +197,25 @@ mod tests {
 
     #[test]
     fn to_dag_builds_shuffle() {
-        let dag = job(4, 3).to_dag();
+        let dag = job(4, 3).to_dag().unwrap();
         assert_eq!(dag.len(), 7);
         assert_eq!(dag.edges().len(), 12);
         assert_eq!(dag.critical_path_length(), 30);
+    }
+
+    #[test]
+    fn to_dag_rejects_empty_and_misaligned_stages() {
+        let mut empty = job(3, 2);
+        empty.reduce_runtimes.clear();
+        empty.reduce_demands.clear();
+        assert!(matches!(empty.to_dag(), Err(TraceError::EmptyStage { .. })));
+
+        let mut skewed = job(3, 2);
+        skewed.map_demands.pop();
+        assert!(matches!(
+            skewed.to_dag(),
+            Err(TraceError::MisalignedDemands { stage: "map", .. })
+        ));
     }
 
     #[test]

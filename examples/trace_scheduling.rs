@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut reductions = Vec::new();
     for job in trace.jobs.iter().take(10) {
-        let dag = job.to_dag();
+        let dag = job.to_dag()?;
         let g = graphene.schedule(&dag, &spec)?.makespan();
         let s = spear.schedule(&dag, &spec)?.makespan();
         let reduction = (g as f64 - s as f64) / g as f64;

@@ -24,7 +24,7 @@ fn trace_jobs_schedule_end_to_end() {
     let trace = SyntheticTraceSpec::paper().generate(3);
     let spec = ClusterSpec::unit(2);
     for job in trace.jobs.iter().take(5) {
-        let dag = job.to_dag();
+        let dag = job.to_dag().unwrap();
         let g = Graphene::new().schedule(&dag, &spec).unwrap();
         g.validate(&dag, &spec).unwrap();
         let t = TetrisScheduler::new().schedule(&dag, &spec).unwrap();
