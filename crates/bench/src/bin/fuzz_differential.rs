@@ -1,0 +1,126 @@
+//! The differential schedule fuzzer — CI entry point.
+//!
+//! Runs a seeded `LayeredDagSpec` × scheduler-roster corpus (see
+//! `spear::diffcheck::corpus`) and re-verifies every produced schedule
+//! three independent ways: `Schedule::validate`, replay through a fresh
+//! `SimState`, and replay onto a `ResourceTimeline`. Any disagreement is a
+//! bookkeeping bug in one of the three cores; the offending case is shrunk
+//! to a minimal witness and written as a fixture JSON for triage (move it
+//! under `tests/fixtures/` once the bug is fixed, so it becomes a
+//! permanent regression test).
+//!
+//! Usage:
+//!
+//! * `fuzz_differential` — the CI configuration: 200 cases, seed
+//!   `0xD1FF5EED`, exit code 1 on any failure.
+//! * `fuzz_differential --cases N --seed S` — custom corpus.
+//! * `fuzz_differential --out DIR` — where to write shrunk witnesses
+//!   (default `tests/fuzz_failures/` at the repository root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use spear::diffcheck::{check_schedule, corpus, shrink_dag, CaseSpec, Fixture};
+
+/// CI defaults: the corpus size the workflow's ~60 s budget is sized for.
+const DEFAULT_CASES: usize = 200;
+const DEFAULT_SEED: u64 = 0xD1FF_5EED;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Parses `--flag value` style arguments, with defaults.
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Shrinks a failing case to a minimal witness fixture.
+fn shrink_case(case: &CaseSpec, why: &str) -> Fixture {
+    let dag = case.dag();
+    let spec = case.cluster();
+    let fails = |d: &spear::Dag| {
+        let mut scheduler = case.scheduler.build(case.seed, case.dims);
+        match scheduler.schedule(d, &spec) {
+            Ok(schedule) => !check_schedule(d, &spec, &schedule).all_ok(),
+            // A scheduler error on a sub-DAG is a different failure mode;
+            // keep the shrink focused on the original disagreement.
+            Err(_) => false,
+        }
+    };
+    let small = shrink_dag(&dag, fails);
+    Fixture::from_parts(
+        &format!("fuzz_{}", case.label().replace('/', "_")),
+        &format!("shrunk witness of a three-way disagreement: {why}"),
+        case.scheduler,
+        case.seed,
+        &small,
+        &spec,
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let cases = arg_value(&args, "--cases", DEFAULT_CASES);
+    let seed = arg_value(&args, "--seed", DEFAULT_SEED);
+    let out_dir = arg_value(&args, "--out", repo_root().join("tests/fuzz_failures"));
+
+    let matrix = corpus(cases, seed);
+    eprintln!(
+        "[fuzz_differential] {} cases, base seed {seed:#x}",
+        matrix.len()
+    );
+    let start = Instant::now();
+    let mut failures = 0usize;
+    for (i, case) in matrix.iter().enumerate() {
+        let why = match case.run() {
+            Ok(tri) if tri.all_ok() => {
+                if (i + 1) % 50 == 0 {
+                    eprintln!(
+                        "[fuzz_differential] {}/{} ok ({:.1}s)",
+                        i + 1,
+                        matrix.len(),
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+                continue;
+            }
+            Ok(tri) => tri.summary(),
+            Err(e) => format!("scheduler error: {e}"),
+        };
+        failures += 1;
+        println!("FAIL {}: {why}", case.label());
+        let fixture = shrink_case(case, &why);
+        std::fs::create_dir_all(&out_dir).expect("cannot create witness dir");
+        let path = out_dir.join(format!("{}.json", fixture.name));
+        std::fs::write(&path, fixture.to_json()).expect("cannot write witness");
+        println!(
+            "  shrunk witness ({} tasks) written to {}",
+            fixture.tasks.len(),
+            path.display()
+        );
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    if failures == 0 {
+        println!(
+            "fuzz_differential: {} cases, 0 disagreements ({elapsed:.1}s)",
+            matrix.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fuzz_differential: {failures} of {} cases FAILED ({elapsed:.1}s)",
+            matrix.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,691 @@
+//! The simulation invariant auditor.
+//!
+//! Every result in this reproduction flows through one [`SimState`]
+//! bookkeeping core, so a silent accounting slip (an epsilon of free
+//! capacity leaking per admission, a stale entry in the ready frontier, a
+//! clock that jumps backwards) skews *every* scheduler comparison at once.
+//! [`InvariantAuditor`] cross-checks the state against the DAG after each
+//! step and reports the first violated invariant as an [`AuditViolation`]:
+//!
+//! * **Used coherence** — the state's recorded `used` equals the summed
+//!   demand of the running set per dimension (within [`FIT_EPSILON`]).
+//!   `used` is the basis of every admission decision, so a slip here
+//!   silently changes what "fits".
+//! * **Conservation** — `free + Σ(running demands) == capacity` per
+//!   dimension, within an episode-scaled epsilon (the derived `free` view
+//!   saturates at zero when an epsilon-tolerant admission overlaps past
+//!   capacity).
+//! * **Free bound** — `free <= capacity` per dimension, *exactly*: `free`
+//!   is derived as `max(0, capacity - used)`, so any surplus is a genuine
+//!   leak.
+//! * **Clock monotonicity** — time never runs backwards within an episode.
+//! * **Ready-set consistency** — the tracker's frontier is exactly the set
+//!   of unstarted tasks whose parents have all completed.
+//! * **Start/finish coherence** — every running task has a recorded start,
+//!   `finish == start + runtime`, and completed tasks finished by the
+//!   current clock.
+//!
+//! The auditor is pure observation: it never mutates the state, so an
+//! audited episode is bit-identical to an unaudited one. It is wired into
+//! [`EpisodeDriver`](crate::EpisodeDriver) and enabled by default in debug
+//! builds (every test exercises it for free) and in release builds with
+//! the `audit` cargo feature.
+
+use std::error::Error;
+use std::fmt;
+
+use spear_dag::{Dag, TaskId, FIT_EPSILON};
+
+use crate::SimState;
+
+/// The first invariant a [`SimState`] was found to violate.
+///
+/// Each variant carries the numbers needed to understand the failure
+/// without re-running under a debugger.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AuditViolation {
+    /// The state's recorded `used` disagrees with the summed demand of the
+    /// running set in some dimension — the admission basis is corrupt.
+    UsedMismatch {
+        /// The offending resource dimension.
+        dim: usize,
+        /// Used capacity recorded by the state.
+        used: f64,
+        /// Summed demand of the running set.
+        committed: f64,
+    },
+    /// `free + Σ(running demands)` drifted away from the capacity in some
+    /// dimension beyond the episode-scaled tolerance.
+    Conservation {
+        /// The offending resource dimension.
+        dim: usize,
+        /// Free capacity recorded by the state.
+        free: f64,
+        /// Summed demand of the running set.
+        committed: f64,
+        /// True cluster capacity.
+        capacity: f64,
+    },
+    /// Free capacity exceeds the cluster capacity in some dimension.
+    FreeExceedsCapacity {
+        /// The offending resource dimension.
+        dim: usize,
+        /// Free capacity recorded by the state.
+        free: f64,
+        /// True cluster capacity.
+        capacity: f64,
+    },
+    /// The simulation clock moved backwards between two audited steps.
+    ClockRegression {
+        /// Clock at the previous audit.
+        from: u64,
+        /// Clock now — smaller than `from`.
+        to: u64,
+    },
+    /// A task's recorded start, finish and runtime disagree: a running
+    /// task without a start, `finish != start + runtime`, a start in the
+    /// future, a running task that should already have finished, a
+    /// completed task that has not, a duplicate running entry, or a finish
+    /// beyond the recorded `max_finish`.
+    StartFinishMismatch {
+        /// The incoherent task.
+        task: TaskId,
+    },
+    /// The ready frontier lists a task that is not actually ready (it
+    /// already started, or a parent has not completed).
+    StaleReady {
+        /// The task wrongly listed as ready.
+        task: TaskId,
+    },
+    /// A task with all parents completed and no recorded start is missing
+    /// from the ready frontier — it could never be scheduled.
+    MissingReady {
+        /// The task wrongly absent from the frontier.
+        task: TaskId,
+    },
+    /// A derived count (completed or scheduled tasks) disagrees with the
+    /// state's recorded counter.
+    CountMismatch {
+        /// Which counter disagreed (`"completed"` or `"scheduled"`).
+        field: &'static str,
+        /// The state's recorded value.
+        recorded: usize,
+        /// The value derived from starts/running.
+        derived: usize,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::UsedMismatch {
+                dim,
+                used,
+                committed,
+            } => write!(
+                f,
+                "recorded used capacity {used} disagrees with the running \
+                 set's summed demand {committed} in dimension {dim}"
+            ),
+            AuditViolation::Conservation {
+                dim,
+                free,
+                committed,
+                capacity,
+            } => write!(
+                f,
+                "resource conservation broken in dimension {dim}: \
+                 free {free} + committed {committed} != capacity {capacity}"
+            ),
+            AuditViolation::FreeExceedsCapacity {
+                dim,
+                free,
+                capacity,
+            } => write!(
+                f,
+                "free capacity {free} exceeds cluster capacity {capacity} \
+                 in dimension {dim}"
+            ),
+            AuditViolation::ClockRegression { from, to } => {
+                write!(f, "simulation clock ran backwards from {from} to {to}")
+            }
+            AuditViolation::StartFinishMismatch { task } => write!(
+                f,
+                "start/finish bookkeeping of task {task} disagrees with its runtime"
+            ),
+            AuditViolation::StaleReady { task } => {
+                write!(f, "ready frontier lists task {task}, which is not ready")
+            }
+            AuditViolation::MissingReady { task } => {
+                write!(f, "task {task} is ready but missing from the frontier")
+            }
+            AuditViolation::CountMismatch {
+                field,
+                recorded,
+                derived,
+            } => write!(
+                f,
+                "{field} count is recorded as {recorded} but derives to {derived}"
+            ),
+        }
+    }
+}
+
+impl Error for AuditViolation {}
+
+/// Cross-checks a [`SimState`] against its DAG after every step.
+///
+/// The auditor owns scratch buffers sized to the DAG, so a check is a
+/// single `O(tasks + edges + running)` pass with no allocation in steady
+/// state. It is cheap enough to leave on for every debug/test episode.
+///
+/// ```
+/// use spear_dag::{DagBuilder, ResourceVec, Task};
+/// use spear_cluster::{Action, ClusterSpec, InvariantAuditor, SimState};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new(1);
+/// let t = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+/// let dag = b.build()?;
+/// let spec = ClusterSpec::unit(1);
+/// let mut sim = SimState::new(&dag, &spec)?;
+/// let mut audit = InvariantAuditor::new();
+/// audit.check(&dag, &sim)?;
+/// sim.apply(&dag, Action::Schedule(t))?;
+/// audit.check(&dag, &sim)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InvariantAuditor {
+    /// Clock at the last audited step, for monotonicity.
+    last_clock: Option<u64>,
+    /// Scratch: per-dimension summed demand of the running set.
+    committed: Vec<f64>,
+    /// Scratch: per-task "currently running" flag.
+    running: Vec<bool>,
+    /// Scratch: per-task "listed in the ready frontier" flag.
+    listed_ready: Vec<bool>,
+}
+
+impl InvariantAuditor {
+    /// Creates an auditor with no clock history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets the clock history — call when switching to a new episode so
+    /// its initial `clock == 0` is not reported as a regression.
+    pub fn reset(&mut self) {
+        self.last_clock = None;
+    }
+
+    /// Checks every invariant of `state` against `dag`, returning the
+    /// first violation found. A passing check records the clock for the
+    /// next monotonicity comparison.
+    pub fn check(&mut self, dag: &Dag, state: &SimState) -> Result<(), AuditViolation> {
+        // 1. Clock monotonicity across audited steps.
+        if let Some(last) = self.last_clock {
+            if state.clock < last {
+                return Err(AuditViolation::ClockRegression {
+                    from: last,
+                    to: state.clock,
+                });
+            }
+        }
+        self.last_clock = Some(state.clock);
+
+        // 2. Free never exceeds capacity. Exact, not epsilon-tolerant:
+        // `free` is derived as `max(0, capacity - used)`, so any surplus
+        // here is the drift bug resurfacing.
+        let dims = state.capacity.dims();
+        for d in 0..dims {
+            if state.free[d] > state.capacity[d] {
+                return Err(AuditViolation::FreeExceedsCapacity {
+                    dim: d,
+                    free: state.free[d],
+                    capacity: state.capacity[d],
+                });
+            }
+        }
+
+        // 3. Start/finish coherence of the running set.
+        self.running.clear();
+        self.running.resize(dag.len(), false);
+        for r in &state.running {
+            let i = r.task.index();
+            let coherent = !self.running[i]
+                && state.starts[i].is_some_and(|start| {
+                    start <= state.clock
+                        && start.checked_add(dag.task(r.task).runtime()) == Some(r.finish)
+                })
+                && r.finish >= state.clock
+                && r.finish <= state.max_finish;
+            if !coherent {
+                return Err(AuditViolation::StartFinishMismatch { task: r.task });
+            }
+            self.running[i] = true;
+        }
+
+        // 4. Used coherence and conservation. `committed` re-derives the
+        // summed demand of the running set from the DAG; the recorded
+        // `used` must match it within one FIT_EPSILON (floating-point
+        // accumulation only — the sums differ in operation order), and
+        // `free + committed` must reconstruct the capacity within an
+        // episode-scaled tolerance (the derived `free` saturates at zero
+        // when an epsilon-tolerant admission overlaps past capacity, so
+        // one epsilon per task plus one for the comparison itself).
+        self.committed.clear();
+        self.committed.resize(dims, 0.0);
+        for r in &state.running {
+            let demand = dag.task(r.task).demand();
+            for d in 0..dims {
+                self.committed[d] += demand[d];
+            }
+        }
+        let tolerance = FIT_EPSILON * (dag.len() as f64 + 1.0);
+        for d in 0..dims {
+            let total = state.free[d] + self.committed[d];
+            if (total - state.capacity[d]).abs() > tolerance {
+                return Err(AuditViolation::Conservation {
+                    dim: d,
+                    free: state.free[d],
+                    committed: self.committed[d],
+                    capacity: state.capacity[d],
+                });
+            }
+        }
+        for d in 0..dims {
+            if (state.used[d] - self.committed[d]).abs() > FIT_EPSILON {
+                return Err(AuditViolation::UsedMismatch {
+                    dim: d,
+                    used: state.used[d],
+                    committed: self.committed[d],
+                });
+            }
+        }
+
+        // 5. Completed tasks finished by now, and the derived counts match
+        // the recorded ones. A task is done iff it started and is no
+        // longer running.
+        let mut started = 0usize;
+        let mut done_count = 0usize;
+        for i in 0..dag.len() {
+            let Some(start) = state.starts[i] else {
+                continue;
+            };
+            started += 1;
+            if self.running[i] {
+                continue;
+            }
+            done_count += 1;
+            let task = TaskId::new(i);
+            let finished_by_now = start
+                .checked_add(dag.task(task).runtime())
+                .is_some_and(|finish| finish <= state.clock);
+            if !finished_by_now {
+                return Err(AuditViolation::StartFinishMismatch { task });
+            }
+        }
+        if started != state.scheduled {
+            return Err(AuditViolation::CountMismatch {
+                field: "scheduled",
+                recorded: state.scheduled,
+                derived: started,
+            });
+        }
+        if done_count != state.tracker.completed() {
+            return Err(AuditViolation::CountMismatch {
+                field: "completed",
+                recorded: state.tracker.completed(),
+                derived: done_count,
+            });
+        }
+
+        // 6. Ready-set consistency: the frontier is exactly the unstarted
+        // tasks whose parents have all completed.
+        self.listed_ready.clear();
+        self.listed_ready.resize(dag.len(), false);
+        let is_done = |i: usize| -> bool { state.starts[i].is_some() && !self.running[i] };
+        for &t in state.tracker.ready() {
+            let i = t.index();
+            let actually_ready =
+                state.starts[i].is_none() && dag.parents(t).iter().all(|p| is_done(p.index()));
+            if !actually_ready || self.listed_ready[i] {
+                return Err(AuditViolation::StaleReady { task: t });
+            }
+            self.listed_ready[i] = true;
+        }
+        for t in dag.task_ids() {
+            let i = t.index();
+            if self.listed_ready[i] || state.starts[i].is_some() {
+                continue;
+            }
+            if dag.parents(t).iter().all(|p| is_done(p.index())) {
+                return Err(AuditViolation::MissingReady { task: t });
+            }
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, ClusterSpec, Running};
+    use spear_dag::topo::ReadyTracker;
+    use spear_dag::{DagBuilder, ResourceVec, Task};
+
+    fn diamond() -> Dag {
+        // 0 -> {1, 2} -> 3
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let l = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.4])));
+        let r = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.4])));
+        let d = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        b.add_edge(a, l).unwrap();
+        b.add_edge(a, r).unwrap();
+        b.add_edge(l, d).unwrap();
+        b.add_edge(r, d).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Steps a first-legal-action episode to termination, auditing after
+    /// every step.
+    #[test]
+    fn clean_episode_passes_every_check() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut sim = SimState::new(&dag, &spec).unwrap();
+        let mut audit = InvariantAuditor::new();
+        audit.check(&dag, &sim).unwrap();
+        while !sim.is_terminal(&dag) {
+            let actions = sim.legal_actions(&dag);
+            sim.apply(&dag, actions[0]).unwrap();
+            audit.check(&dag, &sim).unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_overcommit_breaks_conservation() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        // Push a running entry without subtracting its demand from free.
+        sim.running.push(Running {
+            task: TaskId::new(0),
+            finish: 2,
+        });
+        sim.starts[0] = Some(0);
+        sim.scheduled = 1;
+        sim.max_finish = 2;
+        sim.tracker.take(TaskId::new(0));
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert!(matches!(err, AuditViolation::Conservation { dim: 0, .. }));
+    }
+
+    #[test]
+    fn inflated_free_capacity_is_caught() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.free = ResourceVec::from_slice(&[1.25]);
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert!(matches!(
+            err,
+            AuditViolation::FreeExceedsCapacity { dim: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_used_accounting_is_caught() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        // Shrink `used` while leaving `free` consistent with the running
+        // set — conservation still holds, so only the direct used-vs-
+        // running cross-check can see this.
+        sim.used = ResourceVec::from_slice(&[0.2]);
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert!(matches!(err, AuditViolation::UsedMismatch { dim: 0, .. }));
+    }
+
+    #[test]
+    fn clock_regression_is_caught() {
+        let dag = diamond();
+        let spec = ClusterSpec::unit(1);
+        let mut sim = SimState::new(&dag, &spec).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap();
+        let mut audit = InvariantAuditor::new();
+        audit.check(&dag, &sim).unwrap();
+        sim.clock = 0; // rewind behind the auditor's back
+        let err = audit.check(&dag, &sim).unwrap_err();
+        assert_eq!(err, AuditViolation::ClockRegression { from: 2, to: 0 });
+    }
+
+    #[test]
+    fn stale_ready_entry_is_caught() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        // Replacing the tracker resets the frontier to the sources, so it
+        // re-lists the already-started task 0.
+        sim.tracker = ReadyTracker::new(&dag);
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert_eq!(
+            err,
+            AuditViolation::StaleReady {
+                task: TaskId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn running_finish_must_match_start_plus_runtime() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.running[0].finish = 7; // runtime is 2, start is 0
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert_eq!(
+            err,
+            AuditViolation::StartFinishMismatch {
+                task: TaskId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn scheduled_counter_mismatch_is_caught() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.scheduled = 3;
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert_eq!(
+            err,
+            AuditViolation::CountMismatch {
+                field: "scheduled",
+                recorded: 3,
+                derived: 1
+            }
+        );
+    }
+
+    mod corruption_properties {
+        //! Property tests: whatever (reachable) state an episode is in,
+        //! each class of injected corruption is rejected with the right
+        //! [`AuditViolation`] — and, through [`EpisodeDriver`], surfaces
+        //! as [`SpearError::Audit`] before any further action is taken.
+
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use spear_dag::generator::LayeredDagSpec;
+
+        use super::*;
+        use crate::env::{EpisodeDriver, FnPolicy, NoRng, SimEnv};
+        use crate::{Action, ClusterSpec, Running, SimState, SpearError};
+
+        fn random_dag(num_tasks: usize, seed: u64) -> Dag {
+            let spec = LayeredDagSpec {
+                num_tasks,
+                min_width: 1,
+                max_width: 4,
+                ..LayeredDagSpec::paper_simulation()
+            };
+            spec.generate(&mut StdRng::seed_from_u64(seed))
+        }
+
+        /// Steps a seeded random policy for up to `steps` actions,
+        /// stopping early at terminal states.
+        fn random_prefix(dag: &Dag, sim: &mut SimState, seed: u64, steps: usize) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..steps {
+                if sim.is_terminal(dag) {
+                    break;
+                }
+                let legal = sim.legal_actions(dag);
+                sim.apply(dag, legal[rng.gen_range(0..legal.len())])
+                    .unwrap();
+            }
+        }
+
+        /// Drives the corrupted state through an [`EpisodeDriver`] and
+        /// returns the audit violation it must surface as
+        /// [`SpearError::Audit`] before the first decision.
+        fn driver_verdict(dag: &Dag, spec: &ClusterSpec, sim: SimState) -> AuditViolation {
+            let mut env = SimEnv::from_state(dag, spec, sim);
+            let mut driver = EpisodeDriver::new(FnPolicy(
+                |_: &crate::env::EnvContext<'_>, _: &SimState, legal: &[Action]| legal[0],
+            ))
+            .with_audit(true);
+            match driver.drive(&mut env, &mut NoRng, u64::MAX) {
+                Err(SpearError::Audit(v)) => v,
+                other => panic!("corrupted state was not rejected as an audit error: {other:?}"),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// A running entry injected without resource accounting breaks
+            /// conservation, whatever state the episode was in.
+            #[test]
+            fn injected_overcommit_is_rejected(
+                num_tasks in 2usize..24,
+                dag_seed in any::<u64>(),
+                policy_seed in any::<u64>(),
+                steps in 0usize..20,
+            ) {
+                let dag = random_dag(num_tasks, dag_seed);
+                let spec = ClusterSpec::unit(2);
+                let mut sim = SimState::new(&dag, &spec).unwrap();
+                random_prefix(&dag, &mut sim, policy_seed, steps);
+                let Some(&t) = sim.tracker.ready().first() else {
+                    // Every task is already scheduled; nothing to inject.
+                    return Ok(());
+                };
+                // Mimic schedule_unchecked but skip the `used` update.
+                let finish = sim.clock + dag.task(t).runtime();
+                sim.tracker.take(t);
+                sim.running.push(Running { task: t, finish });
+                sim.starts[t.index()] = Some(sim.clock);
+                sim.scheduled += 1;
+                sim.max_finish = sim.max_finish.max(finish);
+                let v = driver_verdict(&dag, &spec, sim);
+                prop_assert!(
+                    matches!(v, AuditViolation::Conservation { .. }),
+                    "expected Conservation, got {v}"
+                );
+            }
+
+            /// Resetting the tracker re-lists an already-started source:
+            /// a stale ready entry, caught as such.
+            #[test]
+            fn stale_ready_entry_is_rejected(
+                num_tasks in 1usize..24,
+                dag_seed in any::<u64>(),
+            ) {
+                let dag = random_dag(num_tasks, dag_seed);
+                let spec = ClusterSpec::unit(2);
+                let mut sim = SimState::new(&dag, &spec).unwrap();
+                // The first legal action in any initial state schedules a
+                // source (sources always fit an empty cluster).
+                let legal = sim.legal_actions(&dag);
+                sim.apply(&dag, legal[0]).unwrap();
+                sim.tracker = ReadyTracker::new(&dag);
+                let v = driver_verdict(&dag, &spec, sim);
+                prop_assert!(
+                    matches!(v, AuditViolation::StaleReady { .. }),
+                    "expected StaleReady, got {v}"
+                );
+            }
+
+            /// A clock rewound mid-drive is caught as a regression on the
+            /// very next audited step.
+            #[test]
+            fn rewound_clock_is_rejected(
+                num_tasks in 1usize..24,
+                dag_seed in any::<u64>(),
+                policy_seed in any::<u64>(),
+            ) {
+                let dag = random_dag(num_tasks, dag_seed);
+                let spec = ClusterSpec::unit(2);
+                let mut sim = SimState::new(&dag, &spec).unwrap();
+                // Run to termination so the clock is strictly positive.
+                random_prefix(&dag, &mut sim, policy_seed, usize::MAX);
+                prop_assert!(sim.clock() > 0);
+                let mut audit = InvariantAuditor::new();
+                audit.check(&dag, &sim).unwrap();
+                sim.clock = 0;
+                let v = audit.check(&dag, &sim).unwrap_err();
+                prop_assert!(
+                    matches!(v, AuditViolation::ClockRegression { .. }),
+                    "expected ClockRegression, got {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violation_messages_are_nonempty() {
+        let violations = [
+            AuditViolation::UsedMismatch {
+                dim: 0,
+                used: 0.2,
+                committed: 0.5,
+            },
+            AuditViolation::Conservation {
+                dim: 0,
+                free: 1.0,
+                committed: 0.5,
+                capacity: 1.0,
+            },
+            AuditViolation::FreeExceedsCapacity {
+                dim: 1,
+                free: 1.5,
+                capacity: 1.0,
+            },
+            AuditViolation::ClockRegression { from: 5, to: 2 },
+            AuditViolation::StartFinishMismatch {
+                task: TaskId::new(0),
+            },
+            AuditViolation::StaleReady {
+                task: TaskId::new(1),
+            },
+            AuditViolation::MissingReady {
+                task: TaskId::new(2),
+            },
+            AuditViolation::CountMismatch {
+                field: "completed",
+                recorded: 1,
+                derived: 2,
+            },
+        ];
+        for v in violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -22,6 +22,7 @@
 use rand::{Rng, RngCore};
 use spear_dag::Dag;
 
+use crate::audit::InvariantAuditor;
 use crate::{Action, ClusterSpec, Schedule, SimState, SpearError};
 
 /// The static part of an environment an episode runs in: the job and the
@@ -310,13 +311,32 @@ impl DriveOutcome {
     }
 }
 
+/// Whether episodes are audited by default: always in debug builds (every
+/// test exercises the auditor for free), and in release builds only with
+/// the `audit` cargo feature (benchmarks stay unperturbed).
+fn default_auditor() -> Option<InvariantAuditor> {
+    cfg!(any(debug_assertions, feature = "audit")).then(InvariantAuditor::new)
+}
+
 /// Runs episodes of a [`DecisionPolicy`] on an [`Env`], owning the
 /// legal-action scratch buffer so steady-state stepping performs no heap
 /// allocations (PR 1's hot-path contract, now behind one reusable driver).
-#[derive(Debug, Clone, Default)]
+///
+/// In debug builds (and release builds with the `audit` feature) every
+/// driven step is cross-checked by an [`InvariantAuditor`]; auditing is
+/// pure observation, so audited and unaudited episodes are bit-identical.
+/// [`EpisodeDriver::with_audit`] overrides the default.
+#[derive(Debug, Clone)]
 pub struct EpisodeDriver<P> {
     policy: P,
     legal: Vec<Action>,
+    auditor: Option<InvariantAuditor>,
+}
+
+impl<P: Default> Default for EpisodeDriver<P> {
+    fn default() -> Self {
+        EpisodeDriver::new(P::default())
+    }
 }
 
 impl<P> EpisodeDriver<P> {
@@ -325,6 +345,7 @@ impl<P> EpisodeDriver<P> {
         EpisodeDriver {
             policy,
             legal: Vec::new(),
+            auditor: default_auditor(),
         }
     }
 
@@ -332,13 +353,30 @@ impl<P> EpisodeDriver<P> {
     /// paths rebuild a short-lived driver per episode without losing the
     /// buffer's capacity.
     pub fn from_parts(policy: P, legal: Vec<Action>) -> Self {
-        EpisodeDriver { policy, legal }
+        EpisodeDriver {
+            policy,
+            legal,
+            auditor: default_auditor(),
+        }
     }
 
     /// Releases the policy and the scratch buffer (see
     /// [`EpisodeDriver::from_parts`]).
     pub fn into_parts(self) -> (P, Vec<Action>) {
         (self.policy, self.legal)
+    }
+
+    /// Forces invariant auditing on or off, overriding the build-profile
+    /// default (see [`EpisodeDriver::audits`]).
+    #[must_use]
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.auditor = on.then(InvariantAuditor::new);
+        self
+    }
+
+    /// Whether driven steps are being audited.
+    pub fn audits(&self) -> bool {
+        self.auditor.is_some()
     }
 
     /// The wrapped policy.
@@ -354,10 +392,15 @@ impl<P> EpisodeDriver<P> {
     /// Steps `env` until it is terminal or `max_steps` actions were
     /// applied, checking every action's legality ([`Env::step`]).
     ///
+    /// When auditing is on (see [`EpisodeDriver::audits`]), the state is
+    /// cross-checked before the first decision and after every applied
+    /// action; clock monotonicity is tracked within one `drive` call.
+    ///
     /// # Errors
     ///
     /// Returns [`SpearError::Cluster`] if the policy picks an illegal
-    /// action.
+    /// action, or [`SpearError::Audit`] if the state violates a simulation
+    /// invariant.
     pub fn drive<R, E>(
         &mut self,
         env: &mut E,
@@ -369,6 +412,10 @@ impl<P> EpisodeDriver<P> {
         E: Env,
         P: DecisionPolicy<R>,
     {
+        if let Some(auditor) = &mut self.auditor {
+            auditor.reset();
+            auditor.check(env.dag(), env.observe())?;
+        }
         let mut steps = 0u64;
         while !env.is_terminal() {
             if steps >= max_steps {
@@ -379,6 +426,9 @@ impl<P> EpisodeDriver<P> {
             let ctx = env.ctx();
             let action = self.policy.decide(&ctx, env.observe(), &self.legal, rng);
             env.step(action)?;
+            if let Some(auditor) = &mut self.auditor {
+                auditor.check(env.dag(), env.observe())?;
+            }
             steps += 1;
         }
         Ok(DriveOutcome::Terminal { steps })
@@ -388,12 +438,29 @@ impl<P> EpisodeDriver<P> {
     /// [`Env::step_trusted`] — the allocation- and check-free loop for hot
     /// paths whose policies are known to pick only legal actions (legality
     /// is still debug-asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invariant violation when auditing is on — this loop
+    /// has no error channel, and a corrupt state on the trusted path is
+    /// always a bug.
     pub fn drive_trusted<R, E>(&mut self, env: &mut E, rng: &mut R, max_steps: u64) -> DriveOutcome
     where
         R: Rng + ?Sized,
         E: Env,
         P: DecisionPolicy<R>,
     {
+        let audit = |auditor: &mut Option<InvariantAuditor>, env: &E| {
+            if let Some(auditor) = auditor {
+                if let Err(violation) = auditor.check(env.dag(), env.observe()) {
+                    panic!("invariant audit failed on the trusted path: {violation}");
+                }
+            }
+        };
+        if let Some(auditor) = &mut self.auditor {
+            auditor.reset();
+        }
+        audit(&mut self.auditor, env);
         let mut steps = 0u64;
         while !env.is_terminal() {
             if steps >= max_steps {
@@ -404,6 +471,7 @@ impl<P> EpisodeDriver<P> {
             let ctx = env.ctx();
             let action = self.policy.decide(&ctx, env.observe(), &self.legal, rng);
             env.step_trusted(action);
+            audit(&mut self.auditor, env);
             steps += 1;
         }
         DriveOutcome::Terminal { steps }

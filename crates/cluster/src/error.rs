@@ -6,6 +6,8 @@ use std::fmt;
 use spear_dag::stg::StgError;
 use spear_dag::{DagError, TaskId};
 
+use crate::audit::AuditViolation;
+
 /// Errors from cluster construction, simulation steps and schedule
 /// validation.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +114,9 @@ pub enum SpearError {
     /// An episode ended (or was read) before reaching the terminal state,
     /// e.g. asking a truncated driver run for a complete schedule.
     IncompleteEpisode,
+    /// The invariant auditor found the simulation state internally
+    /// inconsistent (see [`AuditViolation`]).
+    Audit(AuditViolation),
     /// A wrapped error with a human-readable breadcrumb.
     Context {
         /// What the failing operation was doing.
@@ -150,6 +155,7 @@ impl fmt::Display for SpearError {
             SpearError::IncompleteEpisode => {
                 write!(f, "episode ended before reaching the terminal state")
             }
+            SpearError::Audit(v) => write!(f, "invariant audit failed: {v}"),
             SpearError::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -162,6 +168,7 @@ impl Error for SpearError {
             SpearError::Dag(e) => Some(e),
             SpearError::Stg(e) => Some(e),
             SpearError::IncompleteEpisode => None,
+            SpearError::Audit(v) => Some(v),
             SpearError::Context { source, .. } => Some(source.as_ref()),
         }
     }
@@ -182,6 +189,12 @@ impl From<DagError> for SpearError {
 impl From<StgError> for SpearError {
     fn from(e: StgError) -> Self {
         SpearError::Stg(e)
+    }
+}
+
+impl From<AuditViolation> for SpearError {
+    fn from(v: AuditViolation) -> Self {
+        SpearError::Audit(v)
     }
 }
 

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod audit;
 pub mod env;
 mod error;
 mod schedule;
@@ -51,6 +52,7 @@ mod state;
 mod timeline;
 
 pub use action::Action;
+pub use audit::{AuditViolation, InvariantAuditor};
 pub use env::{
     DecisionPolicy, DriveOutcome, Env, EnvContext, EpisodeDriver, FnPolicy, NoRng, SimEnv,
 };

@@ -1,7 +1,7 @@
 //! Finished schedules and their validation.
 
 use serde::{Deserialize, Serialize};
-use spear_dag::{Dag, ResourceVec, TaskId};
+use spear_dag::{Dag, ResourceVec, TaskId, FIT_EPSILON};
 
 use crate::{ClusterError, ClusterSpec};
 
@@ -230,7 +230,7 @@ impl Schedule {
                 used.add_assign(demand);
                 if !used.fits_within(spec.capacity()) {
                     let dim = (0..spec.dims())
-                        .find(|&r| used[r] > spec.capacity()[r] + 1e-9)
+                        .find(|&r| used[r] > spec.capacity()[r] + FIT_EPSILON)
                         .unwrap_or(0);
                     return Err(ClusterError::CapacityViolation { time, dim });
                 }

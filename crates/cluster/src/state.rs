@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use spear_dag::topo::ReadyTracker;
-use spear_dag::{Dag, ResourceVec, TaskId};
+use spear_dag::{Dag, ResourceVec, TaskId, FIT_EPSILON};
 
 use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule};
 
@@ -29,13 +29,28 @@ pub struct Running {
 /// pruning).
 #[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimState {
-    clock: u64,
-    free: ResourceVec,
-    running: Vec<Running>,
-    tracker: ReadyTracker,
-    starts: Vec<Option<u64>>,
-    scheduled: usize,
-    max_finish: u64,
+    // Fields are `pub(crate)` so the invariant auditor (`crate::audit`) can
+    // cross-check them — and its tests can corrupt them — without widening
+    // the public API.
+    pub(crate) clock: u64,
+    pub(crate) capacity: ResourceVec,
+    // `used` is the accounting truth: the summed demand of the running set,
+    // and the basis of every admission decision. Sum-based admission
+    // (`used + demand <= capacity + FIT_EPSILON`) is order-independent and
+    // cannot stack more than one epsilon of over-commit, unlike the
+    // per-admission `demand <= free + FIT_EPSILON` rule it replaced, whose
+    // saturating subtraction let epsilon debt survive partial completions
+    // and made feasibility depend on the order tasks were admitted in.
+    pub(crate) used: ResourceVec,
+    // Derived view `max(0, capacity - used)`, refreshed after every
+    // mutation of `used`; kept as a field so `free()` can return a
+    // reference without allocating.
+    pub(crate) free: ResourceVec,
+    pub(crate) running: Vec<Running>,
+    pub(crate) tracker: ReadyTracker,
+    pub(crate) starts: Vec<Option<u64>>,
+    pub(crate) scheduled: usize,
+    pub(crate) max_finish: u64,
 }
 
 // Manual `Clone` so `clone_from` reuses every interior allocation. MCTS
@@ -45,6 +60,8 @@ impl Clone for SimState {
     fn clone(&self) -> Self {
         SimState {
             clock: self.clock,
+            capacity: self.capacity.clone(),
+            used: self.used.clone(),
             free: self.free.clone(),
             running: self.running.clone(),
             tracker: self.tracker.clone(),
@@ -56,6 +73,8 @@ impl Clone for SimState {
 
     fn clone_from(&mut self, source: &Self) {
         self.clock = source.clock;
+        self.capacity.clone_from(&source.capacity);
+        self.used.clone_from(&source.used);
         self.free.clone_from(&source.free);
         self.running.clone_from(&source.running);
         self.tracker.clone_from(&source.tracker);
@@ -77,6 +96,8 @@ impl SimState {
         spec.validate_dag(dag)?;
         Ok(SimState {
             clock: 0,
+            capacity: spec.capacity().clone(),
+            used: ResourceVec::zeros(spec.capacity().dims()),
             free: spec.capacity().clone(),
             running: Vec::new(),
             tracker: ReadyTracker::new(dag),
@@ -92,10 +113,27 @@ impl SimState {
         self.clock
     }
 
-    /// Free capacity at the current time.
+    /// Free capacity at the current time: `max(0, capacity - used)` per
+    /// dimension. This is a derived view for featurization and scoring;
+    /// admission decisions compare against [`SimState::used`] directly so
+    /// that feasibility is independent of admission order.
     #[inline]
     pub fn free(&self) -> &ResourceVec {
         &self.free
+    }
+
+    /// Summed demand of the running set — the accounting truth behind
+    /// every admission decision. May exceed capacity by at most
+    /// [`FIT_EPSILON`] per dimension (one epsilon-tolerant admission).
+    #[inline]
+    pub fn used(&self) -> &ResourceVec {
+        &self.used
+    }
+
+    /// Total cluster capacity the state was created with.
+    #[inline]
+    pub fn capacity(&self) -> &ResourceVec {
+        &self.capacity
     }
 
     /// Tasks currently occupying the cluster.
@@ -153,9 +191,23 @@ impl SimState {
         self.running.iter().map(|r| r.finish).min()
     }
 
-    /// Whether `task` is ready and fits the current free capacity.
+    /// Sum-based feasibility: `used + demand <= capacity + FIT_EPSILON` in
+    /// every dimension. The same arithmetic as `Schedule::validate` and the
+    /// `ResourceTimeline`, so the three can never disagree about what fits.
+    #[inline]
+    fn admits(&self, demand: &ResourceVec) -> bool {
+        debug_assert_eq!(demand.dims(), self.capacity.dims());
+        self.used
+            .as_slice()
+            .iter()
+            .zip(demand.as_slice())
+            .zip(self.capacity.as_slice())
+            .all(|((&u, &d), &c)| u + d <= c + FIT_EPSILON)
+    }
+
+    /// Whether `task` is ready and fits the remaining capacity.
     pub fn can_schedule(&self, dag: &Dag, task: TaskId) -> bool {
-        self.tracker.ready().contains(&task) && dag.task(task).demand().fits_within(&self.free)
+        self.tracker.ready().contains(&task) && self.admits(dag.task(task).demand())
     }
 
     /// The legal actions in this state, in deterministic order (schedules
@@ -189,7 +241,7 @@ impl SimState {
     pub fn legal_actions_into(&self, dag: &Dag, out: &mut Vec<Action>) {
         out.clear();
         for &t in self.tracker.ready() {
-            if dag.task(t).demand().fits_within(&self.free) {
+            if self.admits(dag.task(t).demand()) {
                 out.push(Action::Schedule(t));
             }
         }
@@ -218,7 +270,7 @@ impl SimState {
                 if !self.tracker.ready().contains(&task) {
                     return Err(ClusterError::TaskNotReady(task));
                 }
-                if !dag.task(task).demand().fits_within(&self.free) {
+                if !self.admits(dag.task(task).demand()) {
                     return Err(ClusterError::InsufficientResources(task));
                 }
                 self.schedule_unchecked(dag, task);
@@ -245,7 +297,7 @@ impl SimState {
         match action {
             Action::Schedule(task) => {
                 debug_assert!(self.tracker.ready().contains(&task));
-                debug_assert!(dag.task(task).demand().fits_within(&self.free));
+                debug_assert!(self.admits(dag.task(task).demand()));
                 self.schedule_unchecked(dag, task);
             }
             Action::Process => {
@@ -257,7 +309,8 @@ impl SimState {
 
     fn schedule_unchecked(&mut self, dag: &Dag, task: TaskId) {
         self.tracker.take(task);
-        self.free.saturating_sub_assign(dag.task(task).demand());
+        self.used.add_assign(dag.task(task).demand());
+        self.refresh_free();
         let finish = self.clock + dag.task(task).runtime();
         self.running.push(Running { task, finish });
         self.starts[task.index()] = Some(self.clock);
@@ -274,12 +327,27 @@ impl SimState {
         while i < self.running.len() {
             if self.running[i].finish == next {
                 let done = self.running.swap_remove(i);
-                self.free.add_assign(dag.task(done.task).demand());
+                // Saturating: adds and subtractions of the same demands do
+                // not cancel exactly in floating point, so an empty cluster
+                // could otherwise record a tiny negative `used`.
+                self.used
+                    .saturating_sub_assign(dag.task(done.task).demand());
                 self.tracker.complete_in_place(dag, done.task);
             } else {
                 i += 1;
             }
         }
+        self.refresh_free();
+    }
+
+    /// Rebuilds the derived `free` view from `capacity` and `used`. The
+    /// saturating subtraction clamps at zero, so `free` never exceeds the
+    /// capacity and never goes negative — even in the (legal) state where
+    /// an epsilon-tolerant admission pushed `used` slightly past capacity.
+    #[inline]
+    fn refresh_free(&mut self) {
+        self.free.clone_from(&self.capacity);
+        self.free.saturating_sub_assign(&self.used);
     }
 
     /// Runs the simulation to completion, letting `policy` pick among the
@@ -468,6 +536,100 @@ mod tests {
         assert!((sim.free()[0] - 0.4).abs() < 1e-9);
         sim.apply(&dag, Action::Process).unwrap();
         assert!((sim.free()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_epsilon_admissions_do_not_inflate_free_capacity() {
+        // Each task demands slightly more than the full capacity — legal,
+        // because feasibility tolerates FIT_EPSILON. The derived `free`
+        // view saturates at zero while the task runs and must return to
+        // exactly the capacity once it completes; the pre-fix sequential
+        // bookkeeping instead drifted `free` up by one epsilon per cycle.
+        let over = 1.0 + 0.9 * FIT_EPSILON;
+        let cycles = 64;
+        let mut b = DagBuilder::new(1);
+        for _ in 0..cycles {
+            b.add_task(Task::new(1, ResourceVec::from_slice(&[over])));
+        }
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(1);
+        let mut sim = SimState::new(&dag, &spec).unwrap();
+        for i in 0..cycles {
+            sim.apply(&dag, Action::Schedule(TaskId::new(i))).unwrap();
+            sim.apply(&dag, Action::Process).unwrap();
+            // The clamp makes this exact (not merely within FIT_EPSILON):
+            // an idle cluster reports precisely its capacity as free.
+            assert!(
+                sim.free()[0] <= spec.capacity()[0],
+                "free capacity drifted to {} after {} schedule/process cycles",
+                sim.free()[0],
+                i + 1
+            );
+        }
+        assert!(sim.is_terminal(&dag));
+        // With the clamp, free is restored to exactly the capacity.
+        assert_eq!(sim.free()[0], spec.capacity()[0]);
+    }
+
+    #[test]
+    fn epsilon_debt_does_not_survive_partial_completions() {
+        // The bug the differential fuzzer caught: with the old
+        // `demand <= free + FIT_EPSILON` admission rule, the saturating
+        // subtraction forgot how far an epsilon-admission had overshot, so
+        // after a *partial* completion the restored `free` overstated the
+        // true residual and a further epsilon-admission could push the
+        // concurrent usage past `capacity + FIT_EPSILON` — a schedule that
+        // `Schedule::validate` and the `ResourceTimeline` then rejected.
+        // Sum-based admission keeps one shared epsilon for the whole
+        // running set.
+        let eps = FIT_EPSILON;
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5 + 0.6 * eps])));
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5 + 0.2 * eps])));
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5 + 0.9 * eps])));
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(1);
+        let mut sim = SimState::new(&dag, &spec).unwrap();
+        // Both first tasks fit together: 1.0 + 0.8e-9 <= 1.0 + 1e-9.
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap(); // t=1: task 0 done
+        assert_eq!(sim.clock(), 1);
+        // Task 2 with the still-running task 1 would use 1.0 + 1.1e-9 —
+        // past the shared epsilon. The old rule admitted it here.
+        assert!(!sim.can_schedule(&dag, TaskId::new(2)));
+        assert_eq!(
+            sim.apply(&dag, Action::Schedule(TaskId::new(2)))
+                .unwrap_err(),
+            ClusterError::InsufficientResources(TaskId::new(2))
+        );
+        sim.apply(&dag, Action::Process).unwrap(); // t=2: task 1 done
+        sim.apply(&dag, Action::Schedule(TaskId::new(2))).unwrap();
+        sim.apply(&dag, Action::Process).unwrap();
+        assert_eq!(sim.makespan(), Some(3));
+        sim.into_schedule(&dag).validate(&dag, &spec).unwrap();
+    }
+
+    #[test]
+    fn admission_is_independent_of_schedule_order() {
+        // Sum-based admission must not care which same-clock task was
+        // admitted first — the differential replay normalizes to task-id
+        // order, and the old free-based rule could disagree with the
+        // episode's own order near the epsilon boundary.
+        let eps = FIT_EPSILON;
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5 + 0.6 * eps])));
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5 + 0.2 * eps])));
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(1);
+        for order in [[0usize, 1], [1, 0]] {
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            for i in order {
+                sim.apply(&dag, Action::Schedule(TaskId::new(i))).unwrap();
+            }
+            sim.apply(&dag, Action::Process).unwrap();
+            assert_eq!(sim.makespan(), Some(1), "order {order:?}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   cluster occupancy as part of the network input.
 
 use serde::{Deserialize, Serialize};
-use spear_dag::ResourceVec;
+use spear_dag::{ResourceVec, FIT_EPSILON};
 
 /// A growable occupancy grid over time slots for a fixed-capacity cluster.
 ///
@@ -66,10 +66,28 @@ impl ResourceTimeline {
     }
 
     /// Whether `demand` fits in every slot of `[start, start + duration)`.
+    ///
+    /// Overflow-safe: an interval that would run past `u64::MAX` on the
+    /// time axis does not fit (rather than wrapping or panicking on
+    /// `start + duration`). Allocation-free: slots are compared
+    /// component-wise in place — this sits inside Graphene's packing loop,
+    /// which probes `O(horizon)` candidate starts per task.
     pub fn fits(&self, demand: &ResourceVec, start: u64, duration: u64) -> bool {
-        (start..start + duration).all(|s| {
-            let total = self.used_at(s).add(demand);
-            total.fits_within(&self.capacity)
+        if !demand.fits_within(&self.capacity) {
+            return false;
+        }
+        let Some(end) = start.checked_add(duration) else {
+            return false;
+        };
+        // Slots at or beyond the horizon are empty, so only the
+        // materialized prefix needs a per-slot check.
+        let end = end.min(self.horizon());
+        (start..end).all(|s| {
+            let used = self.used[s as usize].as_slice();
+            used.iter()
+                .zip(demand.as_slice())
+                .zip(self.capacity.as_slice())
+                .all(|((&u, &d), &c)| u + d <= c + FIT_EPSILON)
         })
     }
 
@@ -79,22 +97,29 @@ impl ResourceTimeline {
     ///
     /// # Panics
     ///
-    /// Panics if `demand` exceeds the cluster capacity (it would never fit)
-    /// or `duration` is zero.
+    /// Panics if `demand` exceeds the cluster capacity (it would never
+    /// fit), `duration` is zero, or no start at or after `not_before` lets
+    /// the task finish by `u64::MAX` (the interval would run off the end of
+    /// the time axis).
     pub fn earliest_start(&self, demand: &ResourceVec, duration: u64, not_before: u64) -> u64 {
         assert!(duration > 0, "duration must be positive");
         assert!(
             demand.fits_within(&self.capacity),
             "demand exceeds cluster capacity"
         );
+        let last_feasible = u64::MAX - duration;
         let mut t = not_before;
         loop {
+            assert!(
+                t <= last_feasible,
+                "no feasible start before the end of the time axis"
+            );
             if self.fits(demand, t, duration) {
                 return t;
             }
             t += 1;
             // Beyond the horizon everything is free; the loop terminates.
-            debug_assert!(t <= self.horizon() + 1);
+            debug_assert!(t <= self.horizon().saturating_add(1));
         }
     }
 
@@ -121,8 +146,13 @@ impl ResourceTimeline {
     /// grid as needed. Placement is unchecked — callers decide whether to
     /// respect capacity (Graphene's virtual space never overflows because
     /// it only places at `earliest_start`/`latest_start` results).
+    ///
+    /// The occupied interval saturates at `u64::MAX` rather than wrapping:
+    /// a placement that would run past the end of the time axis is clamped
+    /// to end there (adversarial trace inputs used to wrap `start +
+    /// duration` in release builds and panic in debug builds).
     pub fn place(&mut self, demand: &ResourceVec, start: u64, duration: u64) {
-        let end = (start + duration) as usize;
+        let end = start.saturating_add(duration) as usize;
         while self.used.len() < end {
             self.used.push(ResourceVec::zeros(self.capacity.dims()));
         }
@@ -223,6 +253,45 @@ mod tests {
     fn earliest_start_rejects_oversized_demand() {
         let tl = unit();
         tl.earliest_start(&ResourceVec::from_slice(&[1.5, 0.0]), 1, 0);
+    }
+
+    #[test]
+    fn fits_is_overflow_safe_at_the_end_of_the_time_axis() {
+        let tl = unit();
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        // The interval [u64::MAX, u64::MAX + 1) runs off the time axis.
+        assert!(!tl.fits(&d, u64::MAX, 1));
+        assert!(!tl.fits(&d, u64::MAX - 5, 6));
+        assert!(!tl.fits(&d, 1, u64::MAX));
+        // Ending exactly at u64::MAX is still representable.
+        assert!(tl.fits(&d, u64::MAX - 5, 5));
+        assert!(tl.fits(&d, 0, u64::MAX));
+    }
+
+    #[test]
+    fn latest_start_is_overflow_safe_at_extreme_deadlines() {
+        let tl = unit();
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        // Backward packing from the largest representable deadline must not
+        // wrap when probing `start + duration`.
+        assert_eq!(tl.latest_start(&d, 3, u64::MAX), Some(u64::MAX - 3));
+        assert_eq!(tl.latest_start(&d, u64::MAX, u64::MAX), Some(0));
+    }
+
+    #[test]
+    fn earliest_start_succeeds_at_the_last_feasible_slot() {
+        let tl = unit();
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        // Plenty of room when the interval still ends by u64::MAX.
+        assert_eq!(tl.earliest_start(&d, 5, u64::MAX - 5), u64::MAX - 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible start before the end of the time axis")]
+    fn earliest_start_panics_when_no_start_fits_on_the_time_axis() {
+        let tl = unit();
+        let d = ResourceVec::from_slice(&[0.5, 0.5]);
+        tl.earliest_start(&d, 5, u64::MAX - 4);
     }
 
     #[test]

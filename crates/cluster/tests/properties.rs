@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use spear_cluster::{Action, ClusterSpec, ResourceTimeline, SimState};
 use spear_dag::generator::LayeredDagSpec;
-use spear_dag::{Dag, ResourceVec};
+use spear_dag::{Dag, ResourceVec, FIT_EPSILON};
 
 fn random_dag(num_tasks: usize, seed: u64) -> Dag {
     let spec = LayeredDagSpec {
@@ -175,7 +175,7 @@ proptest! {
         }
         // Post: no slot exceeds capacity.
         for s in 0..tl.horizon() {
-            prop_assert!(tl.used_at(s)[0] <= 1.0 + 1e-9);
+            prop_assert!(tl.used_at(s)[0] <= 1.0 + FIT_EPSILON);
         }
     }
 
@@ -196,7 +196,7 @@ proptest! {
             }
         }
         for s in 0..tl.horizon() {
-            prop_assert!(tl.used_at(s)[0] <= 1.0 + 1e-9);
+            prop_assert!(tl.used_at(s)[0] <= 1.0 + FIT_EPSILON);
         }
     }
 }

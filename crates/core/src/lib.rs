@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diffcheck;
 pub mod fixtures;
 mod pipeline;
 mod spear;
@@ -71,10 +72,15 @@ pub use spear_trace as trace;
 // The environment layer: unified episode stepping for every consumer.
 pub use spear_cluster::env;
 
+// The simulation invariant auditor (on by default in debug builds; the
+// `audit` feature keeps it on in release).
+pub use spear_cluster::audit;
+
 // The most-used types at the top level.
 pub use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, SimEnv};
 pub use spear_cluster::{
-    Action, ClusterError, ClusterSpec, ErrorContext, Placement, Schedule, SimState, SpearError,
+    Action, AuditViolation, ClusterError, ClusterSpec, ErrorContext, InvariantAuditor, Placement,
+    Schedule, SimState, SpearError,
 };
 pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
 pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats};

@@ -1,0 +1,122 @@
+//! Differential schedule fuzzing (tier-1 slice).
+//!
+//! Runs a seeded `LayeredDagSpec` × scheduler-roster corpus through the
+//! three-way checker of [`spear::diffcheck`] and verifies every committed
+//! regression fixture under `tests/fixtures/`. The CI fuzz job
+//! (`fuzz_differential` in `spear-bench`) runs the same harness over a
+//! much larger corpus in release; this debug slice keeps the harness
+//! itself honest on every `cargo test` — with the invariant auditor on,
+//! since debug builds audit all `EpisodeDriver` episodes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use spear::diffcheck::{corpus, shrink_dag, CaseSpec, Fixture, SchedulerKind};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+/// The tier-1 corpus: small but crossing the full roster, both plain and
+/// epsilon-jittered. The CI job runs ≥ 200 cases; this slice must stay
+/// fast enough for debug builds.
+#[test]
+fn seeded_corpus_has_no_three_way_disagreements() {
+    let mut failures = Vec::new();
+    for case in corpus(32, 0xD1FF) {
+        match case.run() {
+            Ok(tri) if tri.all_ok() => {}
+            Ok(tri) => failures.push(format!("{}: {}", case.label(), tri.summary())),
+            Err(e) => failures.push(format!("{}: {e}", case.label())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "differential failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Every committed fixture must (a) parse, (b) re-run its scheduler, and
+/// (c) now pass all three judges — a fixture that fails again means a
+/// fixed bug regressed.
+#[test]
+fn committed_fixtures_all_pass_three_ways() {
+    let dir = fixtures_dir();
+    let mut seen = 0;
+    for entry in fs::read_dir(&dir).expect("tests/fixtures must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        seen += 1;
+        let raw = fs::read_to_string(&path).unwrap();
+        let fixture =
+            Fixture::from_json(&raw).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let tri = fixture.verify();
+        assert!(
+            tri.all_ok(),
+            "fixture {} regressed: {}",
+            fixture.name,
+            tri.summary()
+        );
+    }
+    assert!(seen >= 1, "no fixtures found in {}", dir.display());
+}
+
+/// The epsilon-admission region specifically: jittered demands across many
+/// seeds on the cheap schedulers, where the drift bug used to live.
+#[test]
+fn epsilon_boundary_sweep_stays_consistent() {
+    let mut failures = Vec::new();
+    for seed in 0..12u64 {
+        for scheduler in [SchedulerKind::Tetris, SchedulerKind::Sjf, SchedulerKind::Cp] {
+            let case = CaseSpec {
+                seed,
+                num_tasks: 14,
+                dims: 1,
+                scheduler,
+                epsilon_jitter: true,
+            };
+            match case.run() {
+                Ok(tri) if tri.all_ok() => {}
+                Ok(tri) => failures.push(format!("{}: {}", case.label(), tri.summary())),
+                Err(e) => failures.push(format!("{}: {e}", case.label())),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "epsilon sweep failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// End-to-end shrink: a synthetic failure predicate minimizes to a small
+/// witness that still round-trips through the fixture format.
+#[test]
+fn shrunk_witness_round_trips_as_fixture() {
+    let case = CaseSpec {
+        seed: 5,
+        num_tasks: 20,
+        dims: 2,
+        scheduler: SchedulerKind::Tetris,
+        epsilon_jitter: false,
+    };
+    let dag = case.dag();
+    // Synthetic "bug": the DAG contains an edge (shrinks to 2 tasks).
+    let small = shrink_dag(&dag, |d| !d.edges().is_empty());
+    assert!(small.len() <= 3, "shrunk to {} tasks", small.len());
+    assert!(!small.edges().is_empty());
+    let fixture = Fixture::from_parts(
+        "shrunk-witness",
+        "synthetic shrink round-trip",
+        case.scheduler,
+        case.seed,
+        &small,
+        &case.cluster(),
+    );
+    let parsed = Fixture::from_json(&fixture.to_json()).unwrap();
+    assert_eq!(parsed.dag().len(), small.len());
+    assert_eq!(parsed.dag().edges(), small.edges());
+}

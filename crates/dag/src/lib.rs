@@ -42,5 +42,5 @@ pub mod topo;
 
 pub use error::DagError;
 pub use graph::{Dag, DagBuilder, Edge};
-pub use resources::ResourceVec;
+pub use resources::{ResourceVec, FIT_EPSILON};
 pub use task::{Task, TaskId};

@@ -136,6 +136,21 @@ impl ResourceVec {
         )
     }
 
+    /// Clamps every component of `self` to at most the matching component
+    /// of `upper`, in place — e.g. to keep a derived free-capacity view
+    /// from exceeding the cluster capacity it was derived from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[inline]
+    pub fn clamp_assign(&mut self, upper: &ResourceVec) {
+        assert_eq!(self.dims(), upper.dims(), "resource dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&upper.0) {
+            *a = a.min(*b);
+        }
+    }
+
     /// Subtracts `other` from `self` in place, clamping at zero.
     ///
     /// # Panics
@@ -209,9 +224,14 @@ impl ResourceVec {
     }
 }
 
-/// Tolerance used by [`ResourceVec::fits_within`] to absorb floating-point
-/// drift from repeated add/sub bookkeeping.
-pub(crate) const FIT_EPSILON: f64 = 1e-9;
+/// The single feasibility tolerance of the workspace: every demand-vs-
+/// capacity comparison — [`ResourceVec::fits_within`], schedule validation,
+/// the resource timeline and the invariant auditor — uses this constant, so
+/// the simulator, the validators and the auditors can never disagree about
+/// what "fits" means. It absorbs the floating-point drift of repeated
+/// add/sub bookkeeping; do not hand-roll other `1e-9`-style literals for
+/// feasibility checks.
+pub const FIT_EPSILON: f64 = 1e-9;
 
 impl Index<usize> for ResourceVec {
     type Output = f64;
@@ -292,6 +312,13 @@ mod tests {
         let a = ResourceVec::from_slice(&[0.1]);
         let b = ResourceVec::from_slice(&[0.5]);
         assert_eq!(a.saturating_sub(&b)[0], 0.0);
+    }
+
+    #[test]
+    fn clamp_assign_caps_components() {
+        let mut a = ResourceVec::from_slice(&[1.5, 0.2]);
+        a.clamp_assign(&ResourceVec::from_slice(&[1.0, 1.0]));
+        assert_eq!(a.as_slice(), &[1.0, 0.2]);
     }
 
     #[test]

@@ -261,7 +261,9 @@ impl Featurizer {
         view.mask.resize(cfg.action_dim(), false);
         for (slot, task) in view.slot_tasks.iter().enumerate() {
             if let Some(t) = *task {
-                view.mask[slot] = dag.task(t).demand().fits_within(state.free());
+                // Route through the simulator's own admission rule so the
+                // mask can never disagree with `SimState::legal_actions`.
+                view.mask[slot] = state.can_schedule(dag, t);
             }
         }
         view.mask[cfg.process_action()] = !state.running().is_empty();
