@@ -12,7 +12,11 @@
 //!   the committed baseline (run once *before* an optimization lands).
 //! * `bench_hotpath --quick` — a seconds-scale smoke configuration for CI;
 //!   writes `BENCH_mcts_quick.json` instead and never compares against the
-//!   full baseline.
+//!   full baseline. Quick mode additionally asserts the pinned golden
+//!   makespans and exits nonzero on drift, so the CI job catches
+//!   bit-exactness regressions, not just panics.
+//! * `bench_hotpath --no-eval-cache` — disables the fingerprint-keyed
+//!   inference cache (differential runs; makespans must not move).
 //!
 //! Makespans per DAG are part of the output: across a pure performance
 //! refactor they must not move (the same check the golden determinism
@@ -38,32 +42,71 @@ const WORKLOAD_SEED: u64 = 42;
 const SEARCH_SEED: u64 = 7;
 
 /// Throughput and determinism record of one scheduler family.
+///
+/// The cache fields carry `#[serde(default)]` so baselines written before
+/// the eval cache existed still parse (they read as all-zero).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SectionMetrics {
     iterations: u64,
     rollout_steps: u64,
     policy_inferences: u64,
+    #[serde(default)]
+    cache_hits: u64,
+    #[serde(default)]
+    cache_misses: u64,
+    #[serde(default)]
+    cache_evictions: u64,
+    #[serde(default)]
+    inference_skips: u64,
     elapsed_seconds: f64,
     iterations_per_sec: f64,
     rollout_steps_per_sec: f64,
     policy_inferences_per_sec: f64,
+    /// hits / (hits + misses) — the fraction of cache probes served.
+    #[serde(default)]
+    cache_hit_rate: f64,
+    /// skips / (hits + misses + skips) — the fraction of decision points
+    /// that never consulted the network's distribution at all.
+    #[serde(default)]
+    inference_skip_ratio: f64,
     makespans: Vec<u64>,
 }
 
 impl SectionMetrics {
     fn from_runs(runs: &[(u64, SearchStats)], elapsed_seconds: f64) -> Self {
-        let iterations: u64 = runs.iter().map(|(_, s)| s.iterations).sum();
-        let rollout_steps: u64 = runs.iter().map(|(_, s)| s.rollout_steps).sum();
-        let policy_inferences: u64 = runs.iter().map(|(_, s)| s.policy_inferences).sum();
+        let sum = |f: fn(&SearchStats) -> u64| runs.iter().map(|(_, s)| f(s)).sum::<u64>();
+        let iterations = sum(|s| s.iterations);
+        let rollout_steps = sum(|s| s.rollout_steps);
+        let policy_inferences = sum(|s| s.policy_inferences);
+        let cache_hits = sum(|s| s.cache_hits);
+        let cache_misses = sum(|s| s.cache_misses);
+        let cache_evictions = sum(|s| s.cache_evictions);
+        let inference_skips = sum(|s| s.inference_skips);
         let per_sec = |count: u64| count as f64 / elapsed_seconds.max(1e-9);
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         SectionMetrics {
             iterations,
             rollout_steps,
             policy_inferences,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            inference_skips,
             elapsed_seconds,
             iterations_per_sec: per_sec(iterations),
             rollout_steps_per_sec: per_sec(rollout_steps),
             policy_inferences_per_sec: per_sec(policy_inferences),
+            cache_hit_rate: ratio(cache_hits, cache_hits + cache_misses),
+            inference_skip_ratio: ratio(
+                inference_skips,
+                cache_hits + cache_misses + inference_skips,
+            ),
             makespans: runs.iter().map(|&(m, _)| m).collect(),
         }
     }
@@ -159,7 +202,7 @@ fn pure_scheduler(params: &ModeParams) -> MctsScheduler {
     })
 }
 
-fn drl_scheduler(params: &ModeParams) -> MctsScheduler {
+fn drl_scheduler(params: &ModeParams, eval_cache: bool) -> MctsScheduler {
     // An untrained paper-architecture policy: inference cost is identical
     // to a trained one, and no multi-minute training enters the harness.
     let mut rng = StdRng::seed_from_u64(0);
@@ -169,22 +212,26 @@ fn drl_scheduler(params: &ModeParams) -> MctsScheduler {
             initial_budget: params.drl_budget.0,
             min_budget: params.drl_budget.1,
             seed: SEARCH_SEED,
+            eval_cache,
             ..MctsConfig::default()
         },
         policy,
     )
 }
 
-fn run_report(params: &ModeParams) -> HotpathReport {
+fn run_report(params: &ModeParams, eval_cache: bool) -> HotpathReport {
     let dags = workload::simulation_dags(params.dags, params.tasks, WORKLOAD_SEED);
     let spec = workload::cluster();
     eprintln!(
-        "[bench_hotpath] {} mode: {} DAGs x {} tasks",
-        params.tag, params.dags, params.tasks
+        "[bench_hotpath] {} mode: {} DAGs x {} tasks (eval cache {})",
+        params.tag,
+        params.dags,
+        params.tasks,
+        if eval_cache { "on" } else { "off" }
     );
     let (pure_runs, pure_elapsed) = measure(&dags, &spec, pure_scheduler(params));
     eprintln!("[bench_hotpath] pure MCTS done in {pure_elapsed:.2}s");
-    let (drl_runs, drl_elapsed) = measure(&dags, &spec, drl_scheduler(params));
+    let (drl_runs, drl_elapsed) = measure(&dags, &spec, drl_scheduler(params, eval_cache));
     eprintln!("[bench_hotpath] DRL-guided done in {drl_elapsed:.2}s");
     HotpathReport {
         mode: params.tag.to_string(),
@@ -200,13 +247,33 @@ fn comparable(a: &HotpathReport, b: &HotpathReport) -> bool {
     a.mode == b.mode && a.dags == b.dags && a.tasks == b.tasks && a.workload_seed == b.workload_seed
 }
 
+/// Pinned quick-mode makespans (2 DAGs × 30 tasks, seed 42). The quick
+/// run doubles as a CI smoke job: any drift here means a perf change
+/// stopped being bit-exact, and the binary exits nonzero.
+const QUICK_GOLDEN_PURE: [u64; 2] = [203, 208];
+const QUICK_GOLDEN_DRL: [u64; 2] = [233, 229];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let save_baseline = args.iter().any(|a| a == "--save-baseline");
+    let eval_cache = !args.iter().any(|a| a == "--no-eval-cache");
     let params = if quick { &QUICK } else { &FULL };
 
-    let report = run_report(params);
+    let report = run_report(params, eval_cache);
+
+    if quick {
+        let golden_ok =
+            report.pure.makespans == QUICK_GOLDEN_PURE && report.drl.makespans == QUICK_GOLDEN_DRL;
+        if !golden_ok {
+            eprintln!(
+                "[bench_hotpath] GOLDEN MISMATCH: pure {:?} (want {:?}), drl {:?} (want {:?})",
+                report.pure.makespans, QUICK_GOLDEN_PURE, report.drl.makespans, QUICK_GOLDEN_DRL
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench_hotpath] quick golden makespans OK");
+    }
 
     let baseline: Option<HotpathReport> = std::fs::read_to_string(baseline_path())
         .ok()
@@ -231,6 +298,15 @@ fn main() {
         report.drl.rollout_steps_per_sec,
         report.drl.policy_inferences_per_sec,
         report.drl.makespans
+    );
+    println!(
+        "drl cache: {} hits / {} misses / {} evictions ({:.1}% hit rate), {} singleton skips ({:.1}% of decision points)",
+        report.drl.cache_hits,
+        report.drl.cache_misses,
+        report.drl.cache_evictions,
+        100.0 * report.drl.cache_hit_rate,
+        report.drl.inference_skips,
+        100.0 * report.drl.inference_skip_ratio
     );
     if let Some(s) = &speedup {
         println!(

@@ -22,7 +22,7 @@ USAGE:
   spear-cli schedule (--dag file.json | --stg file.stg [--drop-dummies])
                      [--algo spear|mcts|tetris|sjf|cp|graphene|random]
                      [--budget 100] [--min-budget 50] [--policy policy.json]
-                     [--capacity 1.0] [--seed 0] [--gantt]
+                     [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
   spear-cli train    [--profile tiny|fast|paper] --output policy.json
   spear-cli evaluate [--tasks 100] [--dags 5] [--seed 0] [--budget 200]
   spear-cli stats    (--dag file.json | --stg file.stg | --trace-file file.json)
@@ -100,6 +100,10 @@ fn build_scheduler(
         initial_budget: budget,
         min_budget,
         seed,
+        // `--no-eval-cache` disables the fingerprint-keyed inference
+        // cache for differential runs; results are bit-identical either
+        // way, only the speed differs.
+        eval_cache: !args.flag("no-eval-cache"),
         ..MctsConfig::default()
     };
     Ok(match algo {
@@ -304,6 +308,38 @@ mod tests {
         let loaded: spear::Schedule =
             serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
         assert!(loaded.makespan() > 0);
+    }
+
+    #[test]
+    fn no_eval_cache_flag_matches_cached_run() {
+        let dag_path = tmp("cli-dag-cache.json");
+        generate(&args(&[
+            "--tasks", "8", "--seed", "2", "--output", &dag_path,
+        ]))
+        .unwrap();
+        let on = tmp("cli-cache-on.json");
+        let off = tmp("cli-cache-off.json");
+        schedule(&args(&[
+            "--dag", &dag_path, "--algo", "spear", "--budget", "10", "--output", &on,
+        ]))
+        .unwrap();
+        schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "spear",
+            "--budget",
+            "10",
+            "--no-eval-cache",
+            "--output",
+            &off,
+        ]))
+        .unwrap();
+        // The escape hatch changes speed only, never the schedule.
+        assert_eq!(
+            std::fs::read_to_string(&on).unwrap(),
+            std::fs::read_to_string(&off).unwrap()
+        );
     }
 
     #[test]

@@ -114,6 +114,16 @@ pub enum AuditViolation {
         /// The value derived from starts/running.
         derived: usize,
     },
+    /// The incrementally maintained state fingerprint disagrees with a
+    /// from-scratch recomputation — the inference cache would be keyed by
+    /// a hash of some *other* state, turning every lookup into a
+    /// potential silent wrong-cache-hit.
+    FingerprintDesync {
+        /// The fingerprint derived from the incremental placement hash.
+        stored: u64,
+        /// The fingerprint recomputed from the placement list.
+        recomputed: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -167,6 +177,11 @@ impl fmt::Display for AuditViolation {
             } => write!(
                 f,
                 "{field} count is recorded as {recorded} but derives to {derived}"
+            ),
+            AuditViolation::FingerprintDesync { stored, recomputed } => write!(
+                f,
+                "state fingerprint {stored:#018x} disagrees with the \
+                 from-scratch recomputation {recomputed:#018x}"
             ),
         }
     }
@@ -367,6 +382,21 @@ impl InvariantAuditor {
             }
         }
 
+        // 7. Fingerprint coherence: the incremental placement hash behind
+        // `SimState::fingerprint` must equal a from-scratch recomputation
+        // from the placement list (the other fingerprint ingredients are
+        // folded at read time and cannot drift). Checked last on purpose:
+        // a corruption that breaks a semantic invariant (say, an injected
+        // running entry) usually desyncs the fingerprint too, and should
+        // be reported as the semantic violation, not as hash drift.
+        let placement = state.recompute_placement_hash();
+        if placement != state.placement_hash {
+            return Err(AuditViolation::FingerprintDesync {
+                stored: state.fingerprint(),
+                recomputed: state.fold_fingerprint(placement),
+            });
+        }
+
         Ok(())
     }
 }
@@ -497,6 +527,18 @@ mod tests {
     }
 
     #[test]
+    fn desynced_fingerprint_is_caught() {
+        let dag = diamond();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        // Flip bits in the incremental placement hash without touching the
+        // state it summarizes — the from-scratch recomputation disagrees.
+        sim.placement_hash ^= 0xdead_beef;
+        let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+        assert!(matches!(err, AuditViolation::FingerprintDesync { .. }));
+    }
+
+    #[test]
     fn scheduled_counter_mismatch_is_caught() {
         let dag = diamond();
         let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
@@ -623,6 +665,30 @@ mod tests {
                 );
             }
 
+            /// A fingerprint desynced from the state it summarizes is
+            /// rejected before the first decision, whatever (reachable)
+            /// state the episode was in.
+            #[test]
+            fn desynced_fingerprint_is_rejected(
+                num_tasks in 2usize..24,
+                dag_seed in any::<u64>(),
+                policy_seed in any::<u64>(),
+                steps in 0usize..20,
+                flip in any::<u64>(),
+            ) {
+                let dag = random_dag(num_tasks, dag_seed);
+                let spec = ClusterSpec::unit(2);
+                let mut sim = SimState::new(&dag, &spec).unwrap();
+                random_prefix(&dag, &mut sim, policy_seed, steps);
+                // `| 1` guarantees at least one bit actually flips.
+                sim.placement_hash ^= flip | 1;
+                let v = driver_verdict(&dag, &spec, sim);
+                prop_assert!(
+                    matches!(v, AuditViolation::FingerprintDesync { .. }),
+                    "expected FingerprintDesync, got {v}"
+                );
+            }
+
             /// A clock rewound mid-drive is caught as a regression on the
             /// very next audited step.
             #[test]
@@ -682,6 +748,10 @@ mod tests {
                 field: "completed",
                 recorded: 1,
                 derived: 2,
+            },
+            AuditViolation::FingerprintDesync {
+                stored: 0xdead_beef,
+                recomputed: 0xcafe_f00d,
             },
         ];
         for v in violations {

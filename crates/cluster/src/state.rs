@@ -6,6 +6,66 @@ use spear_dag::{Dag, ResourceVec, TaskId, FIT_EPSILON};
 
 use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule};
 
+// --- State fingerprinting -------------------------------------------------
+//
+// `SimState::fingerprint` condenses the exact simulation state into 64
+// bits so the DRL search can cache policy/value evaluations by state
+// (see `spear-rl`'s `EvalCache`). Exactly one ingredient is maintained
+// incrementally — the placement XOR-set, which would be `O(n)` to rebuild
+// — and everything that is small at any instant (the running vector, the
+// clock, `used` bit patterns) is folded in at read time. The split keeps
+// the always-on maintenance cost at a single key mix per `Schedule`
+// action (`Process` pays nothing), so pure-MCTS rollouts, which never
+// read the fingerprint, stay within noise of the unfingerprinted
+// simulator; the read-time fold is `O(cluster width)` and only runs on
+// cache probes.
+//
+// The running-vector fold is *order-sensitive* on purpose: the
+// featurizer renders the occupancy image by iterating `running` in vector
+// order, and `swap_remove` makes that order history-dependent, so two
+// states that differ only in running order can featurize differently.
+// Likewise `used` is hashed by exact bit pattern because its low-order
+// floating-point bits (a function of admission history) feed the
+// legality mask through the sum-based admission rule. Equal fingerprints
+// therefore imply bit-identical featurization, not merely logically
+// equal states.
+
+/// Seed of the read-time fingerprint fold (an arbitrary odd constant).
+const FP_SEED: u64 = 0x5bd1_e995_9c3b_2f8d;
+
+/// Seed of the frontier fingerprint fold — a distinct domain from
+/// [`FP_SEED`] so the two key families never alias.
+const FRONTIER_SEED: u64 = 0x27d4_eb2f_1656_67c5;
+
+/// SplitMix64 finalizer: a cheap full-avalanche bijection on `u64`.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Zobrist-style key of one committed placement `(task, start)`. Start
+/// times are unbounded, so keys are mixed on demand rather than drawn
+/// from a pretabulated random table. A single finalizer over the odd-
+/// multiplier combination keeps the per-`Schedule` maintenance cost to
+/// one mix; distinct `(task, start)` pairs collide pre-mix only on a
+/// 64-bit coincidence of the linear map.
+#[inline]
+fn placement_key(task: usize, start: u64) -> u64 {
+    mix64(
+        (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ start.wrapping_mul(0xff51_afd7_ed55_8ccd),
+    )
+}
+
+/// Order-sensitive fold of one component into the fingerprint.
+#[inline]
+fn fold(h: u64, v: u64) -> u64 {
+    mix64(h.wrapping_add(mix64(v)))
+}
+
 /// A task currently occupying the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Running {
@@ -51,6 +111,14 @@ pub struct SimState {
     pub(crate) starts: Vec<Option<u64>>,
     pub(crate) scheduled: usize,
     pub(crate) max_finish: u64,
+    // Incrementally maintained XOR-set hash behind `fingerprint()`: one
+    // key per committed placement. Placements only accumulate, so
+    // maintenance is a single XOR per `Schedule` action and `Process`
+    // pays nothing. The invariant auditor recomputes it from scratch and
+    // reports any drift as a caught violation rather than a silent wrong
+    // cache hit.
+    #[serde(default)]
+    pub(crate) placement_hash: u64,
 }
 
 // Manual `Clone` so `clone_from` reuses every interior allocation. MCTS
@@ -68,6 +136,7 @@ impl Clone for SimState {
             starts: self.starts.clone(),
             scheduled: self.scheduled,
             max_finish: self.max_finish,
+            placement_hash: self.placement_hash,
         }
     }
 
@@ -81,6 +150,7 @@ impl Clone for SimState {
         self.starts.clone_from(&source.starts);
         self.scheduled = source.scheduled;
         self.max_finish = source.max_finish;
+        self.placement_hash = source.placement_hash;
     }
 }
 
@@ -104,6 +174,7 @@ impl SimState {
             starts: vec![None; dag.len()],
             scheduled: 0,
             max_finish: 0,
+            placement_hash: 0,
         })
     }
 
@@ -189,6 +260,111 @@ impl SimState {
     #[inline]
     pub fn earliest_finish(&self) -> Option<u64> {
         self.running.iter().map(|r| r.finish).min()
+    }
+
+    /// A 64-bit Zobrist-style fingerprint of the exact simulation state.
+    /// The placement component is maintained incrementally by
+    /// [`SimState::apply`]/[`SimState::apply_legal`] (one key XOR per
+    /// `Schedule` action); the rest — the running vector, the clock, the
+    /// `used` bit patterns — is small at any instant and folded in here,
+    /// at read time, in `O(cluster width)`.
+    ///
+    /// The fingerprint covers everything the DRL featurizer reads:
+    /// committed placements (an XOR-set of per-`(task, start)` keys — the
+    /// ready frontier and completion set derive from placements, so they
+    /// are covered transitively), the running vector *including its
+    /// order*, the clock, and the exact bit patterns of the `used`
+    /// accounting vector. Equal fingerprints therefore imply
+    /// bit-identical featurization; see the `EvalCache` in `spear-rl`.
+    /// For the coarser history-free key the policy cache uses, see
+    /// [`SimState::frontier_fingerprint`].
+    ///
+    /// Collisions are possible in principle (64-bit hash of an unbounded
+    /// state space) but are caught neither here nor by the cache — the
+    /// collision-safety argument lives in DESIGN.md §9. Desyncs (a
+    /// maintenance bug, not a collision) *are* caught: the invariant
+    /// auditor recomputes the placement component from scratch.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fold_fingerprint(self.placement_hash)
+    }
+
+    /// Folds the given placement component with the read-time ones
+    /// (running vector, clock, `used` bit patterns) into the final
+    /// fingerprint. The sequential fold is order-sensitive, which is what
+    /// makes the running component track vector order for free.
+    pub(crate) fn fold_fingerprint(&self, placement: u64) -> u64 {
+        let mut h = fold(FP_SEED, placement);
+        for r in &self.running {
+            h = fold(
+                h,
+                (r.task.index() as u64).wrapping_mul(0xc4ce_b9fe_1a85_ec53) ^ r.finish,
+            );
+        }
+        h = fold(h, self.clock);
+        for &u in self.used.as_slice() {
+            h = fold(h, u.to_bits());
+        }
+        h
+    }
+
+    /// A 64-bit fingerprint of the scheduling *frontier*: the ready set
+    /// (already sorted by id), the running vector with clock-*relative*
+    /// finish times (in vector order), the completion count, and the
+    /// exact bit patterns of `used`. Unlike [`SimState::fingerprint`]
+    /// it deliberately excludes committed placements and the absolute
+    /// clock: two states that placed their *finished* work differently
+    /// (or at different times) but arrived at the same frontier share a
+    /// frontier fingerprint.
+    ///
+    /// This is exactly the information a frontier-local function of the
+    /// state can read. The DRL featurizer is one: its occupancy image
+    /// spans `[clock, clock + horizon)` (so only relative finishes
+    /// matter), its ready slots and legality mask derive from the ready
+    /// set, `used`, and static task data, and its globals from the
+    /// ready/running/completed counts. Equal frontier fingerprints
+    /// (absent a 64-bit collision) therefore imply bit-identical policy
+    /// featurization — which is what lets the policy inference cache in
+    /// `spear-rl` serve hits *across* decisions and rollout
+    /// trajectories that merely reconverge to the same frontier. Value
+    /// estimates do NOT qualify (they read the absolute clock and
+    /// `max_finish`); the value cache keys on the full fingerprint.
+    pub fn frontier_fingerprint(&self) -> u64 {
+        let ready = self.tracker.ready();
+        // Section lengths first, so (ready, running) item sequences of
+        // different shapes can't fold to the same prefix.
+        let mut h = fold(
+            FRONTIER_SEED,
+            (ready.len() as u64) | ((self.running.len() as u64) << 32),
+        );
+        for &t in ready {
+            h = fold(h, (t.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        for r in &self.running {
+            h = fold(
+                h,
+                (r.task.index() as u64).wrapping_mul(0xc4ce_b9fe_1a85_ec53)
+                    ^ (r.finish - self.clock),
+            );
+        }
+        h = fold(h, self.completed() as u64);
+        for &u in self.used.as_slice() {
+            h = fold(h, u.to_bits());
+        }
+        h
+    }
+
+    /// Recomputes the incrementally maintained placement hash from
+    /// scratch — the invariant auditor's ground truth for
+    /// [`SimState::fingerprint`].
+    pub(crate) fn recompute_placement_hash(&self) -> u64 {
+        let mut placement = 0u64;
+        for (i, start) in self.starts.iter().enumerate() {
+            if let Some(s) = start {
+                placement ^= placement_key(i, *s);
+            }
+        }
+        placement
     }
 
     /// Sum-based feasibility: `used + demand <= capacity + FIT_EPSILON` in
@@ -312,6 +488,7 @@ impl SimState {
         self.used.add_assign(dag.task(task).demand());
         self.refresh_free();
         let finish = self.clock + dag.task(task).runtime();
+        self.placement_hash ^= placement_key(task.index(), self.clock);
         self.running.push(Running { task, finish });
         self.starts[task.index()] = Some(self.clock);
         self.scheduled += 1;
@@ -649,6 +826,118 @@ mod tests {
         let dag = chain();
         let sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
         let _ = sim.into_schedule(&dag);
+    }
+
+    #[test]
+    fn fingerprint_stays_in_sync_with_recomputation() {
+        let dag = two_independent();
+        let mut sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        let check = |sim: &SimState| {
+            assert_eq!(
+                sim.recompute_placement_hash(),
+                sim.placement_hash,
+                "incremental placement hash drifted from recomputation"
+            );
+        };
+        check(&sim);
+        while !sim.is_terminal(&dag) {
+            let actions = sim.legal_actions(&dag);
+            sim.apply(&dag, actions[0]).unwrap();
+            check(&sim);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_running_order() {
+        // Two same-shape tasks admitted in opposite orders reach states
+        // that are logically equivalent as *sets* but featurize
+        // differently (the occupancy image follows vector order), so
+        // their fingerprints must differ — and each must still agree
+        // with the from-scratch placement recomputation.
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.3])));
+        b.add_task(Task::new(3, ResourceVec::from_slice(&[0.3])));
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(1);
+        let fp = |order: [usize; 2]| {
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            for i in order {
+                sim.apply(&dag, Action::Schedule(TaskId::new(i))).unwrap();
+            }
+            assert_eq!(sim.recompute_placement_hash(), sim.placement_hash);
+            sim.fingerprint()
+        };
+        assert_ne!(fp([0, 1]), fp([1, 0]));
+    }
+
+    #[test]
+    fn frontier_fingerprint_ignores_finished_history() {
+        // Four independent tasks with dyadic demands: E and A (runtime 1),
+        // B (runtime 2), C (never scheduled). Two histories:
+        //   P1: E@0 and A@0 co-run, process (both finish), B@1
+        //   P2: E@0, process, A@1, process, B@2
+        // Both arrive at the same frontier — ready {C}, running [(B,
+        // rel-finish 2)], 2 completed, identical `used` bits (dyadic
+        // arithmetic is exact) — but with different placements and
+        // clocks. The frontier fingerprints must agree while the full
+        // fingerprints differ.
+        let mut b = DagBuilder::new(1);
+        let e = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5])));
+        let a = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5])));
+        let t_b = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let _c = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.5])));
+        let dag = b.build().unwrap();
+        let spec = ClusterSpec::unit(1);
+        let run = |actions: &[Action]| {
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            for &action in actions {
+                sim.apply(&dag, action).unwrap();
+            }
+            sim
+        };
+        let p1 = run(&[
+            Action::Schedule(e),
+            Action::Schedule(a),
+            Action::Process,
+            Action::Schedule(t_b),
+        ]);
+        let p2 = run(&[
+            Action::Schedule(e),
+            Action::Process,
+            Action::Schedule(a),
+            Action::Process,
+            Action::Schedule(t_b),
+        ]);
+        assert_eq!(p1.ready(), p2.ready());
+        assert_eq!(p1.completed(), p2.completed());
+        assert_ne!(p1.clock(), p2.clock());
+        assert_eq!(
+            p1.frontier_fingerprint(),
+            p2.frontier_fingerprint(),
+            "same frontier must share a frontier fingerprint"
+        );
+        assert_ne!(
+            p1.fingerprint(),
+            p2.fingerprint(),
+            "different histories must keep distinct full fingerprints"
+        );
+        // And a genuinely different frontier must not collide.
+        let p3 = run(&[Action::Schedule(e), Action::Schedule(t_b)]);
+        assert_ne!(p1.frontier_fingerprint(), p3.frontier_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states_and_clones_preserve_it() {
+        let dag = two_independent();
+        let sim = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        let initial = sim.fingerprint();
+        let mut a = sim.clone();
+        assert_eq!(a.fingerprint(), initial);
+        a.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+        assert_ne!(a.fingerprint(), initial);
+        let mut b = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+        b.clone_from(&a);
+        assert_eq!(b.fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! `value_extension` experiment.
 
 use spear_cluster::SimState;
-use spear_rl::ValueNetwork;
+use spear_rl::{EvalCacheStats, ValueCache, ValueNetwork};
 
 use crate::PolicyContext;
+
+/// Entries in the value-estimate cache; matches the policy cache size
+/// (sized for one episode's distinct states, cleared per episode).
+const VALUE_CACHE_CAPACITY: usize = 32_768;
 
 /// Estimates the *final* makespan of the schedule from a partial state.
 pub trait StateEvaluator {
@@ -19,6 +23,18 @@ pub trait StateEvaluator {
 
     /// Evaluator name for reports.
     fn name(&self) -> &str;
+
+    /// Notifies the evaluator that a new scheduling episode is starting.
+    /// Cached evaluators clear their transposition tables here; entries
+    /// stay valid across decisions within one episode (fixed DAG, spec,
+    /// and weights) but not across episodes.
+    fn on_episode_start(&mut self) {}
+
+    /// Hit/miss/evict counters of the evaluator's cache. Uncached
+    /// evaluators report zeros.
+    fn cache_stats(&self) -> EvalCacheStats {
+        EvalCacheStats::default()
+    }
 }
 
 /// A trained [`ValueNetwork`] as a rollout evaluator. The normalization
@@ -27,12 +43,27 @@ pub trait StateEvaluator {
 #[derive(Debug, Clone)]
 pub struct ValueEvaluator {
     value: ValueNetwork,
+    // Fingerprint-keyed estimate cache, generation-cleared per episode;
+    // `None` when disabled for differential testing. The estimate is a
+    // pure function of fingerprint-covered state (features, clock and
+    // max_finish all derive from placements/running/used), so a hit is
+    // bit-identical to recomputation.
+    cache: Option<ValueCache>,
 }
 
 impl ValueEvaluator {
-    /// Wraps a trained value network.
+    /// Wraps a trained value network, with the estimate cache enabled.
     pub fn new(value: ValueNetwork) -> Self {
-        ValueEvaluator { value }
+        Self::with_cache(value, true)
+    }
+
+    /// Wraps a trained value network, caching estimates by state
+    /// fingerprint iff `eval_cache` is set.
+    pub fn with_cache(value: ValueNetwork, eval_cache: bool) -> Self {
+        ValueEvaluator {
+            value,
+            cache: eval_cache.then(|| ValueCache::new(VALUE_CACHE_CAPACITY)),
+        }
     }
 
     /// The wrapped network.
@@ -43,13 +74,37 @@ impl ValueEvaluator {
 
 impl StateEvaluator for ValueEvaluator {
     fn estimate_final_makespan(&mut self, ctx: &PolicyContext<'_>, state: &SimState) -> f64 {
+        let key = self.cache.is_some().then(|| state.fingerprint());
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
+            if let Some(v) = cache.get(key) {
+                return v;
+            }
+        }
         let scale = ctx.dag.total_work().max(1) as f64;
-        self.value
-            .predict_final(ctx.dag, ctx.spec, state, ctx.features, scale)
+        let estimate = self
+            .value
+            .predict_final(ctx.dag, ctx.spec, state, ctx.features, scale);
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
+            cache.insert(key, estimate);
+        }
+        estimate
     }
 
     fn name(&self) -> &str {
         "value-network"
+    }
+
+    fn on_episode_start(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.begin_generation();
+        }
+    }
+
+    fn cache_stats(&self) -> EvalCacheStats {
+        self.cache
+            .as_ref()
+            .map(ValueCache::stats)
+            .unwrap_or_default()
     }
 }
 

@@ -57,4 +57,6 @@ pub use policies::{
 };
 pub use scheduler::{MctsConfig, MctsScheduler, SearchStats};
 pub use search::MctsSearch;
+// Re-exported because `SearchPolicy`/`StateEvaluator` signatures use it.
+pub use spear_rl::EvalCacheStats;
 pub use tree::{Node, NodeId, Tree};

@@ -7,7 +7,7 @@ use spear_cluster::env::{DecisionPolicy, EnvContext};
 use spear_cluster::{Action, ClusterSpec, SimState};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
-use spear_rl::{PolicyNetwork, StateView};
+use spear_rl::{EvalCache, EvalCacheStats, PolicyNetwork, StateView};
 
 /// Read-only context handed to policies at every decision.
 #[derive(Debug)]
@@ -54,6 +54,28 @@ pub trait SearchPolicy {
     /// Cumulative policy-network forward passes this policy has run.
     /// Non-learned policies report zero.
     fn inferences(&self) -> u64 {
+        0
+    }
+
+    /// Notifies the policy that a new scheduling episode (one complete
+    /// schedule of one DAG) is starting. Cached policies clear their
+    /// transposition tables here: within an episode the DAG, spec,
+    /// graph features, and network weights are fixed, so
+    /// fingerprint-keyed entries stay valid across the episode's
+    /// decisions — but entries from a previous episode index a
+    /// different state space and must not survive into this one.
+    fn on_episode_start(&mut self) {}
+
+    /// Hit/miss/evict counters of the policy's inference cache.
+    /// Uncached policies report zeros.
+    fn cache_stats(&self) -> EvalCacheStats {
+        EvalCacheStats::default()
+    }
+
+    /// Inferences skipped because the decision was forced (a single
+    /// untried/legal action). Distinct from cache hits: a skip never
+    /// consults the network's distribution at all.
+    fn inference_skips(&self) -> u64 {
         0
     }
 }
@@ -245,6 +267,14 @@ impl SearchPolicy for HeuristicPolicy {
 pub struct DrlPolicy {
     policy: PolicyNetwork,
     inferences: u64,
+    skips: u64,
+    // Transposition-keyed inference cache: rollouts revisit identical
+    // states along different tree paths — and consecutive decisions
+    // re-explore overlapping subtrees — so the masked distribution is
+    // cached by `SimState::fingerprint` and cleared (by generation bump)
+    // at each episode start. `None` when disabled for differential
+    // testing (`MctsConfig::eval_cache = false`).
+    cache: Option<EvalCache>,
     // Reused across inferences: slot probabilities, featurized view, and
     // the per-action probabilities handed back to the search. Rollouts run
     // one inference per step, so without these the guidance path would
@@ -254,12 +284,33 @@ pub struct DrlPolicy {
     action_probs: Vec<f64>,
 }
 
+/// Entries per policy/value cache. Sized for the distinct states one
+/// *episode's* search visits across all of its decisions (a 50-task
+/// paper-simulation job touches roughly 20k unique states); power-of-two
+/// enforced by the cache itself. At the paper's action dimensionality
+/// this is a few megabytes per policy instance.
+const EVAL_CACHE_CAPACITY: usize = 32_768;
+
 impl DrlPolicy {
-    /// Wraps a trained policy network.
+    /// Wraps a trained policy network, with the inference cache enabled.
     pub fn new(policy: PolicyNetwork) -> Self {
+        Self::with_cache(policy, true)
+    }
+
+    /// Wraps a trained policy network, caching inferences by state
+    /// fingerprint iff `eval_cache` is set. Cache hits reproduce the
+    /// uncached distribution bit-identically, so this only trades memory
+    /// for speed; disabling is for differential testing.
+    pub fn with_cache(policy: PolicyNetwork, eval_cache: bool) -> Self {
+        let cache = eval_cache.then(|| {
+            let fc = policy.feature_config();
+            EvalCache::new(EVAL_CACHE_CAPACITY, fc.action_dim(), fc.process_action())
+        });
         DrlPolicy {
             policy,
             inferences: 0,
+            skips: 0,
+            cache,
             probs: Vec::new(),
             view: StateView::default(),
             action_probs: Vec::new(),
@@ -274,12 +325,45 @@ impl DrlPolicy {
     /// Probability the network assigns to each action in `actions`. The
     /// returned slice borrows the policy's scratch buffer and has one entry
     /// per action.
+    ///
+    /// Consults the fingerprint-keyed cache first: a hit maps the cached
+    /// distribution onto `actions` without featurizing or running the
+    /// network, bit-identically to recomputation (the cached rows are the
+    /// exact softmax output and slot assignment a miss would produce).
+    ///
+    /// The key is [`SimState::frontier_fingerprint`], not the full state
+    /// fingerprint: the policy featurization reads only the frontier
+    /// (ready set, running tasks at clock-relative offsets, `used`,
+    /// completion count), so rollout trajectories that placed finished
+    /// work differently — or at different absolute clocks — but
+    /// reconverged to the same frontier share one cache entry. That
+    /// convergence, not exact-state revisits, is where most hits come
+    /// from.
     fn action_probs(
         &mut self,
         ctx: &PolicyContext<'_>,
         state: &SimState,
         actions: &[Action],
     ) -> &[f64] {
+        let process_idx = self.policy.feature_config().process_action();
+        let key = self.cache.is_some().then(|| state.frontier_fingerprint());
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
+            if let Some((probs, slots)) = cache.get(key) {
+                self.action_probs.clear();
+                self.action_probs.extend(actions.iter().map(|&a| {
+                    match a {
+                        Action::Process => probs[process_idx],
+                        Action::Schedule(t) => slots
+                            .iter()
+                            .position(|&s| s == Some(t))
+                            .map(|slot| probs[slot])
+                            // Backlogged tasks are invisible to the network.
+                            .unwrap_or(1e-9),
+                    }
+                }));
+                return &self.action_probs;
+            }
+        }
         self.inferences += 1;
         self.policy.action_distribution_into(
             ctx.dag,
@@ -289,7 +373,9 @@ impl DrlPolicy {
             &mut self.probs,
             &mut self.view,
         );
-        let process_idx = self.policy.feature_config().process_action();
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
+            cache.insert(key, &self.probs, &self.view.slot_tasks);
+        }
         self.action_probs.clear();
         self.action_probs.extend(actions.iter().map(|&a| {
             match a {
@@ -318,6 +404,7 @@ impl SearchPolicy for DrlPolicy {
     ) -> usize {
         // A single candidate needs no inference: the argmax is forced.
         if untried.len() == 1 {
+            self.skips += 1;
             return 0;
         }
         let probs = self.action_probs(ctx, state, untried);
@@ -345,6 +432,7 @@ impl SearchPolicy for DrlPolicy {
         // branch; drawing here keeps the RNG stream — and therefore every
         // downstream decision — bit-identical.
         if legal.len() == 1 {
+            self.skips += 1;
             let _: f64 = rng.gen();
             return legal[0];
         }
@@ -370,6 +458,23 @@ impl SearchPolicy for DrlPolicy {
 
     fn inferences(&self) -> u64 {
         self.inferences
+    }
+
+    fn on_episode_start(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.begin_generation();
+        }
+    }
+
+    fn cache_stats(&self) -> EvalCacheStats {
+        self.cache
+            .as_ref()
+            .map(EvalCache::stats)
+            .unwrap_or_default()
+    }
+
+    fn inference_skips(&self) -> u64 {
+        self.skips
     }
 }
 
@@ -473,5 +578,45 @@ mod tests {
         let (_, _, _) = setup();
         assert_eq!(RandomPolicy.name(), "random");
         assert_eq!(HeuristicPolicy.name(), "heuristic");
+    }
+
+    /// Cached and uncached policies must make identical choices from
+    /// identical RNG streams — revisiting states repeatedly so the cache
+    /// actually serves hits (asserted), not just misses.
+    #[test]
+    fn cached_policy_choices_match_uncached_bitwise() {
+        let (dag, spec, features) = setup();
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
+        let mut cached = DrlPolicy::with_cache(net.clone(), true);
+        let mut uncached = DrlPolicy::with_cache(net, false);
+        let state = SimState::new(&dag, &spec).unwrap();
+        let legal = state.legal_actions(&dag);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let ia = cached.choose_expansion(&ctx, &state, &legal, &mut rng_a);
+            let ib = uncached.choose_expansion(&ctx, &state, &legal, &mut rng_b);
+            assert_eq!(ia, ib);
+            let aa = cached.choose_rollout(&ctx, &state, &legal, &mut rng_a);
+            let ab = uncached.choose_rollout(&ctx, &state, &legal, &mut rng_b);
+            assert_eq!(aa, ab);
+        }
+        assert!(cached.cache_stats().hits > 0, "repeat visits must hit");
+        assert_eq!(cached.cache_stats().misses, 1);
+        assert_eq!(uncached.cache_stats(), EvalCacheStats::default());
+        assert!(uncached.inferences() > cached.inferences());
+        // An episode boundary invalidates the cache: next probe misses.
+        // (Decision boundaries within an episode do NOT invalidate —
+        // retention across decisions is where most hits come from.)
+        cached.on_episode_start();
+        let mut rng_c = StdRng::seed_from_u64(3);
+        let _ = cached.choose_rollout(&ctx, &state, &legal, &mut rng_c);
+        assert_eq!(cached.cache_stats().misses, 2);
     }
 }

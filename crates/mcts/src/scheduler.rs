@@ -31,6 +31,13 @@ pub struct MctsConfig {
     /// Exploit the *maximum* rollout return per node (paper Eq. 5);
     /// `false` falls back to classic mean-value UCB (ablation).
     pub max_value_backprop: bool,
+    /// Cache policy/value inferences by state fingerprint within each
+    /// scheduling episode. Hits are bit-identical to recomputation, so
+    /// this is on by default; disable (`--no-eval-cache` on the CLI) for
+    /// differential testing. (Deserializing a config serialized before
+    /// this field existed yields `false` — the safe, slower setting.)
+    #[serde(default)]
+    pub eval_cache: bool,
     /// RNG seed for rollouts and tie-breaking.
     pub seed: u64,
 }
@@ -43,6 +50,7 @@ impl Default for MctsConfig {
             exploration_coeff: 0.06,
             decay_budget: true,
             max_value_backprop: true,
+            eval_cache: true,
             seed: 0,
         }
     }
@@ -75,6 +83,22 @@ pub struct SearchStats {
     /// Policy-network forward passes (zero for non-DRL policies).
     #[serde(default)]
     pub policy_inferences: u64,
+    /// Inferences served from the fingerprint-keyed eval cache (policy
+    /// and value caches combined).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Cache probes that found nothing and fell through to a fresh
+    /// inference.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Live cache entries displaced by inserts under capacity pressure.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Inferences skipped outright because the decision was forced (a
+    /// single untried/legal action) — distinct from cache hits, which
+    /// still consult a stored distribution.
+    #[serde(default)]
+    pub inference_skips: u64,
     /// Wall-clock seconds spent searching.
     pub elapsed_seconds: f64,
 }
@@ -127,9 +151,10 @@ impl MctsScheduler {
 
     /// MCTS guided by a trained DRL policy — the full Spear scheduler.
     pub fn drl(config: MctsConfig, policy: PolicyNetwork) -> Self {
+        let policy = Box::new(DrlPolicy::with_cache(policy, config.eval_cache));
         MctsScheduler {
             config,
-            policy: Box::new(DrlPolicy::new(policy)),
+            policy,
             evaluator: None,
             name: "spear".to_owned(),
         }
@@ -146,10 +171,12 @@ impl MctsScheduler {
         value: spear_rl::ValueNetwork,
         truncate_steps: u64,
     ) -> Self {
+        let policy = Box::new(DrlPolicy::with_cache(policy, config.eval_cache));
+        let evaluator = Box::new(ValueEvaluator::with_cache(value, config.eval_cache));
         MctsScheduler {
             config,
-            policy: Box::new(DrlPolicy::new(policy)),
-            evaluator: Some((Box::new(ValueEvaluator::new(value)), truncate_steps)),
+            policy,
+            evaluator: Some((evaluator, truncate_steps)),
             name: "spear-value".to_owned(),
         }
     }
@@ -206,6 +233,13 @@ impl MctsScheduler {
         let exploration = self.config.exploration_coeff * estimate.max(1.0);
         let budget = self.config.budget();
         let inferences_before = self.policy.inferences();
+        let skips_before = self.policy.inference_skips();
+        let cache_before = self.policy.cache_stats().merged(
+            self.evaluator
+                .as_ref()
+                .map(|(e, _)| e.cache_stats())
+                .unwrap_or_default(),
+        );
 
         let mut search = MctsSearch::new(
             dag,
@@ -228,12 +262,19 @@ impl MctsScheduler {
             let action = search.best_action();
             search.advance(action)?;
         }
+        let cache = search
+            .policy_cache_stats()
+            .merged(search.evaluator_cache_stats());
         let stats = SearchStats {
             iterations: search.iterations(),
             rollout_steps: search.rollout_steps(),
             tree_nodes: search.tree_size(),
             decisions,
             policy_inferences: search.policy_inferences() - inferences_before,
+            cache_hits: cache.hits - cache_before.hits,
+            cache_misses: cache.misses - cache_before.misses,
+            cache_evictions: cache.evictions - cache_before.evictions,
+            inference_skips: search.policy_inference_skips() - skips_before,
             elapsed_seconds: start.elapsed().as_secs_f64(),
         };
         let schedule =
@@ -349,6 +390,37 @@ mod tests {
         assert_eq!(spear.name(), "spear");
         let s = spear.schedule(&dag, &spec).unwrap();
         s.validate(&dag, &spec).unwrap();
+    }
+
+    /// The eval cache must be invisible in the schedule (bit-identical
+    /// output) and visible in the stats (hits counted, inferences saved,
+    /// skips attributed identically either way).
+    #[test]
+    fn drl_cache_is_transparent_and_counted() {
+        let dag = small_dag(4);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+        let (cached, cs) = MctsScheduler::drl(small_config(), policy.clone())
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        let no_cache = MctsConfig {
+            eval_cache: false,
+            ..small_config()
+        };
+        let (uncached, us) = MctsScheduler::drl(no_cache, policy)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        assert_eq!(cached, uncached, "cache changed the schedule");
+        assert!(cs.cache_hits > 0, "search never revisits a state?");
+        assert_eq!(us.cache_hits + us.cache_misses, 0);
+        assert!(cs.policy_inferences < us.policy_inferences);
+        assert_eq!(cs.inference_skips, us.inference_skips);
+        assert_eq!(
+            cs.policy_inferences,
+            us.policy_inferences - cs.cache_hits,
+            "every hit must replace exactly one inference"
+        );
     }
 
     #[test]

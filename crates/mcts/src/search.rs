@@ -92,6 +92,12 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         seed: u64,
     ) -> Result<Self, SpearError> {
         let root_env = SimEnv::new(dag, spec)?;
+        // A new search is a new episode: cached policies drop entries
+        // computed under a previous DAG/spec. Within this episode they
+        // retain entries across decisions (same DAG, same weights — a
+        // fingerprint-keyed entry cannot go stale until the episode
+        // ends).
+        policy.on_episode_start();
         let mut tree = Tree::new();
         let untried = root_env.observe().legal_actions(dag);
         let terminal = untried.is_empty();
@@ -140,6 +146,9 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         evaluator: &'a mut dyn StateEvaluator,
     ) {
         self.truncate_after = max_steps;
+        // Joining this search's episode: see `new` for the cache
+        // lifetime contract.
+        evaluator.on_episode_start();
         self.evaluator = Some(evaluator);
     }
 
@@ -181,6 +190,25 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     /// Cumulative policy-network forward passes of the guiding policy.
     pub fn policy_inferences(&self) -> u64 {
         self.policy.inferences()
+    }
+
+    /// Hit/miss/evict counters of the guiding policy's inference cache.
+    pub fn policy_cache_stats(&self) -> spear_rl::EvalCacheStats {
+        self.policy.cache_stats()
+    }
+
+    /// Inferences the guiding policy skipped on forced (singleton)
+    /// decisions.
+    pub fn policy_inference_skips(&self) -> u64 {
+        self.policy.inference_skips()
+    }
+
+    /// Hit/miss/evict counters of the evaluator's cache, if any.
+    pub fn evaluator_cache_stats(&self) -> spear_rl::EvalCacheStats {
+        self.evaluator
+            .as_ref()
+            .map(|e| e.cache_stats())
+            .unwrap_or_default()
     }
 
     /// Nodes allocated so far.

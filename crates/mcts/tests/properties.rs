@@ -112,6 +112,42 @@ proptest! {
         prop_assert!(b.at_depth(depth + 1) <= at);
     }
 
+    /// The fingerprint-keyed eval cache is bit-transparent: cached and
+    /// `--no-eval-cache` searches produce identical schedules, makespans
+    /// and iteration counts across seeded DAG × cluster workloads — while
+    /// the cached run demonstrably serves hits and saves inferences.
+    #[test]
+    fn eval_cache_is_bit_transparent(
+        num_tasks in 2usize..16,
+        dag_seed in any::<u64>(),
+        search_seed in any::<u64>(),
+        capacity_step in 0u32..3,
+    ) {
+        let dag = random_dag(num_tasks, dag_seed);
+        let capacity = 1.0 + 0.25 * f64::from(capacity_step);
+        let spec =
+            ClusterSpec::new(spear_dag::ResourceVec::splat(2, capacity)).unwrap();
+        let mut rng = StdRng::seed_from_u64(search_seed);
+        let net = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[8], &mut rng);
+        let (cached, cs) = MctsScheduler::drl(config(12, search_seed), net.clone())
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        let uncached_cfg = MctsConfig { eval_cache: false, ..config(12, search_seed) };
+        let (uncached, us) = MctsScheduler::drl(uncached_cfg, net)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        prop_assert_eq!(&cached, &uncached, "cache changed the schedule");
+        prop_assert_eq!(cached.makespan(), uncached.makespan());
+        prop_assert_eq!(cs.iterations, us.iterations);
+        prop_assert_eq!(cs.rollout_steps, us.rollout_steps);
+        prop_assert_eq!(us.cache_hits, 0);
+        prop_assert_eq!(
+            cs.policy_inferences + cs.cache_hits,
+            us.policy_inferences,
+            "every hit must replace exactly one inference"
+        );
+    }
+
     /// Cross-validation against the exact solver: on tiny jobs, MCTS can
     /// never beat a branch-and-bound-*proven* optimum (a violation would
     /// mean the bound or the simulator is broken), and with a healthy

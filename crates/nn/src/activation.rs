@@ -16,6 +16,21 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Applies the activation to a single value.
+    ///
+    /// This is the scalar kernel behind the fused bias+activation passes
+    /// in `Dense` — it must perform exactly the same floating-point
+    /// operation per element as [`Activation::forward_slice_inplace`] so
+    /// fused and unfused paths stay bit-identical.
+    #[inline]
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::Identity => v,
+            Activation::Tanh => v.tanh(),
+        }
+    }
+
     /// Applies the activation to every element of `z` in place.
     pub fn forward_inplace(self, z: &mut Matrix) {
         self.forward_slice_inplace(z.as_mut_slice());

@@ -99,6 +99,20 @@ impl Dense {
         &self.grad_bias
     }
 
+    /// Fused bias+activation epilogue: one pass over the matmul output
+    /// computing `act(z + b)` per element, instead of a bias walk followed
+    /// by an activation walk. Per element this performs the same `f64`
+    /// add then the same activation op in the same order, so it is
+    /// bit-identical to `add_row_broadcast` + `forward_inplace`.
+    fn bias_activate(&self, z: &mut Matrix) {
+        let n = self.weights.cols();
+        for row in z.as_mut_slice().chunks_exact_mut(n) {
+            for (v, &b) in row.iter_mut().zip(&self.bias) {
+                *v = self.activation.apply(*v + b);
+            }
+        }
+    }
+
     /// Forward pass for a batch; caches activations for backward.
     ///
     /// # Panics
@@ -106,8 +120,7 @@ impl Dense {
     /// Panics if `x.cols() != input_dim()`.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let mut z = x.matmul(&self.weights);
-        z.add_row_broadcast(&self.bias);
-        self.activation.forward_inplace(&mut z);
+        self.bias_activate(&mut z);
         self.cache_input = Some(x.clone());
         self.cache_output = Some(z.clone());
         z
@@ -122,8 +135,7 @@ impl Dense {
     /// Panics if `x.cols() != input_dim()`.
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let mut z = x.matmul(&self.weights);
-        z.add_row_broadcast(&self.bias);
-        self.activation.forward_inplace(&mut z);
+        self.bias_activate(&mut z);
         z
     }
 
@@ -132,6 +144,34 @@ impl Dense {
     /// (k ascending per output, zero inputs skipped, bias added after the
     /// products) matches [`Matrix::matmul`] + bias broadcast exactly, so
     /// the result is bit-identical to [`Dense::forward`] on a 1-row batch.
+    ///
+    /// Two kernels, selected by output width (both memory-bound on the
+    /// weight stream, so the goal is to touch as few weight rows as
+    /// possible and keep each touched row a single contiguous sweep):
+    ///
+    /// * **Wide outputs** (`n > 16`, the hidden layers): the *nonzero*
+    ///   inputs select which weight rows are touched, and the touched
+    ///   rows are folded four per pass over the accumulator row (adds
+    ///   k-ascending, so identical to one pass per row). The featurized
+    ///   input is sparse (empty slots,
+    ///   unoccupied image pixels) and so are ReLU hidden activations, so
+    ///   most weight rows are never loaded at all. The nonzeros are first
+    ///   compacted **branchlessly** into a stack block (unconditional
+    ///   write, conditional increment): a per-input `if a == 0.0` branch
+    ///   would be near-random on real activations and every mispredict
+    ///   costs more than a compaction step — a tax invisible in
+    ///   microbenchmarks that replay one input (the predictor memorizes
+    ///   the pattern) but dominant in situ where each call sees a fresh
+    ///   pattern. Skipping a zero input is bit-identical to folding it
+    ///   in: with finite weights, `0.0 * w` is `±0.0`, and adding `±0.0`
+    ///   to an accumulator that is never `-0.0` (an ascending chain
+    ///   seeded with `+0.0` cannot produce `-0.0`) returns the
+    ///   accumulator unchanged.
+    /// * **Narrow outputs** (`n <= 16`, the logit layer): per-row loop
+    ///   overhead would dominate a 2-vector-wide sweep, so the input is
+    ///   consumed in unconditional quads — one pass over the output row
+    ///   folds in four weight rows, with the adds still in k-ascending
+    ///   order, bit-identical to four separate passes.
     ///
     /// # Panics
     ///
@@ -142,19 +182,86 @@ impl Dense {
         out.clear();
         out.resize(n, 0.0);
         let w = self.weights.as_slice();
-        for (k, &a) in x.iter().enumerate() {
-            if a == 0.0 {
-                continue;
+        if n > 16 {
+            // Blocked so the compaction buffers stay small and on the
+            // stack regardless of input width; processing blocks in
+            // order keeps the accumulation k-ascending.
+            const BLOCK: usize = 512;
+            let mut idx = [0u32; BLOCK];
+            let mut val = [0.0f64; BLOCK];
+            for (block, chunk) in x.chunks(BLOCK).enumerate() {
+                let base = block * BLOCK;
+                let mut nnz = 0usize;
+                for (k, &a) in chunk.iter().enumerate() {
+                    idx[nnz] = (base + k) as u32;
+                    val[nnz] = a;
+                    nnz += usize::from(a != 0.0);
+                }
+                // Fold four compacted rows per pass over `out`: the
+                // read-modify-write traffic on the accumulator row drops
+                // 4x, and the per-output add chain stays k-ascending —
+                // bit-identical to four separate single-row passes.
+                let mut i = 0usize;
+                while i + 4 <= nnz {
+                    let (k0, k1, k2, k3) = (
+                        idx[i] as usize,
+                        idx[i + 1] as usize,
+                        idx[i + 2] as usize,
+                        idx[i + 3] as usize,
+                    );
+                    let (a0, a1, a2, a3) = (val[i], val[i + 1], val[i + 2], val[i + 3]);
+                    let r0 = &w[k0 * n..k0 * n + n];
+                    let r1 = &w[k1 * n..k1 * n + n];
+                    let r2 = &w[k2 * n..k2 * n + n];
+                    let r3 = &w[k3 * n..k3 * n + n];
+                    for (j, cv) in out.iter_mut().enumerate() {
+                        let mut acc = *cv;
+                        acc += a0 * r0[j];
+                        acc += a1 * r1[j];
+                        acc += a2 * r2[j];
+                        acc += a3 * r3[j];
+                        *cv = acc;
+                    }
+                    i += 4;
+                }
+                for (&k, &a) in idx[i..nnz].iter().zip(&val[i..nnz]) {
+                    let k = k as usize;
+                    for (cv, &wv) in out.iter_mut().zip(&w[k * n..(k + 1) * n]) {
+                        *cv += a * wv;
+                    }
+                }
             }
-            let wrow = &w[k * n..(k + 1) * n];
-            for (cv, &wv) in out.iter_mut().zip(wrow) {
-                *cv += a * wv;
+        } else {
+            let mut k = 0;
+            while k + 4 <= x.len() {
+                let (a0, a1, a2, a3) = (x[k], x[k + 1], x[k + 2], x[k + 3]);
+                let (r0, rest) = w[k * n..(k + 4) * n].split_at(n);
+                let (r1, rest) = rest.split_at(n);
+                let (r2, r3) = rest.split_at(n);
+                for (j, cv) in out.iter_mut().enumerate() {
+                    let mut acc = *cv;
+                    acc += a0 * r0[j];
+                    acc += a1 * r1[j];
+                    acc += a2 * r2[j];
+                    acc += a3 * r3[j];
+                    *cv = acc;
+                }
+                k += 4;
+            }
+            for (kk, &a) in x.iter().enumerate().skip(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                for (cv, &wv) in out.iter_mut().zip(&w[kk * n..(kk + 1) * n]) {
+                    *cv += a * wv;
+                }
             }
         }
+        // Fused epilogue: act(z + b) in one walk, same per-element ops as
+        // the separate bias and activation passes.
         for (cv, &b) in out.iter_mut().zip(&self.bias) {
-            *cv += b;
+            *cv = self.activation.apply(*cv + b);
         }
-        self.activation.forward_slice_inplace(out);
     }
 
     /// Backward pass: given `d_out = ∂L/∂a`, accumulates `∂L/∂W`, `∂L/∂b`
@@ -294,6 +401,44 @@ mod tests {
                 (numeric - analytic).abs() < 1e-5,
                 "dx[{idx}]: numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    /// The single-example kernels must stay bit-identical to the batch
+    /// path across unroll boundaries (lengths not divisible by 4), sparse
+    /// inputs (zeros inside and outside full quads — exercising both the
+    /// zero-skip and the fold-the-zero-through paths), and both output
+    /// widths (narrow quad kernel and wide row-pass kernel).
+    #[test]
+    fn forward_one_into_unroll_matches_batch_path_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for input in [1usize, 3, 4, 5, 7, 8, 11, 16] {
+            for output in [3usize, 16, 17, 33] {
+                for act in [Activation::Relu, Activation::Identity, Activation::Tanh] {
+                    let layer = Dense::new(input, output, act, &mut rng);
+                    let x: Vec<f64> = (0..input)
+                        .map(|i| {
+                            // Scatter exact zeros through the input so the
+                            // sparse handling of both kernels runs.
+                            if i % 3 == 0 {
+                                0.0
+                            } else {
+                                (i as f64) * 0.37 - 1.0
+                            }
+                        })
+                        .collect();
+                    let batch = layer.infer(&Matrix::from_rows(&[&x]));
+                    let mut one = Vec::new();
+                    layer.forward_one_into(&x, &mut one);
+                    for (a, b) in one.iter().zip(batch.row(0)) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "input={input} output={output} act={act:?}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,382 @@
+//! Transposition-keyed inference caches for DRL-guided search.
+//!
+//! MCTS rollouts revisit identical [`SimState`]s along different tree
+//! paths (and the path-replay tree re-derives them on every iteration),
+//! so the same featurize → forward → softmax pipeline runs many times
+//! per scheduling decision. These caches key the *result* of that
+//! pipeline by [`SimState::fingerprint`] — an incremental 64-bit hash
+//! whose coherence the `InvariantAuditor` checks against a from-scratch
+//! recomputation — so a repeat visit costs one probe instead of a full
+//! network inference.
+//!
+//! Both caches are capacity-bounded open-addressing tables with linear
+//! probing and **generation clearing**: callers bump the generation at
+//! each scheduling *episode* (one complete `schedule()` of one DAG),
+//! which invalidates every entry in O(1) without touching the storage.
+//! Within an episode the DAG, cluster spec, graph features, and network
+//! weights are all fixed, so a fingerprint-keyed entry can never go
+//! stale across the episode's decisions — consecutive decisions
+//! re-explore overlapping subtrees, and retaining entries across them
+//! is where most hits come from. Entries from a *previous* episode
+//! would be wrong (different DAG or weights), hence the per-episode
+//! bump. There are no deletions, so an out-of-generation slot
+//! terminates a probe chain soundly.
+//!
+//! Collision safety: keys are 64-bit. With tens of thousands of
+//! distinct states per episode, the birthday bound puts the
+//! per-episode collision probability around 2⁻³⁵; a collision would
+//! return a well-formed distribution over the *probed* state's
+//! actions, so the search stays deterministic and legal-action-safe
+//! either way, and the cache can be disabled outright for differential
+//! runs.
+//!
+//! [`SimState`]: spear_cluster::SimState
+//! [`SimState::fingerprint`]: spear_cluster::SimState::fingerprint
+
+use spear_dag::TaskId;
+
+/// How many slots a probe walks before giving up (on `get`) or
+/// evicting (on `insert`).
+const PROBE_LIMIT: usize = 8;
+
+/// Hit/miss/evict counters for one cache instance.
+///
+/// "Hit" and "miss" count `get` probes; "evictions" counts inserts that
+/// displaced a live same-generation entry because the whole probe
+/// window was occupied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Probes that found a live entry for the requested key.
+    pub hits: u64,
+    /// Probes that found nothing (and were typically followed by a
+    /// fresh inference plus an `insert`).
+    pub misses: u64,
+    /// Inserts that overwrote a live entry for a *different* key.
+    pub evictions: u64,
+}
+
+impl EvalCacheStats {
+    /// Component-wise sum, for aggregating per-worker caches.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// Generation-cleared policy-evaluation cache.
+///
+/// Stores, per state fingerprint, the masked softmax distribution a
+/// `DrlPolicy` produced (`action_dim` probabilities) together with the
+/// ready-slot → task assignment (`max_ready` slots) that gives those
+/// probabilities meaning. A hit reproduces `action_probs` output
+/// bit-identically without featurizing or running the network.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    /// Slot count; always a power of two so probing can mask.
+    capacity: usize,
+    /// Fingerprint stored in each slot (valid only when the slot's
+    /// generation matches the current one).
+    keys: Vec<u64>,
+    /// Generation tag per slot; `0` is never current, so fresh slots
+    /// read as stale.
+    gens: Vec<u64>,
+    /// Current generation; bumped by [`EvalCache::begin_generation`].
+    generation: u64,
+    /// Flat `capacity × action_dim` probability storage.
+    probs: Vec<f64>,
+    /// Flat `capacity × max_ready` slot-task storage.
+    slots: Vec<Option<TaskId>>,
+    /// Probability row width.
+    action_dim: usize,
+    /// Slot-task row width.
+    max_ready: usize,
+    /// Lifetime counters.
+    stats: EvalCacheStats,
+}
+
+impl EvalCache {
+    /// Creates a cache with room for at least `capacity` entries
+    /// (rounded up to a power of two), each holding `action_dim`
+    /// probabilities and `max_ready` slot tasks.
+    #[must_use]
+    pub fn new(capacity: usize, action_dim: usize, max_ready: usize) -> Self {
+        let capacity = capacity.max(PROBE_LIMIT).next_power_of_two();
+        Self {
+            capacity,
+            keys: vec![0; capacity],
+            gens: vec![0; capacity],
+            generation: 1,
+            probs: vec![0.0; capacity * action_dim],
+            slots: vec![None; capacity * max_ready],
+            action_dim,
+            max_ready,
+            stats: EvalCacheStats::default(),
+        }
+    }
+
+    /// Invalidates every entry in O(1). Call at each scheduling
+    /// episode boundary so entries never outlive the DAG/network pair
+    /// they were computed under.
+    pub fn begin_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Looks up `key`, returning the cached `(probabilities,
+    /// slot_tasks)` rows on a hit. Counts a hit or a miss either way.
+    pub fn get(&mut self, key: u64) -> Option<(&[f64], &[Option<TaskId>])> {
+        let mask = self.capacity - 1;
+        let start = (key as usize) & mask;
+        for step in 0..PROBE_LIMIT {
+            let idx = (start + step) & mask;
+            if self.gens[idx] != self.generation {
+                // Occupancy is monotone within a generation (no
+                // deletions), so a stale slot ends the chain.
+                break;
+            }
+            if self.keys[idx] == key {
+                self.stats.hits += 1;
+                let p = &self.probs[idx * self.action_dim..(idx + 1) * self.action_dim];
+                let s = &self.slots[idx * self.max_ready..(idx + 1) * self.max_ready];
+                return Some((p, s));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores `(probs, slot_tasks)` under `key`, evicting the entry at
+    /// the probe start if the whole window is live with other keys.
+    ///
+    /// # Panics
+    /// If the row widths disagree with the ones given to `new`.
+    pub fn insert(&mut self, key: u64, probs: &[f64], slot_tasks: &[Option<TaskId>]) {
+        assert_eq!(probs.len(), self.action_dim);
+        assert_eq!(slot_tasks.len(), self.max_ready);
+        let mask = self.capacity - 1;
+        let start = (key as usize) & mask;
+        let mut target = start;
+        let mut found = false;
+        for step in 0..PROBE_LIMIT {
+            let idx = (start + step) & mask;
+            if self.gens[idx] != self.generation || self.keys[idx] == key {
+                target = idx;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            self.stats.evictions += 1;
+        }
+        self.keys[target] = key;
+        self.gens[target] = self.generation;
+        self.probs[target * self.action_dim..(target + 1) * self.action_dim].copy_from_slice(probs);
+        self.slots[target * self.max_ready..(target + 1) * self.max_ready]
+            .copy_from_slice(slot_tasks);
+    }
+
+    /// Lifetime hit/miss/evict counters.
+    #[must_use]
+    pub fn stats(&self) -> EvalCacheStats {
+        self.stats
+    }
+}
+
+/// Generation-cleared scalar cache for value-network estimates, keyed
+/// the same way as [`EvalCache`].
+#[derive(Debug, Clone)]
+pub struct ValueCache {
+    /// Slot count; always a power of two so probing can mask.
+    capacity: usize,
+    /// Fingerprint stored in each slot.
+    keys: Vec<u64>,
+    /// Generation tag per slot; `0` is never current.
+    gens: Vec<u64>,
+    /// Current generation.
+    generation: u64,
+    /// Cached scalar per slot.
+    values: Vec<f64>,
+    /// Lifetime counters.
+    stats: EvalCacheStats,
+}
+
+impl ValueCache {
+    /// Creates a cache with room for at least `capacity` entries
+    /// (rounded up to a power of two).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(PROBE_LIMIT).next_power_of_two();
+        Self {
+            capacity,
+            keys: vec![0; capacity],
+            gens: vec![0; capacity],
+            generation: 1,
+            values: vec![0.0; capacity],
+            stats: EvalCacheStats::default(),
+        }
+    }
+
+    /// Invalidates every entry in O(1).
+    pub fn begin_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn get(&mut self, key: u64) -> Option<f64> {
+        let mask = self.capacity - 1;
+        let start = (key as usize) & mask;
+        for step in 0..PROBE_LIMIT {
+            let idx = (start + step) & mask;
+            if self.gens[idx] != self.generation {
+                break;
+            }
+            if self.keys[idx] == key {
+                self.stats.hits += 1;
+                return Some(self.values[idx]);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores `value` under `key`, evicting at the probe start if the
+    /// window is full.
+    pub fn insert(&mut self, key: u64, value: f64) {
+        let mask = self.capacity - 1;
+        let start = (key as usize) & mask;
+        let mut target = start;
+        let mut found = false;
+        for step in 0..PROBE_LIMIT {
+            let idx = (start + step) & mask;
+            if self.gens[idx] != self.generation || self.keys[idx] == key {
+                target = idx;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            self.stats.evictions += 1;
+        }
+        self.keys[target] = key;
+        self.gens[target] = self.generation;
+        self.values[target] = value;
+    }
+
+    /// Lifetime hit/miss/evict counters.
+    #[must_use]
+    pub fn stats(&self) -> EvalCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f64, dim: usize) -> Vec<f64> {
+        vec![v; dim]
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut cache = EvalCache::new(64, 3, 2);
+        assert!(cache.get(42).is_none());
+        cache.insert(42, &row(0.5, 3), &[Some(TaskId::new(7)), None]);
+        let (p, s) = cache.get(42).expect("inserted key must hit");
+        assert_eq!(p, &[0.5, 0.5, 0.5]);
+        assert_eq!(s, &[Some(TaskId::new(7)), None]);
+        assert_eq!(
+            cache.stats(),
+            EvalCacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn generation_bump_clears_without_touching_storage() {
+        let mut cache = EvalCache::new(64, 1, 1);
+        cache.insert(9, &[1.0], &[None]);
+        assert!(cache.get(9).is_some());
+        cache.begin_generation();
+        assert!(cache.get(9).is_none(), "old generation must read as empty");
+        cache.insert(9, &[2.0], &[None]);
+        assert_eq!(cache.get(9).unwrap().0, &[2.0]);
+    }
+
+    #[test]
+    fn full_probe_window_evicts_and_counts() {
+        let mut cache = EvalCache::new(8, 1, 1);
+        // Capacity 8 with PROBE_LIMIT 8: nine distinct keys mapping into
+        // the table must force at least one eviction.
+        for key in 0..9u64 {
+            cache.insert(key, &[key as f64], &[None]);
+        }
+        assert!(cache.stats().evictions >= 1);
+        // The survivors still hit with the right payload.
+        let mut live = 0;
+        for key in 0..9u64 {
+            if let Some((p, _)) = cache.get(key) {
+                assert_eq!(p, &[key as f64]);
+                live += 1;
+            }
+        }
+        assert_eq!(live, 8);
+    }
+
+    #[test]
+    fn reinsert_same_key_overwrites_in_place() {
+        let mut cache = EvalCache::new(16, 2, 1);
+        cache.insert(5, &[1.0, 2.0], &[Some(TaskId::new(0))]);
+        cache.insert(5, &[3.0, 4.0], &[Some(TaskId::new(1))]);
+        let (p, s) = cache.get(5).unwrap();
+        assert_eq!(p, &[3.0, 4.0]);
+        assert_eq!(s, &[Some(TaskId::new(1))]);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn value_cache_round_trips_and_clears() {
+        let mut cache = ValueCache::new(32);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, 123.5);
+        assert_eq!(cache.get(1), Some(123.5));
+        cache.begin_generation();
+        assert!(cache.get(1).is_none());
+        assert_eq!(
+            cache.stats(),
+            EvalCacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn stats_merge_componentwise() {
+        let a = EvalCacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+        };
+        let b = EvalCacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+        };
+        assert_eq!(
+            a.merged(b),
+            EvalCacheStats {
+                hits: 11,
+                misses: 22,
+                evictions: 33
+            }
+        );
+    }
+}

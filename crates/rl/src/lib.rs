@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod episode;
 mod expert;
 mod features;
@@ -47,6 +48,7 @@ pub mod pretrain;
 mod reinforce;
 pub mod value;
 
+pub use cache::{EvalCache, EvalCacheStats, ValueCache};
 pub use episode::{run_episode, run_episode_with_features, Episode, SelectionMode, StepRecord};
 pub use expert::{collect_expert_dataset, CpExpert, ExpertDataset};
 pub use features::{FeatureConfig, Featurizer, StateView};
