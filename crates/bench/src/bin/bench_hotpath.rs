@@ -17,6 +17,12 @@
 //!   bit-exactness regressions, not just panics.
 //! * `bench_hotpath --no-eval-cache` — disables the fingerprint-keyed
 //!   inference cache (differential runs; makespans must not move).
+//! * `bench_hotpath --metrics-out metrics.jsonl` — additionally writes the
+//!   metrics recorded during the measured runs as JSON lines, and folds the
+//!   same snapshot into the `metrics` field of the JSON output. Requires a
+//!   build with `--features obs` for real data (recording is compiled out
+//!   otherwise, keeping the measured hot path bit-identical to the plain
+//!   build).
 //!
 //! Makespans per DAG are part of the output: across a pure performance
 //! refactor they must not move (the same check the golden determinism
@@ -31,7 +37,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use spear::{
-    ClusterSpec, Dag, FeatureConfig, MctsConfig, MctsScheduler, PolicyNetwork, SearchStats,
+    ClusterSpec, Dag, FeatureConfig, MctsConfig, MctsScheduler, MetricsRegistry, Obs,
+    PolicyNetwork, SearchStats,
 };
 use spear_bench::workload;
 
@@ -132,7 +139,9 @@ struct Speedup {
     drl_policy_inferences_per_sec: f64,
 }
 
-/// What `BENCH_mcts.json` holds.
+/// What `BENCH_mcts.json` holds. A `metrics` key is added to the emitted
+/// JSON only when `--metrics-out` was given (so runs without it keep the
+/// pre-observability output format byte-for-byte).
 #[derive(Debug, Serialize)]
 struct BenchOutput {
     report: HotpathReport,
@@ -219,7 +228,7 @@ fn drl_scheduler(params: &ModeParams, eval_cache: bool) -> MctsScheduler {
     )
 }
 
-fn run_report(params: &ModeParams, eval_cache: bool) -> HotpathReport {
+fn run_report(params: &ModeParams, eval_cache: bool, obs: &Obs) -> HotpathReport {
     let dags = workload::simulation_dags(params.dags, params.tasks, WORKLOAD_SEED);
     let spec = workload::cluster();
     eprintln!(
@@ -229,9 +238,13 @@ fn run_report(params: &ModeParams, eval_cache: bool) -> HotpathReport {
         params.tasks,
         if eval_cache { "on" } else { "off" }
     );
-    let (pure_runs, pure_elapsed) = measure(&dags, &spec, pure_scheduler(params));
+    let (pure_runs, pure_elapsed) = measure(&dags, &spec, pure_scheduler(params).with_obs(obs));
     eprintln!("[bench_hotpath] pure MCTS done in {pure_elapsed:.2}s");
-    let (drl_runs, drl_elapsed) = measure(&dags, &spec, drl_scheduler(params, eval_cache));
+    let (drl_runs, drl_elapsed) = measure(
+        &dags,
+        &spec,
+        drl_scheduler(params, eval_cache).with_obs(obs),
+    );
     eprintln!("[bench_hotpath] DRL-guided done in {drl_elapsed:.2}s");
     HotpathReport {
         mode: params.tag.to_string(),
@@ -258,9 +271,26 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let save_baseline = args.iter().any(|a| a == "--save-baseline");
     let eval_cache = !args.iter().any(|a| a == "--no-eval-cache");
+    let metrics_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let params = if quick { &QUICK } else { &FULL };
 
-    let report = run_report(params, eval_cache);
+    let registry = if metrics_out.is_some() {
+        if !spear::obs::compiled() {
+            eprintln!(
+                "[bench_hotpath] note: metrics compiled out; rebuild with --features obs for data"
+            );
+        }
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    let sink = registry.sink("bench_hotpath");
+
+    let report = run_report(params, eval_cache, &sink);
 
     if quick {
         let golden_ok =
@@ -332,6 +362,14 @@ fn main() {
         eprintln!("[bench_hotpath] baseline saved to {}", path.display());
     }
 
+    let metrics = metrics_out.as_deref().map(|path| {
+        let snapshot = registry.snapshot();
+        std::fs::write(path, snapshot.to_jsonl()).expect("cannot write metrics output");
+        eprintln!("[bench_hotpath] wrote metrics to {path}");
+        serde_json::from_str(&snapshot.to_json())
+            .expect("snapshot JSON round-trips through serde_json")
+    });
+
     let out_name = if quick {
         "BENCH_mcts_quick.json"
     } else {
@@ -343,9 +381,13 @@ fn main() {
         baseline,
         speedup,
     };
+    let mut value = serde_json::to_value(&output);
+    if let (Some(m), serde_json::Value::Obj(entries)) = (metrics, &mut value) {
+        entries.push(("metrics".to_string(), m));
+    }
     std::fs::write(
         &out_path,
-        serde_json::to_string_pretty(&output).expect("output serializes"),
+        serde_json::to_string_pretty(&value).expect("output serializes"),
     )
     .expect("cannot write benchmark output");
     eprintln!("[bench_hotpath] wrote {}", out_path.display());

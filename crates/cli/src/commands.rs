@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use spear::dag::generator::LayeredDagSpec;
 use spear::{
     ClusterSpec, CpScheduler, Dag, FeatureConfig, Graphene, MctsConfig, MctsScheduler,
-    PolicyNetwork, RandomScheduler, ResourceVec, Scheduler, SjfScheduler, SyntheticTraceSpec,
-    TetrisScheduler, Trace, TraceStats,
+    MetricsRegistry, Obs, ObservedScheduler, PolicyNetwork, RandomScheduler, ResourceVec,
+    Scheduler, SjfScheduler, SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats,
 };
 
 use crate::args::Args;
@@ -23,12 +23,49 @@ USAGE:
                      [--algo spear|mcts|tetris|sjf|cp|graphene|random]
                      [--budget 100] [--min-budget 50] [--policy policy.json]
                      [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
+                     [--metrics-out metrics.jsonl]
   spear-cli train    [--profile tiny|fast|paper] --output policy.json
+                     [--metrics-out metrics.jsonl]
   spear-cli evaluate [--tasks 100] [--dags 5] [--seed 0] [--budget 200]
+                     [--metrics-out metrics.jsonl]
   spear-cli stats    (--dag file.json | --stg file.stg | --trace-file file.json)
 
 All demands/capacities are fractions of a two-dimensional (CPU, memory)
-cluster unless the input file says otherwise.";
+cluster unless the input file says otherwise.
+
+--metrics-out writes every metric recorded during the run as JSON lines
+(one metric per line). Metric recording is compiled in behind the `obs`
+cargo feature; without it the flag still works but the file only notes
+that the build has metrics compiled out.";
+
+/// An active registry when `--metrics-out` was given (plus the path).
+fn metrics_registry(args: &Args) -> (MetricsRegistry, Option<String>) {
+    match args.get("metrics-out") {
+        Some(path) => {
+            if !spear::obs::compiled() {
+                eprintln!(
+                    "note: this build has metrics compiled out; \
+                     rebuild with `--features obs` for real data"
+                );
+            }
+            (MetricsRegistry::new(), Some(path.to_owned()))
+        }
+        None => (MetricsRegistry::disabled(), None),
+    }
+}
+
+/// Writes the registry snapshot as JSONL if `--metrics-out` was given.
+fn write_metrics(registry: &MetricsRegistry, path: Option<&str>) -> Result<(), Box<dyn Error>> {
+    let Some(path) = path else { return Ok(()) };
+    let body = if spear::obs::compiled() {
+        registry.snapshot().to_jsonl()
+    } else {
+        "{\"note\":\"metrics compiled out; rebuild with --features obs\"}\n".to_owned()
+    };
+    std::fs::write(path, body)?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
+}
 
 fn cluster_for(dag: &Dag, args: &Args) -> Result<ClusterSpec, Box<dyn Error>> {
     let capacity: f64 = args.get_or("capacity", 1.0)?;
@@ -92,6 +129,7 @@ fn build_scheduler(
     algo: &str,
     args: &Args,
     dag_dims: usize,
+    obs: &Obs,
 ) -> Result<Box<dyn Scheduler>, Box<dyn Error>> {
     let budget: u64 = args.get_or("budget", 100)?;
     let min_budget: u64 = args.get_or("min-budget", budget / 2)?;
@@ -107,12 +145,12 @@ fn build_scheduler(
         ..MctsConfig::default()
     };
     Ok(match algo {
-        "tetris" => Box::new(TetrisScheduler::new()),
-        "sjf" => Box::new(SjfScheduler::new()),
-        "cp" => Box::new(CpScheduler::new()),
+        "tetris" => Box::new(TetrisScheduler::new().with_obs(obs)),
+        "sjf" => Box::new(SjfScheduler::new().with_obs(obs)),
+        "cp" => Box::new(CpScheduler::new().with_obs(obs)),
         "graphene" => Box::new(Graphene::new()),
-        "random" => Box::new(RandomScheduler::seeded(seed)),
-        "mcts" => Box::new(MctsScheduler::pure(config)),
+        "random" => Box::new(RandomScheduler::seeded(seed).with_obs(obs)),
+        "mcts" => Box::new(MctsScheduler::pure(config).with_obs(obs)),
         "spear" => {
             let features = FeatureConfig::paper(dag_dims);
             let policy = match args.get("policy") {
@@ -125,7 +163,7 @@ fn build_scheduler(
                     PolicyNetwork::new(features, &mut StdRng::seed_from_u64(seed))
                 }
             };
-            Box::new(MctsScheduler::drl(config, policy))
+            Box::new(MctsScheduler::drl(config, policy).with_obs(obs))
         }
         other => return Err(format!("unknown --algo `{other}`").into()),
     })
@@ -136,7 +174,10 @@ pub fn schedule(args: &Args) -> Result<(), Box<dyn Error>> {
     let dag = load_dag(args)?;
     let spec = cluster_for(&dag, args)?;
     let algo = args.get("algo").unwrap_or("spear");
-    let mut scheduler = build_scheduler(algo, args, dag.dims())?;
+    let (registry, metrics_path) = metrics_registry(args);
+    let sink = registry.sink("cli");
+    let mut scheduler =
+        ObservedScheduler::new(build_scheduler(algo, args, dag.dims(), &sink)?, &sink);
     let start = std::time::Instant::now();
     let schedule = scheduler.schedule(&dag, &spec)?;
     let elapsed = start.elapsed();
@@ -160,12 +201,13 @@ pub fn schedule(args: &Args) -> Result<(), Box<dyn Error>> {
         std::fs::write(out, serde_json::to_string_pretty(&schedule)?)?;
         eprintln!("wrote {out}");
     }
+    write_metrics(&registry, metrics_path.as_deref())?;
     Ok(())
 }
 
 /// `spear-cli train`: run the training pipeline and save the policy.
 pub fn train(args: &Args) -> Result<(), Box<dyn Error>> {
-    use spear::{train_policy, TrainingPipelineConfig};
+    use spear::{train_policy_observed, TrainingPipelineConfig};
     let profile = args.get("profile").unwrap_or("fast");
     let config = match profile {
         "tiny" => TrainingPipelineConfig::tiny(),
@@ -179,13 +221,15 @@ pub fn train(args: &Args) -> Result<(), Box<dyn Error>> {
         config.num_examples, config.example_spec.num_tasks, config.reinforce.epochs
     );
     let spec = ClusterSpec::unit(2);
-    let trained = train_policy(&config, &spec)?;
+    let (registry, metrics_path) = metrics_registry(args);
+    let trained = train_policy_observed(&config, &spec, &registry.sink("train"))?;
     trained.policy.net().save_to_path(output)?;
     println!(
         "pretrain accuracy {:.0}%; final mean makespan {:.1}; saved to {output}",
         100.0 * trained.pretrain_accuracy,
         trained.curve.last().map_or(f64::NAN, |p| p.mean_makespan),
     );
+    write_metrics(&registry, metrics_path.as_deref())?;
     Ok(())
 }
 
@@ -203,20 +247,26 @@ pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
     let jobs: Vec<Dag> = (0..dags).map(|_| gen.generate(&mut rng)).collect();
     let spec = ClusterSpec::unit(2);
 
+    let (registry, metrics_path) = metrics_registry(args);
+    let sink = registry.sink("evaluate");
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(TetrisScheduler::new()),
-        Box::new(SjfScheduler::new()),
-        Box::new(CpScheduler::new()),
+        Box::new(TetrisScheduler::new().with_obs(&sink)),
+        Box::new(SjfScheduler::new().with_obs(&sink)),
+        Box::new(CpScheduler::new().with_obs(&sink)),
         Box::new(Graphene::new()),
-        Box::new(MctsScheduler::pure(MctsConfig {
-            initial_budget: budget,
-            min_budget: (budget / 5).max(1),
-            seed,
-            ..MctsConfig::default()
-        })),
+        Box::new(
+            MctsScheduler::pure(MctsConfig {
+                initial_budget: budget,
+                min_budget: (budget / 5).max(1),
+                seed,
+                ..MctsConfig::default()
+            })
+            .with_obs(&sink),
+        ),
     ];
     println!("{:<10} {:>12} {:>10}", "scheduler", "mean", "seconds");
     for s in &mut schedulers {
+        let mut s = ObservedScheduler::new(s, &sink);
         let start = std::time::Instant::now();
         let total: u64 = jobs
             .iter()
@@ -229,6 +279,7 @@ pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
             start.elapsed().as_secs_f64()
         );
     }
+    write_metrics(&registry, metrics_path.as_deref())?;
     Ok(())
 }
 

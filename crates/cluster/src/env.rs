@@ -21,6 +21,7 @@
 
 use rand::{Rng, RngCore};
 use spear_dag::Dag;
+use spear_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::audit::InvariantAuditor;
 use crate::{Action, ClusterSpec, Schedule, SimState, SpearError};
@@ -318,6 +319,65 @@ fn default_auditor() -> Option<InvariantAuditor> {
     cfg!(any(debug_assertions, feature = "audit")).then(InvariantAuditor::new)
 }
 
+/// The driver's simulation instruments: built lazily on the first driven
+/// step once an enabled [`Obs`] sink is attached, so un-instrumented
+/// drivers never register metrics.
+#[derive(Debug, Clone)]
+struct EpisodeObs {
+    steps: Counter,
+    admissions: Counter,
+    clock_advances: Counter,
+    episodes: Counter,
+    backlog: Histogram,
+    makespan: Gauge,
+    occupancy: Vec<Gauge>,
+}
+
+impl EpisodeObs {
+    fn new(obs: &Obs, dims: usize) -> Self {
+        EpisodeObs {
+            steps: obs.counter("sim.steps"),
+            admissions: obs.counter("sim.admissions"),
+            clock_advances: obs.counter("sim.clock_advances"),
+            episodes: obs.counter("sim.episodes"),
+            backlog: obs.histogram("sim.backlog_depth"),
+            makespan: obs.gauge("sim.makespan"),
+            occupancy: (0..dims)
+                .map(|i| obs.gauge(&format!("sim.occupancy.r{i}")))
+                .collect(),
+        }
+    }
+
+    /// Records one applied action. Admissions count `Schedule`s; clock
+    /// advances sample the post-advance backlog (ready-set depth) and
+    /// per-resource occupancy fractions.
+    fn record_step<E: Env>(&self, env: &E, action: Action) {
+        self.steps.incr();
+        match action {
+            Action::Schedule(_) => self.admissions.incr(),
+            Action::Process => {
+                self.clock_advances.incr();
+                let state = env.observe();
+                self.backlog.record(state.ready().len() as u64);
+                let used = state.used().as_slice();
+                let cap = state.capacity().as_slice();
+                for (gauge, (u, c)) in self.occupancy.iter().zip(used.iter().zip(cap)) {
+                    if *c > 0.0 {
+                        gauge.set(u / c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_terminal<E: Env>(&self, env: &E) {
+        self.episodes.incr();
+        if let Some(makespan) = env.makespan() {
+            self.makespan.set(makespan as f64);
+        }
+    }
+}
+
 /// Runs episodes of a [`DecisionPolicy`] on an [`Env`], owning the
 /// legal-action scratch buffer so steady-state stepping performs no heap
 /// allocations (PR 1's hot-path contract, now behind one reusable driver).
@@ -326,11 +386,21 @@ fn default_auditor() -> Option<InvariantAuditor> {
 /// driven step is cross-checked by an [`InvariantAuditor`]; auditing is
 /// pure observation, so audited and unaudited episodes are bit-identical.
 /// [`EpisodeDriver::with_audit`] overrides the default.
+///
+/// With the `obs` feature an [`Obs`] sink attached via
+/// [`EpisodeDriver::with_obs`] records per-step simulation metrics
+/// (`sim.steps`, `sim.admissions`, `sim.clock_advances`,
+/// `sim.backlog_depth`, `sim.occupancy.r*`, `sim.episodes`,
+/// `sim.makespan`). Instrumentation is pure observation — it reads the
+/// state and never influences a decision — and without the feature every
+/// recording call compiles to nothing.
 #[derive(Debug, Clone)]
 pub struct EpisodeDriver<P> {
     policy: P,
     legal: Vec<Action>,
     auditor: Option<InvariantAuditor>,
+    obs: Obs,
+    episode_obs: Option<EpisodeObs>,
 }
 
 impl<P: Default> Default for EpisodeDriver<P> {
@@ -346,6 +416,8 @@ impl<P> EpisodeDriver<P> {
             policy,
             legal: Vec::new(),
             auditor: default_auditor(),
+            obs: Obs::noop(),
+            episode_obs: None,
         }
     }
 
@@ -357,6 +429,8 @@ impl<P> EpisodeDriver<P> {
             policy,
             legal,
             auditor: default_auditor(),
+            obs: Obs::noop(),
+            episode_obs: None,
         }
     }
 
@@ -377,6 +451,35 @@ impl<P> EpisodeDriver<P> {
     /// Whether driven steps are being audited.
     pub fn audits(&self) -> bool {
         self.auditor.is_some()
+    }
+
+    /// Attaches a metric sink; driven steps record simulation metrics
+    /// through it (see the type-level docs for the metric names). Pass
+    /// [`Obs::noop`] to detach.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place variant of [`EpisodeDriver::with_obs`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.episode_obs = None;
+    }
+
+    /// Whether driven steps record metrics into an enabled sink.
+    pub fn observes(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Builds the instrument handles on first use. Gated on the constant
+    /// [`spear_obs::compiled`] so disabled builds optimize the whole
+    /// instrumentation path out of the stepping loops.
+    fn prepare_obs<E: Env>(&mut self, env: &E) {
+        if spear_obs::compiled() && self.episode_obs.is_none() && self.obs.is_enabled() {
+            self.episode_obs = Some(EpisodeObs::new(&self.obs, env.spec().capacity().dims()));
+        }
     }
 
     /// The wrapped policy.
@@ -416,6 +519,7 @@ impl<P> EpisodeDriver<P> {
             auditor.reset();
             auditor.check(env.dag(), env.observe())?;
         }
+        self.prepare_obs(env);
         let mut steps = 0u64;
         while !env.is_terminal() {
             if steps >= max_steps {
@@ -429,7 +533,17 @@ impl<P> EpisodeDriver<P> {
             if let Some(auditor) = &mut self.auditor {
                 auditor.check(env.dag(), env.observe())?;
             }
+            if spear_obs::compiled() {
+                if let Some(eo) = &self.episode_obs {
+                    eo.record_step(env, action);
+                }
+            }
             steps += 1;
+        }
+        if spear_obs::compiled() {
+            if let Some(eo) = &self.episode_obs {
+                eo.record_terminal(env);
+            }
         }
         Ok(DriveOutcome::Terminal { steps })
     }
@@ -461,6 +575,7 @@ impl<P> EpisodeDriver<P> {
             auditor.reset();
         }
         audit(&mut self.auditor, env);
+        self.prepare_obs(env);
         let mut steps = 0u64;
         while !env.is_terminal() {
             if steps >= max_steps {
@@ -472,7 +587,17 @@ impl<P> EpisodeDriver<P> {
             let action = self.policy.decide(&ctx, env.observe(), &self.legal, rng);
             env.step_trusted(action);
             audit(&mut self.auditor, env);
+            if spear_obs::compiled() {
+                if let Some(eo) = &self.episode_obs {
+                    eo.record_step(env, action);
+                }
+            }
             steps += 1;
+        }
+        if spear_obs::compiled() {
+            if let Some(eo) = &self.episode_obs {
+                eo.record_terminal(env);
+            }
         }
         DriveOutcome::Terminal { steps }
     }

@@ -53,13 +53,19 @@ pub enum SchedulerKind {
     BnB,
     /// Pure MCTS with random rollouts.
     MctsPure,
+    /// Pure MCTS with the transposition cache disabled.
+    MctsPureNoCache,
     /// MCTS guided by an (untrained) DRL policy — the Spear configuration.
     MctsDrl,
+    /// DRL-guided MCTS with the inference cache disabled, so the fuzzer
+    /// exercises the uncached inference path (which must produce the same
+    /// feasible schedules as the cached one).
+    MctsDrlNoCache,
 }
 
 impl SchedulerKind {
     /// The full roster, in fuzzing order.
-    pub const ALL: [SchedulerKind; 8] = [
+    pub const ALL: [SchedulerKind; 10] = [
         SchedulerKind::Tetris,
         SchedulerKind::Sjf,
         SchedulerKind::Cp,
@@ -67,7 +73,9 @@ impl SchedulerKind {
         SchedulerKind::Graphene,
         SchedulerKind::BnB,
         SchedulerKind::MctsPure,
+        SchedulerKind::MctsPureNoCache,
         SchedulerKind::MctsDrl,
+        SchedulerKind::MctsDrlNoCache,
     ];
 
     /// Stable name, used in fixture files and reports.
@@ -80,7 +88,9 @@ impl SchedulerKind {
             SchedulerKind::Graphene => "graphene",
             SchedulerKind::BnB => "bnb",
             SchedulerKind::MctsPure => "mcts-pure",
+            SchedulerKind::MctsPureNoCache => "mcts-pure-nocache",
             SchedulerKind::MctsDrl => "mcts-drl",
+            SchedulerKind::MctsDrlNoCache => "mcts-drl-nocache",
         }
     }
 
@@ -102,13 +112,16 @@ impl SchedulerKind {
             SchedulerKind::BnB => {
                 Box::new(BnBScheduler::with_config(BnBConfig { max_nodes: 20_000 }))
             }
-            SchedulerKind::MctsPure => Box::new(MctsScheduler::pure(MctsConfig {
-                initial_budget: 32,
-                min_budget: 8,
-                seed,
-                ..MctsConfig::default()
-            })),
-            SchedulerKind::MctsDrl => {
+            SchedulerKind::MctsPure | SchedulerKind::MctsPureNoCache => {
+                Box::new(MctsScheduler::pure(MctsConfig {
+                    initial_budget: 32,
+                    min_budget: 8,
+                    seed,
+                    eval_cache: self != SchedulerKind::MctsPureNoCache,
+                    ..MctsConfig::default()
+                }))
+            }
+            SchedulerKind::MctsDrl | SchedulerKind::MctsDrlNoCache => {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
                 let policy =
                     PolicyNetwork::with_hidden(FeatureConfig::small(dims), &[16], &mut rng);
@@ -117,6 +130,7 @@ impl SchedulerKind {
                         initial_budget: 16,
                         min_budget: 4,
                         seed,
+                        eval_cache: self != SchedulerKind::MctsDrlNoCache,
                         ..MctsConfig::default()
                     },
                     policy,

@@ -21,6 +21,7 @@
 //! | DRL agent + training | [`spear_rl`] |
 //! | MCTS | [`spear_mcts`] |
 //! | trace substrate | [`spear_trace`] |
+//! | observability (metrics, exporters) | [`spear_obs`] |
 //!
 //! # Quickstart
 //!
@@ -58,13 +59,14 @@ mod pipeline;
 mod spear;
 
 pub use crate::spear::{SpearBuilder, SpearScheduler};
-pub use pipeline::{train_policy, TrainedPolicy, TrainingPipelineConfig};
+pub use pipeline::{train_policy, train_policy_observed, TrainedPolicy, TrainingPipelineConfig};
 
 // Re-export the workspace crates under short names.
 pub use spear_cluster as cluster;
 pub use spear_dag as dag;
 pub use spear_mcts as mcts;
 pub use spear_nn as nn;
+pub use spear_obs as obs;
 pub use spear_rl as rl;
 pub use spear_sched as sched;
 pub use spear_trace as trace;
@@ -84,8 +86,10 @@ pub use spear_cluster::{
 };
 pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
 pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats};
+pub use spear_obs::{MetricsRegistry, MetricsSnapshot, Obs};
 pub use spear_rl::{FeatureConfig, PolicyNetwork};
 pub use spear_sched::{
-    CpScheduler, Graphene, RandomScheduler, Scheduler, SjfScheduler, TetrisScheduler,
+    CpScheduler, Graphene, ObservedScheduler, RandomScheduler, Scheduler, SjfScheduler,
+    TetrisScheduler,
 };
 pub use spear_trace::{SyntheticTraceSpec, Trace, TraceJob, TraceStats};

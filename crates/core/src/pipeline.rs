@@ -142,6 +142,22 @@ pub fn train_policy(
     config: &TrainingPipelineConfig,
     spec: &ClusterSpec,
 ) -> Result<TrainedPolicy, SpearError> {
+    train_policy_observed(config, spec, &spear_obs::Obs::noop())
+}
+
+/// [`train_policy`] with a metric sink: both phases record the `rl.*`
+/// family (pre-training loss, per-epoch makespan/entropy/grad-norm, and
+/// episode returns). The trained policy is identical to [`train_policy`]'s.
+///
+/// # Errors
+///
+/// Propagates simulator errors (only possible if the example spec emits
+/// tasks larger than the cluster).
+pub fn train_policy_observed(
+    config: &TrainingPipelineConfig,
+    spec: &ClusterSpec,
+    obs: &spear_obs::Obs,
+) -> Result<TrainedPolicy, SpearError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let examples: Vec<Dag> = (0..config.num_examples)
         .map(|_| config.example_spec.generate(&mut rng))
@@ -155,13 +171,20 @@ pub fn train_policy(
     // Phase 1: imitate the critical-path expert (§IV).
     let dataset = pretrain::build_dataset(&policy, &examples, spec)?;
     let mut opt = RmsProp::new(config.pretrain_alpha, 0.9, 1e-9);
-    let pretrain_loss =
-        pretrain::train(&mut policy, &dataset, &mut opt, &config.pretrain, &mut rng);
+    let pretrain_loss = pretrain::train_observed(
+        &mut policy,
+        &dataset,
+        &mut opt,
+        &config.pretrain,
+        &mut rng,
+        obs,
+    );
     let pretrain_accuracy = pretrain::accuracy(&policy, &dataset);
 
     // Phase 2: REINFORCE with the averaged baseline.
     let mut trainer =
-        ReinforceTrainer::with_learning_rate(config.reinforce.clone(), config.reinforce_alpha);
+        ReinforceTrainer::with_learning_rate(config.reinforce.clone(), config.reinforce_alpha)
+            .with_obs(obs);
     let curve = trainer.train(&mut policy, &examples, spec, &mut rng)?;
 
     Ok(TrainedPolicy {

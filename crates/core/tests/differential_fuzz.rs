@@ -12,6 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use spear::diffcheck::{corpus, shrink_dag, CaseSpec, Fixture, SchedulerKind};
+use spear::Scheduler;
 
 fn fixtures_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
@@ -90,6 +91,42 @@ fn epsilon_boundary_sweep_stays_consistent() {
         "epsilon sweep failures:\n{}",
         failures.join("\n")
     );
+}
+
+/// The MCTS sub-matrix (pure + DRL, cache on/off): every variant must
+/// pass all three judges, and the inference cache must be a pure
+/// optimization — cache-on and cache-off schedules are bit-identical.
+#[test]
+fn mcts_matrix_passes_three_ways_and_cache_is_transparent() {
+    let pairs = [
+        (SchedulerKind::MctsPure, SchedulerKind::MctsPureNoCache),
+        (SchedulerKind::MctsDrl, SchedulerKind::MctsDrlNoCache),
+    ];
+    for (cached, uncached) in pairs {
+        for seed in [3u64, 19] {
+            let mk = |scheduler| CaseSpec {
+                seed,
+                num_tasks: 12,
+                dims: 2,
+                scheduler,
+                epsilon_jitter: false,
+            };
+            for case in [mk(cached), mk(uncached)] {
+                let tri = case.run().unwrap();
+                assert!(tri.all_ok(), "{}: {}", case.label(), tri.summary());
+            }
+            let case = mk(cached);
+            let (dag, spec) = (case.dag(), case.cluster());
+            let on = cached.build(seed, 2).schedule(&dag, &spec).unwrap();
+            let off = uncached.build(seed, 2).schedule(&dag, &spec).unwrap();
+            assert_eq!(
+                on,
+                off,
+                "cache changed the {} schedule at seed {seed}",
+                cached.name()
+            );
+        }
+    }
 }
 
 /// End-to-end shrink: a synthetic failure predicate minimizes to a small

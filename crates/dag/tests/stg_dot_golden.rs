@@ -1,0 +1,126 @@
+//! Golden tests for the STG importer and the DOT exporter, over the
+//! committed fixture in `tests/fixtures/`.
+//!
+//! The DOT golden is byte-exact: if the exporter's format changes
+//! deliberately, regenerate the golden with
+//! `UPDATE_GOLDEN=1 cargo test -p spear-dag --test stg_dot_golden`.
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spear_cluster::SpearError;
+use spear_dag::stg::{parse_stg, DemandModel, StgError};
+use spear_dag::{dot, Dag, ResourceVec, TaskId};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name)).expect("fixture readable")
+}
+
+/// Uniform demands keep the parse deterministic without consuming RNG, so
+/// the DOT golden is stable byte-for-byte.
+fn uniform() -> DemandModel {
+    DemandModel::Uniform(ResourceVec::from_slice(&[0.5, 0.25]))
+}
+
+fn parse_fixture(drop_dummies: bool) -> Dag {
+    let mut rng = StdRng::seed_from_u64(0);
+    parse_stg(
+        &fixture("fork_join.stg"),
+        &uniform(),
+        drop_dummies,
+        &mut rng,
+    )
+    .expect("fixture parses")
+}
+
+#[test]
+fn fixture_parses_with_expected_structure() {
+    let dag = parse_fixture(false);
+    assert_eq!(dag.len(), 9);
+    assert_eq!(dag.dims(), 2);
+    // Dummies clamp to runtime 1; the longest chain is entry 1 + map C 5 +
+    // shuffle BC 6 + reduce 8 + commit 2 + exit 1 = 23.
+    assert_eq!(dag.critical_path_length(), 23);
+    assert_eq!(dag.sources().len(), 1);
+    assert_eq!(dag.sinks().len(), 1);
+    assert_eq!(dag.task(TaskId::new(1)).name(), Some("stg-1"));
+
+    let dropped = parse_fixture(true);
+    assert_eq!(dropped.len(), 7);
+    assert_eq!(dropped.sources().len(), 3); // the three maps
+    assert_eq!(dropped.sinks().len(), 1); // commit
+    assert_eq!(dropped.critical_path_length(), 21);
+}
+
+#[test]
+fn dot_export_matches_committed_golden() {
+    let rendered = dot::to_dot(&parse_fixture(true));
+    let golden_path = fixture_path("fork_join.dot");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("golden writable");
+    }
+    let golden = fixture("fork_join.dot");
+    assert_eq!(
+        rendered, golden,
+        "DOT output drifted from tests/fixtures/fork_join.dot; \
+         regenerate with UPDATE_GOLDEN=1 if the change is deliberate"
+    );
+}
+
+#[test]
+fn parsed_fixture_round_trips_through_serde() {
+    let dag = parse_fixture(false);
+    let json = serde_json::to_string(&dag).expect("serializes");
+    let back: Dag = serde_json::from_str(&json).expect("round-trips");
+    assert_eq!(dag, back);
+    // And the round-tripped DAG renders identical DOT.
+    assert_eq!(dot::to_dot(&dag), dot::to_dot(&back));
+}
+
+/// The importer reports malformed input as typed errors that convert into
+/// the workspace [`SpearError`] — callers using `?` get no panics.
+#[test]
+fn malformed_inputs_surface_as_spear_errors() {
+    fn parse_as_spear(text: &str) -> Result<Dag, SpearError> {
+        let mut rng = StdRng::seed_from_u64(0);
+        Ok(parse_stg(text, &uniform(), false, &mut rng)?)
+    }
+
+    let cases: &[(&str, StgError)] = &[
+        ("", StgError::MissingHeader),
+        ("not-a-number\n", StgError::MissingHeader),
+        ("3\n0 1 0\n", StgError::TruncatedFile),
+        ("1\n0 1\n", StgError::BadTaskLine { line: 2 }),
+        ("1\n0 1 0 9\n", StgError::BadTaskLine { line: 2 }),
+        ("1\n3 1 0\n", StgError::BadTaskId { line: 2 }),
+        ("2\n0 1 0\n0 1 0\n", StgError::BadTaskId { line: 3 }),
+        ("2\n0 1 0\n1 1 1 9\n", StgError::BadTaskLine { line: 3 }),
+    ];
+    for (text, want) in cases {
+        match parse_as_spear(text) {
+            Err(SpearError::Stg(got)) => assert_eq!(&got, want, "input {text:?}"),
+            other => panic!("input {text:?}: expected Stg error, got {other:?}"),
+        }
+    }
+
+    // A cyclic graph (task depending on itself) is a graph-level error.
+    let mut rng = StdRng::seed_from_u64(0);
+    let err = parse_stg("1\n0 1 1 0\n", &uniform(), false, &mut rng).unwrap_err();
+    assert!(matches!(err, StgError::Graph(_)), "got {err:?}");
+    // Display chains are human-readable (used verbatim by the CLI).
+    assert!(err.to_string().contains("invalid graph"));
+}
+
+#[test]
+fn dropping_dummies_from_an_all_dummy_graph_errors_cleanly() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let err = parse_stg("1\n0 0 0\n", &uniform(), true, &mut rng).unwrap_err();
+    assert!(matches!(err, StgError::Graph(_)), "got {err:?}");
+}

@@ -13,6 +13,7 @@ use std::thread;
 
 use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::Dag;
+use spear_obs::MetricsRegistry;
 use spear_sched::Scheduler;
 
 use crate::{MctsScheduler, SearchStats};
@@ -48,6 +49,7 @@ use crate::{MctsScheduler, SearchStats};
 pub struct RootParallelMcts<F> {
     workers: usize,
     factory: F,
+    registry: MetricsRegistry,
 }
 
 impl<F> RootParallelMcts<F>
@@ -61,12 +63,26 @@ where
     /// Panics if `workers` is zero.
     pub fn new(workers: usize, factory: F) -> Self {
         assert!(workers > 0, "need at least one worker");
-        RootParallelMcts { workers, factory }
+        RootParallelMcts {
+            workers,
+            factory,
+            registry: MetricsRegistry::disabled(),
+        }
     }
 
     /// Number of concurrent searches.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Attaches a metrics registry: every worker records its `mcts.*`
+    /// metrics into its own lock-free sink (labelled `mcts-worker-<n>`),
+    /// merged when the registry is snapshotted. Recording never
+    /// synchronizes workers with each other.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &MetricsRegistry) -> Self {
+        self.registry = registry.clone();
+        self
     }
 
     /// Schedules `dag`, returning the best schedule plus the statistics
@@ -89,8 +105,12 @@ where
             let handles: Vec<_> = (0..self.workers)
                 .map(|w| {
                     let factory = &self.factory;
+                    let registry = &self.registry;
                     scope.spawn(move || {
                         let mut scheduler = factory(w as u64);
+                        if spear_obs::compiled() && registry.is_active() {
+                            scheduler.set_obs(&registry.sink(&format!("mcts-worker-{w}")));
+                        }
                         scheduler.schedule_with_stats(dag, spec)
                     })
                 })

@@ -5,6 +5,7 @@ use spear_cluster::env::SimEnv;
 use spear_cluster::{ClusterSpec, Schedule, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
+use spear_obs::{Counter, Histogram, Obs};
 use spear_rl::PolicyNetwork;
 use spear_sched::Scheduler;
 
@@ -103,6 +104,62 @@ pub struct SearchStats {
     pub elapsed_seconds: f64,
 }
 
+/// The scheduler's search instruments: per-episode totals mirrored from
+/// [`SearchStats`] plus the per-decision distributions only the registry
+/// sees (wall time, lookahead depth). Built lazily once an enabled sink
+/// is attached.
+#[derive(Debug, Clone)]
+struct SearchObs {
+    episodes: Counter,
+    decisions: Counter,
+    iterations: Counter,
+    rollout_steps: Counter,
+    policy_inferences: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    inference_skips: Counter,
+    decision_ns: Histogram,
+    tree_depth: Histogram,
+    tree_nodes: Histogram,
+    schedule_ns: Histogram,
+}
+
+impl SearchObs {
+    fn new(obs: &Obs) -> Self {
+        SearchObs {
+            episodes: obs.counter("mcts.episodes"),
+            decisions: obs.counter("mcts.decisions"),
+            iterations: obs.counter("mcts.iterations"),
+            rollout_steps: obs.counter("mcts.rollout_steps"),
+            policy_inferences: obs.counter("mcts.policy_inferences"),
+            cache_hits: obs.counter("mcts.cache_hits"),
+            cache_misses: obs.counter("mcts.cache_misses"),
+            cache_evictions: obs.counter("mcts.cache_evictions"),
+            inference_skips: obs.counter("mcts.inference_skips"),
+            decision_ns: obs.histogram("mcts.decision_ns"),
+            tree_depth: obs.histogram("mcts.tree_depth"),
+            tree_nodes: obs.histogram("mcts.tree_nodes"),
+            schedule_ns: obs.histogram("mcts.schedule_ns"),
+        }
+    }
+
+    fn record_stats(&self, stats: &SearchStats) {
+        self.episodes.incr();
+        self.decisions.add(stats.decisions);
+        self.iterations.add(stats.iterations);
+        self.rollout_steps.add(stats.rollout_steps);
+        self.policy_inferences.add(stats.policy_inferences);
+        self.cache_hits.add(stats.cache_hits);
+        self.cache_misses.add(stats.cache_misses);
+        self.cache_evictions.add(stats.cache_evictions);
+        self.inference_skips.add(stats.inference_skips);
+        self.tree_nodes.record(stats.tree_nodes as u64);
+        self.schedule_ns
+            .record((stats.elapsed_seconds * 1e9) as u64);
+    }
+}
+
 /// A scheduler that runs budgeted MCTS for every decision.
 ///
 /// * [`MctsScheduler::pure`] — classic MCTS with random expansion/rollout
@@ -111,11 +168,19 @@ pub struct SearchStats {
 ///   (ablation);
 /// * [`MctsScheduler::drl`] — guided by a trained policy network: this is
 ///   **Spear**.
+///
+/// An [`Obs`] sink attached via [`MctsScheduler::with_obs`] records the
+/// `mcts.*` metric family: the [`SearchStats`] totals as counters plus the
+/// per-decision wall-time and tree-depth distributions that the ad-hoc
+/// stats struct cannot carry. Instrumentation never influences the
+/// search; without the `obs` feature it compiles to nothing.
 pub struct MctsScheduler {
     config: MctsConfig,
     policy: Box<dyn SearchPolicy + Send>,
     evaluator: Option<(Box<dyn StateEvaluator + Send>, u64)>,
     name: String,
+    obs: Obs,
+    search_obs: Option<SearchObs>,
 }
 
 impl std::fmt::Debug for MctsScheduler {
@@ -136,6 +201,8 @@ impl MctsScheduler {
             policy: Box::new(RandomPolicy),
             evaluator: None,
             name: "mcts".to_owned(),
+            obs: Obs::noop(),
+            search_obs: None,
         }
     }
 
@@ -146,6 +213,8 @@ impl MctsScheduler {
             policy: Box::new(HeuristicPolicy),
             evaluator: None,
             name: "mcts-heuristic".to_owned(),
+            obs: Obs::noop(),
+            search_obs: None,
         }
     }
 
@@ -157,6 +226,8 @@ impl MctsScheduler {
             policy,
             evaluator: None,
             name: "spear".to_owned(),
+            obs: Obs::noop(),
+            search_obs: None,
         }
     }
 
@@ -178,6 +249,8 @@ impl MctsScheduler {
             policy,
             evaluator: Some((evaluator, truncate_steps)),
             name: "spear-value".to_owned(),
+            obs: Obs::noop(),
+            search_obs: None,
         }
     }
 
@@ -194,6 +267,8 @@ impl MctsScheduler {
             policy,
             evaluator: Some((evaluator, truncate_steps)),
             name: name.into(),
+            obs: Obs::noop(),
+            search_obs: None,
         }
     }
 
@@ -208,12 +283,36 @@ impl MctsScheduler {
             policy,
             evaluator: None,
             name: name.into(),
+            obs: Obs::noop(),
+            search_obs: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &MctsConfig {
         &self.config
+    }
+
+    /// Attaches a metric sink recording the `mcts.*` family (see the
+    /// type-level docs). Pass [`Obs::noop`] to detach.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place variant of [`MctsScheduler::with_obs`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.search_obs = None;
+    }
+
+    /// Builds the instrument handles on first use; constant-folded away
+    /// without the `obs` feature.
+    fn prepare_obs(&mut self) {
+        if spear_obs::compiled() && self.search_obs.is_none() && self.obs.is_enabled() {
+            self.search_obs = Some(SearchObs::new(&self.obs));
+        }
     }
 
     /// Schedules `dag` and reports search statistics alongside.
@@ -227,6 +326,7 @@ impl MctsScheduler {
         spec: &ClusterSpec,
     ) -> Result<(Schedule, SearchStats), SpearError> {
         let start = std::time::Instant::now();
+        self.prepare_obs();
         let features = GraphFeatures::compute(dag);
         // Scale exploration to the makespan magnitude (paper §IV).
         let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
@@ -256,11 +356,24 @@ impl MctsScheduler {
         let mut decisions = 0u64;
         while !search.is_terminal() {
             decisions += 1;
+            let span = if spear_obs::compiled() {
+                self.search_obs
+                    .as_ref()
+                    .map(|so| so.decision_ns.start_span())
+            } else {
+                None
+            };
             for _ in 0..budget.at_depth(decisions) {
                 search.run_iteration();
             }
             let action = search.best_action();
+            if spear_obs::compiled() {
+                if let Some(so) = &self.search_obs {
+                    so.tree_depth.record(search.max_depth());
+                }
+            }
             search.advance(action)?;
+            drop(span);
         }
         let cache = search
             .policy_cache_stats()
@@ -277,6 +390,11 @@ impl MctsScheduler {
             inference_skips: search.policy_inference_skips() - skips_before,
             elapsed_seconds: start.elapsed().as_secs_f64(),
         };
+        if spear_obs::compiled() {
+            if let Some(so) = &self.search_obs {
+                so.record_stats(&stats);
+            }
+        }
         let schedule =
             SimEnv::from_state(dag, spec, search.root_state().clone()).into_schedule()?;
         Ok((schedule, stats))

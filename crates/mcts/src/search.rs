@@ -72,6 +72,7 @@ pub struct MctsSearch<'a, P: SearchPolicy + ?Sized> {
     ln_table: Vec<f64>,
     iterations: u64,
     rollout_steps: u64,
+    max_depth: u64,
 }
 
 impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
@@ -134,6 +135,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             ln_table: ln_table(),
             iterations: 0,
             rollout_steps: 0,
+            max_depth: 0,
         })
     }
 
@@ -185,6 +187,13 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
     /// Total simulated rollout steps so far.
     pub fn rollout_steps(&self) -> u64 {
         self.rollout_steps
+    }
+
+    /// Deepest node reached below the *current* root (selection replay
+    /// plus the expanded child) since the last [`MctsSearch::advance`] —
+    /// how far ahead of the committed schedule the search is looking.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
     }
 
     /// Cumulative policy-network forward passes of the guiding policy.
@@ -244,11 +253,14 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         };
         // --- Selection (replaying the path into the scratch env). ---
         let mut id = self.root;
+        let mut depth = 0u64;
         while self.tree.node(id).fully_expanded() && !self.tree.node(id).terminal {
             let (action, child) = self.select_child(id);
             env.step_trusted(action);
             id = child;
+            depth += 1;
         }
+        self.max_depth = self.max_depth.max(depth);
         // Terminal leaf: its value is exact; just reinforce it.
         if self.tree.node(id).terminal {
             let value = self.tree.node(id).terminal_value;
@@ -289,6 +301,7 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             self.tree.node_mut(id).children.push((action, child));
             child
         };
+        self.max_depth = self.max_depth.max(depth + 1);
         // --- Simulation (continues in the scratch env). ---
         let value = self.rollout(&mut env, &mut legal);
         // --- Backpropagation (stops at the current root: ancestors above
@@ -438,6 +451,9 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
             }
         };
         self.root = child;
+        // Depth is measured from the current root; re-rooting starts a
+        // fresh decision window.
+        self.max_depth = 0;
         Ok(())
     }
 }

@@ -1,0 +1,160 @@
+//! Atomic metric cells and the per-worker sink storage. Only compiled
+//! with the `enabled` feature; the public handles in [`crate::handles`]
+//! wrap these behind `Option<Arc<..>>`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{bucket_index, HIST_BUCKETS};
+
+/// Monotone counter cell.
+pub(crate) struct CounterCell {
+    pub(crate) name: String,
+    pub(crate) value: AtomicU64,
+}
+
+impl CounterCell {
+    pub(crate) fn new(name: String) -> Self {
+        CounterCell {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Gauge cell: last value plus running min/max/sum/count so report-time
+/// merges can show a distribution, not just whichever worker wrote last.
+/// All f64 fields are stored as IEEE-754 bits in `AtomicU64`s.
+pub(crate) struct GaugeCell {
+    pub(crate) name: String,
+    pub(crate) last: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl GaugeCell {
+    pub(crate) fn new(name: String) -> Self {
+        GaugeCell {
+            name,
+            last: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            sum: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&self, v: f64) {
+        self.last.store(v.to_bits(), Ordering::Relaxed);
+        update_f64(&self.min, v, f64::min);
+        update_f64(&self.max, v, f64::max);
+        update_f64(&self.sum, v, |cur, x| cur + x);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// CAS-loop update of an f64 stored as bits. Gauge writes are not on the
+/// simulation hot path, so the loop cost is acceptable.
+fn update_f64(cell: &AtomicU64, v: f64, f: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur), v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Histogram cell with the crate-wide fixed log-spaced bucket layout.
+pub(crate) struct HistCell {
+    pub(crate) name: String,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCell {
+    pub(crate) fn new(name: String) -> Self {
+        HistCell {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+use std::sync::Arc;
+
+/// One worker's sink. Recording through previously created handles never
+/// touches the mutexes — they only guard handle registration.
+pub(crate) struct SinkInner {
+    #[allow(dead_code)] // label is report-time metadata, read by snapshots later if needed
+    pub(crate) label: String,
+    pub(crate) counters: Mutex<Vec<Arc<CounterCell>>>,
+    pub(crate) gauges: Mutex<Vec<Arc<GaugeCell>>>,
+    pub(crate) hists: Mutex<Vec<Arc<HistCell>>>,
+}
+
+impl SinkInner {
+    pub(crate) fn new(label: String) -> Self {
+        SinkInner {
+            label,
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            hists: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> Arc<CounterCell> {
+        let mut cells = self.counters.lock().expect("obs counter registry poisoned");
+        if let Some(c) = cells.iter().find(|c| c.name == name) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(CounterCell::new(name.to_string()));
+        cells.push(Arc::clone(&cell));
+        cell
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Arc<GaugeCell> {
+        let mut cells = self.gauges.lock().expect("obs gauge registry poisoned");
+        if let Some(c) = cells.iter().find(|c| c.name == name) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(GaugeCell::new(name.to_string()));
+        cells.push(Arc::clone(&cell));
+        cell
+    }
+
+    pub(crate) fn hist(&self, name: &str) -> Arc<HistCell> {
+        let mut cells = self.hists.lock().expect("obs histogram registry poisoned");
+        if let Some(c) = cells.iter().find(|c| c.name == name) {
+            return Arc::clone(c);
+        }
+        let cell = Arc::new(HistCell::new(name.to_string()));
+        cells.push(Arc::clone(&cell));
+        cell
+    }
+}

@@ -1,0 +1,253 @@
+//! Recording handles: the per-worker sink [`Obs`] and the instruments it
+//! hands out. Without the `enabled` feature every type here is zero-sized
+//! and every method an empty inline function.
+
+#[cfg(feature = "enabled")]
+use std::sync::Arc;
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+#[cfg(feature = "enabled")]
+use crate::cell::{CounterCell, GaugeCell, HistCell, SinkInner};
+
+/// A per-worker metric sink. Obtain one from
+/// [`MetricsRegistry::sink`](crate::MetricsRegistry::sink) (live) or
+/// [`Obs::noop`] (inert); clone it freely — clones share the same sink.
+///
+/// Creating instruments locks the sink's registry briefly (setup path);
+/// recording through the returned handles is lock-free.
+#[derive(Clone, Default)]
+pub struct Obs {
+    #[cfg(feature = "enabled")]
+    pub(crate) sink: Option<Arc<SinkInner>>,
+}
+
+impl Obs {
+    /// An inert sink: every instrument it creates discards its samples.
+    #[must_use]
+    pub fn noop() -> Obs {
+        Obs::default()
+    }
+
+    /// Whether samples recorded through this sink are kept anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.sink.is_some()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// A monotone counter named `name`, created on first use. Calling
+    /// again with the same name returns a handle to the same cell.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        #[cfg(feature = "enabled")]
+        {
+            Counter {
+                cell: self.sink.as_ref().map(|s| s.counter(name)),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            Counter {}
+        }
+    }
+
+    /// A gauge named `name` (last value plus running min/max/mean).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        #[cfg(feature = "enabled")]
+        {
+            Gauge {
+                cell: self.sink.as_ref().map(|s| s.gauge(name)),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            Gauge {}
+        }
+    }
+
+    /// A histogram named `name` with the crate-wide fixed log-spaced
+    /// buckets (see [`crate::HIST_BUCKETS`]).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        #[cfg(feature = "enabled")]
+        {
+            Histogram {
+                cell: self.sink.as_ref().map(|s| s.hist(name)),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            Histogram {}
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+macro_rules! opaque_debug {
+    ($($ty:ident),*) => {$(
+        impl std::fmt::Debug for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(stringify!($ty))
+            }
+        }
+    )*};
+}
+opaque_debug!(Counter, Gauge, Histogram, Span);
+
+/// Monotone counter handle. Cheap to clone; clones share the cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(c) = &self.cell {
+            c.add(n);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// Gauge handle: records point-in-time values (occupancy, loss, …).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    cell: Option<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// Records `v` as the gauge's current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        if let Some(c) = &self.cell {
+            c.set(v);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+}
+
+/// Histogram handle over `u64` samples; callers pick the unit
+/// (nanoseconds for timings, plain counts for depths and sizes).
+#[derive(Clone, Default)]
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    cell: Option<Arc<HistCell>>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(c) = &self.cell {
+            c.record(v);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Starts a scoped timer; when the returned [`Span`] drops, the
+    /// elapsed wall time in nanoseconds is recorded into this histogram.
+    #[must_use]
+    pub fn start_span(&self) -> Span {
+        #[cfg(feature = "enabled")]
+        {
+            Span {
+                inner: self.cell.as_ref().map(|c| (Instant::now(), Arc::clone(c))),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Span {}
+        }
+    }
+}
+
+/// Scoped wall-time timer; records its lifetime in nanoseconds into the
+/// histogram it was started from when dropped. Inert handles never call
+/// `Instant::now`, so disabled builds pay nothing.
+#[derive(Default)]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    inner: Option<(Instant, Arc<HistCell>)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some((start, cell)) = self.inner.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cell.record(nanos);
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let obs = super::Obs::noop();
+        assert!(!obs.is_enabled());
+        obs.counter("x").add(5);
+        obs.gauge("y").set(1.0);
+        obs.histogram("z").record(9);
+        drop(obs.histogram("z").start_span());
+    }
+
+    #[test]
+    fn handles_dedup_by_name_within_a_sink() {
+        let registry = MetricsRegistry::new();
+        let obs = registry.sink("w");
+        obs.counter("a").add(1);
+        obs.counter("a").add(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("a"), Some(3));
+        assert_eq!(snap.metrics.len(), 1);
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let registry = MetricsRegistry::new();
+        let obs = registry.sink("w");
+        let hist = obs.histogram("t");
+        {
+            let _span = hist.start_span();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram_count("t"), Some(1));
+    }
+}

@@ -1,0 +1,313 @@
+//! The registry that owns per-worker sinks and merges them into
+//! [`MetricsSnapshot`]s at report time.
+
+#[cfg(feature = "enabled")]
+use std::collections::BTreeMap;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::Ordering;
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "enabled")]
+use crate::cell::SinkInner;
+use crate::handles::Obs;
+#[cfg(feature = "enabled")]
+use crate::snapshot::MetricValue;
+use crate::snapshot::MetricsSnapshot;
+
+#[cfg(feature = "enabled")]
+struct RegistryInner {
+    sinks: Mutex<Vec<Arc<SinkInner>>>,
+}
+
+/// Owns every per-worker sink and merges them at report time. Cloning is
+/// cheap (an `Arc` bump) and clones share the same sinks, so a registry
+/// can be handed to worker factories and report code alike.
+///
+/// Without the `enabled` feature, or when built with
+/// [`MetricsRegistry::disabled`], the registry is inert: sinks are no-ops
+/// and snapshots are empty.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    #[cfg(feature = "enabled")]
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A live registry when the `enabled` feature is compiled in, an
+    /// inert one otherwise.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        #[cfg(feature = "enabled")]
+        {
+            MetricsRegistry {
+                inner: Some(Arc::new(RegistryInner {
+                    sinks: Mutex::new(Vec::new()),
+                })),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            MetricsRegistry::default()
+        }
+    }
+
+    /// An inert registry regardless of compiled features: the runtime
+    /// no-op path for callers that want instrumentation off.
+    #[must_use]
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Whether sinks created from this registry record anything.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// Creates and registers a new per-worker sink. `label` is
+    /// diagnostic metadata (e.g. `"mcts-worker-3"`); metrics with the
+    /// same name from different sinks merge at snapshot time.
+    #[must_use]
+    pub fn sink(&self, label: &str) -> Obs {
+        #[cfg(feature = "enabled")]
+        {
+            match &self.inner {
+                Some(inner) => {
+                    let sink = Arc::new(SinkInner::new(label.to_string()));
+                    inner
+                        .sinks
+                        .lock()
+                        .expect("obs registry poisoned")
+                        .push(Arc::clone(&sink));
+                    Obs { sink: Some(sink) }
+                }
+                None => Obs::noop(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = label;
+            Obs::noop()
+        }
+    }
+
+    /// Merges every sink into a name-sorted snapshot. Counters sum;
+    /// gauges and histograms combine their running statistics.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        #[cfg(feature = "enabled")]
+        {
+            match &self.inner {
+                Some(inner) => merge(&inner.sinks.lock().expect("obs registry poisoned")),
+                None => MetricsSnapshot::default(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            MetricsSnapshot::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn merge(sinks: &[Arc<SinkInner>]) -> MetricsSnapshot {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, (f64, f64, f64, f64, u64)> = BTreeMap::new();
+    let mut hists: BTreeMap<String, (u64, u64, u64, u64, Vec<u64>)> = BTreeMap::new();
+
+    for sink in sinks {
+        for c in sink.counters.lock().expect("obs sink poisoned").iter() {
+            *counters.entry(c.name.clone()).or_insert(0) += c.value.load(Ordering::Relaxed);
+        }
+        for g in sink.gauges.lock().expect("obs sink poisoned").iter() {
+            let count = g.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let last = f64::from_bits(g.last.load(Ordering::Relaxed));
+            let min = f64::from_bits(g.min.load(Ordering::Relaxed));
+            let max = f64::from_bits(g.max.load(Ordering::Relaxed));
+            let sum = f64::from_bits(g.sum.load(Ordering::Relaxed));
+            let entry = gauges.entry(g.name.clone()).or_insert((
+                last,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                0,
+            ));
+            entry.0 = last;
+            entry.1 = entry.1.min(min);
+            entry.2 = entry.2.max(max);
+            entry.3 += sum;
+            entry.4 += count;
+        }
+        for h in sink.hists.lock().expect("obs sink poisoned").iter() {
+            let count = h.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let entry = hists.entry(h.name.clone()).or_insert((
+                0,
+                0,
+                u64::MAX,
+                0,
+                vec![0; crate::HIST_BUCKETS],
+            ));
+            entry.0 += count;
+            entry.1 += h.sum.load(Ordering::Relaxed);
+            entry.2 = entry.2.min(h.min.load(Ordering::Relaxed));
+            entry.3 = entry.3.max(h.max.load(Ordering::Relaxed));
+            for (slot, bucket) in entry.4.iter_mut().zip(h.buckets.iter()) {
+                *slot += bucket.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    let mut metrics: Vec<MetricValue> = Vec::new();
+    metrics.extend(
+        counters
+            .into_iter()
+            .map(|(name, value)| MetricValue::Counter { name, value }),
+    );
+    metrics.extend(
+        gauges
+            .into_iter()
+            .map(|(name, (last, min, max, sum, count))| MetricValue::Gauge {
+                name,
+                last,
+                min,
+                max,
+                sum,
+                count,
+            }),
+    );
+    metrics.extend(
+        hists.into_iter().map(
+            |(name, (count, sum, min, max, buckets))| MetricValue::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets: buckets
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, c)| *c > 0)
+                    .collect(),
+            },
+        ),
+    );
+    metrics.sort_by(|a, b| a.name().cmp(b.name()).then(a.kind().cmp(b.kind())));
+    MetricsSnapshot { metrics }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_counters_across_sinks() {
+        let registry = MetricsRegistry::new();
+        let a = registry.sink("a");
+        let b = registry.sink("b");
+        a.counter("events").add(2);
+        b.counter("events").add(3);
+        b.counter("other").incr();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("events"), Some(5));
+        assert_eq!(snap.counter_value("other"), Some(1));
+    }
+
+    #[test]
+    fn merges_gauge_statistics() {
+        let registry = MetricsRegistry::new();
+        let a = registry.sink("a");
+        let b = registry.sink("b");
+        a.gauge("load").set(0.25);
+        b.gauge("load").set(0.75);
+        let snap = registry.snapshot();
+        match &snap.metrics[0] {
+            MetricValue::Gauge {
+                min,
+                max,
+                sum,
+                count,
+                ..
+            } => {
+                assert_eq!(*min, 0.25);
+                assert_eq!(*max, 0.75);
+                assert_eq!(*sum, 1.0);
+                assert_eq!(*count, 2);
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merges_histogram_buckets() {
+        let registry = MetricsRegistry::new();
+        let a = registry.sink("a");
+        let b = registry.sink("b");
+        a.histogram("lat").record(1);
+        a.histogram("lat").record(100);
+        b.histogram("lat").record(100);
+        let snap = registry.snapshot();
+        match &snap.metrics[0] {
+            MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+                ..
+            } => {
+                assert_eq!(*count, 3);
+                assert_eq!(*sum, 201);
+                assert_eq!(*min, 1);
+                assert_eq!(*max, 100);
+                assert_eq!(buckets, &vec![(0, 1), (crate::bucket_index(100), 2)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let registry = MetricsRegistry::disabled();
+        assert!(!registry.is_active());
+        let obs = registry.sink("w");
+        assert!(!obs.is_enabled());
+        obs.counter("x").add(7);
+        assert!(registry.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn unrecorded_instruments_are_omitted() {
+        let registry = MetricsRegistry::new();
+        let obs = registry.sink("w");
+        let _g = obs.gauge("quiet");
+        let _h = obs.histogram("quiet_h");
+        obs.counter("loud").incr();
+        let snap = registry.snapshot();
+        // Counters report even at zero-after-touch; silent gauges and
+        // histograms stay out of the snapshot.
+        assert_eq!(snap.metrics.len(), 1);
+        assert_eq!(snap.counter_value("loud"), Some(1));
+    }
+}

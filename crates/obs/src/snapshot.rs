@@ -1,0 +1,118 @@
+//! Report-time merged view of every sink in a registry. Always compiled
+//! (with the `enabled` feature off, snapshots are simply empty) so
+//! exporters and consumers need no feature gates.
+
+/// One merged metric. Counters sum across sinks; gauges and histograms
+/// merge their running statistics (min of mins, max of maxes, summed
+/// counts and sums).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Total across all sinks.
+        value: u64,
+    },
+    /// A gauge with running statistics over every recorded value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Most recently recorded value (from an arbitrary sink when
+        /// several workers recorded it).
+        last: f64,
+        /// Smallest recorded value.
+        min: f64,
+        /// Largest recorded value.
+        max: f64,
+        /// Sum of recorded values.
+        sum: f64,
+        /// Number of recorded values.
+        count: u64,
+    },
+    /// A histogram over `u64` samples with fixed log-spaced buckets.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Number of recorded samples.
+        count: u64,
+        /// Sum of recorded samples.
+        sum: u64,
+        /// Smallest recorded sample.
+        min: u64,
+        /// Largest recorded sample.
+        max: u64,
+        /// Non-empty buckets as `(bucket_index, sample_count)` pairs,
+        /// ascending by index; see [`crate::bucket_upper_bound`].
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+impl MetricValue {
+    /// The metric's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            MetricValue::Counter { name, .. }
+            | MetricValue::Gauge { name, .. }
+            | MetricValue::Histogram { name, .. } => name,
+        }
+    }
+
+    /// The metric kind as a lowercase static string.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter { .. } => "counter",
+            MetricValue::Gauge { .. } => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// A merged, name-sorted view of every metric in a
+/// [`MetricsRegistry`](crate::MetricsRegistry) at one point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Merged metrics, sorted by name (kind breaks ties).
+    pub metrics: Vec<MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The merged value of counter `name`, if it exists.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|m| match m {
+            MetricValue::Counter { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// The last recorded value of gauge `name`, if it exists.
+    #[must_use]
+    pub fn gauge_last(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find_map(|m| match m {
+            MetricValue::Gauge { name: n, last, .. } if n == name => Some(*last),
+            _ => None,
+        })
+    }
+
+    /// The sample count of histogram `name`, if it exists.
+    #[must_use]
+    pub fn histogram_count(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|m| match m {
+            MetricValue::Histogram { name: n, count, .. } if n == name => Some(*count),
+            _ => None,
+        })
+    }
+
+    /// Names of every metric whose name starts with `prefix`.
+    #[must_use]
+    pub fn names_with_prefix(&self, prefix: &str) -> Vec<&str> {
+        self.metrics
+            .iter()
+            .map(MetricValue::name)
+            .filter(|n| n.starts_with(prefix))
+            .collect()
+    }
+}

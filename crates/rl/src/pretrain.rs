@@ -9,6 +9,7 @@ use rand::Rng;
 use spear_cluster::{ClusterSpec, SpearError};
 use spear_dag::Dag;
 use spear_nn::{loss, Matrix, Optimizer};
+use spear_obs::Obs;
 
 use crate::{collect_expert_dataset, ExpertDataset, PolicyNetwork};
 
@@ -58,6 +59,21 @@ pub fn train<O: Optimizer, R: Rng + ?Sized>(
     config: &PretrainConfig,
     rng: &mut R,
 ) -> Vec<f64> {
+    train_observed(policy, data, optimizer, config, rng, &Obs::noop())
+}
+
+/// [`train`] with a metric sink: records `rl.pretrain_epochs` and the
+/// per-epoch mean cross-entropy as the `rl.pretrain_loss` gauge (so a
+/// snapshot carries the final loss plus its min/max over the run). The
+/// returned history is identical to [`train`]'s.
+pub fn train_observed<O: Optimizer, R: Rng + ?Sized>(
+    policy: &mut PolicyNetwork,
+    data: &ExpertDataset,
+    optimizer: &mut O,
+    config: &PretrainConfig,
+    rng: &mut R,
+    obs: &Obs,
+) -> Vec<f64> {
     assert!(!data.is_empty(), "empty pre-training dataset");
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
@@ -80,7 +96,12 @@ pub fn train<O: Optimizer, R: Rng + ?Sized>(
             epoch_loss += l;
             batches += 1;
         }
-        history.push(epoch_loss / batches as f64);
+        let mean_loss = epoch_loss / batches as f64;
+        if spear_obs::compiled() && obs.is_enabled() {
+            obs.counter("rl.pretrain_epochs").incr();
+            obs.gauge("rl.pretrain_loss").set(mean_loss);
+        }
+        history.push(mean_loss);
     }
     history
 }

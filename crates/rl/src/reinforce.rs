@@ -13,6 +13,7 @@ use spear_cluster::{ClusterSpec, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 use spear_nn::{loss, Matrix, Optimizer, RmsProp};
+use spear_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::episode::run_episode_with_features;
 use crate::{PolicyNetwork, SelectionMode};
@@ -55,12 +56,49 @@ pub struct TrainingCurvePoint {
     pub mean_entropy: f64,
 }
 
+/// The trainer's instruments (the `rl.*` metric family): per-epoch curve
+/// gauges, per-episode return distribution, and gradient norms. Built
+/// when an enabled sink is attached.
+#[derive(Debug, Clone)]
+struct TrainObs {
+    epochs: Counter,
+    episodes: Counter,
+    episode_return: Histogram,
+    epoch_ns: Histogram,
+    mean_makespan: Gauge,
+    mean_entropy: Gauge,
+    grad_norm: Gauge,
+}
+
+impl TrainObs {
+    fn new(obs: &Obs) -> Self {
+        TrainObs {
+            epochs: obs.counter("rl.epochs"),
+            episodes: obs.counter("rl.episodes"),
+            episode_return: obs.histogram("rl.episode_return"),
+            epoch_ns: obs.histogram("rl.epoch_ns"),
+            mean_makespan: obs.gauge("rl.mean_makespan"),
+            mean_entropy: obs.gauge("rl.mean_entropy"),
+            grad_norm: obs.gauge("rl.grad_norm"),
+        }
+    }
+}
+
 /// The REINFORCE trainer. Owns the optimizer; borrows the policy per call
 /// so callers can evaluate between epochs.
+///
+/// An [`Obs`] sink attached via [`ReinforceTrainer::with_obs`] records the
+/// `rl.*` metric family: per-epoch mean makespan/entropy and pre-clip
+/// gradient norm as gauges, per-episode returns (as makespans) into a
+/// histogram, and epoch wall time. Recording reads values the trainer
+/// already computes (plus one gradient-norm pass per example when
+/// enabled) and never changes an update.
 #[derive(Debug)]
 pub struct ReinforceTrainer {
     config: ReinforceConfig,
     optimizer: RmsProp,
+    obs: Obs,
+    train_obs: Option<TrainObs>,
 }
 
 impl ReinforceTrainer {
@@ -69,6 +107,8 @@ impl ReinforceTrainer {
         ReinforceTrainer {
             config,
             optimizer: RmsProp::default_paper(),
+            obs: Obs::noop(),
+            train_obs: None,
         }
     }
 
@@ -78,12 +118,32 @@ impl ReinforceTrainer {
     pub fn with_learning_rate(config: ReinforceConfig, alpha: f64) -> Self {
         let mut optimizer = RmsProp::default_paper();
         optimizer.set_alpha(alpha);
-        ReinforceTrainer { config, optimizer }
+        ReinforceTrainer {
+            config,
+            optimizer,
+            obs: Obs::noop(),
+            train_obs: None,
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ReinforceConfig {
         &self.config
+    }
+
+    /// Attaches a metric sink recording the `rl.*` family (see the
+    /// type-level docs). Pass [`Obs::noop`] to detach.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place variant of [`ReinforceTrainer::with_obs`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.train_obs =
+            (spear_obs::compiled() && self.obs.is_enabled()).then(|| TrainObs::new(&self.obs));
     }
 
     /// Runs one training epoch over `examples`, updating the policy once
@@ -101,6 +161,11 @@ impl ReinforceTrainer {
         epoch: usize,
         rng: &mut R,
     ) -> Result<TrainingCurvePoint, SpearError> {
+        let _epoch_span = if spear_obs::compiled() {
+            self.train_obs.as_ref().map(|to| to.epoch_ns.start_span())
+        } else {
+            None
+        };
         let mut makespan_sum = 0.0;
         let mut makespan_count = 0usize;
         let mut entropy_sum = 0.0;
@@ -137,6 +202,14 @@ impl ReinforceTrainer {
                 makespan_sum += e.makespan as f64;
             }
             makespan_count += episodes.len();
+            if spear_obs::compiled() {
+                if let Some(to) = &self.train_obs {
+                    to.episodes.add(episodes.len() as u64);
+                    for e in &episodes {
+                        to.episode_return.record(e.makespan);
+                    }
+                }
+            }
 
             // 3. Accumulate the policy gradient over all steps.
             policy.net_mut().zero_grad();
@@ -172,6 +245,11 @@ impl ReinforceTrainer {
             }
 
             // 4. Update.
+            if spear_obs::compiled() {
+                if let Some(to) = &self.train_obs {
+                    to.grad_norm.set(policy.net_mut().grad_norm());
+                }
+            }
             if let Some(max_norm) = self.config.max_grad_norm {
                 policy.net_mut().clip_grad_norm(max_norm);
             }
@@ -179,11 +257,19 @@ impl ReinforceTrainer {
             policy.net_mut().zero_grad();
         }
 
-        Ok(TrainingCurvePoint {
+        let point = TrainingCurvePoint {
             epoch,
             mean_makespan: makespan_sum / makespan_count.max(1) as f64,
             mean_entropy: entropy_sum / entropy_count.max(1) as f64,
-        })
+        };
+        if spear_obs::compiled() {
+            if let Some(to) = &self.train_obs {
+                to.epochs.incr();
+                to.mean_makespan.set(point.mean_makespan);
+                to.mean_entropy.set(point.mean_entropy);
+            }
+        }
+        Ok(point)
     }
 
     /// Runs the full training loop, returning the learning curve.

@@ -45,11 +45,13 @@
 pub mod bnb;
 mod graphene;
 mod list;
+mod observed;
 mod scorers;
 
 pub use bnb::{BnBConfig, BnBOutcome, BnBScheduler};
 pub use graphene::{Graphene, GrapheneConfig, PackDirection};
 pub use list::{execute_priority_order, PriorityListScheduler, ScoreContext, TaskScorer};
+pub use observed::ObservedScheduler;
 pub use scorers::{
     CpScheduler, CpScorer, RandomScheduler, RandomScorer, SjfScheduler, SjfScorer, TetrisScheduler,
     TetrisScorer,
@@ -74,6 +76,26 @@ pub trait Scheduler {
     /// Returns [`SpearError`] if the DAG cannot run on the cluster
     /// (dimension mismatch or an oversized task).
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError>;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
+        (**self).schedule(dag, spec)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
+        (**self).schedule(dag, spec)
+    }
 }
 
 /// A quick greedy estimate of the makespan of `dag` on `spec`, produced by

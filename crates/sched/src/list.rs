@@ -10,6 +10,7 @@ use spear_cluster::env::{EnvContext, EpisodeDriver, FnPolicy, NoRng};
 use spear_cluster::{Action, ClusterSpec, Schedule, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::{Dag, TaskId};
+use spear_obs::Obs;
 
 use crate::Scheduler;
 
@@ -67,12 +68,29 @@ pub trait TaskScorer {
 #[derive(Debug, Clone)]
 pub struct PriorityListScheduler<S> {
     scorer: S,
+    obs: Obs,
 }
 
 impl<S: TaskScorer> PriorityListScheduler<S> {
     /// Wraps a scorer into a full scheduler.
     pub fn new(scorer: S) -> Self {
-        PriorityListScheduler { scorer }
+        PriorityListScheduler {
+            scorer,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Attaches a metric sink: every driven episode records the `sim.*`
+    /// family through its [`EpisodeDriver`]. Pass [`Obs::noop`] to detach.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place variant of [`PriorityListScheduler::with_obs`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
     }
 
     /// Access to the wrapped scorer.
@@ -100,7 +118,9 @@ impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
             };
             select_best(legal, |t| scorer.score(&score_ctx, t))
         });
-        EpisodeDriver::new(policy).run(dag, spec, &mut NoRng)
+        EpisodeDriver::new(policy)
+            .with_obs(&self.obs)
+            .run(dag, spec, &mut NoRng)
     }
 }
 

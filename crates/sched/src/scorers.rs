@@ -100,6 +100,14 @@ macro_rules! wrap_scheduler {
                     inner: PriorityListScheduler::new($ctor),
                 }
             }
+
+            /// Attaches a metric sink: every episode records the `sim.*`
+            /// family. Pass [`spear_obs::Obs::noop`] to detach.
+            #[must_use]
+            pub fn with_obs(mut self, obs: &spear_obs::Obs) -> Self {
+                self.inner.set_obs(obs);
+                self
+            }
         }
 
         impl Scheduler for $name {
@@ -170,6 +178,14 @@ impl RandomScheduler {
         RandomScheduler {
             inner: PriorityListScheduler::new(RandomScorer::seeded(seed)),
         }
+    }
+
+    /// Attaches a metric sink: every episode records the `sim.*` family.
+    /// Pass [`spear_obs::Obs::noop`] to detach.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &spear_obs::Obs) -> Self {
+        self.inner.set_obs(obs);
+        self
     }
 }
 

@@ -1,0 +1,155 @@
+//! Golden tests for [`TraceJob::to_dag`] over a committed trace fixture,
+//! plus statistical sanity checks on the synthetic trace generator.
+//!
+//! The DAG golden is byte-exact serialized JSON: if the DAG model changes
+//! deliberately, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p spear-trace --test trace_model`.
+
+use std::path::{Path, PathBuf};
+
+use spear_dag::{Dag, TaskId};
+use spear_trace::{SyntheticTraceSpec, Trace, TraceJob};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn sample() -> Trace {
+    Trace::load_from_path(fixture_path("hive_sample.json")).expect("fixture parses")
+}
+
+#[test]
+fn fixture_jobs_build_hand_computed_dags() {
+    let trace = sample();
+    assert_eq!(trace.jobs.len(), 2);
+
+    // Job A: 3 maps {4, 6, 5} × 2 reduces {7, 3}, full shuffle.
+    let a: Dag = trace.jobs[0].to_dag().unwrap();
+    assert_eq!(a.len(), 5);
+    assert_eq!(a.edges().len(), 3 * 2);
+    assert_eq!(
+        a.sources(),
+        vec![TaskId::new(0), TaskId::new(1), TaskId::new(2)]
+    );
+    assert_eq!(a.sinks(), vec![TaskId::new(3), TaskId::new(4)]);
+    // Critical path: slowest map (6) + slowest reduce (7).
+    assert_eq!(a.critical_path_length(), 13);
+    assert_eq!(a.task(TaskId::new(0)).name(), Some("map-0"));
+    assert_eq!(a.task(TaskId::new(4)).name(), Some("reduce-1"));
+
+    // Job B: 2 maps {2, 2} × 3 reduces {1, 9, 4}.
+    let b = trace.jobs[1].to_dag().unwrap();
+    assert_eq!(b.len(), 5);
+    assert_eq!(b.edges().len(), 2 * 3);
+    assert_eq!(b.critical_path_length(), 2 + 9);
+}
+
+#[test]
+fn to_dag_matches_committed_golden() {
+    let dag = sample().jobs[0].to_dag().unwrap();
+    let rendered = serde_json::to_string_pretty(&dag).expect("dag serializes");
+    let golden_path = fixture_path("hive_sample_a.dag.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("golden writable");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden readable");
+    assert_eq!(
+        rendered, golden,
+        "to_dag output drifted from tests/fixtures/hive_sample_a.dag.json; \
+         regenerate with UPDATE_GOLDEN=1 if the change is deliberate"
+    );
+    // And the golden deserializes back to the same DAG.
+    let back: Dag = serde_json::from_str(&golden).expect("golden parses");
+    assert_eq!(dag, back);
+}
+
+#[test]
+fn trace_round_trips_through_save_and_load() {
+    let trace = sample();
+    let mut buf = Vec::new();
+    trace.save(&mut buf).unwrap();
+    let back = Trace::load(buf.as_slice()).unwrap();
+    assert_eq!(trace, back);
+}
+
+/// Every synthetic job's DAG is an exact two-stage shuffle: map fan-out
+/// equals the reduce count, reduce fan-in equals the map count, and the
+/// stage counts respect the filter and the paper maxima.
+#[test]
+fn synthetic_jobs_have_bounded_stages_and_exact_shuffle_fanout() {
+    let spec = SyntheticTraceSpec::paper();
+    let trace = spec.generate(11);
+    assert_eq!(trace.jobs.len(), spec.num_jobs);
+    for job in &trace.jobs {
+        let (m, r) = (job.num_map(), job.num_reduce());
+        assert!(
+            m > spec.filter_min_tasks && m <= spec.map_count_max,
+            "{}: {m} map tasks",
+            job.id
+        );
+        assert!(
+            r > spec.filter_min_tasks && r <= spec.reduce_count_max,
+            "{}: {r} reduce tasks",
+            job.id
+        );
+
+        let dag = job.to_dag().unwrap();
+        assert_eq!(dag.len(), m + r);
+        assert_eq!(dag.edges().len(), m * r, "{}: not a full shuffle", job.id);
+        for i in 0..m {
+            let id = TaskId::new(i);
+            assert_eq!(dag.children(id).len(), r, "{}: map fan-out", job.id);
+            assert!(dag.parents(id).is_empty(), "{}: map has parents", job.id);
+        }
+        for i in m..m + r {
+            let id = TaskId::new(i);
+            assert_eq!(dag.parents(id).len(), m, "{}: reduce fan-in", job.id);
+            assert!(
+                dag.children(id).is_empty(),
+                "{}: reduce has children",
+                job.id
+            );
+        }
+    }
+}
+
+/// Synthetic runtimes and demands stay in their calibrated envelopes.
+#[test]
+fn synthetic_marginals_stay_in_their_envelopes() {
+    let trace = SyntheticTraceSpec::paper().generate(12);
+    for job in &trace.jobs {
+        for &rt in job.map_runtimes.iter().chain(&job.reduce_runtimes) {
+            assert!(rt >= 1, "{}: zero runtime", job.id);
+        }
+        for d in job.map_demands.iter().chain(&job.reduce_demands) {
+            assert_eq!(d.dims(), 2);
+            for r in 0..d.dims() {
+                assert!(
+                    (0.02..=0.9).contains(&d[r]),
+                    "{}: demand {} out of range",
+                    job.id,
+                    d[r]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_synthetic_jobs_are_reported_not_panicked() {
+    // An empty stage is a typed error even for hand-built jobs.
+    let job = TraceJob {
+        id: "empty".into(),
+        map_runtimes: vec![1],
+        reduce_runtimes: vec![],
+        map_demands: vec![spear_dag::ResourceVec::from_slice(&[0.1])],
+        reduce_demands: vec![],
+    };
+    let err = job.to_dag().unwrap_err();
+    assert!(
+        err.to_string().contains("needs map and reduce"),
+        "got {err}"
+    );
+}
