@@ -9,6 +9,7 @@ use spear::{
     ClusterSpec, CpScheduler, Dag, FeatureConfig, Graphene, MctsConfig, MctsScheduler,
     MetricsRegistry, Obs, ObservedScheduler, PolicyNetwork, RandomScheduler, ResourceVec,
     Scheduler, SjfScheduler, SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats,
+    TreeParallelMcts,
 };
 
 use crate::args::Args;
@@ -23,6 +24,7 @@ USAGE:
                      [--algo spear|mcts|tetris|sjf|cp|graphene|random]
                      [--budget 100] [--min-budget 50] [--policy policy.json]
                      [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
+                     [--search-threads 1] [--leaf-batch 8]
                      [--metrics-out metrics.jsonl]
   spear-cli train    [--profile tiny|fast|paper] --output policy.json
                      [--metrics-out metrics.jsonl]
@@ -32,6 +34,11 @@ USAGE:
 
 All demands/capacities are fractions of a two-dimensional (CPU, memory)
 cluster unless the input file says otherwise.
+
+--search-threads > 1 runs the mcts/spear searches tree-parallel: the
+workers share one tree (virtual-loss decorrelated) and DRL leaf
+inference is batched --leaf-batch rows at a time. At 1 (the default)
+the search is sequential and bit-identical to previous releases.
 
 --metrics-out writes every metric recorded during the run as JSON lines
 (one metric per line). Metric recording is compiled in behind the `obs`
@@ -134,6 +141,7 @@ fn build_scheduler(
     let budget: u64 = args.get_or("budget", 100)?;
     let min_budget: u64 = args.get_or("min-budget", budget / 2)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let search_threads: usize = args.get_or("search-threads", 1)?;
     let config = MctsConfig {
         initial_budget: budget,
         min_budget,
@@ -142,6 +150,8 @@ fn build_scheduler(
         // cache for differential runs; results are bit-identical either
         // way, only the speed differs.
         eval_cache: !args.flag("no-eval-cache"),
+        search_threads,
+        leaf_batch_size: args.get_or("leaf-batch", 8)?,
         ..MctsConfig::default()
     };
     Ok(match algo {
@@ -150,6 +160,7 @@ fn build_scheduler(
         "cp" => Box::new(CpScheduler::new().with_obs(obs)),
         "graphene" => Box::new(Graphene::new()),
         "random" => Box::new(RandomScheduler::seeded(seed).with_obs(obs)),
+        "mcts" if search_threads > 1 => Box::new(TreeParallelMcts::pure(config).with_obs(obs)),
         "mcts" => Box::new(MctsScheduler::pure(config).with_obs(obs)),
         "spear" => {
             let features = FeatureConfig::paper(dag_dims);
@@ -163,7 +174,11 @@ fn build_scheduler(
                     PolicyNetwork::new(features, &mut StdRng::seed_from_u64(seed))
                 }
             };
-            Box::new(MctsScheduler::drl(config, policy).with_obs(obs))
+            if search_threads > 1 {
+                Box::new(TreeParallelMcts::drl(config, policy).with_obs(obs))
+            } else {
+                Box::new(MctsScheduler::drl(config, policy).with_obs(obs))
+            }
         }
         other => return Err(format!("unknown --algo `{other}`").into()),
     })
@@ -391,6 +406,30 @@ mod tests {
             std::fs::read_to_string(&on).unwrap(),
             std::fs::read_to_string(&off).unwrap()
         );
+    }
+
+    #[test]
+    fn schedule_with_search_threads_runs_tree_parallel() {
+        let dag_path = tmp("cli-dag-tp.json");
+        generate(&args(&[
+            "--tasks", "10", "--seed", "4", "--output", &dag_path,
+        ]))
+        .unwrap();
+        for algo in ["mcts", "spear"] {
+            schedule(&args(&[
+                "--dag",
+                &dag_path,
+                "--algo",
+                algo,
+                "--budget",
+                "12",
+                "--search-threads",
+                "3",
+                "--leaf-batch",
+                "2",
+            ]))
+            .unwrap();
+        }
     }
 
     #[test]

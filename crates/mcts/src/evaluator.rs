@@ -144,6 +144,60 @@ mod tests {
     use spear_dag::analysis::GraphFeatures;
     use spear_dag::{DagBuilder, ResourceVec, Task};
 
+    /// The estimate cache must (a) hit on a repeated state with a
+    /// bit-identical value, and (b) be invalidated by
+    /// `on_episode_start`, so stale estimates never leak across
+    /// episodes.
+    #[test]
+    fn value_evaluator_cache_hits_and_clears_per_episode() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use spear_dag::generator::LayeredDagSpec;
+        use spear_rl::FeatureConfig;
+
+        let dag = LayeredDagSpec {
+            num_tasks: 10,
+            ..LayeredDagSpec::paper_training()
+        }
+        .generate(&mut StdRng::seed_from_u64(11));
+        let spec = ClusterSpec::unit(2);
+        let features = GraphFeatures::compute(&dag);
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let state = spear_cluster::SimState::new(&dag, &spec).unwrap();
+
+        let value = ValueNetwork::new(
+            FeatureConfig::small(spec.dims()),
+            &[8],
+            &mut StdRng::seed_from_u64(5),
+        );
+        let mut uncached = ValueEvaluator::with_cache(value.clone(), false);
+        let mut cached = ValueEvaluator::with_cache(value, true);
+
+        let reference = uncached.estimate_final_makespan(&ctx, &state);
+        assert_eq!(uncached.cache_stats(), EvalCacheStats::default());
+
+        let miss = cached.estimate_final_makespan(&ctx, &state);
+        let hit = cached.estimate_final_makespan(&ctx, &state);
+        assert_eq!(miss.to_bits(), reference.to_bits());
+        assert_eq!(hit.to_bits(), reference.to_bits());
+        let stats = cached.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+
+        // A new episode invalidates the table: the same state misses
+        // again (re-inserted under the new generation), then hits.
+        cached.on_episode_start();
+        let refreshed = cached.estimate_final_makespan(&ctx, &state);
+        assert_eq!(refreshed.to_bits(), reference.to_bits());
+        let stats = cached.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (2, 1));
+        let _ = cached.estimate_final_makespan(&ctx, &state);
+        assert_eq!(cached.cache_stats().hits, 2);
+    }
+
     #[test]
     fn bound_evaluator_respects_commitments() {
         let mut b = DagBuilder::new(1);

@@ -121,18 +121,25 @@ where
                 .collect()
         });
 
-        let mut best: Option<Schedule> = None;
+        // Winner selection is an explicit (makespan, worker seed) argmin,
+        // not first-wins over the join order: equal-makespan schedules can
+        // differ in task placement, so the tie must break on something
+        // deterministic and meaningful — the lowest worker seed — to keep
+        // the parallel result reproducible even if the drain order ever
+        // changes (e.g. completion-order joins).
+        let mut best: Option<(Schedule, u64)> = None;
         let mut stats = Vec::with_capacity(self.workers);
         let mut first_err: Option<SpearError> = None;
-        for result in results {
+        for (worker, result) in results.into_iter().enumerate() {
+            let seed = worker as u64;
             match result {
                 Ok((schedule, s)) => {
                     stats.push(s);
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|b| schedule.makespan() < b.makespan());
+                    let better = best.as_ref().is_none_or(|(b, b_seed)| {
+                        (schedule.makespan(), seed) < (b.makespan(), *b_seed)
+                    });
                     if better {
-                        best = Some(schedule);
+                        best = Some((schedule, seed));
                     }
                 }
                 Err(e) => {
@@ -143,9 +150,29 @@ where
             }
         }
         match best {
-            Some(schedule) => Ok((schedule, stats)),
+            Some((schedule, _)) => Ok((schedule, stats)),
             None => Err(first_err.expect("at least one worker ran")),
         }
+    }
+
+    /// Like [`RootParallelMcts::schedule_with_stats`], but folds the
+    /// per-worker statistics into one [`SearchStats`] via
+    /// [`SearchStats::merged`]: counters summed, wall time the maximum
+    /// over the overlapping workers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RootParallelMcts::schedule_with_stats`].
+    pub fn schedule_with_merged_stats(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
+        let (schedule, stats) = self.schedule_with_stats(dag, spec)?;
+        let merged = stats
+            .into_iter()
+            .fold(SearchStats::default(), SearchStats::merged);
+        Ok((schedule, merged))
     }
 }
 
@@ -231,5 +258,63 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = RootParallelMcts::new(0, factory(10));
+    }
+
+    /// With every worker running the *same* seed, all makespans tie — the
+    /// winner must then be worker 0's schedule, exactly (tie-break on the
+    /// lowest worker seed, not on join order or placement differences).
+    #[test]
+    fn equal_makespans_break_ties_toward_lowest_seed() {
+        let dag = dag(4);
+        let spec = ClusterSpec::unit(2);
+        let same_seed = |_w: u64| {
+            MctsScheduler::pure(MctsConfig {
+                initial_budget: 20,
+                min_budget: 5,
+                seed: 0,
+                ..MctsConfig::default()
+            })
+        };
+        let (best, stats) = RootParallelMcts::new(3, same_seed)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        assert_eq!(stats.len(), 3);
+        let worker0 = same_seed(0).schedule(&dag, &spec).unwrap();
+        assert_eq!(best, worker0, "tie must resolve to the lowest seed");
+    }
+
+    #[test]
+    fn merged_stats_sum_counters_and_max_elapsed() {
+        let dag = dag(5);
+        let spec = ClusterSpec::unit(2);
+        let (s1, all) = RootParallelMcts::new(3, factory(20))
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        let (s2, merged) = RootParallelMcts::new(3, factory(20))
+            .schedule_with_merged_stats(&dag, &spec)
+            .unwrap();
+        assert_eq!(s1.makespan(), s2.makespan());
+        assert_eq!(
+            merged.iterations,
+            all.iter().map(|s| s.iterations).sum::<u64>()
+        );
+        assert_eq!(
+            merged.rollout_steps,
+            all.iter().map(|s| s.rollout_steps).sum::<u64>()
+        );
+        assert_eq!(
+            merged.tree_nodes,
+            all.iter().map(|s| s.tree_nodes).sum::<usize>()
+        );
+        // Workers overlap in time: merged wall time is a max, not a sum
+        // (checked on the merge itself; cross-run timing is not
+        // comparable).
+        let direct = all
+            .iter()
+            .copied()
+            .fold(SearchStats::default(), SearchStats::merged);
+        let max = all.iter().map(|s| s.elapsed_seconds).fold(0.0, f64::max);
+        assert_eq!(direct.elapsed_seconds, max);
+        assert!(merged.elapsed_seconds > 0.0);
     }
 }

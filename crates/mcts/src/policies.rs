@@ -289,7 +289,7 @@ pub struct DrlPolicy {
 /// paper-simulation job touches roughly 20k unique states); power-of-two
 /// enforced by the cache itself. At the paper's action dimensionality
 /// this is a few megabytes per policy instance.
-const EVAL_CACHE_CAPACITY: usize = 32_768;
+pub(crate) const EVAL_CACHE_CAPACITY: usize = 32_768;
 
 impl DrlPolicy {
     /// Wraps a trained policy network, with the inference cache enabled.

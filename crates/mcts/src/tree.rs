@@ -38,9 +38,48 @@ pub struct Node {
     pub max_value: f64,
     /// Sum of rollout returns (for the mean tiebreak).
     pub sum_value: f64,
+    /// Virtual losses: rollouts currently *in flight* through this node
+    /// in a tree-parallel search. Each concurrent worker increments the
+    /// counter along its selection path and decrements it when the
+    /// rollout's real value is backpropagated, so UCB selection sees
+    /// in-flight paths as already-visited-and-losing and concurrent
+    /// workers decorrelate instead of piling onto one leaf. Always zero
+    /// in sequential searches, where selection arithmetic reduces
+    /// bit-identically to the vloss-free formula.
+    pub vloss: u32,
 }
 
 impl Node {
+    /// A fresh, unvisited node. `terminal_value` is the exact return of
+    /// the completed schedule when `terminal`, and ignored otherwise.
+    pub fn fresh(
+        parent: Option<NodeId>,
+        action: Option<Action>,
+        untried: Vec<Action>,
+        terminal: bool,
+        terminal_value: f64,
+    ) -> Self {
+        Node {
+            parent,
+            action,
+            children: Vec::new(),
+            untried,
+            terminal,
+            terminal_value,
+            visits: 0,
+            max_value: f64::NEG_INFINITY,
+            sum_value: 0.0,
+            vloss: 0,
+        }
+    }
+
+    /// Visits as UCB selection sees them: real visits plus in-flight
+    /// virtual losses. Equal to `visits` whenever no search worker holds
+    /// a virtual loss here (always, in sequential searches).
+    pub fn effective_visits(&self) -> u64 {
+        self.visits + u64::from(self.vloss)
+    }
+
     /// Mean rollout return (`-inf` before the first visit).
     pub fn mean_value(&self) -> f64 {
         if self.visits == 0 {
@@ -157,17 +196,7 @@ mod tests {
     use super::*;
 
     fn make_node(parent: Option<NodeId>) -> Node {
-        Node {
-            parent,
-            action: None,
-            children: Vec::new(),
-            untried: Vec::new(),
-            terminal: false,
-            terminal_value: 0.0,
-            visits: 0,
-            max_value: f64::NEG_INFINITY,
-            sum_value: 0.0,
-        }
+        Node::fresh(parent, None, Vec::new(), false, 0.0)
     }
 
     #[test]
@@ -204,5 +233,16 @@ mod tests {
         let node = make_node(None);
         assert_eq!(node.mean_value(), f64::NEG_INFINITY);
         assert!(node.fully_expanded());
+    }
+
+    #[test]
+    fn effective_visits_adds_virtual_losses() {
+        let mut node = make_node(None);
+        assert_eq!(node.effective_visits(), 0);
+        node.visits = 3;
+        node.vloss = 2;
+        assert_eq!(node.effective_visits(), 5);
+        node.vloss = 0;
+        assert_eq!(node.effective_visits(), node.visits);
     }
 }

@@ -1,0 +1,1124 @@
+//! Tree-parallel MCTS: N workers growing **one shared search tree**.
+//!
+//! Root parallelism ([`RootParallelMcts`](crate::RootParallelMcts)) runs K
+//! independent searches and keeps the best result — simple and sound, but
+//! every worker re-discovers the same high-value subtree from scratch.
+//! Tree parallelism instead shares the tree: all statistics accumulate in
+//! one arena, so every worker's rollouts sharpen the same value estimates
+//! and the search quality at a given *total* budget matches the
+//! sequential search far more closely.
+//!
+//! Sharing needs two mechanisms:
+//!
+//! * **Virtual loss** (`Node::vloss`): a worker descending the tree marks
+//!   every node on its selection path as one in-flight rollout before
+//!   releasing the tree lock. UCB selection counts those marks as visits
+//!   and charges an additional penalty (see
+//!   [`select_child_ucb`](crate::search::select_child_ucb)), so
+//!   concurrent workers fan out across siblings instead of all replaying
+//!   the current argmax path. The marks are removed when the rollout's
+//!   real value is backpropagated.
+//! * **Batched leaf inference** ([`LeafBatcher`]): in DRL mode every
+//!   expansion/rollout decision wants a policy forward pass. Workers park
+//!   their featurized leaf states in a shared queue; once
+//!   `min(leaf_batch_size, search_threads)` requests are pending (or a
+//!   50µs wait times out), one worker flushes the whole batch through a
+//!   single [`Mlp::forward_batch_into`] matmul. Each output row is
+//!   bit-identical to the row a solo forward pass would produce, so
+//!   batching changes *scheduling of work*, never *values*. The shared
+//!   frontier-fingerprint cache ([`SharedEvalCache`]) is probed **before**
+//!   enqueuing, so cache hits never wait on a batch.
+//!
+//! The tree lock is held only for pointer-chasing phases (selection,
+//! claim, attach/backpropagate); simulation — the dominant cost — runs
+//! unlocked on per-worker scratch environments.
+//!
+//! # Determinism contract
+//!
+//! With `search_threads <= 1` the scheduler *is* the sequential
+//! [`MctsScheduler`] (it delegates outright), so results stay
+//! bit-identical to the golden tables. With more threads each worker's
+//! RNG stream is seeded deterministically, but the interleaving of
+//! workers — and therefore the search outcome — depends on thread timing:
+//! runs are *valid* (every schedule passes the full judge set) but not
+//! reproducible run-to-run. That trade is the point of the mode; callers
+//! that need exact replay keep `search_threads = 1`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spear_cluster::env::{Env, EpisodeDriver, SimEnv};
+use spear_cluster::{Action, ClusterSpec, Schedule, SimState, SpearError};
+use spear_dag::analysis::GraphFeatures;
+use spear_dag::{Dag, TaskId};
+use spear_nn::{softmax_masked_into, BatchScratch, Matrix, Mlp};
+use spear_obs::{Counter, Histogram, Obs};
+use spear_rl::{Featurizer, PolicyNetwork, SharedEvalCache, StateView};
+use spear_sched::Scheduler;
+
+use crate::policies::{RolloutAdapter, EVAL_CACHE_CAPACITY};
+use crate::scheduler::SearchObs;
+use crate::search::{key_gt, ln_table, select_child_ucb};
+use crate::tree::{Node, NodeId, Tree};
+use crate::{MctsConfig, MctsScheduler, PolicyContext, RandomPolicy, SearchPolicy, SearchStats};
+
+/// How long a worker waits for its batched inference before flushing the
+/// pending batch itself. This is the liveness valve: when the other
+/// workers have exhausted their iteration tickets and parked at the
+/// decision barrier, nobody else will ever fill the batch, so the waiter
+/// must become the flusher. 50µs is a few single-row inference times —
+/// long enough that the valve almost never fires while peers are active,
+/// short enough to be invisible at decision granularity.
+const FLUSH_TIMEOUT: Duration = Duration::from_micros(50);
+
+/// One shared leaf-inference queue (DRL mode only).
+///
+/// Workers call [`LeafBatcher::infer`] with a featurized state; the call
+/// returns that state's logits row, computed by whichever worker flushed
+/// the batch containing it. A flush is **one** matrix-matrix
+/// `forward_batch_into` over all pending rows — the whole point of the
+/// batcher is replacing per-leaf matrix-vector passes with fewer, wider
+/// matmuls that amortize weight traffic.
+struct LeafBatcher<'a> {
+    net: &'a Mlp,
+    input_dim: usize,
+    /// Pending requests at which the enqueuer flushes immediately.
+    threshold: usize,
+    shared: Mutex<BatcherQueue>,
+    ready: Condvar,
+    flushes: AtomicU64,
+    fill: Option<Histogram>,
+    flush_ns: Option<Histogram>,
+}
+
+#[derive(Default)]
+struct BatcherQueue {
+    /// Flattened pending feature rows (`tickets.len()` × `input_dim`).
+    rows: Vec<f64>,
+    /// Request ids, in enqueue order (row `i` belongs to `tickets[i]`).
+    tickets: Vec<u64>,
+    next_ticket: u64,
+    /// Completed logits rows, keyed by ticket, awaiting pickup.
+    results: HashMap<u64, Vec<f64>>,
+}
+
+struct PendingBatch {
+    rows: Vec<f64>,
+    tickets: Vec<u64>,
+}
+
+impl<'a> LeafBatcher<'a> {
+    fn new(net: &'a Mlp, input_dim: usize, threshold: usize, obs: Option<&BatchObs>) -> Self {
+        LeafBatcher {
+            net,
+            input_dim,
+            threshold: threshold.max(1),
+            shared: Mutex::new(BatcherQueue::default()),
+            ready: Condvar::new(),
+            flushes: AtomicU64::new(0),
+            fill: obs.map(|o| o.fill.clone()),
+            flush_ns: obs.map(|o| o.flush_ns.clone()),
+        }
+    }
+
+    fn take_pending(queue: &mut BatcherQueue) -> PendingBatch {
+        PendingBatch {
+            rows: std::mem::take(&mut queue.rows),
+            tickets: std::mem::take(&mut queue.tickets),
+        }
+    }
+
+    /// Enqueues `features`, blocks until its logits row is available, and
+    /// copies it into `out`. `scratch` is the calling worker's private
+    /// batch-forward scratch, used only if this call ends up flushing.
+    fn infer(&self, features: &[f64], out: &mut Vec<f64>, scratch: &mut BatchScratch) {
+        debug_assert_eq!(features.len(), self.input_dim);
+        let mut queue = self.shared.lock().expect("batcher lock poisoned");
+        let ticket = queue.next_ticket;
+        queue.next_ticket += 1;
+        queue.rows.extend_from_slice(features);
+        queue.tickets.push(ticket);
+        if queue.tickets.len() >= self.threshold {
+            let batch = Self::take_pending(&mut queue);
+            drop(queue);
+            self.flush(batch, scratch);
+            queue = self.shared.lock().expect("batcher lock poisoned");
+        }
+        loop {
+            if let Some(row) = queue.results.remove(&ticket) {
+                out.clear();
+                out.extend_from_slice(&row);
+                return;
+            }
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(queue, FLUSH_TIMEOUT)
+                .expect("batcher lock poisoned");
+            queue = guard;
+            // Liveness valve: if nobody filled the batch while we slept,
+            // the remaining peers are idle — flush whatever is pending
+            // (which includes our own request if it wasn't flushed yet).
+            if timeout.timed_out() && !queue.tickets.is_empty() {
+                let batch = Self::take_pending(&mut queue);
+                drop(queue);
+                self.flush(batch, scratch);
+                queue = self.shared.lock().expect("batcher lock poisoned");
+            }
+        }
+    }
+
+    /// Runs one batched forward pass over `batch` and publishes each
+    /// logits row under its ticket. Runs entirely outside the queue lock
+    /// except for the final publication.
+    fn flush(&self, batch: PendingBatch, scratch: &mut BatchScratch) {
+        let n = batch.tickets.len();
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.fill {
+            h.record(n as u64);
+        }
+        let span = self.flush_ns.as_ref().map(|h| h.start_span());
+        let x = Matrix::from_vec(n, self.input_dim, batch.rows);
+        let logits = self.net.forward_batch_into(&x, scratch);
+        let mut queue = self.shared.lock().expect("batcher lock poisoned");
+        for (i, &ticket) in batch.tickets.iter().enumerate() {
+            queue.results.insert(ticket, logits.row(i).to_vec());
+        }
+        drop(queue);
+        drop(span);
+        self.ready.notify_all();
+    }
+}
+
+/// Everything the DRL guidance shares between workers: the (read-only)
+/// featurizer and network, the leaf batcher, and the striped inference
+/// cache.
+struct DrlShared<'a> {
+    featurizer: &'a Featurizer,
+    process_idx: usize,
+    batcher: LeafBatcher<'a>,
+    cache: Option<SharedEvalCache>,
+}
+
+/// Per-worker DRL guidance: the same decision logic as
+/// [`DrlPolicy`](crate::DrlPolicy) — argmax expansion, proportional
+/// rollout sampling, singleton skips with preserved RNG draws — but with
+/// inference routed through the shared batcher and cache instead of a
+/// private network and cache.
+struct BatchedDrlGuide<'a> {
+    shared: &'a DrlShared<'a>,
+    ready_scratch: Vec<TaskId>,
+    view: StateView,
+    batch_scratch: BatchScratch,
+    logits: Vec<f64>,
+    probs: Vec<f64>,
+    slot_scratch: Vec<Option<TaskId>>,
+    action_probs: Vec<f64>,
+    inferences: u64,
+    skips: u64,
+}
+
+/// Maps a full slot distribution onto the probability of each action in
+/// `actions` — the same mapping [`DrlPolicy`](crate::DrlPolicy) applies,
+/// including the tiny epsilon for backlogged tasks the network cannot
+/// see.
+fn map_action_probs(
+    actions: &[Action],
+    probs: &[f64],
+    slot_tasks: &[Option<TaskId>],
+    process_idx: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(actions.iter().map(|&a| {
+        match a {
+            Action::Process => probs[process_idx],
+            Action::Schedule(t) => slot_tasks
+                .iter()
+                .position(|&s| s == Some(t))
+                .map(|slot| probs[slot])
+                // Backlogged tasks are invisible to the network.
+                .unwrap_or(1e-9),
+        }
+    }));
+}
+
+impl<'a> BatchedDrlGuide<'a> {
+    fn new(shared: &'a DrlShared<'a>) -> Self {
+        BatchedDrlGuide {
+            shared,
+            ready_scratch: Vec::new(),
+            view: StateView::default(),
+            batch_scratch: BatchScratch::default(),
+            logits: Vec::new(),
+            probs: Vec::new(),
+            slot_scratch: Vec::new(),
+            action_probs: Vec::new(),
+            inferences: 0,
+            skips: 0,
+        }
+    }
+
+    /// Probability of each action in `actions`, via (in order): the
+    /// shared fingerprint cache — probed *before* any batching so hits
+    /// never wait on peers — then a batched forward pass whose result is
+    /// published back to the cache for every other worker.
+    fn action_probs(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        actions: &[Action],
+    ) -> &[f64] {
+        let process_idx = self.shared.process_idx;
+        let key = self
+            .shared
+            .cache
+            .is_some()
+            .then(|| state.frontier_fingerprint());
+        if let (Some(cache), Some(key)) = (self.shared.cache.as_ref(), key) {
+            if cache.get_into(key, &mut self.probs, &mut self.slot_scratch) {
+                map_action_probs(
+                    actions,
+                    &self.probs,
+                    &self.slot_scratch,
+                    process_idx,
+                    &mut self.action_probs,
+                );
+                return &self.action_probs;
+            }
+        }
+        self.inferences += 1;
+        self.shared.featurizer.featurize_into(
+            ctx.dag,
+            ctx.spec,
+            state,
+            ctx.features,
+            &mut self.ready_scratch,
+            &mut self.view,
+        );
+        self.shared.batcher.infer(
+            &self.view.features,
+            &mut self.logits,
+            &mut self.batch_scratch,
+        );
+        softmax_masked_into(&self.logits, &self.view.mask, &mut self.probs);
+        if let (Some(cache), Some(key)) = (self.shared.cache.as_ref(), key) {
+            cache.insert(key, &self.probs, &self.view.slot_tasks);
+        }
+        map_action_probs(
+            actions,
+            &self.probs,
+            &self.view.slot_tasks,
+            process_idx,
+            &mut self.action_probs,
+        );
+        &self.action_probs
+    }
+}
+
+impl SearchPolicy for BatchedDrlGuide<'_> {
+    fn choose_expansion(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        untried: &[Action],
+        _rng: &mut StdRng,
+    ) -> usize {
+        // A single candidate needs no inference: the argmax is forced.
+        if untried.len() == 1 {
+            self.skips += 1;
+            return 0;
+        }
+        let probs = self.action_probs(ctx, state, untried);
+        let mut best = 0;
+        for i in 1..probs.len() {
+            if probs[i] > probs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn choose_rollout(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        legal: &[Action],
+        rng: &mut StdRng,
+    ) -> Action {
+        // Forced decision: skip the inference but keep the RNG stream
+        // aligned with the non-skipping path (see `DrlPolicy`).
+        if legal.len() == 1 {
+            self.skips += 1;
+            let _: f64 = rng.gen();
+            return legal[0];
+        }
+        let probs = self.action_probs(ctx, state, legal);
+        let total: f64 = probs.iter().sum();
+        if total <= 0.0 {
+            return legal[rng.gen_range(0..legal.len())];
+        }
+        let x: f64 = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        for (a, &p) in legal.iter().zip(probs) {
+            acc += p;
+            if x < acc {
+                return *a;
+            }
+        }
+        *legal.last().expect("legal is never empty")
+    }
+
+    fn name(&self) -> &str {
+        "drl-batched"
+    }
+
+    fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    fn inference_skips(&self) -> u64 {
+        self.skips
+    }
+}
+
+/// The `mcts.batch.*` instrument family (tree-parallel only).
+#[derive(Debug, Clone)]
+struct BatchObs {
+    /// Requests per flushed batch.
+    fill: Histogram,
+    /// Wall time of one batched forward pass (including publication).
+    flush_ns: Histogram,
+    /// Expansion claims lost to a concurrent worker.
+    vloss_collisions: Counter,
+}
+
+impl BatchObs {
+    fn new(obs: &Obs) -> Self {
+        BatchObs {
+            fill: obs.histogram("mcts.batch.fill"),
+            flush_ns: obs.histogram("mcts.batch.flush_ns"),
+            vloss_collisions: obs.counter("mcts.batch.vloss_collisions"),
+        }
+    }
+}
+
+/// Shared state of one parallel search (one `schedule` call).
+struct SearchShared<'a> {
+    dag: &'a Dag,
+    spec: &'a ClusterSpec,
+    features: &'a GraphFeatures,
+    exploration: f64,
+    max_value_mode: bool,
+    ln_table: Vec<f64>,
+    tree: Mutex<Tree>,
+    /// Root id and state of the decision currently being searched.
+    /// Written by the coordinator strictly between the `done` and `start`
+    /// barriers, read by workers strictly after `start` — the barriers
+    /// are the synchronization; the mutex merely satisfies the borrow
+    /// checker cheaply.
+    ctl: Mutex<DecisionCtl>,
+    /// Remaining iteration tickets for the current decision. Workers
+    /// decrement and run while positive, so the *total* iterations per
+    /// decision equal the sequential budget regardless of thread count.
+    tickets: AtomicI64,
+    stop: AtomicBool,
+    start: Barrier,
+    done: Barrier,
+    /// Deepest selection path seen this decision (for `mcts.tree_depth`).
+    decision_depth: AtomicU64,
+    drl: Option<DrlShared<'a>>,
+}
+
+struct DecisionCtl {
+    root: NodeId,
+    state: SimState,
+}
+
+/// Counters a worker accumulates locally and hands back at join — the
+/// only cross-thread stats traffic is this one struct per worker.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerTotals {
+    iterations: u64,
+    rollout_steps: u64,
+    collisions: u64,
+    inferences: u64,
+    skips: u64,
+}
+
+/// Per-worker reusable buffers (the parallel analogue of the sequential
+/// search's `RolloutScratch`).
+struct WorkerScratch<'a> {
+    env: Option<SimEnv<'a>>,
+    legal: Vec<Action>,
+    path_nodes: Vec<NodeId>,
+    path_actions: Vec<Action>,
+    untried: Vec<Action>,
+}
+
+fn worker_seed(base: u64, worker: usize) -> u64 {
+    // Distinct, deterministic streams per worker; the odd multiplier is
+    // the usual Fibonacci-hashing constant.
+    base ^ (worker as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// One worker's lifetime: wait at the start barrier, drain iteration
+/// tickets against the current root, park at the done barrier; repeat
+/// until stopped.
+fn worker_loop(shared: &SearchShared<'_>, worker: usize, base_seed: u64) -> WorkerTotals {
+    let mut rng = StdRng::seed_from_u64(worker_seed(base_seed, worker));
+    let mut guide: Box<dyn SearchPolicy> = match shared.drl.as_ref() {
+        Some(drl) => Box::new(BatchedDrlGuide::new(drl)),
+        None => Box::new(RandomPolicy),
+    };
+    let mut totals = WorkerTotals::default();
+    let mut scratch = WorkerScratch {
+        env: None,
+        legal: Vec::new(),
+        path_nodes: Vec::new(),
+        path_actions: Vec::new(),
+        untried: Vec::new(),
+    };
+    loop {
+        shared.start.wait();
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let (root, root_state) = {
+            let ctl = shared.ctl.lock().expect("ctl lock poisoned");
+            (ctl.root, ctl.state.clone())
+        };
+        let local_root = SimEnv::from_state(shared.dag, shared.spec, root_state);
+        while shared.tickets.fetch_sub(1, Ordering::Relaxed) > 0 {
+            totals.iterations += 1;
+            iterate(
+                shared,
+                guide.as_mut(),
+                &mut rng,
+                root,
+                &local_root,
+                &mut scratch,
+                &mut totals,
+            );
+        }
+        shared.done.wait();
+    }
+    totals.inferences = guide.inferences();
+    totals.skips = guide.inference_skips();
+    totals
+}
+
+/// One tree-parallel MCTS iteration. The tree lock is held for three
+/// short pointer-chasing windows (select+mark, claim, attach+backprop);
+/// state replay, guidance inference, and the rollout all run unlocked.
+fn iterate<'a>(
+    shared: &SearchShared<'a>,
+    guide: &mut dyn SearchPolicy,
+    rng: &mut StdRng,
+    root: NodeId,
+    local_root: &SimEnv<'a>,
+    scratch: &mut WorkerScratch<'a>,
+    totals: &mut WorkerTotals,
+) {
+    let ctx = PolicyContext {
+        dag: shared.dag,
+        spec: shared.spec,
+        features: shared.features,
+    };
+    // --- Phase 1 (locked): select a leaf, mark the path in flight. ---
+    let leaf = {
+        let mut tree = shared.tree.lock().expect("tree lock poisoned");
+        let mut id = root;
+        scratch.path_nodes.clear();
+        scratch.path_actions.clear();
+        scratch.path_nodes.push(id);
+        while tree.node(id).fully_expanded() && !tree.node(id).terminal {
+            // Claim/attach race: a peer claims the node's last untried
+            // action in its phase 4 but only attaches the child in its
+            // phase 6, so a non-terminal node can transiently look fully
+            // expanded while having no children to descend into. Nothing
+            // to select or expand here — give the ticket up (the peer's
+            // in-flight rollout carries the value).
+            if tree.node(id).children.is_empty() {
+                totals.collisions += 1;
+                return;
+            }
+            let (action, child) = select_child_ucb(
+                &tree,
+                id,
+                shared.exploration,
+                shared.max_value_mode,
+                &shared.ln_table,
+            );
+            scratch.path_actions.push(action);
+            id = child;
+            scratch.path_nodes.push(id);
+        }
+        // Terminal leaf: its value is exact; reinforce it under the same
+        // lock — no virtual loss needed since we never leave the tree.
+        if tree.node(id).terminal {
+            let value = tree.node(id).terminal_value;
+            tree.backpropagate_to(id, root, value);
+            return;
+        }
+        for &n in &scratch.path_nodes {
+            tree.node_mut(n).vloss += 1;
+        }
+        scratch.untried.clear();
+        scratch.untried.extend_from_slice(&tree.node(id).untried);
+        id
+    };
+    shared
+        .decision_depth
+        .fetch_max(scratch.path_actions.len() as u64 + 1, Ordering::Relaxed);
+    // --- Phase 2 (unlocked): replay the path into the scratch env. ---
+    let env = match scratch.env.as_mut() {
+        Some(env) => {
+            env.clone_from(local_root);
+            env
+        }
+        None => scratch.env.insert(local_root.clone()),
+    };
+    for &action in &scratch.path_actions {
+        env.step_trusted(action);
+    }
+    // --- Phase 3 (unlocked): pick the expansion — may batch-infer. ---
+    let pick = guide.choose_expansion(&ctx, env.observe(), &scratch.untried, rng);
+    let desired = scratch.untried[pick];
+    // --- Phase 4 (locked): claim the action from the live node. A peer
+    // may have claimed it (or everything) since our snapshot. ---
+    let action = {
+        let mut tree = shared.tree.lock().expect("tree lock poisoned");
+        let node = tree.node_mut(leaf);
+        match node.untried.iter().position(|&a| a == desired) {
+            Some(i) => node.untried.swap_remove(i),
+            None => {
+                totals.collisions += 1;
+                if node.untried.is_empty() {
+                    // Fully claimed by peers: release the marks and give
+                    // the ticket up (the peers' rollouts carry the value).
+                    for &n in &scratch.path_nodes {
+                        tree.node_mut(n).vloss -= 1;
+                    }
+                    return;
+                }
+                node.untried.swap_remove(0)
+            }
+        }
+    };
+    // --- Phase 5 (unlocked): step, then simulate to termination. ---
+    env.step_trusted(action);
+    let untried = env.observe().legal_actions(shared.dag);
+    let terminal = untried.is_empty();
+    let terminal_value = if terminal {
+        -(env.makespan().unwrap_or(0) as f64)
+    } else {
+        0.0
+    };
+    let value = if terminal {
+        terminal_value
+    } else {
+        let adapter = RolloutAdapter {
+            policy: guide,
+            features: shared.features,
+        };
+        let mut driver = EpisodeDriver::from_parts(adapter, std::mem::take(&mut scratch.legal));
+        let outcome = driver.drive_trusted(env, rng, u64::MAX);
+        scratch.legal = driver.into_parts().1;
+        totals.rollout_steps += outcome.steps();
+        -(env.makespan().expect("rollout ran to termination") as f64)
+    };
+    // --- Phase 6 (locked): attach the child, release the marks,
+    // backpropagate the real value. ---
+    {
+        let mut tree = shared.tree.lock().expect("tree lock poisoned");
+        let child = tree.push(Node::fresh(
+            Some(leaf),
+            Some(action),
+            untried,
+            terminal,
+            terminal_value,
+        ));
+        tree.node_mut(leaf).children.push((action, child));
+        for &n in &scratch.path_nodes {
+            tree.node_mut(n).vloss -= 1;
+        }
+        tree.backpropagate_to(child, root, value);
+    }
+}
+
+/// The best root action by exploitation only — the shared-tree analogue
+/// of `MctsSearch::best_action`.
+fn best_root_action(tree: &Tree, root: NodeId, max_value_mode: bool) -> Action {
+    let node = tree.node(root);
+    assert!(
+        !node.children.is_empty(),
+        "best_action requires at least one iteration"
+    );
+    let mut best: Option<(Action, (f64, f64))> = None;
+    for &(action, child_id) in &node.children {
+        let child = tree.node(child_id);
+        let exploit = if max_value_mode {
+            child.max_value
+        } else {
+            child.mean_value()
+        };
+        let key = (exploit, child.mean_value());
+        if best.is_none_or(|(_, bk)| key_gt(key, bk)) {
+            best = Some((action, key));
+        }
+    }
+    best.expect("children checked non-empty").0
+}
+
+/// Which guidance the parallel engine runs.
+enum Mode {
+    Pure,
+    Drl(PolicyNetwork),
+}
+
+/// Tree-parallel MCTS scheduler: [`MctsConfig::search_threads`] workers
+/// over one shared tree, with virtual-loss decorrelation and (in DRL
+/// mode) batched leaf inference through [`MctsConfig::leaf_batch_size`].
+///
+/// With `search_threads <= 1` this type delegates to the sequential
+/// [`MctsScheduler`] and is bit-identical to it; see the module docs for
+/// the full determinism contract.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spear_cluster::ClusterSpec;
+/// use spear_dag::generator::LayeredDagSpec;
+/// use spear_mcts::{MctsConfig, TreeParallelMcts};
+/// use spear_sched::Scheduler;
+///
+/// let dag = LayeredDagSpec { num_tasks: 12, ..LayeredDagSpec::paper_training() }
+///     .generate(&mut rand::rngs::StdRng::seed_from_u64(3));
+/// let spec = ClusterSpec::unit(2);
+/// let mut mcts = TreeParallelMcts::pure(MctsConfig {
+///     initial_budget: 24,
+///     min_budget: 4,
+///     search_threads: 2,
+///     ..MctsConfig::default()
+/// });
+/// let schedule = mcts.schedule(&dag, &spec).unwrap();
+/// schedule.validate(&dag, &spec).unwrap();
+/// ```
+pub struct TreeParallelMcts {
+    config: MctsConfig,
+    mode: Mode,
+    /// The bit-identity escape hatch: populated iff `search_threads <= 1`.
+    sequential: Option<MctsScheduler>,
+    name: String,
+    obs: Obs,
+    search_obs: Option<SearchObs>,
+    batch_obs: Option<BatchObs>,
+}
+
+impl std::fmt::Debug for TreeParallelMcts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreeParallelMcts")
+            .field("config", &self.config)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl TreeParallelMcts {
+    /// Tree-parallel classic MCTS (random expansion and rollout).
+    pub fn pure(config: MctsConfig) -> Self {
+        Self::build(config, Mode::Pure, "mcts-tree")
+    }
+
+    /// Tree-parallel DRL-guided MCTS — parallel Spear with batched leaf
+    /// inference and the shared frontier-fingerprint cache.
+    pub fn drl(config: MctsConfig, policy: PolicyNetwork) -> Self {
+        Self::build(config, Mode::Drl(policy), "spear-tree")
+    }
+
+    fn build(config: MctsConfig, mode: Mode, name: &str) -> Self {
+        let sequential = (config.search_threads <= 1).then(|| match &mode {
+            Mode::Pure => MctsScheduler::pure(config.clone()),
+            Mode::Drl(policy) => MctsScheduler::drl(config.clone(), policy.clone()),
+        });
+        TreeParallelMcts {
+            config,
+            mode,
+            sequential,
+            name: name.to_owned(),
+            obs: Obs::noop(),
+            search_obs: None,
+            batch_obs: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MctsConfig {
+        &self.config
+    }
+
+    /// Attaches a metric sink recording the `mcts.*` family plus the
+    /// tree-parallel `mcts.batch.*` instruments. Pass [`Obs::noop`] to
+    /// detach.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// In-place variant of [`TreeParallelMcts::with_obs`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.search_obs = None;
+        self.batch_obs = None;
+        if let Some(seq) = self.sequential.as_mut() {
+            seq.set_obs(obs);
+        }
+    }
+
+    fn prepare_obs(&mut self) {
+        if spear_obs::compiled() && self.search_obs.is_none() && self.obs.is_enabled() {
+            self.search_obs = Some(SearchObs::new(&self.obs));
+            self.batch_obs = Some(BatchObs::new(&self.obs));
+        }
+    }
+
+    /// Schedules `dag` and reports merged search statistics: counters are
+    /// summed across workers, cache stats come from the shared cache, and
+    /// `elapsed_seconds` is wall-clock (not CPU) time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError`] if the DAG cannot run on the cluster.
+    pub fn schedule_with_stats(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
+        if let Some(seq) = self.sequential.as_mut() {
+            return seq.schedule_with_stats(dag, spec);
+        }
+        let start = std::time::Instant::now();
+        self.prepare_obs();
+        let threads = self.config.search_threads;
+        let features = GraphFeatures::compute(dag);
+        // Scale exploration to the makespan magnitude (paper §IV).
+        let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
+        let exploration = self.config.exploration_coeff * estimate.max(1.0);
+        let budget = self.config.budget();
+
+        // Validates DAG-vs-cluster before any thread is spawned, so every
+        // fallible step below this point is unreachable-by-construction.
+        let mut root_env = SimEnv::new(dag, spec)?;
+        let untried = root_env.observe().legal_actions(dag);
+        let terminal = untried.is_empty();
+        let terminal_value = if terminal {
+            -(root_env.makespan().unwrap_or(0) as f64)
+        } else {
+            0.0
+        };
+        let mut tree = Tree::new();
+        let root = tree.push(Node::fresh(None, None, untried, terminal, terminal_value));
+
+        let drl = match &self.mode {
+            Mode::Pure => None,
+            Mode::Drl(policy) => {
+                let fc = policy.feature_config();
+                let cache = self.config.eval_cache.then(|| {
+                    SharedEvalCache::new(
+                        EVAL_CACHE_CAPACITY,
+                        fc.action_dim(),
+                        fc.process_action(),
+                        threads,
+                    )
+                });
+                Some(DrlShared {
+                    featurizer: policy.featurizer(),
+                    process_idx: fc.process_action(),
+                    batcher: LeafBatcher::new(
+                        policy.net(),
+                        fc.input_dim(),
+                        self.config.leaf_batch_size.min(threads),
+                        self.batch_obs.as_ref(),
+                    ),
+                    cache,
+                })
+            }
+        };
+        let shared = SearchShared {
+            dag,
+            spec,
+            features: &features,
+            exploration,
+            max_value_mode: self.config.max_value_backprop,
+            ln_table: ln_table(),
+            tree: Mutex::new(tree),
+            ctl: Mutex::new(DecisionCtl {
+                root,
+                state: root_env.state().clone(),
+            }),
+            tickets: AtomicI64::new(0),
+            stop: AtomicBool::new(false),
+            start: Barrier::new(threads + 1),
+            done: Barrier::new(threads + 1),
+            decision_depth: AtomicU64::new(0),
+            drl,
+        };
+        let search_obs = self.search_obs.as_ref();
+        let base_seed = self.config.seed;
+        let max_value_mode = self.config.max_value_backprop;
+
+        let (totals, decisions, outcome, tree_nodes) = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let shared = &shared;
+                    scope.spawn(move || worker_loop(shared, w, base_seed))
+                })
+                .collect();
+            let mut decisions = 0u64;
+            let mut root_id = root;
+            let mut err: Option<SpearError> = None;
+            loop {
+                let root_terminal = shared
+                    .tree
+                    .lock()
+                    .expect("tree lock poisoned")
+                    .node(root_id)
+                    .terminal;
+                if root_terminal {
+                    break;
+                }
+                decisions += 1;
+                let span = search_obs.map(|so| so.decision_ns.start_span());
+                // `max(1)`: a zero-ticket decision would leave the root
+                // childless and the assert below would abort mid-scope.
+                let tickets = budget.at_depth(decisions).max(1);
+                shared.tickets.store(tickets as i64, Ordering::Relaxed);
+                shared.start.wait();
+                shared.done.wait();
+                let tree = shared.tree.lock().expect("tree lock poisoned");
+                let action = best_root_action(&tree, root_id, max_value_mode);
+                if let Err(e) = root_env.step(action) {
+                    err = Some(e);
+                    break;
+                }
+                root_id = tree
+                    .node(root_id)
+                    .children
+                    .iter()
+                    .find(|(a, _)| *a == action)
+                    .map(|&(_, id)| id)
+                    .expect("best action always has an expanded child");
+                // Clear residual in-flight marks: a worker that lost the
+                // last ticket race may have bailed between barriers, but
+                // marks are always paired inc/dec within one iteration,
+                // so by the `done` barrier the counts are zero again.
+                debug_assert_eq!(tree.node(root_id).vloss, 0);
+                drop(tree);
+                {
+                    let mut ctl = shared.ctl.lock().expect("ctl lock poisoned");
+                    ctl.root = root_id;
+                    ctl.state.clone_from(root_env.state());
+                }
+                if let Some(so) = search_obs {
+                    so.tree_depth
+                        .record(shared.decision_depth.swap(0, Ordering::Relaxed));
+                }
+                drop(span);
+            }
+            shared.stop.store(true, Ordering::Relaxed);
+            shared.start.wait();
+            let totals: Vec<WorkerTotals> = handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect();
+            let tree_nodes = shared.tree.lock().expect("tree lock poisoned").len();
+            let outcome = match err {
+                Some(e) => Err(e),
+                None => Ok(root_env.state().clone()),
+            };
+            (totals, decisions, outcome, tree_nodes)
+        });
+        let final_state = outcome?;
+
+        let merged = totals
+            .iter()
+            .fold(WorkerTotals::default(), |acc, t| WorkerTotals {
+                iterations: acc.iterations + t.iterations,
+                rollout_steps: acc.rollout_steps + t.rollout_steps,
+                collisions: acc.collisions + t.collisions,
+                inferences: acc.inferences + t.inferences,
+                skips: acc.skips + t.skips,
+            });
+        let cache = shared
+            .drl
+            .as_ref()
+            .and_then(|d| d.cache.as_ref())
+            .map(SharedEvalCache::stats)
+            .unwrap_or_default();
+        let stats = SearchStats {
+            iterations: merged.iterations,
+            rollout_steps: merged.rollout_steps,
+            tree_nodes,
+            decisions,
+            policy_inferences: merged.inferences,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            inference_skips: merged.skips,
+            vloss_collisions: merged.collisions,
+            batch_flushes: shared
+                .drl
+                .as_ref()
+                .map(|d| d.batcher.flushes.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        };
+        if spear_obs::compiled() {
+            if let Some(so) = &self.search_obs {
+                so.record_stats(&stats);
+            }
+            if let Some(bo) = &self.batch_obs {
+                bo.vloss_collisions.add(stats.vloss_collisions);
+            }
+        }
+        let schedule = SimEnv::from_state(dag, spec, final_state).into_schedule()?;
+        Ok((schedule, stats))
+    }
+}
+
+impl Scheduler for TreeParallelMcts {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
+        Ok(self.schedule_with_stats(dag, spec)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use spear_dag::generator::LayeredDagSpec;
+    use spear_rl::FeatureConfig;
+
+    fn dag(seed: u64) -> Dag {
+        LayeredDagSpec {
+            num_tasks: 14,
+            ..LayeredDagSpec::paper_training()
+        }
+        .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn config(threads: usize) -> MctsConfig {
+        MctsConfig {
+            initial_budget: 40,
+            min_budget: 8,
+            search_threads: threads,
+            leaf_batch_size: 4,
+            ..MctsConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_is_bit_identical_to_sequential() {
+        let dag = dag(1);
+        let spec = ClusterSpec::unit(2);
+        let (seq, seq_stats) = MctsScheduler::pure(config(1))
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        let (par, par_stats) = TreeParallelMcts::pure(config(1))
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        assert_eq!(seq, par, "threads=1 must delegate to the sequential engine");
+        assert_eq!(seq_stats.iterations, par_stats.iterations);
+        assert_eq!(seq_stats.rollout_steps, par_stats.rollout_steps);
+    }
+
+    #[test]
+    fn parallel_pure_schedule_is_valid() {
+        let dag = dag(2);
+        let spec = ClusterSpec::unit(2);
+        let mut mcts = TreeParallelMcts::pure(config(4));
+        assert_eq!(mcts.name(), "mcts-tree");
+        let (schedule, stats) = mcts.schedule_with_stats(&dag, &spec).unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert!(stats.iterations > 0);
+        assert!(stats.tree_nodes > 1);
+        assert!(stats.decisions >= dag.len() as u64);
+        assert_eq!(stats.batch_flushes, 0, "pure mode never batches");
+    }
+
+    #[test]
+    fn parallel_drl_batches_and_shares_the_cache() {
+        let dag = dag(3);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+        let mut spear = TreeParallelMcts::drl(config(4), policy);
+        assert_eq!(spear.name(), "spear-tree");
+        let (schedule, stats) = spear.schedule_with_stats(&dag, &spec).unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert!(stats.policy_inferences > 0);
+        assert!(stats.batch_flushes > 0, "DRL mode must flush batches");
+        assert!(
+            stats.batch_flushes <= stats.policy_inferences,
+            "a flush covers at least one inference"
+        );
+        assert!(stats.cache_hits > 0, "workers must share cache entries");
+    }
+
+    #[test]
+    fn parallel_drl_without_cache_still_schedules() {
+        let dag = dag(4);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+        let cfg = MctsConfig {
+            eval_cache: false,
+            ..config(3)
+        };
+        let (schedule, stats) = TreeParallelMcts::drl(cfg, policy)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert!(stats.policy_inferences > 0);
+    }
+
+    #[test]
+    fn unbatched_leaves_flush_one_by_one() {
+        let dag = dag(5);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+        let cfg = MctsConfig {
+            leaf_batch_size: 1,
+            ..config(2)
+        };
+        let (schedule, stats) = TreeParallelMcts::drl(cfg, policy)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert_eq!(
+            stats.batch_flushes, stats.policy_inferences,
+            "batch size 1 flushes every inference alone"
+        );
+    }
+
+    #[test]
+    fn worker_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..8).map(|w| worker_seed(7, w)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

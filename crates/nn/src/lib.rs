@@ -53,5 +53,5 @@ mod optim;
 pub use activation::{log_softmax, softmax, softmax_masked, softmax_masked_into, Activation};
 pub use layer::Dense;
 pub use matrix::Matrix;
-pub use mlp::{ForwardScratch, Mlp, MlpConfig};
+pub use mlp::{BatchScratch, ForwardScratch, Mlp, MlpConfig};
 pub use optim::{Optimizer, RmsProp, Sgd};

@@ -21,6 +21,18 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// An empty 0×0 matrix — the natural start state for `*_into` scratch
+    /// buffers, which are reshaped on first use.
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Matrix {
     /// An all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -138,8 +150,30 @@ impl Matrix {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        };
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned matrix: `out` is reshaped to
+    /// `self.rows × other.cols` (reusing its existing allocation once it
+    /// has reached steady-state capacity) and overwritten with the product.
+    /// Same loops, same accumulation order, bit-identical results — this is
+    /// the allocation-free entry the batched inference path flushes through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
         let n = other.cols;
         // Row-blocked i-k-j loop order: each `other` row pulled from memory
         // serves four output rows before being evicted, quartering the
@@ -195,7 +229,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self^T · other` without materializing the transpose. Shapes:
@@ -315,6 +348,19 @@ mod tests {
         assert_eq!(c.rows(), 2);
         assert_eq!(c.cols(), 2);
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Reuse the same buffer for a differently shaped product: the
+        // stale 2×2 contents must be fully overwritten, not accumulated.
+        b.matmul_into(&a, &mut out); // 3×2 · 2×3 = 3×3
+        assert_eq!(out, b.matmul(&a));
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod features;
 mod policy;
 pub mod pretrain;
 mod reinforce;
+mod shared_cache;
 pub mod value;
 
 pub use cache::{EvalCache, EvalCacheStats, ValueCache};
@@ -54,4 +55,5 @@ pub use expert::{collect_expert_dataset, CpExpert, ExpertDataset};
 pub use features::{FeatureConfig, Featurizer, StateView};
 pub use policy::PolicyNetwork;
 pub use reinforce::{ReinforceConfig, ReinforceTrainer, TrainingCurvePoint};
+pub use shared_cache::SharedEvalCache;
 pub use value::{train_value_network, ValueNetwork, ValueTrainConfig};
