@@ -14,7 +14,9 @@
 //!   writes `BENCH_mcts_quick.json` instead and never compares against the
 //!   full baseline. Quick mode additionally asserts the pinned golden
 //!   makespans and exits nonzero on drift, so the CI job catches
-//!   bit-exactness regressions, not just panics.
+//!   bit-exactness regressions, not just panics. The JSON output and any
+//!   `--metrics-out` file are written *before* the drift exit, so a failed
+//!   run still leaves its evidence for CI to upload.
 //! * `bench_hotpath --no-eval-cache` — disables the fingerprint-keyed
 //!   inference cache (differential runs; makespans must not move).
 //! * `bench_hotpath --search-threads N [--leaf-batch B]` — measures the
@@ -31,6 +33,11 @@
 //! Makespans per DAG are part of the output: across a pure performance
 //! refactor they must not move (the same check the golden determinism
 //! test enforces).
+//!
+//! Every run also works a seeded Poisson multi-job arrival stream through
+//! the DRL-guided search in one continuous episode and folds the per-job
+//! completion times (mean/p50/p99 JCT, unfairness) into the output as the
+//! `multi_job` section.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,9 +47,10 @@ use std::path::{Path, PathBuf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use spear::dag::generator::LayeredDagSpec;
 use spear::{
-    ClusterSpec, Dag, FeatureConfig, MctsConfig, MctsScheduler, MetricsRegistry, Obs,
-    PolicyNetwork, SearchStats, TreeParallelMcts,
+    ArrivalProcess, ArrivalStreamSpec, ClusterSpec, Dag, FeatureConfig, JobQueue, JobSource,
+    MctsConfig, MctsScheduler, MetricsRegistry, Obs, PolicyNetwork, SearchStats, TreeParallelMcts,
 };
 use spear_bench::workload;
 
@@ -175,6 +183,28 @@ struct TreeParallelReport {
     points: Vec<TreeParallelPoint>,
 }
 
+/// The online multi-job section: a seeded Poisson arrival stream worked by
+/// the sequential DRL-guided search (the Spear configuration) in one
+/// continuous episode, reported as per-job completion times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MultiJobReport {
+    jobs: usize,
+    tasks_per_job: usize,
+    mean_gap: f64,
+    stream_seed: u64,
+    elapsed_seconds: f64,
+    mean_jct: f64,
+    p50_jct: u64,
+    p99_jct: u64,
+    /// Spread (max − min) of per-job slowdowns.
+    unfairness: f64,
+    /// Completion time of the whole stream (union makespan).
+    stream_makespan: u64,
+    /// Per-job JCTs in queue (arrival) order — deterministic in the seeds,
+    /// like the single-job makespans above.
+    jcts: Vec<u64>,
+}
+
 /// What `BENCH_mcts.json` holds. A `metrics` key is added to the emitted
 /// JSON only when `--metrics-out` was given (so runs without it keep the
 /// pre-observability output format byte-for-byte).
@@ -184,6 +214,7 @@ struct BenchOutput {
     baseline: Option<HotpathReport>,
     speedup: Option<Speedup>,
     tree_parallel: Option<TreeParallelReport>,
+    multi_job: MultiJobReport,
 }
 
 struct ModeParams {
@@ -192,6 +223,9 @@ struct ModeParams {
     tasks: usize,
     pure_budget: (u64, u64),
     drl_budget: (u64, u64),
+    multi_jobs: usize,
+    multi_tasks: usize,
+    multi_mean_gap: f64,
 }
 
 const FULL: ModeParams = ModeParams {
@@ -200,6 +234,9 @@ const FULL: ModeParams = ModeParams {
     tasks: 50,
     pure_budget: (800, 160),
     drl_budget: (40, 8),
+    multi_jobs: 10,
+    multi_tasks: 20,
+    multi_mean_gap: 10.0,
 };
 
 const QUICK: ModeParams = ModeParams {
@@ -208,6 +245,9 @@ const QUICK: ModeParams = ModeParams {
     tasks: 30,
     pure_budget: (60, 12),
     drl_budget: (15, 3),
+    multi_jobs: 4,
+    multi_tasks: 8,
+    multi_mean_gap: 5.0,
 };
 
 fn repo_root() -> PathBuf {
@@ -369,6 +409,58 @@ fn run_report(params: &ModeParams, eval_cache: bool, obs: &Obs) -> HotpathReport
     }
 }
 
+fn run_multi_job(params: &ModeParams, eval_cache: bool, obs: &Obs) -> MultiJobReport {
+    let stream = ArrivalStreamSpec {
+        jobs: params.multi_jobs,
+        process: ArrivalProcess::Poisson {
+            mean_gap: params.multi_mean_gap,
+        },
+        source: JobSource::Layered(LayeredDagSpec {
+            num_tasks: params.multi_tasks,
+            ..LayeredDagSpec::paper_simulation()
+        }),
+    }
+    .generate(WORKLOAD_SEED)
+    .expect("layered job source is total");
+    let queue = JobQueue::new(stream).expect("generated stream forms a valid queue");
+    let spec = workload::cluster();
+    let mut scheduler = drl_scheduler(params, eval_cache).with_obs(obs);
+    let start = std::time::Instant::now();
+    let (schedule, _) = scheduler
+        .schedule_multi_with_stats(&queue, &spec)
+        .expect("stream fits cluster");
+    let elapsed = start.elapsed().as_secs_f64();
+    schedule
+        .validate(queue.union_dag(), &spec)
+        .expect("stream schedule must be valid");
+    let report = queue.jct_report(&schedule);
+    assert_eq!(
+        report.unfinished(),
+        0,
+        "complete episode leaves no job behind"
+    );
+    eprintln!(
+        "[bench_hotpath] multi-job drl: {} jobs x {} tasks in {elapsed:.2}s, jct mean {:.1} p99 {}",
+        params.multi_jobs,
+        params.multi_tasks,
+        report.mean_jct(),
+        report.p99_jct()
+    );
+    MultiJobReport {
+        jobs: params.multi_jobs,
+        tasks_per_job: params.multi_tasks,
+        mean_gap: params.multi_mean_gap,
+        stream_seed: WORKLOAD_SEED,
+        elapsed_seconds: elapsed,
+        mean_jct: report.mean_jct(),
+        p50_jct: report.p50_jct(),
+        p99_jct: report.p99_jct(),
+        unfairness: report.unfairness(),
+        stream_makespan: schedule.makespan(),
+        jcts: report.completions().iter().map(|c| c.jct).collect(),
+    }
+}
+
 fn comparable(a: &HotpathReport, b: &HotpathReport) -> bool {
     a.mode == b.mode && a.dags == b.dags && a.tasks == b.tasks && a.workload_seed == b.workload_seed
 }
@@ -416,18 +508,26 @@ fn main() {
 
     let report = run_report(params, eval_cache, &sink);
 
-    if quick {
-        let golden_ok =
+    // The quick golden verdict gates the exit code, but only *after* the
+    // JSON output and any `--metrics-out` file are written — a drift run
+    // must still leave its evidence on disk for CI to upload.
+    let golden_ok = if quick {
+        let ok =
             report.pure.makespans == QUICK_GOLDEN_PURE && report.drl.makespans == QUICK_GOLDEN_DRL;
-        if !golden_ok {
+        if ok {
+            eprintln!("[bench_hotpath] quick golden makespans OK");
+        } else {
             eprintln!(
                 "[bench_hotpath] GOLDEN MISMATCH: pure {:?} (want {:?}), drl {:?} (want {:?})",
                 report.pure.makespans, QUICK_GOLDEN_PURE, report.drl.makespans, QUICK_GOLDEN_DRL
             );
-            std::process::exit(1);
         }
-        eprintln!("[bench_hotpath] quick golden makespans OK");
-    }
+        ok
+    } else {
+        true
+    };
+
+    let multi_job = run_multi_job(params, eval_cache, &sink);
 
     // Tree-parallel thread-scaling curve: the full default is the
     // 1/2/4/8 sweep; `--search-threads N` narrows it to [1, N] (the
@@ -489,6 +589,16 @@ fn main() {
         }
         println!("tree-parallel host cores: {}", tp.host_cores);
     }
+    println!(
+        "multi-job drl: {} jobs x {} tasks, jct mean {:.1} p50 {} p99 {}, unfairness {:.2}, stream makespan {}",
+        multi_job.jobs,
+        multi_job.tasks_per_job,
+        multi_job.mean_jct,
+        multi_job.p50_jct,
+        multi_job.p99_jct,
+        multi_job.unfairness,
+        multi_job.stream_makespan
+    );
     if let Some(s) = &speedup {
         println!(
             "speedup vs baseline: pure {:.2}x iterations/s, {:.2}x rollout steps/s; drl {:.2}x iterations/s, {:.2}x inferences/s",
@@ -532,6 +642,7 @@ fn main() {
         baseline,
         speedup,
         tree_parallel,
+        multi_job,
     };
     let mut value = serde_json::to_value(&output);
     if let (Some(m), serde_json::Value::Obj(entries)) = (metrics, &mut value) {
@@ -543,4 +654,8 @@ fn main() {
     )
     .expect("cannot write benchmark output");
     eprintln!("[bench_hotpath] wrote {}", out_path.display());
+
+    if !golden_ok {
+        std::process::exit(1);
+    }
 }

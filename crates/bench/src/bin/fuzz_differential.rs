@@ -11,11 +11,19 @@
 //!
 //! Usage:
 //!
-//! * `fuzz_differential` — the CI configuration: 200 cases, seed
-//!   `0xD1FF5EED`, exit code 1 on any failure.
-//! * `fuzz_differential --cases N --seed S` — custom corpus.
+//! * `fuzz_differential` — the CI configuration: 200 single-job cases plus
+//!   40 multi-job arrival-stream cases, seed `0xD1FF5EED`, exit code 1 on
+//!   any failure.
+//! * `fuzz_differential --cases N --multi-cases M --seed S` — custom
+//!   corpus sizes.
 //! * `fuzz_differential --out DIR` — where to write shrunk witnesses
 //!   (default `tests/fuzz_failures/` at the repository root).
+//!
+//! The multi-job pass runs every roster scheduler's `schedule_multi` over
+//! seeded Poisson streams and applies the strengthened online judges
+//! (arrival gating, per-job sub-schedules, JCT accounting, invariant
+//! auditor); failures are reported by case label (streams have no DAG
+//! shrinker).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,10 +32,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use spear::diffcheck::{check_schedule, corpus, shrink_dag, CaseSpec, Fixture};
+use spear::diffcheck::{check_schedule, corpus, multi_corpus, shrink_dag, CaseSpec, Fixture};
 
-/// CI defaults: the corpus size the workflow's ~60 s budget is sized for.
+/// CI defaults: the corpus sizes the workflow's ~60 s budget is sized for.
 const DEFAULT_CASES: usize = 200;
+const DEFAULT_MULTI_CASES: usize = 40;
 const DEFAULT_SEED: u64 = 0xD1FF_5EED;
 
 fn repo_root() -> PathBuf {
@@ -70,6 +79,7 @@ fn shrink_case(case: &CaseSpec, why: &str) -> Fixture {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let cases = arg_value(&args, "--cases", DEFAULT_CASES);
+    let multi_cases = arg_value(&args, "--multi-cases", DEFAULT_MULTI_CASES);
     let seed = arg_value(&args, "--seed", DEFAULT_SEED);
     let out_dir = arg_value(&args, "--out", repo_root().join("tests/fuzz_failures"));
 
@@ -109,18 +119,46 @@ fn main() -> ExitCode {
         );
     }
 
+    // Multi-job pass: every scheduler's online path over seeded Poisson
+    // streams, judged by the strengthened multi-job tri-check.
+    let multi_matrix = multi_corpus(multi_cases, seed);
+    eprintln!(
+        "[fuzz_differential] {} multi-job cases, base seed {seed:#x}",
+        multi_matrix.len()
+    );
+    for (i, case) in multi_matrix.iter().enumerate() {
+        let why = match case.run() {
+            Ok((tri, report)) if tri.all_ok() && report.unfinished() == 0 => {
+                if (i + 1) % 20 == 0 {
+                    eprintln!(
+                        "[fuzz_differential] multi {}/{} ok ({:.1}s)",
+                        i + 1,
+                        multi_matrix.len(),
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+                continue;
+            }
+            Ok((tri, report)) if tri.all_ok() => {
+                format!(
+                    "{} jobs unfinished in a complete episode",
+                    report.unfinished()
+                )
+            }
+            Ok((tri, _)) => tri.summary(),
+            Err(e) => format!("scheduler error: {e}"),
+        };
+        failures += 1;
+        println!("FAIL {}: {why}", case.label());
+    }
+
+    let total = matrix.len() + multi_matrix.len();
     let elapsed = start.elapsed().as_secs_f64();
     if failures == 0 {
-        println!(
-            "fuzz_differential: {} cases, 0 disagreements ({elapsed:.1}s)",
-            matrix.len()
-        );
+        println!("fuzz_differential: {total} cases, 0 disagreements ({elapsed:.1}s)");
         ExitCode::SUCCESS
     } else {
-        println!(
-            "fuzz_differential: {failures} of {} cases FAILED ({elapsed:.1}s)",
-            matrix.len()
-        );
+        println!("fuzz_differential: {failures} of {total} cases FAILED ({elapsed:.1}s)");
         ExitCode::FAILURE
     }
 }

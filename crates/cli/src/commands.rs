@@ -6,10 +6,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spear::dag::generator::LayeredDagSpec;
 use spear::{
-    ClusterSpec, CpScheduler, Dag, FeatureConfig, Graphene, MctsConfig, MctsScheduler,
-    MetricsRegistry, Obs, ObservedScheduler, PolicyNetwork, RandomScheduler, ResourceVec,
-    Scheduler, SjfScheduler, SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats,
-    TreeParallelMcts,
+    Action, ArrivalProcess, ArrivalStreamSpec, ClusterSpec, CpScheduler, Dag, Env, FeatureConfig,
+    Graphene, JctReport, JobQueue, JobSource, MctsConfig, MctsScheduler, MetricsRegistry,
+    MultiJobEnv, Obs, ObservedScheduler, PolicyNetwork, RandomScheduler, ResourceVec, Scheduler,
+    SjfScheduler, SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats, TreeParallelMcts,
 };
 
 use crate::args::Args;
@@ -26,6 +26,9 @@ USAGE:
                      [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
                      [--search-threads 1] [--leaf-batch 8]
                      [--metrics-out metrics.jsonl]
+  spear-cli schedule --arrivals poisson|periodic [--jobs 20] [--job-tasks 8]
+                     [--mean-gap 8.0 | --gap 8] [--trace-file trace.json]
+                     [--horizon N] [--algo ...] [... as above]
   spear-cli train    [--profile tiny|fast|paper] --output policy.json
                      [--metrics-out metrics.jsonl]
   spear-cli evaluate [--tasks 100] [--dags 5] [--seed 0] [--budget 200]
@@ -39,6 +42,15 @@ cluster unless the input file says otherwise.
 workers share one tree (virtual-loss decorrelated) and DRL leaf
 inference is batched --leaf-batch rows at a time. At 1 (the default)
 the search is sequential and bit-identical to previous releases.
+
+--arrivals switches `schedule` to the online multi-job mode: a seeded
+stream of jobs (random layered DAGs, or a trace's jobs with
+--trace-file) arrives over time — Poisson with --mean-gap, or every
+--gap slots — and the scheduler works the whole stream through one
+continuous episode. The report is per-job completion times (mean, p50,
+p99 JCT and the slowdown-spread unfairness) instead of one makespan.
+--horizon caps the episode's wall clock: jobs not fully scheduled by
+then count as unfinished.
 
 --metrics-out writes every metric recorded during the run as JSON lines
 (one metric per line). Metric recording is compiled in behind the `obs`
@@ -184,8 +196,123 @@ fn build_scheduler(
     })
 }
 
-/// `spear-cli schedule`: schedule a DAG file and report the makespan.
+/// Builds the seeded `(arrival, DAG)` stream for the multi-job mode.
+fn load_arrival_stream(args: &Args) -> Result<JobQueue, Box<dyn Error>> {
+    let seed: u64 = args.get_or("seed", 0)?;
+    let process = match args.require("arrivals")? {
+        "poisson" => ArrivalProcess::Poisson {
+            mean_gap: args.get_or("mean-gap", 8.0)?,
+        },
+        "periodic" => ArrivalProcess::Periodic {
+            gap: args.get_or("gap", 8)?,
+        },
+        other => return Err(format!("unknown --arrivals `{other}` (poisson|periodic)").into()),
+    };
+    let source = match args.get("trace-file") {
+        Some(path) => {
+            let trace: Trace = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+            JobSource::Trace(trace)
+        }
+        None => JobSource::Layered(LayeredDagSpec {
+            num_tasks: args.get_or("job-tasks", 8)?,
+            ..LayeredDagSpec::paper_training()
+        }),
+    };
+    let stream = ArrivalStreamSpec {
+        jobs: args.get_or("jobs", 20)?,
+        process,
+        source,
+    }
+    .generate(seed)?;
+    Ok(JobQueue::new(stream)?)
+}
+
+/// Replays the union `schedule` through a horizon-capped [`MultiJobEnv`]
+/// and reports the JCTs at truncation: jobs whose tasks were not all
+/// scheduled before the clock hit the horizon count as unfinished.
+fn truncated_report(
+    queue: &JobQueue,
+    spec: &ClusterSpec,
+    schedule: &spear::Schedule,
+    horizon: u64,
+) -> Result<JctReport, Box<dyn Error>> {
+    let mut env = MultiJobEnv::new(queue, spec)?.with_horizon(Some(horizon));
+    let mut order: Vec<spear::Placement> = schedule.placements().to_vec();
+    order.sort_by_key(|p| (p.start, p.task));
+    'placements: for p in &order {
+        while env.observe().clock() < p.start {
+            if env.is_terminal() {
+                break 'placements;
+            }
+            env.step(Action::Process)?;
+        }
+        if env.is_terminal() {
+            break;
+        }
+        env.step(Action::Schedule(p.task))?;
+    }
+    while !env.is_terminal() {
+        env.step(Action::Process)?;
+    }
+    Ok(env.jct_report())
+}
+
+/// The online multi-job branch of `spear-cli schedule` (`--arrivals`).
+fn schedule_arrivals(args: &Args) -> Result<(), Box<dyn Error>> {
+    let queue = load_arrival_stream(args)?;
+    let union = queue.union_dag();
+    let capacity: f64 = args.get_or("capacity", 1.0)?;
+    let spec = ClusterSpec::new(ResourceVec::splat(union.dims(), capacity))?;
+    let algo = args.get("algo").unwrap_or("spear");
+    let (registry, metrics_path) = metrics_registry(args);
+    let sink = registry.sink("cli");
+    let mut scheduler =
+        ObservedScheduler::new(build_scheduler(algo, args, union.dims(), &sink)?, &sink);
+    let start = std::time::Instant::now();
+    let schedule = scheduler.schedule_multi(&queue, &spec)?;
+    let elapsed = start.elapsed();
+    schedule.validate(union, &spec)?;
+    let report = match args.get("horizon") {
+        Some(_) => {
+            let horizon: u64 = args.get_or("horizon", 0)?;
+            truncated_report(&queue, &spec, &schedule, horizon)?
+        }
+        None => queue.jct_report(&schedule),
+    };
+    println!(
+        "{}: {} jobs ({} tasks), stream makespan {} in {:.2?}",
+        scheduler.name(),
+        queue.jobs(),
+        union.len(),
+        schedule.makespan(),
+        elapsed
+    );
+    println!(
+        "completed {}/{} jobs, jct mean {:.1} p50 {} p99 {}, unfairness {:.2}",
+        report.completions().len(),
+        queue.jobs(),
+        report.mean_jct(),
+        report.p50_jct(),
+        report.p99_jct(),
+        report.unfairness()
+    );
+    if args.flag("gantt") {
+        println!("{}", schedule.render_gantt(union, &spec, 100));
+    }
+    if let Some(out) = args.get("output") {
+        std::fs::write(out, serde_json::to_string_pretty(&schedule)?)?;
+        eprintln!("wrote {out}");
+    }
+    write_metrics(&registry, metrics_path.as_deref())?;
+    Ok(())
+}
+
+/// `spear-cli schedule`: schedule a DAG file and report the makespan, or —
+/// with `--arrivals` — an online multi-job stream and its JCT report.
 pub fn schedule(args: &Args) -> Result<(), Box<dyn Error>> {
+    if args.get("arrivals").is_some() {
+        return schedule_arrivals(args);
+    }
     let dag = load_dag(args)?;
     let spec = cluster_for(&dag, args)?;
     let algo = args.get("algo").unwrap_or("spear");
@@ -430,6 +557,77 @@ mod tests {
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn schedule_arrivals_poisson_stream() {
+        schedule(&args(&[
+            "--arrivals",
+            "poisson",
+            "--jobs",
+            "5",
+            "--job-tasks",
+            "5",
+            "--mean-gap",
+            "4.0",
+            "--algo",
+            "tetris",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn schedule_arrivals_periodic_with_horizon_and_output() {
+        let out = tmp("cli-multi-schedule.json");
+        schedule(&args(&[
+            "--arrivals",
+            "periodic",
+            "--gap",
+            "3",
+            "--jobs",
+            "4",
+            "--job-tasks",
+            "4",
+            "--algo",
+            "sjf",
+            "--horizon",
+            "6",
+            "--output",
+            &out,
+        ]))
+        .unwrap();
+        let loaded: spear::Schedule =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(loaded.makespan() > 0);
+    }
+
+    #[test]
+    fn schedule_arrivals_replays_a_trace_file() {
+        let trace_path = tmp("cli-multi-trace.json");
+        generate(&args(&["--trace", "--seed", "2", "--output", &trace_path])).unwrap();
+        schedule(&args(&[
+            "--arrivals",
+            "poisson",
+            "--jobs",
+            "3",
+            "--mean-gap",
+            "10.0",
+            "--trace-file",
+            &trace_path,
+            "--algo",
+            "cp",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_arrival_process_is_rejected() {
+        let err = schedule(&args(&["--arrivals", "bursty", "--algo", "tetris"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("bursty"));
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * **Start/finish coherence** — every running task has a recorded start,
 //!   `finish == start + runtime`, and completed tasks finished by the
 //!   current clock.
+//! * **Multi-job coherence** (multi-job states only) — arrival
+//!   monotonicity (no task starts before its job arrives; no unarrived
+//!   source leaks into the frontier), the injected-job prefix matches the
+//!   clock, and the per-job completed counts (the job-tagged half of
+//!   conservation) reconcile with the placement table.
 //!
 //! The auditor is pure observation: it never mutates the state, so an
 //! audited episode is bit-identical to an unaudited one. It is wired into
@@ -114,6 +119,33 @@ pub enum AuditViolation {
         /// The value derived from starts/running.
         derived: usize,
     },
+    /// A task started before its job's arrival time — the multi-job
+    /// arrival gate leaked (arrival monotonicity).
+    EarlyStart {
+        /// The prematurely started task.
+        task: TaskId,
+        /// Its recorded start time.
+        start: u64,
+        /// Its job's arrival time (later than the start).
+        arrival: u64,
+    },
+    /// The ready frontier lists a task whose job has not arrived yet —
+    /// a scheduler could start it before its arrival.
+    UnarrivedReady {
+        /// The prematurely listed task.
+        task: TaskId,
+    },
+    /// A job's recorded completed-task count disagrees with the one
+    /// derived from the placement table — per-job (job-tagged)
+    /// conservation is broken, so JCT accounting would silently lie.
+    JobCountMismatch {
+        /// The job with corrupt accounting (queue order).
+        job: usize,
+        /// The state's recorded completed-task count.
+        recorded: usize,
+        /// The count derived from starts/running.
+        derived: usize,
+    },
     /// The incrementally maintained state fingerprint disagrees with a
     /// from-scratch recomputation — the inference cache would be keyed by
     /// a hash of some *other* state, turning every lookup into a
@@ -177,6 +209,27 @@ impl fmt::Display for AuditViolation {
             } => write!(
                 f,
                 "{field} count is recorded as {recorded} but derives to {derived}"
+            ),
+            AuditViolation::EarlyStart {
+                task,
+                start,
+                arrival,
+            } => write!(
+                f,
+                "task {task} started at {start}, before its job's arrival at {arrival}"
+            ),
+            AuditViolation::UnarrivedReady { task } => write!(
+                f,
+                "ready frontier lists task {task}, whose job has not arrived"
+            ),
+            AuditViolation::JobCountMismatch {
+                job,
+                recorded,
+                derived,
+            } => write!(
+                f,
+                "job {job} records {recorded} completed tasks but {derived} derive \
+                 from the placements"
             ),
             AuditViolation::FingerprintDesync { stored, recomputed } => write!(
                 f,
@@ -377,8 +430,76 @@ impl InvariantAuditor {
             if self.listed_ready[i] || state.starts[i].is_some() {
                 continue;
             }
+            // Multi-job: sources of jobs that have not arrived are
+            // deliberately withheld from the frontier — but only until the
+            // clock crosses their arrival; a lagging injection falls
+            // through and is reported as MissingReady.
+            if state
+                .multi
+                .as_deref()
+                .is_some_and(|m| m.arrivals[m.job_of(i)] > state.clock)
+            {
+                continue;
+            }
             if dag.parents(t).iter().all(|p| is_done(p.index())) {
                 return Err(AuditViolation::MissingReady { task: t });
+            }
+        }
+
+        // 6b. Multi-job coherence: arrival monotonicity and job-tagged
+        // conservation. The injected prefix must match what the clock
+        // implies, no start may precede its job's arrival, no unarrived
+        // source may sit in the frontier, and the per-job completed
+        // counts (the basis of JCT accounting and the in-flight gauges)
+        // must reconcile with the placement table.
+        if let Some(multi) = state.multi.as_deref() {
+            let derived_injected = multi.arrivals.partition_point(|&a| a <= state.clock);
+            if multi.next_arrival != derived_injected {
+                return Err(AuditViolation::CountMismatch {
+                    field: "injected_jobs",
+                    recorded: multi.next_arrival,
+                    derived: derived_injected,
+                });
+            }
+            for (i, start) in state.starts.iter().enumerate() {
+                if let Some(start) = *start {
+                    let arrival = multi.arrivals[multi.job_of(i)];
+                    if start < arrival {
+                        return Err(AuditViolation::EarlyStart {
+                            task: TaskId::new(i),
+                            start,
+                            arrival,
+                        });
+                    }
+                }
+            }
+            for &t in state.tracker.ready() {
+                if multi.arrivals[multi.job_of(t.index())] > state.clock {
+                    return Err(AuditViolation::UnarrivedReady { task: t });
+                }
+            }
+            let mut jobs_done = 0usize;
+            for job in 0..multi.jobs() {
+                let range = multi.job_range(job);
+                let tasks = range.len();
+                let derived = range.filter(|&i| is_done(i)).count();
+                if derived != multi.completed[job] as usize {
+                    return Err(AuditViolation::JobCountMismatch {
+                        job,
+                        recorded: multi.completed[job] as usize,
+                        derived,
+                    });
+                }
+                if derived == tasks {
+                    jobs_done += 1;
+                }
+            }
+            if jobs_done != multi.jobs_done {
+                return Err(AuditViolation::CountMismatch {
+                    field: "jobs_done",
+                    recorded: multi.jobs_done,
+                    derived: jobs_done,
+                });
             }
         }
 
@@ -553,6 +674,154 @@ mod tests {
                 derived: 1
             }
         );
+    }
+
+    mod multi_job {
+        use super::*;
+        use crate::{JobQueue, SimState};
+
+        /// Two single-task jobs: one at t=0, one arriving at t=5.
+        fn queue() -> JobQueue {
+            let job = |runtime: u64| {
+                let mut b = DagBuilder::new(1);
+                b.add_task(Task::new(runtime, ResourceVec::from_slice(&[0.6])));
+                b.build().unwrap()
+            };
+            JobQueue::new(vec![(0, job(2)), (5, job(2))]).unwrap()
+        }
+
+        #[test]
+        fn clean_multi_job_episode_passes_every_check() {
+            let queue = queue();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            let mut audit = InvariantAuditor::new();
+            audit.check(dag, &sim).unwrap();
+            while !sim.is_terminal(dag) {
+                let actions = sim.legal_actions(dag);
+                sim.apply(dag, actions[0]).unwrap();
+                audit.check(dag, &sim).unwrap();
+            }
+        }
+
+        #[test]
+        fn cross_job_resource_leak_breaks_conservation() {
+            // Admit the second job's task without charging `used`: the
+            // resources it holds leaked across the job boundary.
+            let job = |runtime: u64| {
+                let mut b = DagBuilder::new(1);
+                b.add_task(Task::new(runtime, ResourceVec::from_slice(&[0.6])));
+                b.build().unwrap()
+            };
+            let queue = JobQueue::new(vec![(0, job(2)), (0, job(2))]).unwrap();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.apply(dag, Action::Schedule(TaskId::new(0))).unwrap();
+            let leaked = TaskId::new(1);
+            sim.tracker.take(leaked);
+            sim.running.push(Running {
+                task: leaked,
+                finish: 2,
+            });
+            sim.starts[1] = Some(0);
+            sim.scheduled += 1;
+            let err = InvariantAuditor::new().check(dag, &sim).unwrap_err();
+            assert!(matches!(err, AuditViolation::Conservation { dim: 0, .. }));
+        }
+
+        #[test]
+        fn early_start_is_caught() {
+            let queue = queue();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.run_with(dag, |_, actions| actions[0]).unwrap();
+            let mut audit = InvariantAuditor::new();
+            audit.check(dag, &sim).unwrap();
+            // Rewrite the second job's start to before its arrival at 5.
+            sim.starts[1] = Some(3);
+            let err = audit.check(dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::EarlyStart {
+                    task: TaskId::new(1),
+                    start: 3,
+                    arrival: 5
+                }
+            );
+        }
+
+        #[test]
+        fn unarrived_ready_entry_is_caught() {
+            let queue = queue();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            // Leak the gated source into the frontier at t=0.
+            sim.tracker.insert_ready(TaskId::new(1));
+            let err = InvariantAuditor::new().check(dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::UnarrivedReady {
+                    task: TaskId::new(1)
+                }
+            );
+        }
+
+        #[test]
+        fn injected_prefix_desync_is_caught() {
+            let queue = queue();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            // Claim the t=5 job was injected while the clock is still 0
+            // (without touching the frontier, so only the prefix check
+            // can see it).
+            sim.multi.as_deref_mut().unwrap().next_arrival = 2;
+            let err = InvariantAuditor::new().check(dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::CountMismatch {
+                    field: "injected_jobs",
+                    recorded: 2,
+                    derived: 1
+                }
+            );
+        }
+
+        #[test]
+        fn per_job_completed_count_corruption_is_caught() {
+            let queue = queue();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.apply(dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(dag, Action::Process).unwrap(); // job 0 done at t=2
+            sim.multi.as_deref_mut().unwrap().completed[0] = 0;
+            let err = InvariantAuditor::new().check(dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::JobCountMismatch {
+                    job: 0,
+                    recorded: 0,
+                    derived: 1
+                }
+            );
+        }
+
+        #[test]
+        fn jobs_done_counter_corruption_is_caught() {
+            let queue = queue();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.run_with(dag, |_, actions| actions[0]).unwrap();
+            sim.multi.as_deref_mut().unwrap().jobs_done = 1;
+            let err = InvariantAuditor::new().check(dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::CountMismatch {
+                    field: "jobs_done",
+                    recorded: 1,
+                    derived: 2
+                }
+            );
+        }
     }
 
     mod corruption_properties {
@@ -752,6 +1021,19 @@ mod tests {
             AuditViolation::FingerprintDesync {
                 stored: 0xdead_beef,
                 recomputed: 0xcafe_f00d,
+            },
+            AuditViolation::EarlyStart {
+                task: TaskId::new(3),
+                start: 2,
+                arrival: 5,
+            },
+            AuditViolation::UnarrivedReady {
+                task: TaskId::new(4),
+            },
+            AuditViolation::JobCountMismatch {
+                job: 1,
+                recorded: 0,
+                derived: 1,
             },
         ];
         for v in violations {

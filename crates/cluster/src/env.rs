@@ -24,6 +24,7 @@ use spear_dag::Dag;
 use spear_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::audit::InvariantAuditor;
+use crate::jobs::{JctReport, JobQueue};
 use crate::{Action, ClusterSpec, Schedule, SimState, SpearError};
 
 /// The static part of an environment an episode runs in: the job and the
@@ -79,8 +80,18 @@ pub trait Env {
     /// The full observation of the current state.
     fn observe(&self) -> &SimState;
 
-    /// Whether every task has finished.
+    /// Whether the episode is over — every task finished, or (for
+    /// environments with a wall-clock horizon) the episode was cut off;
+    /// [`Env::is_truncated`] distinguishes the two.
     fn is_terminal(&self) -> bool;
+
+    /// Whether the episode ended by hitting an environment-imposed bound
+    /// (e.g. [`MultiJobEnv`]'s wall-clock horizon) rather than by
+    /// completing every task. Environments without such a bound — like
+    /// [`SimEnv`] — never truncate, which this default encodes.
+    fn is_truncated(&self) -> bool {
+        false
+    }
 
     /// The episode's makespan, once terminal.
     fn makespan(&self) -> Option<u64>;
@@ -198,6 +209,169 @@ impl Env for SimEnv<'_> {
 
     fn is_terminal(&self) -> bool {
         self.state.is_terminal(self.dag)
+    }
+
+    fn makespan(&self) -> Option<u64> {
+        self.state.makespan()
+    }
+}
+
+/// The continuous-arrival environment: a [`JobQueue`]'s union DAG stepped
+/// by a multi-job [`SimState`], with an optional wall-clock horizon.
+///
+/// `MultiJobEnv` implements [`Env`] over the *union DAG*, so every
+/// consumer of the trait — `EpisodeDriver`, the baselines, sequential and
+/// tree-parallel MCTS, the DRL featurizer — schedules a job stream through
+/// the same code path as a single job. The differences are confined to the
+/// state underneath: sources of unarrived jobs are withheld from the
+/// frontier, and `Process` advances the clock to the next *event*
+/// (completion or arrival).
+///
+/// Termination: the episode is terminal when the queue is drained and
+/// every job completed, or — with [`MultiJobEnv::with_horizon`] — once the
+/// clock reaches the horizon, in which case [`Env::is_truncated`] reports
+/// `true` and [`EpisodeDriver::drive`] returns
+/// [`DriveOutcome::Truncated`]. Either way,
+/// [`MultiJobEnv::jct_report`] tallies per-job completion times (jobs
+/// with unscheduled tasks count as unfinished).
+#[derive(Debug)]
+pub struct MultiJobEnv<'a> {
+    queue: &'a JobQueue,
+    spec: &'a ClusterSpec,
+    state: SimState,
+    horizon: Option<u64>,
+}
+
+impl<'a> MultiJobEnv<'a> {
+    /// Creates the environment at time 0 with only time-0 jobs visible.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the union DAG cannot run on the cluster.
+    pub fn new(queue: &'a JobQueue, spec: &'a ClusterSpec) -> Result<Self, SpearError> {
+        let state = SimState::new_multi(queue, spec)?;
+        Ok(MultiJobEnv {
+            queue,
+            spec,
+            state,
+            horizon: None,
+        })
+    }
+
+    /// Caps the episode at `horizon` clock slots: the episode ends (as
+    /// truncated) at the first decision point with `clock >= horizon`.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: Option<u64>) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// The job queue this episode schedules.
+    pub fn queue(&self) -> &JobQueue {
+        self.queue
+    }
+
+    /// The wall-clock horizon, if any.
+    pub fn horizon(&self) -> Option<u64> {
+        self.horizon
+    }
+
+    /// The current simulation state (same as [`Env::observe`]).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Releases the owned simulation state.
+    pub fn into_state(self) -> SimState {
+        self.state
+    }
+
+    /// Per-job completion times of the episode so far — complete after a
+    /// terminal episode, partial (with a non-zero unfinished count) after
+    /// a truncated one.
+    pub fn jct_report(&self) -> JctReport {
+        self.queue.jct_report_partial(&self.state)
+    }
+
+    /// Extracts the completed union schedule (split it per job with
+    /// [`JobQueue::per_job_schedules`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::IncompleteEpisode`] if some job has
+    /// unfinished tasks — including horizon-truncated episodes.
+    pub fn into_schedule(self) -> Result<Schedule, SpearError> {
+        if !self.state.is_terminal(self.queue.union_dag()) {
+            return Err(SpearError::IncompleteEpisode);
+        }
+        Ok(self.state.into_schedule(self.queue.union_dag()))
+    }
+
+    fn complete(&self) -> bool {
+        self.state.is_terminal(self.queue.union_dag())
+    }
+
+    fn horizon_reached(&self) -> bool {
+        self.horizon.is_some_and(|h| self.state.clock() >= h)
+    }
+}
+
+impl Clone for MultiJobEnv<'_> {
+    fn clone(&self) -> Self {
+        MultiJobEnv {
+            queue: self.queue,
+            spec: self.spec,
+            state: self.state.clone(),
+            horizon: self.horizon,
+        }
+    }
+
+    /// Reuses `self.state`'s interior allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.queue = source.queue;
+        self.spec = source.spec;
+        self.state.clone_from(&source.state);
+        self.horizon = source.horizon;
+    }
+}
+
+impl Env for MultiJobEnv<'_> {
+    fn dag(&self) -> &Dag {
+        self.queue.union_dag()
+    }
+
+    fn spec(&self) -> &ClusterSpec {
+        self.spec
+    }
+
+    fn reset(&mut self) -> Result<(), SpearError> {
+        self.state = SimState::new_multi(self.queue, self.spec)?;
+        Ok(())
+    }
+
+    fn legal_into(&self, out: &mut Vec<Action>) {
+        self.state.legal_actions_into(self.queue.union_dag(), out);
+    }
+
+    fn step(&mut self, action: Action) -> Result<(), SpearError> {
+        self.state.apply(self.queue.union_dag(), action)?;
+        Ok(())
+    }
+
+    fn step_trusted(&mut self, action: Action) {
+        self.state.apply_legal(self.queue.union_dag(), action);
+    }
+
+    fn observe(&self) -> &SimState {
+        &self.state
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.complete() || self.horizon_reached()
+    }
+
+    fn is_truncated(&self) -> bool {
+        !self.complete() && self.horizon_reached()
     }
 
     fn makespan(&self) -> Option<u64> {
@@ -331,6 +505,8 @@ struct EpisodeObs {
     backlog: Histogram,
     makespan: Gauge,
     occupancy: Vec<Gauge>,
+    jobs_pending: Gauge,
+    jobs_in_flight: Gauge,
 }
 
 impl EpisodeObs {
@@ -345,6 +521,8 @@ impl EpisodeObs {
             occupancy: (0..dims)
                 .map(|i| obs.gauge(&format!("sim.occupancy.r{i}")))
                 .collect(),
+            jobs_pending: obs.gauge("sim.jobs.pending"),
+            jobs_in_flight: obs.gauge("sim.jobs.in_flight"),
         }
     }
 
@@ -365,6 +543,10 @@ impl EpisodeObs {
                     if *c > 0.0 {
                         gauge.set(u / c);
                     }
+                }
+                if state.is_multi_job() {
+                    self.jobs_pending.set(state.pending_jobs() as f64);
+                    self.jobs_in_flight.set(state.jobs_in_flight() as f64);
                 }
             }
         }
@@ -391,7 +573,8 @@ impl EpisodeObs {
 /// [`EpisodeDriver::with_obs`] records per-step simulation metrics
 /// (`sim.steps`, `sim.admissions`, `sim.clock_advances`,
 /// `sim.backlog_depth`, `sim.occupancy.r*`, `sim.episodes`,
-/// `sim.makespan`). Instrumentation is pure observation — it reads the
+/// `sim.makespan`, and for multi-job episodes `sim.jobs.pending` /
+/// `sim.jobs.in_flight`). Instrumentation is pure observation — it reads the
 /// state and never influences a decision — and without the feature every
 /// recording call compiles to nothing.
 #[derive(Debug, Clone)]
@@ -540,6 +723,12 @@ impl<P> EpisodeDriver<P> {
             }
             steps += 1;
         }
+        // Environments with their own bound (a multi-job wall-clock
+        // horizon) exit the loop "terminal" but truncated — report that
+        // faithfully and skip the completed-episode instruments.
+        if env.is_truncated() {
+            return Ok(DriveOutcome::Truncated { steps });
+        }
         if spear_obs::compiled() {
             if let Some(eo) = &self.episode_obs {
                 eo.record_terminal(env);
@@ -593,6 +782,9 @@ impl<P> EpisodeDriver<P> {
                 }
             }
             steps += 1;
+        }
+        if env.is_truncated() {
+            return DriveOutcome::Truncated { steps };
         }
         if spear_obs::compiled() {
             if let Some(eo) = &self.episode_obs {
@@ -781,6 +973,87 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(9), run(9), "same seed, same schedule");
+    }
+
+    mod multi_job {
+        use super::*;
+        use crate::JobQueue;
+
+        fn queue() -> JobQueue {
+            let job = |runtime: u64| {
+                let mut b = DagBuilder::new(1);
+                b.add_task(Task::new(runtime, ResourceVec::from_slice(&[0.6])));
+                b.build().unwrap()
+            };
+            JobQueue::new(vec![(0, job(2)), (5, job(2)), (6, job(1))]).unwrap()
+        }
+
+        #[test]
+        fn driver_runs_a_job_stream_to_completion() {
+            let queue = queue();
+            let spec = ClusterSpec::unit(1);
+            let mut env = MultiJobEnv::new(&queue, &spec).unwrap();
+            let outcome = EpisodeDriver::new(first_legal())
+                .drive(&mut env, &mut NoRng, u64::MAX)
+                .unwrap();
+            assert!(outcome.is_terminal());
+            assert!(!env.is_truncated());
+            let report = env.jct_report();
+            assert_eq!(report.completions().len(), 3);
+            assert_eq!(report.unfinished(), 0);
+            let schedule = env.into_schedule().unwrap();
+            schedule.validate(queue.union_dag(), &spec).unwrap();
+            // Job 2 (arrival 6) contends with job 1 (running 5..7 on 0.6
+            // of 1.0): it waits for the free capacity.
+            assert_eq!(report.completions()[2].arrival, 6);
+            assert!(report.completions()[2].finish >= 7);
+        }
+
+        #[test]
+        fn horizon_truncates_and_reports_partial_jcts() {
+            let queue = queue();
+            let spec = ClusterSpec::unit(1);
+            let mut env = MultiJobEnv::new(&queue, &spec)
+                .unwrap()
+                .with_horizon(Some(3));
+            let outcome = EpisodeDriver::new(first_legal())
+                .drive(&mut env, &mut NoRng, u64::MAX)
+                .unwrap();
+            assert!(!outcome.is_terminal());
+            assert!(env.is_truncated());
+            let report = env.jct_report();
+            assert_eq!(report.completions().len(), 1); // only the t=0 job
+            assert_eq!(report.unfinished(), 2);
+            let err = env.into_schedule().unwrap_err();
+            assert_eq!(err, SpearError::IncompleteEpisode);
+        }
+
+        #[test]
+        fn reset_rewinds_to_the_gated_initial_state() {
+            let queue = queue();
+            let spec = ClusterSpec::unit(1);
+            let mut env = MultiJobEnv::new(&queue, &spec).unwrap();
+            EpisodeDriver::new(first_legal())
+                .drive(&mut env, &mut NoRng, u64::MAX)
+                .unwrap();
+            env.reset().unwrap();
+            assert_eq!(env.observe().clock(), 0);
+            assert_eq!(env.observe().ready(), &[TaskId::new(0)]);
+            assert_eq!(env.observe().pending_jobs(), 2);
+        }
+
+        #[test]
+        fn trusted_and_checked_multi_drives_are_identical() {
+            let queue = queue();
+            let spec = ClusterSpec::unit(1);
+            let mut a = MultiJobEnv::new(&queue, &spec).unwrap();
+            let mut b = MultiJobEnv::new(&queue, &spec).unwrap();
+            let mut driver = EpisodeDriver::new(first_legal());
+            let oa = driver.drive(&mut a, &mut NoRng, u64::MAX).unwrap();
+            let ob = driver.drive_trusted(&mut b, &mut NoRng, u64::MAX);
+            assert_eq!(oa, ob);
+            assert_eq!(a.into_schedule().unwrap(), b.into_schedule().unwrap());
+        }
     }
 
     #[test]

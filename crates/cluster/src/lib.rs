@@ -46,6 +46,7 @@ mod action;
 pub mod audit;
 pub mod env;
 mod error;
+pub mod jobs;
 mod schedule;
 mod spec;
 mod state;
@@ -54,9 +55,11 @@ mod timeline;
 pub use action::Action;
 pub use audit::{AuditViolation, InvariantAuditor};
 pub use env::{
-    DecisionPolicy, DriveOutcome, Env, EnvContext, EpisodeDriver, FnPolicy, NoRng, SimEnv,
+    DecisionPolicy, DriveOutcome, Env, EnvContext, EpisodeDriver, FnPolicy, MultiJobEnv, NoRng,
+    SimEnv,
 };
 pub use error::{ClusterError, ErrorContext, SpearError};
+pub use jobs::{JctReport, JobCompletion, JobQueue, JobSpan};
 pub use schedule::{Placement, Schedule};
 pub use spec::ClusterSpec;
 pub use state::{Running, SimState};

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use spear_dag::topo::ReadyTracker;
 use spear_dag::{Dag, ResourceVec, TaskId, FIT_EPSILON};
 
+use crate::jobs::{JobQueue, MultiJob};
 use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule};
 
 // --- State fingerprinting -------------------------------------------------
@@ -119,6 +120,12 @@ pub struct SimState {
     // cache hit.
     #[serde(default)]
     pub(crate) placement_hash: u64,
+    // Arrival bookkeeping of a multi-job episode; `None` in the single-job
+    // regime, which therefore stays bit-identical to the pre-multi-job
+    // simulator (every multi branch below is behind this option). Boxed so
+    // the single-job state grows by one pointer, not five vectors.
+    #[serde(default)]
+    pub(crate) multi: Option<Box<MultiJob>>,
 }
 
 // Manual `Clone` so `clone_from` reuses every interior allocation. MCTS
@@ -137,6 +144,7 @@ impl Clone for SimState {
             scheduled: self.scheduled,
             max_finish: self.max_finish,
             placement_hash: self.placement_hash,
+            multi: self.multi.clone(),
         }
     }
 
@@ -151,6 +159,11 @@ impl Clone for SimState {
         self.scheduled = source.scheduled;
         self.max_finish = source.max_finish;
         self.placement_hash = source.placement_hash;
+        match (&mut self.multi, &source.multi) {
+            // Reuse the boxed bookkeeping's interior vectors.
+            (Some(dst), Some(src)) => dst.as_mut().clone_from(src.as_ref()),
+            (dst, src) => *dst = src.clone(),
+        }
     }
 }
 
@@ -175,7 +188,42 @@ impl SimState {
             scheduled: 0,
             max_finish: 0,
             placement_hash: 0,
+            multi: None,
         })
+    }
+
+    /// Creates the initial state of a multi-job episode over `queue`'s
+    /// union DAG: time 0, empty cluster, and *only* the sources of jobs
+    /// arriving at time 0 ready — later jobs' sources are withheld from
+    /// the frontier until the clock crosses their arrival (a `Process`
+    /// action advances to the earlier of the next task completion and the
+    /// next arrival).
+    ///
+    /// A one-job queue arriving at time 0 steps action-for-action like
+    /// [`SimState::new`] on the same DAG (the fingerprints differ — they
+    /// fold the arrival bookkeeping — but legality, placements and the
+    /// makespan are identical).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the union DAG does not fit the cluster, exactly as
+    /// [`SimState::new`].
+    pub fn new_multi(queue: &JobQueue, spec: &ClusterSpec) -> Result<Self, ClusterError> {
+        let dag = queue.union_dag();
+        let mut state = SimState::new(dag, spec)?;
+        let multi = MultiJob::new(queue);
+        // `ReadyTracker::new` seeded every source; withhold them all and
+        // let `advance_arrivals` re-inject the time-0 jobs, so arrival
+        // injection has exactly one code path. Sources are the only tasks
+        // that need gating — every other task has a pending parent in its
+        // own job (cross-job edges do not exist in the union DAG).
+        let withheld: Vec<TaskId> = state.tracker.ready().to_vec();
+        for t in withheld {
+            state.tracker.take(t);
+        }
+        state.multi = Some(Box::new(multi));
+        state.advance_arrivals(dag);
+        Ok(state)
     }
 
     /// Current simulation time.
@@ -262,6 +310,55 @@ impl SimState {
         self.running.iter().map(|r| r.finish).min()
     }
 
+    /// Whether this state runs a multi-job episode (created by
+    /// [`SimState::new_multi`]).
+    #[inline]
+    pub fn is_multi_job(&self) -> bool {
+        self.multi.is_some()
+    }
+
+    /// Jobs whose arrival time the clock has not reached yet (0 in the
+    /// single-job regime).
+    #[inline]
+    pub fn pending_jobs(&self) -> usize {
+        self.multi.as_ref().map_or(0, |m| m.pending_jobs())
+    }
+
+    /// Arrived jobs with at least one uncompleted task (0 in the
+    /// single-job regime).
+    #[inline]
+    pub fn jobs_in_flight(&self) -> usize {
+        self.multi.as_ref().map_or(0, |m| m.jobs_in_flight())
+    }
+
+    /// Jobs whose every task has completed (0 in the single-job regime).
+    #[inline]
+    pub fn jobs_completed(&self) -> usize {
+        self.multi.as_ref().map_or(0, |m| m.jobs_done)
+    }
+
+    /// Arrival time of the next not-yet-arrived job — always strictly
+    /// after the current clock (jobs whose arrival the clock has reached
+    /// are injected into the frontier eagerly).
+    #[inline]
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.multi.as_ref().and_then(|m| m.next_arrival_time())
+    }
+
+    /// The queue index of the job owning `task`, or `None` in the
+    /// single-job regime.
+    pub fn job_of(&self, task: TaskId) -> Option<usize> {
+        self.multi.as_ref().map(|m| m.job_of(task.index()))
+    }
+
+    /// The arrival time of job `job` (queue order); `None` in the
+    /// single-job regime or for an out-of-range index.
+    pub fn arrival_of(&self, job: usize) -> Option<u64> {
+        self.multi
+            .as_ref()
+            .and_then(|m| m.arrivals.get(job).copied())
+    }
+
     /// A 64-bit Zobrist-style fingerprint of the exact simulation state.
     /// The placement component is maintained incrementally by
     /// [`SimState::apply`]/[`SimState::apply_legal`] (one key XOR per
@@ -304,6 +401,15 @@ impl SimState {
         h = fold(h, self.clock);
         for &u in self.used.as_slice() {
             h = fold(h, u.to_bits());
+        }
+        // Multi-job: the injected-prefix index pins the arrival progress.
+        // Together with the clock (folded above) it determines the entire
+        // remaining arrival stream — the arrival table itself is a
+        // per-episode constant, and the eval caches are cleared per
+        // episode. Single-job states fold nothing here, keeping their
+        // fingerprints bit-identical to the pre-multi-job simulator.
+        if let Some(multi) = &self.multi {
+            h = fold(h, multi.next_arrival as u64);
         }
         h
     }
@@ -350,6 +456,17 @@ impl SimState {
         h = fold(h, self.completed() as u64);
         for &u in self.used.as_slice() {
             h = fold(h, u.to_bits());
+        }
+        // Multi-job: two states with the same visible frontier but
+        // different queued-arrival outlooks must not share a key, so fold
+        // the pending-job count and the clock-*relative* distance to the
+        // next arrival (relative, like the running finishes, to stay
+        // history-free). Single-job states fold nothing.
+        if let Some(multi) = &self.multi {
+            h = fold(h, multi.pending_jobs() as u64);
+            if let Some(arrival) = multi.next_arrival_time() {
+                h = fold(h, arrival - self.clock);
+            }
         }
         h
     }
@@ -421,7 +538,11 @@ impl SimState {
                 out.push(Action::Schedule(t));
             }
         }
-        if !self.running.is_empty() {
+        // `Process` also covers a pure arrival event: with an idle cluster
+        // but jobs still queued, advancing the clock to the next arrival is
+        // the only way forward (and the only legal action when the arrived
+        // frontier is exhausted).
+        if !self.running.is_empty() || self.next_arrival().is_some() {
             out.push(Action::Process);
         }
     }
@@ -453,7 +574,7 @@ impl SimState {
                 Ok(())
             }
             Action::Process => {
-                if self.running.is_empty() {
+                if self.running.is_empty() && self.next_arrival().is_none() {
                     return Err(ClusterError::NothingRunning);
                 }
                 self.process_unchecked(dag);
@@ -477,7 +598,7 @@ impl SimState {
                 self.schedule_unchecked(dag, task);
             }
             Action::Process => {
-                debug_assert!(!self.running.is_empty());
+                debug_assert!(!self.running.is_empty() || self.next_arrival().is_some());
                 self.process_unchecked(dag);
             }
         }
@@ -496,9 +617,16 @@ impl SimState {
     }
 
     fn process_unchecked(&mut self, dag: &Dag) {
-        let next = self
-            .earliest_finish()
-            .expect("process_unchecked requires running tasks");
+        // `Process` advances to the next *event*: the earliest running
+        // finish in the single-job regime, and the earlier of that and the
+        // next job arrival in the multi-job regime (where an idle cluster
+        // with queued jobs makes an arrival-only advance legal).
+        let next = match (self.earliest_finish(), self.next_arrival()) {
+            (Some(finish), Some(arrival)) => finish.min(arrival),
+            (Some(finish), None) => finish,
+            (None, Some(arrival)) => arrival,
+            (None, None) => unreachable!("process_unchecked requires running tasks or arrivals"),
+        };
         self.clock = next;
         let mut i = 0;
         while i < self.running.len() {
@@ -510,11 +638,40 @@ impl SimState {
                 self.used
                     .saturating_sub_assign(dag.task(done.task).demand());
                 self.tracker.complete_in_place(dag, done.task);
+                if let Some(multi) = self.multi.as_deref_mut() {
+                    let job = multi.job_of(done.task.index());
+                    multi.completed[job] += 1;
+                    if multi.completed[job] as usize == multi.job_range(job).len() {
+                        multi.jobs_done += 1;
+                    }
+                }
             } else {
                 i += 1;
             }
         }
+        self.advance_arrivals(dag);
         self.refresh_free();
+    }
+
+    /// Injects every job whose arrival time the clock has reached: its
+    /// sources enter the ready frontier (non-source tasks are gated by
+    /// their own parents). No-op in the single-job regime.
+    fn advance_arrivals(&mut self, dag: &Dag) {
+        let Some(multi) = self.multi.as_deref_mut() else {
+            return;
+        };
+        while let Some(arrival) = multi.next_arrival_time() {
+            if arrival > self.clock {
+                break;
+            }
+            for task in multi.job_range(multi.next_arrival) {
+                let task = TaskId::new(task);
+                if dag.parents(task).is_empty() {
+                    self.tracker.insert_ready(task);
+                }
+            }
+            multi.next_arrival += 1;
+        }
     }
 
     /// Rebuilds the derived `free` view from `capacity` and `used`. The
@@ -938,6 +1095,156 @@ mod tests {
         let mut b = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
         b.clone_from(&a);
         assert_eq!(b.fingerprint(), a.fingerprint());
+    }
+
+    mod multi_job {
+        use super::*;
+        use crate::JobQueue;
+
+        fn one_task_job(runtime: u64, demand: f64) -> Dag {
+            let mut b = DagBuilder::new(1);
+            b.add_task(Task::new(runtime, ResourceVec::from_slice(&[demand])));
+            b.build().unwrap()
+        }
+
+        #[test]
+        fn arrivals_gate_the_frontier_and_process_advances_to_them() {
+            // Job 0 arrives at 0 (runtime 2), job 1 at 5 (runtime 2).
+            let queue =
+                JobQueue::new(vec![(0, one_task_job(2, 0.6)), (5, one_task_job(2, 0.6))]).unwrap();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            // Only job 0's source is visible initially.
+            assert_eq!(sim.ready(), &[TaskId::new(0)]);
+            assert_eq!(sim.pending_jobs(), 1);
+            assert_eq!(sim.next_arrival(), Some(5));
+            sim.apply(dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(dag, Action::Process).unwrap();
+            // Job 0 done at t=2; the cluster idles but job 1 is queued, so
+            // Process is legal and jumps the clock to the arrival.
+            assert_eq!(sim.clock(), 2);
+            assert_eq!(sim.jobs_completed(), 1);
+            assert!(sim.ready().is_empty());
+            assert_eq!(sim.legal_actions(dag), vec![Action::Process]);
+            sim.apply(dag, Action::Process).unwrap();
+            assert_eq!(sim.clock(), 5);
+            assert_eq!(sim.ready(), &[TaskId::new(1)]);
+            assert_eq!(sim.pending_jobs(), 0);
+            assert_eq!(sim.next_arrival(), None);
+            sim.apply(dag, Action::Schedule(TaskId::new(1))).unwrap();
+            sim.apply(dag, Action::Process).unwrap();
+            assert!(sim.is_terminal(dag));
+            assert_eq!(sim.makespan(), Some(7));
+            assert_eq!(sim.jobs_completed(), 2);
+            assert_eq!(sim.job_of(TaskId::new(1)), Some(1));
+            assert_eq!(sim.arrival_of(1), Some(5));
+        }
+
+        #[test]
+        fn arrival_during_a_run_joins_the_frontier_at_the_finish() {
+            // Job 0 runs until t=4; job 1 arrives at 3 — Process advances
+            // to the arrival first, injects job 1 mid-run, and the two
+            // can overlap on a wide cluster.
+            let queue =
+                JobQueue::new(vec![(0, one_task_job(4, 0.4)), (3, one_task_job(2, 0.4))]).unwrap();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.apply(dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(dag, Action::Process).unwrap();
+            // Clock stops at the arrival (3), not the finish (4).
+            assert_eq!(sim.clock(), 3);
+            assert_eq!(sim.running().len(), 1);
+            assert_eq!(sim.ready(), &[TaskId::new(1)]);
+            sim.apply(dag, Action::Schedule(TaskId::new(1))).unwrap();
+            sim.apply(dag, Action::Process).unwrap(); // t=4: job 0 done
+            sim.apply(dag, Action::Process).unwrap(); // t=5: job 1 done
+            assert_eq!(sim.makespan(), Some(5));
+        }
+
+        #[test]
+        fn tasks_never_start_before_their_jobs_arrival() {
+            let queue =
+                JobQueue::new(vec![(0, one_task_job(1, 0.3)), (4, one_task_job(1, 0.3))]).unwrap();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            // Job 1's source is not ready before its arrival.
+            assert_eq!(
+                sim.apply(dag, Action::Schedule(TaskId::new(1)))
+                    .unwrap_err(),
+                ClusterError::TaskNotReady(TaskId::new(1))
+            );
+            sim.run_with(dag, |_, actions| actions[0]).unwrap();
+            assert!(sim.start_of(TaskId::new(1)).unwrap() >= 4);
+        }
+
+        #[test]
+        fn degenerate_single_job_queue_matches_single_job_stepping() {
+            // One job arriving at 0: same legality sequence, same
+            // schedule as the plain single-job state.
+            let mut b = DagBuilder::new(1);
+            let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+            let c = b.add_task(Task::new(3, ResourceVec::from_slice(&[0.5])));
+            b.add_edge(a, c).unwrap();
+            let dag = b.build().unwrap();
+            let spec = ClusterSpec::unit(1);
+            let queue = JobQueue::single(dag.clone()).unwrap();
+
+            let mut single = SimState::new(&dag, &spec).unwrap();
+            let mut multi = SimState::new_multi(&queue, &spec).unwrap();
+            assert!(multi.is_multi_job() && !single.is_multi_job());
+            while !single.is_terminal(&dag) {
+                let legal_single = single.legal_actions(&dag);
+                let legal_multi = multi.legal_actions(queue.union_dag());
+                assert_eq!(legal_single, legal_multi);
+                single.apply(&dag, legal_single[0]).unwrap();
+                multi.apply(queue.union_dag(), legal_multi[0]).unwrap();
+                assert_eq!(single.clock(), multi.clock());
+            }
+            assert!(multi.is_terminal(queue.union_dag()));
+            assert_eq!(single.makespan(), multi.makespan());
+            assert_eq!(
+                single.into_schedule(&dag),
+                multi.into_schedule(queue.union_dag())
+            );
+        }
+
+        #[test]
+        fn fingerprints_track_arrival_progress() {
+            // Two states at the same clock with the same (empty) frontier
+            // but different numbers of pending arrivals must not share a
+            // frontier fingerprint.
+            let queue =
+                JobQueue::new(vec![(0, one_task_job(2, 0.6)), (6, one_task_job(2, 0.6))]).unwrap();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.apply(dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(dag, Action::Process).unwrap(); // t=2, idle, 1 pending
+            let before = sim.frontier_fingerprint();
+            let full_before = sim.fingerprint();
+            sim.apply(dag, Action::Process).unwrap(); // t=6: arrival injected
+            assert_ne!(sim.frontier_fingerprint(), before);
+            assert_ne!(sim.fingerprint(), full_before);
+            // And the incremental placement hash still agrees with the
+            // from-scratch recomputation.
+            assert_eq!(sim.recompute_placement_hash(), sim.placement_hash);
+        }
+
+        #[test]
+        fn jct_report_partial_counts_unfinished_jobs() {
+            let queue =
+                JobQueue::new(vec![(0, one_task_job(2, 0.6)), (5, one_task_job(2, 0.6))]).unwrap();
+            let dag = queue.union_dag();
+            let mut sim = SimState::new_multi(&queue, &ClusterSpec::unit(1)).unwrap();
+            sim.apply(dag, Action::Schedule(TaskId::new(0))).unwrap();
+            let mid = queue.jct_report_partial(&sim);
+            assert_eq!(mid.completions().len(), 1); // job 0 fully scheduled
+            assert_eq!(mid.unfinished(), 1);
+            sim.run_with(dag, |_, actions| actions[0]).unwrap();
+            let done = queue.jct_report_partial(&sim);
+            assert_eq!(done.completions().len(), 2);
+            assert_eq!(done.unfinished(), 0);
+            assert_eq!(done.completions()[1].jct, 2); // arrived 5, ran 5..7
+        }
     }
 
     #[test]

@@ -25,7 +25,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use spear_cluster::{Action, ClusterSpec, ResourceTimeline, Schedule, SimState};
+use spear_cluster::{
+    Action, ClusterSpec, InvariantAuditor, JctReport, JobQueue, ResourceTimeline, Schedule,
+    SimState,
+};
 use spear_dag::generator::LayeredDagSpec;
 use spear_dag::{Dag, DagBuilder, ResourceVec, Task, TaskId, FIT_EPSILON};
 use spear_mcts::{MctsConfig, MctsScheduler};
@@ -34,6 +37,7 @@ use spear_sched::{
     BnBConfig, BnBScheduler, CpScheduler, Graphene, RandomScheduler, Scheduler, SjfScheduler,
     TetrisScheduler,
 };
+use spear_trace::{ArrivalProcess, ArrivalStreamSpec, JobSource};
 
 /// Every scheduler the differential fuzzer exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -379,6 +383,247 @@ pub fn corpus(count: usize, base_seed: u64) -> Vec<CaseSpec> {
         .collect()
 }
 
+/// Runs the three judges on a multi-job union schedule, strengthened for
+/// the online regime:
+///
+/// 1. **validate** — [`Schedule::validate`] on the union DAG, plus arrival
+///    gating (no task starts before its job arrives), plus every per-job
+///    sub-schedule re-validated against its own job DAG, plus the per-job
+///    JCTs of [`JobQueue::jct_report`] cross-checked against the
+///    placements;
+/// 2. **sim replay** — the schedule replayed action-by-action through a
+///    fresh multi-job [`SimState`], with the [`InvariantAuditor`] run
+///    after every action and [`JobQueue::jct_report_partial`] at the
+///    terminal state compared to the placement-derived report;
+/// 3. **timeline replay** — the union schedule and every per-job
+///    sub-schedule replayed onto [`ResourceTimeline`] occupancy grids.
+pub fn check_multi_schedule(queue: &JobQueue, spec: &ClusterSpec, schedule: &Schedule) -> TriCheck {
+    TriCheck {
+        validate: validate_multi(queue, spec, schedule),
+        sim_replay: replay_sim_multi(queue, spec, schedule),
+        timeline_replay: replay_timeline_multi(queue, spec, schedule),
+    }
+}
+
+/// The declarative multi-job judge: union validity, arrival gating,
+/// per-job sub-schedule validity, and per-job JCT accounting.
+fn validate_multi(queue: &JobQueue, spec: &ClusterSpec, schedule: &Schedule) -> Result<(), String> {
+    schedule
+        .validate(queue.union_dag(), spec)
+        .map_err(|e| format!("union schedule: {e}"))?;
+    for span in queue.spans() {
+        for local in 0..span.tasks {
+            let task = TaskId::new(span.first_task + local);
+            let p = schedule
+                .placement_of(task)
+                .ok_or_else(|| format!("job {}: task {task} is unplaced", span.job))?;
+            if p.start < span.arrival {
+                return Err(format!(
+                    "job {}: task {task} starts at {} before the job arrives at {}",
+                    span.job, p.start, span.arrival
+                ));
+            }
+        }
+    }
+    let subs = queue.per_job_schedules(schedule);
+    let report = queue.jct_report(schedule);
+    if report.unfinished() != 0 {
+        return Err(format!(
+            "{} jobs unfinished in a complete schedule",
+            report.unfinished()
+        ));
+    }
+    if report.completions().len() != queue.jobs() {
+        return Err(format!(
+            "report covers {} of {} jobs",
+            report.completions().len(),
+            queue.jobs()
+        ));
+    }
+    for (span, sub) in queue.spans().iter().zip(&subs) {
+        sub.validate(queue.job_dag(span.job), spec)
+            .map_err(|e| format!("job {} sub-schedule: {e}", span.job))?;
+        let c = &report.completions()[span.job];
+        let jct = sub.makespan() - span.arrival;
+        if c.jct != jct {
+            return Err(format!(
+                "job {}: report says jct {} but the placements span {}",
+                span.job, c.jct, jct
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The operational multi-job judge: replay through a fresh multi-job
+/// [`SimState`] (which enforces arrival gating natively), auditing every
+/// step, then cross-check the terminal state's JCT report.
+fn replay_sim_multi(
+    queue: &JobQueue,
+    spec: &ClusterSpec,
+    schedule: &Schedule,
+) -> Result<(), String> {
+    let dag = queue.union_dag();
+    let mut sim = SimState::new_multi(queue, spec).map_err(|e| format!("initial state: {e}"))?;
+    let mut auditor = InvariantAuditor::new();
+    let mut order: Vec<usize> = (0..schedule.placements().len()).collect();
+    order.sort_by_key(|&i| {
+        let p = &schedule.placements()[i];
+        (p.start, p.task)
+    });
+    for &i in &order {
+        let p = &schedule.placements()[i];
+        while sim.clock() < p.start {
+            sim.apply(dag, Action::Process)
+                .map_err(|e| format!("advancing to start {} of task {}: {e}", p.start, p.task))?;
+        }
+        if sim.clock() != p.start {
+            return Err(format!(
+                "task {} starts at {} but the clock can only reach {}",
+                p.task,
+                p.start,
+                sim.clock()
+            ));
+        }
+        sim.apply(dag, Action::Schedule(p.task))
+            .map_err(|e| format!("scheduling task {} at {}: {e}", p.task, p.start))?;
+        auditor
+            .check(dag, &sim)
+            .map_err(|v| format!("auditor after scheduling task {}: {v}", p.task))?;
+    }
+    while !sim.is_terminal(dag) {
+        sim.apply(dag, Action::Process)
+            .map_err(|e| format!("draining the cluster: {e}"))?;
+        auditor
+            .check(dag, &sim)
+            .map_err(|v| format!("auditor while draining: {v}"))?;
+    }
+    match sim.makespan() {
+        Some(m) if m == schedule.makespan() => {}
+        Some(m) => {
+            return Err(format!(
+                "replayed makespan {m} != recorded makespan {}",
+                schedule.makespan()
+            ))
+        }
+        None => return Err("terminal state reports no makespan".to_owned()),
+    }
+    let from_state = queue.jct_report_partial(&sim);
+    let from_schedule = queue.jct_report(schedule);
+    if from_state != from_schedule {
+        return Err(format!(
+            "state-derived JCT report {from_state:?} != placement-derived {from_schedule:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// The occupancy multi-job judge: the union schedule and each per-job
+/// sub-schedule must fit their resource grids independently.
+fn replay_timeline_multi(
+    queue: &JobQueue,
+    spec: &ClusterSpec,
+    schedule: &Schedule,
+) -> Result<(), String> {
+    replay_timeline(queue.union_dag(), spec, schedule).map_err(|e| format!("union: {e}"))?;
+    for (span, sub) in queue.spans().iter().zip(queue.per_job_schedules(schedule)) {
+        replay_timeline(queue.job_dag(span.job), spec, &sub)
+            .map_err(|e| format!("job {}: {e}", span.job))?;
+    }
+    Ok(())
+}
+
+/// One multi-job fuzz case: a seeded Poisson arrival stream crossed with a
+/// scheduler's [`Scheduler::schedule_multi`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiCaseSpec {
+    /// Seed for the arrival stream, the job DAGs, and the scheduler.
+    pub seed: u64,
+    /// Number of jobs in the stream.
+    pub jobs: usize,
+    /// Tasks per job DAG.
+    pub tasks_per_job: usize,
+    /// Resource dimensions.
+    pub dims: usize,
+    /// Mean Poisson inter-arrival gap in time slots.
+    pub mean_gap: f64,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+}
+
+impl MultiCaseSpec {
+    /// Generates the case's job queue deterministically from its seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case parameters are degenerate (zero jobs/tasks).
+    pub fn queue(&self) -> JobQueue {
+        let stream = ArrivalStreamSpec {
+            jobs: self.jobs,
+            process: ArrivalProcess::Poisson {
+                mean_gap: self.mean_gap,
+            },
+            source: JobSource::Layered(LayeredDagSpec {
+                num_tasks: self.tasks_per_job,
+                dims: self.dims,
+                ..LayeredDagSpec::paper_training()
+            }),
+        };
+        let jobs = stream.generate(self.seed).expect("layered source is total");
+        JobQueue::new(jobs).expect("generated stream forms a valid queue")
+    }
+
+    /// The (unit-capacity) cluster the case runs on.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::unit(self.dims)
+    }
+
+    /// Runs the scheduler's multi-job path and judges the union schedule
+    /// three ways; also returns the per-job JCT report the judges vetted.
+    /// `Err` means the scheduler itself failed — also a finding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's own failure as a string.
+    pub fn run(&self) -> Result<(TriCheck, JctReport), String> {
+        let queue = self.queue();
+        let spec = self.cluster();
+        let mut scheduler = self.scheduler.build(self.seed, self.dims);
+        let schedule = scheduler
+            .schedule_multi(&queue, &spec)
+            .map_err(|e| format!("{} failed to schedule: {e}", self.scheduler.name()))?;
+        let report = queue.jct_report(&schedule);
+        Ok((check_multi_schedule(&queue, &spec, &schedule), report))
+    }
+
+    /// Short label for reports, e.g. `tetris/j20xn8/seed42`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/j{}xn{}/seed{}",
+            self.scheduler.name(),
+            self.jobs,
+            self.tasks_per_job,
+            self.seed
+        )
+    }
+}
+
+/// The seeded multi-job corpus: `count` cases cycling the full roster over
+/// Poisson streams of mixed load. Deterministic in `base_seed`.
+pub fn multi_corpus(count: usize, base_seed: u64) -> Vec<MultiCaseSpec> {
+    let gaps = [2.0, 6.0, 12.0];
+    (0..count)
+        .map(|i| MultiCaseSpec {
+            seed: base_seed.wrapping_add(i as u64),
+            jobs: 3 + i % 3,
+            tasks_per_job: 6 + 2 * (i % 2),
+            dims: 1 + (i / 3) % 2,
+            mean_gap: gaps[i % gaps.len()],
+            scheduler: SchedulerKind::ALL[i % SchedulerKind::ALL.len()],
+        })
+        .collect()
+}
+
 /// A task of a committed regression [`Fixture`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FixtureTask {
@@ -629,6 +874,69 @@ mod tests {
         assert!(tri.sim_replay.is_err());
         assert!(tri.timeline_replay.is_err());
         assert!(!tri.is_disagreement());
+    }
+
+    #[test]
+    fn a_clean_multi_job_case_passes_three_ways() {
+        let case = MultiCaseSpec {
+            seed: 5,
+            jobs: 3,
+            tasks_per_job: 6,
+            dims: 2,
+            mean_gap: 4.0,
+            scheduler: SchedulerKind::Tetris,
+        };
+        let (tri, report) = case.run().unwrap();
+        assert!(tri.all_ok(), "{}", tri.summary());
+        assert_eq!(report.completions().len(), 3);
+        assert_eq!(report.unfinished(), 0);
+    }
+
+    #[test]
+    fn an_early_start_multi_schedule_is_rejected() {
+        // Schedule a job's task before the job arrives: the declarative
+        // judge must flag arrival gating and the sim replay must refuse
+        // (the multi-job state never exposes the task as ready early).
+        let case = MultiCaseSpec {
+            seed: 9,
+            jobs: 2,
+            tasks_per_job: 4,
+            dims: 1,
+            mean_gap: 20.0,
+            scheduler: SchedulerKind::Sjf,
+        };
+        let queue = case.queue();
+        let spec = case.cluster();
+        let late = queue.span(1);
+        assert!(late.arrival > 0, "seed must produce a staggered stream");
+        let schedule = SjfScheduler::new().schedule_multi(&queue, &spec).unwrap();
+        let mut placements = schedule.placements().to_vec();
+        // Pull every late-job task forward by its arrival offset.
+        for p in &mut placements {
+            if p.task.index() >= late.first_task {
+                p.start = p.start.saturating_sub(late.arrival);
+                p.finish = p.finish.saturating_sub(late.arrival);
+            }
+        }
+        let makespan = placements.iter().map(|p| p.finish).max().unwrap();
+        let corrupted = Schedule::from_placements(placements, makespan);
+        let tri = check_multi_schedule(&queue, &spec, &corrupted);
+        assert!(tri.validate.is_err(), "{}", tri.summary());
+        assert!(tri.sim_replay.is_err(), "{}", tri.summary());
+    }
+
+    #[test]
+    fn multi_corpus_is_deterministic_and_covers_the_roster() {
+        let a = multi_corpus(30, 3);
+        let b = multi_corpus(30, 3);
+        assert_eq!(a, b);
+        for kind in SchedulerKind::ALL {
+            assert!(
+                a.iter().any(|c| c.scheduler == kind),
+                "{} missing",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -79,10 +79,10 @@ pub use spear_cluster::env;
 pub use spear_cluster::audit;
 
 // The most-used types at the top level.
-pub use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, SimEnv};
+pub use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, MultiJobEnv, SimEnv};
 pub use spear_cluster::{
-    Action, AuditViolation, ClusterError, ClusterSpec, ErrorContext, InvariantAuditor, Placement,
-    Schedule, SimState, SpearError,
+    Action, AuditViolation, ClusterError, ClusterSpec, ErrorContext, InvariantAuditor, JctReport,
+    JobCompletion, JobQueue, JobSpan, Placement, Schedule, SimState, SpearError,
 };
 pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
 pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats, TreeParallelMcts};
@@ -92,4 +92,6 @@ pub use spear_sched::{
     CpScheduler, Graphene, ObservedScheduler, RandomScheduler, Scheduler, SjfScheduler,
     TetrisScheduler,
 };
-pub use spear_trace::{SyntheticTraceSpec, Trace, TraceJob, TraceStats};
+pub use spear_trace::{
+    ArrivalProcess, ArrivalStreamSpec, JobSource, SyntheticTraceSpec, Trace, TraceJob, TraceStats,
+};

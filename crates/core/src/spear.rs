@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spear_cluster::{ClusterSpec, Schedule, SpearError};
+use spear_cluster::{ClusterSpec, JobQueue, Schedule, SpearError};
 use spear_dag::Dag;
 use spear_mcts::{MctsConfig, MctsScheduler, SearchStats};
 use spear_rl::{FeatureConfig, PolicyNetwork};
@@ -160,6 +160,21 @@ impl SpearScheduler {
         self.inner.schedule_with_stats(dag, spec)
     }
 
+    /// Schedules a continuous-arrival job stream and reports search
+    /// statistics (see
+    /// [`MctsScheduler::schedule_multi_with_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError`] if any job cannot run on the cluster.
+    pub fn schedule_multi_with_stats(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
+        self.inner.schedule_multi_with_stats(queue, spec)
+    }
+
     /// The MCTS configuration in use.
     pub fn config(&self) -> &MctsConfig {
         self.inner.config()
@@ -173,6 +188,14 @@ impl Scheduler for SpearScheduler {
 
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         self.inner.schedule(dag, spec)
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        self.inner.schedule_multi(queue, spec)
     }
 }
 

@@ -143,6 +143,30 @@ impl ReadyTracker {
         self.ready.remove(pos);
     }
 
+    /// Inserts `task` into the ready set, keeping it sorted. The inverse of
+    /// [`ReadyTracker::take`] for tasks *withheld* from the frontier rather
+    /// than scheduled — the multi-job simulator takes the sources of a job
+    /// out of the frontier until its arrival time, then reinserts them here.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `task` is already listed ready or has
+    /// pending parents — reinsertion is only valid for withheld tasks.
+    #[inline]
+    pub fn insert_ready(&mut self, task: TaskId) {
+        debug_assert_eq!(
+            self.pending_parents[task.index()],
+            0,
+            "inserting a task with pending parents into the ready set"
+        );
+        let pos = self.ready.partition_point(|&r| r < task);
+        debug_assert!(
+            self.ready.get(pos) != Some(&task),
+            "task is already in the ready set"
+        );
+        self.ready.insert(pos, task);
+    }
+
     /// Marks `task` completed and returns the children that became ready
     /// (also inserted into the ready set, keeping it sorted).
     pub fn complete(&mut self, dag: &Dag, task: TaskId) -> Vec<TaskId> {
@@ -266,6 +290,20 @@ mod tests {
         let mut sorted = ready.clone();
         sorted.sort_unstable();
         assert_eq!(ready, sorted);
+    }
+
+    #[test]
+    fn withheld_source_round_trips_through_insert_ready() {
+        // Two independent sources: withhold one, reinsert it sorted.
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.1])));
+        let c = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.1])));
+        let d = b.build().unwrap();
+        let mut t = ReadyTracker::new(&d);
+        t.take(c);
+        assert_eq!(t.ready(), &[a]);
+        t.insert_ready(c);
+        assert_eq!(t.ready(), &[a, c]);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::thread;
 
-use spear_cluster::{ClusterSpec, Schedule, SpearError};
+use spear_cluster::{ClusterSpec, JobQueue, Schedule, SpearError};
 use spear_dag::Dag;
 use spear_obs::MetricsRegistry;
 use spear_sched::Scheduler;
@@ -101,17 +101,42 @@ where
         dag: &Dag,
         spec: &ClusterSpec,
     ) -> Result<(Schedule, Vec<SearchStats>), SpearError> {
+        self.race_workers(|scheduler| scheduler.schedule_with_stats(dag, spec))
+    }
+
+    /// Multi-job counterpart of [`RootParallelMcts::schedule_with_stats`]:
+    /// every worker searches the same arrival stream independently and the
+    /// best union schedule wins.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RootParallelMcts::schedule_with_stats`].
+    pub fn schedule_multi_with_stats(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, Vec<SearchStats>), SpearError> {
+        self.race_workers(|scheduler| scheduler.schedule_multi_with_stats(queue, spec))
+    }
+
+    /// Spawns the worker pool, runs `search` in each, and keeps the best
+    /// schedule (deterministic tie-break on the lowest worker seed).
+    fn race_workers<R>(&mut self, search: R) -> Result<(Schedule, Vec<SearchStats>), SpearError>
+    where
+        R: Fn(&mut MctsScheduler) -> Result<(Schedule, SearchStats), SpearError> + Sync,
+    {
         let results: Vec<Result<(Schedule, SearchStats), SpearError>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|w| {
                     let factory = &self.factory;
                     let registry = &self.registry;
+                    let search = &search;
                     scope.spawn(move || {
                         let mut scheduler = factory(w as u64);
                         if spear_obs::compiled() && registry.is_active() {
                             scheduler.set_obs(&registry.sink(&format!("mcts-worker-{w}")));
                         }
-                        scheduler.schedule_with_stats(dag, spec)
+                        search(&mut scheduler)
                     })
                 })
                 .collect();
@@ -186,6 +211,14 @@ where
 
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.schedule_with_stats(dag, spec)?.0)
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        Ok(self.schedule_multi_with_stats(queue, spec)?.0)
     }
 }
 
@@ -281,6 +314,21 @@ mod tests {
         assert_eq!(stats.len(), 3);
         let worker0 = same_seed(0).schedule(&dag, &spec).unwrap();
         assert_eq!(best, worker0, "tie must resolve to the lowest seed");
+    }
+
+    #[test]
+    fn root_parallel_multi_job_keeps_the_best_stream_schedule() {
+        let queue = JobQueue::new(vec![(0u64, dag(6)), (5, dag(7))]).unwrap();
+        let spec = ClusterSpec::unit(2);
+        let (best, stats) = RootParallelMcts::new(3, factory(20))
+            .schedule_multi_with_stats(&queue, &spec)
+            .unwrap();
+        best.validate(queue.union_dag(), &spec).unwrap();
+        assert_eq!(stats.len(), 3);
+        for seed in 0..3u64 {
+            let single = factory(20)(seed).schedule_multi(&queue, &spec).unwrap();
+            assert!(best.makespan() <= single.makespan());
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use spear_cluster::env::SimEnv;
-use spear_cluster::{ClusterSpec, Schedule, SpearError};
+use spear_cluster::{ClusterSpec, JobQueue, Schedule, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
 use spear_obs::{Counter, Histogram, Obs};
@@ -389,11 +389,41 @@ impl MctsScheduler {
         dag: &Dag,
         spec: &ClusterSpec,
     ) -> Result<(Schedule, SearchStats), SpearError> {
+        // Scale exploration to the makespan magnitude (paper §IV).
+        let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
+        self.run_search(dag, spec, None, estimate)
+    }
+
+    /// Schedules a continuous-arrival job stream and reports search
+    /// statistics alongside. The search tree spans the union DAG; every
+    /// rollout inherits the arrival gating through state cloning, so the
+    /// optimized makespan is the stream's completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError`] if any job cannot run on the cluster.
+    pub fn schedule_multi_with_stats(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
+        let estimate = spear_sched::greedy_makespan_estimate_multi(queue, spec)? as f64;
+        let root = SimState::new_multi(queue, spec)?;
+        self.run_search(queue.union_dag(), spec, Some(root), estimate)
+    }
+
+    /// Shared decision loop behind the single- and multi-job entry
+    /// points: `root` of `None` starts from the DAG's initial state.
+    fn run_search(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        root: Option<SimState>,
+        estimate: f64,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
         let start = std::time::Instant::now();
         self.prepare_obs();
         let features = GraphFeatures::compute(dag);
-        // Scale exploration to the makespan magnitude (paper §IV).
-        let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
         let exploration = self.config.exploration_coeff * estimate.max(1.0);
         let budget = self.config.budget();
         let inferences_before = self.policy.inferences();
@@ -405,14 +435,25 @@ impl MctsScheduler {
                 .unwrap_or_default(),
         );
 
-        let mut search = MctsSearch::new(
-            dag,
-            spec,
-            &features,
-            self.policy.as_mut(),
-            exploration,
-            self.config.seed,
-        )?;
+        let mut search = match root {
+            Some(state) => MctsSearch::from_root_state(
+                dag,
+                spec,
+                &features,
+                self.policy.as_mut(),
+                exploration,
+                self.config.seed,
+                state,
+            )?,
+            None => MctsSearch::new(
+                dag,
+                spec,
+                &features,
+                self.policy.as_mut(),
+                exploration,
+                self.config.seed,
+            )?,
+        };
         search.set_max_value_mode(self.config.max_value_backprop);
         if let Some((evaluator, steps)) = self.evaluator.as_mut() {
             search.set_rollout_truncation(*steps, evaluator.as_mut());
@@ -474,6 +515,14 @@ impl Scheduler for MctsScheduler {
 
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.schedule_with_stats(dag, spec)?.0)
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        Ok(self.schedule_multi_with_stats(queue, spec)?.0)
     }
 }
 
@@ -628,6 +677,29 @@ mod tests {
         .schedule_with_stats(&dag, &spec)
         .unwrap();
         assert!(flat.iterations > decayed.iterations);
+    }
+
+    #[test]
+    fn multi_job_mcts_respects_arrivals_and_is_deterministic() {
+        let jobs = vec![(0u64, small_dag(7)), (10, small_dag(8))];
+        let queue = JobQueue::new(jobs).unwrap();
+        let spec = ClusterSpec::unit(2);
+        let (a, stats) = MctsScheduler::pure(small_config())
+            .schedule_multi_with_stats(&queue, &spec)
+            .unwrap();
+        a.validate(queue.union_dag(), &spec).unwrap();
+        for span in queue.spans() {
+            for i in span.first_task..span.first_task + span.tasks {
+                let start = a.placement_of(spear_dag::TaskId::new(i)).unwrap().start;
+                assert!(start >= span.arrival, "task {i} started before arrival");
+            }
+        }
+        assert!(stats.iterations > 0);
+        assert_eq!(queue.jct_report(&a).completions().len(), 2);
+        let b = MctsScheduler::pure(small_config())
+            .schedule_multi(&queue, &spec)
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -163,6 +163,41 @@ impl<'a, P: SearchPolicy + ?Sized> MctsSearch<'a, P> {
         seed: u64,
     ) -> Result<Self, SpearError> {
         let root_env = SimEnv::new(dag, spec)?;
+        Self::from_env(dag, spec, features, policy, exploration, seed, root_env)
+    }
+
+    /// Creates a search rooted at an arbitrary simulation state of `dag`
+    /// — e.g. a multi-job state built with
+    /// [`SimState::new_multi`](spear_cluster::SimState::new_multi), whose
+    /// arrival gating every rollout then inherits through state cloning.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DAG cannot run on the cluster.
+    pub fn from_root_state(
+        dag: &'a Dag,
+        spec: &'a ClusterSpec,
+        features: &'a GraphFeatures,
+        policy: &'a mut P,
+        exploration: f64,
+        seed: u64,
+        root_state: SimState,
+    ) -> Result<Self, SpearError> {
+        spec.validate_dag(dag)?;
+        let root_env = SimEnv::from_state(dag, spec, root_state);
+        Self::from_env(dag, spec, features, policy, exploration, seed, root_env)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_env(
+        dag: &'a Dag,
+        spec: &'a ClusterSpec,
+        features: &'a GraphFeatures,
+        policy: &'a mut P,
+        exploration: f64,
+        seed: u64,
+        root_env: SimEnv<'a>,
+    ) -> Result<Self, SpearError> {
         // A new search is a new episode: cached policies drop entries
         // computed under a previous DAG/spec. Within this episode they
         // retain entries across decisions (same DAG, same weights — a

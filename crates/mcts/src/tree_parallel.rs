@@ -53,7 +53,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spear_cluster::env::{Env, EpisodeDriver, SimEnv};
-use spear_cluster::{Action, ClusterSpec, Schedule, SimState, SpearError};
+use spear_cluster::{Action, ClusterSpec, JobQueue, Schedule, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::{Dag, TaskId};
 use spear_nn::{softmax_masked_into, BatchScratch, Matrix, Mlp};
@@ -802,18 +802,53 @@ impl TreeParallelMcts {
         if let Some(seq) = self.sequential.as_mut() {
             return seq.schedule_with_stats(dag, spec);
         }
+        // Scale exploration to the makespan magnitude (paper §IV).
+        let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
+        // Validates DAG-vs-cluster before any thread is spawned, so every
+        // fallible step below this point is unreachable-by-construction.
+        let root_env = SimEnv::new(dag, spec)?;
+        self.run_search(dag, spec, root_env, estimate)
+    }
+
+    /// Multi-job counterpart of [`TreeParallelMcts::schedule_with_stats`]:
+    /// the shared tree spans the arrival stream's union DAG, and every
+    /// worker's rollouts inherit the arrival gating through the root-state
+    /// clones handed out per decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError`] if any job cannot run on the cluster.
+    pub fn schedule_multi_with_stats(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
+        if let Some(seq) = self.sequential.as_mut() {
+            return seq.schedule_multi_with_stats(queue, spec);
+        }
+        let estimate = spear_sched::greedy_makespan_estimate_multi(queue, spec)? as f64;
+        let dag = queue.union_dag();
+        // `new_multi` validates every job against the cluster up front.
+        let root_env = SimEnv::from_state(dag, spec, SimState::new_multi(queue, spec)?);
+        self.run_search(dag, spec, root_env, estimate)
+    }
+
+    /// Shared tree-parallel search loop behind the single- and multi-job
+    /// entry points; `root_env` carries the (possibly arrival-gated) root
+    /// state.
+    fn run_search(
+        &mut self,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        mut root_env: SimEnv<'_>,
+        estimate: f64,
+    ) -> Result<(Schedule, SearchStats), SpearError> {
         let start = std::time::Instant::now();
         self.prepare_obs();
         let threads = self.config.search_threads;
         let features = GraphFeatures::compute(dag);
-        // Scale exploration to the makespan magnitude (paper §IV).
-        let estimate = spear_sched::greedy_makespan_estimate(dag, spec)? as f64;
         let exploration = self.config.exploration_coeff * estimate.max(1.0);
         let budget = self.config.budget();
-
-        // Validates DAG-vs-cluster before any thread is spawned, so every
-        // fallible step below this point is unreachable-by-construction.
-        let mut root_env = SimEnv::new(dag, spec)?;
         let untried = root_env.observe().legal_actions(dag);
         let terminal = untried.is_empty();
         let terminal_value = if terminal {
@@ -999,6 +1034,14 @@ impl Scheduler for TreeParallelMcts {
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         Ok(self.schedule_with_stats(dag, spec)?.0)
     }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        Ok(self.schedule_multi_with_stats(queue, spec)?.0)
+    }
 }
 
 #[cfg(test)]
@@ -1110,6 +1153,37 @@ mod tests {
             stats.batch_flushes, stats.policy_inferences,
             "batch size 1 flushes every inference alone"
         );
+    }
+
+    #[test]
+    fn parallel_multi_job_schedule_respects_arrivals() {
+        let queue = JobQueue::new(vec![(0u64, dag(6)), (8, dag(7))]).unwrap();
+        let spec = ClusterSpec::unit(2);
+        let (schedule, stats) = TreeParallelMcts::pure(config(3))
+            .schedule_multi_with_stats(&queue, &spec)
+            .unwrap();
+        schedule.validate(queue.union_dag(), &spec).unwrap();
+        for span in queue.spans() {
+            for i in span.first_task..span.first_task + span.tasks {
+                let start = schedule.placement_of(TaskId::new(i)).unwrap().start;
+                assert!(start >= span.arrival, "task {i} started before arrival");
+            }
+        }
+        assert!(stats.iterations > 0);
+        assert_eq!(queue.jct_report(&schedule).completions().len(), 2);
+    }
+
+    #[test]
+    fn single_thread_multi_job_delegates_to_sequential() {
+        let queue = JobQueue::new(vec![(0u64, dag(6)), (8, dag(7))]).unwrap();
+        let spec = ClusterSpec::unit(2);
+        let seq = MctsScheduler::pure(config(1))
+            .schedule_multi(&queue, &spec)
+            .unwrap();
+        let par = TreeParallelMcts::pure(config(1))
+            .schedule_multi(&queue, &spec)
+            .unwrap();
+        assert_eq!(seq, par);
     }
 
     #[test]

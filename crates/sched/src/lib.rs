@@ -50,14 +50,17 @@ mod scorers;
 
 pub use bnb::{BnBConfig, BnBOutcome, BnBScheduler};
 pub use graphene::{Graphene, GrapheneConfig, PackDirection};
-pub use list::{execute_priority_order, PriorityListScheduler, ScoreContext, TaskScorer};
+pub use list::{
+    execute_priority_order, execute_priority_order_multi, PriorityListScheduler, ScoreContext,
+    TaskScorer,
+};
 pub use observed::ObservedScheduler;
 pub use scorers::{
     CpScheduler, CpScorer, RandomScheduler, RandomScorer, SjfScheduler, SjfScorer, TetrisScheduler,
     TetrisScorer,
 };
 
-use spear_cluster::{ClusterSpec, Schedule, SpearError};
+use spear_cluster::{ClusterSpec, JobQueue, Schedule, SpearError};
 use spear_dag::Dag;
 
 /// A makespan-minimizing DAG scheduler.
@@ -76,6 +79,22 @@ pub trait Scheduler {
     /// Returns [`SpearError`] if the DAG cannot run on the cluster
     /// (dimension mismatch or an oversized task).
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError>;
+
+    /// Produces a complete schedule of a continuous-arrival job stream on
+    /// `spec` (the online multi-job setting).
+    ///
+    /// The returned schedule places every task of the [`JobQueue`]'s union
+    /// DAG; no task starts before its job's arrival. Per-job completion
+    /// times are recovered with [`JobQueue::jct_report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError`] if any job cannot run on the cluster.
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError>;
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -86,6 +105,14 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         (**self).schedule(dag, spec)
     }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        (**self).schedule_multi(queue, spec)
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
@@ -95,6 +122,14 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
 
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         (**self).schedule(dag, spec)
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        (**self).schedule_multi(queue, spec)
     }
 }
 
@@ -108,4 +143,19 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
 /// Returns [`SpearError`] if the DAG cannot run on the cluster.
 pub fn greedy_makespan_estimate(dag: &Dag, spec: &ClusterSpec) -> Result<u64, SpearError> {
     Ok(TetrisScheduler::new().schedule(dag, spec)?.makespan())
+}
+
+/// Multi-job counterpart of [`greedy_makespan_estimate`]: the Tetris
+/// packer's makespan over the whole arrival stream.
+///
+/// # Errors
+///
+/// Returns [`SpearError`] if any job cannot run on the cluster.
+pub fn greedy_makespan_estimate_multi(
+    queue: &JobQueue,
+    spec: &ClusterSpec,
+) -> Result<u64, SpearError> {
+    Ok(TetrisScheduler::new()
+        .schedule_multi(queue, spec)?
+        .makespan())
 }

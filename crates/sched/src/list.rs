@@ -6,8 +6,8 @@
 //! resource- and dependency-aware *executor*; the [`TaskScorer`] is the
 //! *policy*.
 
-use spear_cluster::env::{EnvContext, EpisodeDriver, FnPolicy, NoRng};
-use spear_cluster::{Action, ClusterSpec, Schedule, SimState, SpearError};
+use spear_cluster::env::{Env, EnvContext, EpisodeDriver, FnPolicy, MultiJobEnv, NoRng, SimEnv};
+use spear_cluster::{Action, ClusterSpec, JobQueue, Schedule, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::{Dag, TaskId};
 use spear_obs::Obs;
@@ -99,13 +99,10 @@ impl<S: TaskScorer> PriorityListScheduler<S> {
     }
 }
 
-impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
-    fn name(&self) -> &str {
-        self.scorer.name()
-    }
-
-    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
-        let features = GraphFeatures::compute(dag);
+impl<S: TaskScorer> PriorityListScheduler<S> {
+    /// Drives any env to termination with the greedy scoring policy.
+    fn drive_env<E: Env>(&mut self, env: &mut E) -> Result<(), SpearError> {
+        let features = GraphFeatures::compute(env.dag());
         let scorer = &mut self.scorer;
         // The legal `Schedule` actions are exactly the ready-and-fitting
         // candidates, already in ascending task-id order; the greedy policy
@@ -120,7 +117,30 @@ impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
         });
         EpisodeDriver::new(policy)
             .with_obs(&self.obs)
-            .run(dag, spec, &mut NoRng)
+            .drive(env, &mut NoRng, u64::MAX)?;
+        Ok(())
+    }
+}
+
+impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
+    fn name(&self) -> &str {
+        self.scorer.name()
+    }
+
+    fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
+        let mut env = SimEnv::new(dag, spec)?;
+        self.drive_env(&mut env)?;
+        env.into_schedule()
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        let mut env = MultiJobEnv::new(queue, spec)?;
+        self.drive_env(&mut env)?;
+        env.into_schedule()
     }
 }
 
@@ -168,6 +188,39 @@ pub fn execute_priority_order(
     spec: &ClusterSpec,
     order: &[TaskId],
 ) -> Result<Schedule, SpearError> {
+    let mut env = SimEnv::new(dag, spec)?;
+    drive_priority_order(&mut env, order)?;
+    env.into_schedule()
+}
+
+/// Multi-job counterpart of [`execute_priority_order`]: runs a total order
+/// over the union DAG's tasks through a [`MultiJobEnv`], so a task is only
+/// eligible once its job has arrived (on top of readiness and fit).
+///
+/// `order` must contain every task of the union DAG exactly once.
+///
+/// # Errors
+///
+/// Returns [`SpearError`] if any job cannot run on the cluster.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the union DAG's tasks.
+pub fn execute_priority_order_multi(
+    queue: &JobQueue,
+    spec: &ClusterSpec,
+    order: &[TaskId],
+) -> Result<Schedule, SpearError> {
+    let mut env = MultiJobEnv::new(queue, spec)?;
+    drive_priority_order(&mut env, order)?;
+    env.into_schedule()
+}
+
+/// Shared executor behind [`execute_priority_order`] and
+/// [`execute_priority_order_multi`]: at every decision point the
+/// earliest-in-order legal task is scheduled.
+fn drive_priority_order<E: Env>(env: &mut E, order: &[TaskId]) -> Result<(), SpearError> {
+    let dag = env.dag();
     assert_eq!(order.len(), dag.len(), "order must cover every task");
     let mut rank = vec![usize::MAX; dag.len()];
     for (i, &t) in order.iter().enumerate() {
@@ -188,7 +241,8 @@ pub fn execute_priority_order(
             .min_by_key(|&t| rank[t.index()])
             .map_or(Action::Process, Action::Schedule)
     });
-    EpisodeDriver::new(policy).run(dag, spec, &mut NoRng)
+    EpisodeDriver::new(policy).drive(env, &mut NoRng, u64::MAX)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -294,5 +348,56 @@ mod tests {
         let dag = three_independent();
         let order = [TaskId::new(0), TaskId::new(0), TaskId::new(1)];
         let _ = execute_priority_order(&dag, &ClusterSpec::unit(1), &order);
+    }
+
+    #[test]
+    fn multi_job_schedule_respects_arrivals() {
+        let queue =
+            JobQueue::new(vec![(0, three_independent()), (4, three_independent())]).unwrap();
+        let spec = ClusterSpec::unit(1);
+        let s = PriorityListScheduler::new(ById)
+            .schedule_multi(&queue, &spec)
+            .unwrap();
+        s.validate(queue.union_dag(), &spec).unwrap();
+        for span in queue.spans() {
+            for i in span.first_task..span.first_task + span.tasks {
+                let start = s.placement_of(TaskId::new(i)).unwrap().start;
+                assert!(start >= span.arrival, "task {i} started before arrival");
+            }
+        }
+        let report = queue.jct_report(&s);
+        assert_eq!(report.completions().len(), 2);
+        assert_eq!(report.unfinished(), 0);
+    }
+
+    #[test]
+    fn degenerate_single_job_queue_matches_schedule() {
+        let dag = three_independent();
+        let spec = ClusterSpec::unit(1);
+        let single = PriorityListScheduler::new(ById)
+            .schedule(&dag, &spec)
+            .unwrap();
+        let queue = JobQueue::single(dag).unwrap();
+        let multi = PriorityListScheduler::new(ById)
+            .schedule_multi(&queue, &spec)
+            .unwrap();
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn execute_order_multi_gates_on_arrival() {
+        // The order begs for the late job first, but it cannot start
+        // before t=3; the earlier job fills the gap.
+        let one_task = |runtime: u64| {
+            let mut b = DagBuilder::new(1);
+            b.add_task(Task::new(runtime, ResourceVec::from_slice(&[0.9])));
+            b.build().unwrap()
+        };
+        let queue = JobQueue::new(vec![(0, one_task(2)), (3, one_task(2))]).unwrap();
+        let spec = ClusterSpec::unit(1);
+        let order = [TaskId::new(1), TaskId::new(0)];
+        let s = execute_priority_order_multi(&queue, &spec, &order).unwrap();
+        assert_eq!(s.placement_of(TaskId::new(0)).unwrap().start, 0);
+        assert_eq!(s.placement_of(TaskId::new(1)).unwrap().start, 3);
     }
 }

@@ -7,7 +7,7 @@
 //! wrapped scheduler's output — it only times the call — so it is safe to
 //! drop into any experiment without perturbing results.
 
-use spear_cluster::{ClusterSpec, Schedule, SpearError};
+use spear_cluster::{ClusterSpec, JobQueue, Schedule, SpearError};
 use spear_dag::Dag;
 use spear_obs::{Counter, Gauge, Histogram, Obs};
 
@@ -101,6 +101,29 @@ impl<S: Scheduler> Scheduler for ObservedScheduler<S> {
             None
         };
         let result = self.inner.schedule(dag, spec);
+        drop(span);
+        if spear_obs::compiled() {
+            if let (Some(so), Ok(schedule)) = (&self.sched_obs, &result) {
+                so.schedules.incr();
+                so.makespan.set(schedule.makespan() as f64);
+            }
+        }
+        result
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        let span = if spear_obs::compiled() {
+            self.sched_obs
+                .as_ref()
+                .map(|so| so.schedule_ns.start_span())
+        } else {
+            None
+        };
+        let result = self.inner.schedule_multi(queue, spec);
         drop(span);
         if spear_obs::compiled() {
             if let (Some(so), Ok(schedule)) = (&self.sched_obs, &result) {

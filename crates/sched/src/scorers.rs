@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spear_cluster::{ClusterSpec, Schedule, SpearError};
+use spear_cluster::{ClusterSpec, JobQueue, Schedule, SpearError};
 use spear_dag::{Dag, TaskId};
 
 use crate::{PriorityListScheduler, Scheduler, ScoreContext, TaskScorer};
@@ -122,6 +122,14 @@ macro_rules! wrap_scheduler {
             ) -> Result<Schedule, SpearError> {
                 self.inner.schedule(dag, spec)
             }
+
+            fn schedule_multi(
+                &mut self,
+                queue: &JobQueue,
+                spec: &ClusterSpec,
+            ) -> Result<Schedule, SpearError> {
+                self.inner.schedule_multi(queue, spec)
+            }
         }
     };
 }
@@ -196,6 +204,14 @@ impl Scheduler for RandomScheduler {
 
     fn schedule(&mut self, dag: &Dag, spec: &ClusterSpec) -> Result<Schedule, SpearError> {
         self.inner.schedule(dag, spec)
+    }
+
+    fn schedule_multi(
+        &mut self,
+        queue: &JobQueue,
+        spec: &ClusterSpec,
+    ) -> Result<Schedule, SpearError> {
+        self.inner.schedule_multi(queue, spec)
     }
 }
 

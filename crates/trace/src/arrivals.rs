@@ -1,0 +1,273 @@
+//! Seeded arrival-stream generation for the online multi-job experiments.
+//!
+//! The multi-job simulator ([`spear_cluster::JobQueue`]-based; see the
+//! cluster crate) consumes a list of `(arrival, DAG)` pairs. This module
+//! generates those streams reproducibly: a single `u64` seed fully
+//! determines both the arrival clock ticks and every job's structure, so
+//! two schedulers handed the same spec and seed compete on bit-identical
+//! inputs.
+//!
+//! Two arrival processes are provided:
+//!
+//! * [`ArrivalProcess::Poisson`] — i.i.d. exponential inter-arrival gaps
+//!   (the standard open-arrival cluster model), sampled by inverse CDF and
+//!   rounded to whole time slots;
+//! * [`ArrivalProcess::Periodic`] — a fixed gap, for load sweeps where
+//!   only the job mix should vary.
+//!
+//! Jobs come from either generator the repo already has:
+//! [`JobSource::Layered`] draws fresh random DAGs from a
+//! [`LayeredDagSpec`], and [`JobSource::Trace`] replays the jobs of a
+//! (real or synthetic) Hive [`Trace`] in order, cycling if the stream is
+//! longer than the trace.
+//!
+//! ```
+//! use spear_trace::{ArrivalProcess, ArrivalStreamSpec, JobSource};
+//! use spear_dag::generator::LayeredDagSpec;
+//!
+//! let spec = ArrivalStreamSpec {
+//!     jobs: 5,
+//!     process: ArrivalProcess::Poisson { mean_gap: 10.0 },
+//!     source: JobSource::Layered(LayeredDagSpec {
+//!         num_tasks: 8,
+//!         ..LayeredDagSpec::paper_training()
+//!     }),
+//! };
+//! let stream = spec.generate(42).unwrap();
+//! assert_eq!(stream.len(), 5);
+//! assert_eq!(stream[0].0, 0); // the first job arrives at t=0
+//! assert_eq!(stream, spec.generate(42).unwrap()); // seed-deterministic
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spear_dag::generator::LayeredDagSpec;
+use spear_dag::Dag;
+
+use crate::{Trace, TraceError};
+
+/// The stochastic process generating inter-arrival gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exponential i.i.d. gaps with the given mean (time slots), rounded
+    /// to whole slots — a Poisson arrival process. A mean of `0.0` makes
+    /// every job arrive at `t = 0` (the degenerate batch case).
+    Poisson {
+        /// Mean inter-arrival gap in time slots.
+        mean_gap: f64,
+    },
+    /// A fixed gap between consecutive arrivals.
+    Periodic {
+        /// Gap between consecutive arrivals in time slots.
+        gap: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Samples the gap between two consecutive arrivals.
+    fn sample_gap(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                // Inverse-CDF exponential sampling; `1 - u` keeps the
+                // argument of `ln` strictly positive.
+                let u: f64 = rng.gen();
+                (-mean_gap * (1.0 - u).ln()).round().max(0.0) as u64
+            }
+            ArrivalProcess::Periodic { gap } => gap,
+        }
+    }
+}
+
+/// Where the stream's job DAGs come from.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// Fresh random layered DAGs, one per job, drawn from the stream RNG.
+    Layered(LayeredDagSpec),
+    /// Replay of a Hive trace's jobs in order, cycling when the stream is
+    /// longer than the trace.
+    Trace(Trace),
+}
+
+/// A reproducible recipe for a multi-job arrival stream.
+#[derive(Debug, Clone)]
+pub struct ArrivalStreamSpec {
+    /// Number of jobs in the stream.
+    pub jobs: usize,
+    /// Arrival process generating the inter-arrival gaps.
+    pub process: ArrivalProcess,
+    /// Generator of the job DAGs.
+    pub source: JobSource,
+}
+
+impl ArrivalStreamSpec {
+    /// Generates the stream: `jobs` pairs of `(arrival, DAG)` in
+    /// non-decreasing arrival order, the first at `t = 0`. The same
+    /// `seed` always yields the same stream (arrivals *and* DAGs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if a replayed trace job cannot be converted
+    /// to a DAG (empty stage or misaligned demands), or if the spec asks
+    /// for trace replay over an empty trace.
+    pub fn generate(&self, seed: u64) -> Result<Vec<(u64, Dag)>, TraceError> {
+        if let JobSource::Trace(trace) = &self.source {
+            if trace.jobs.is_empty() && self.jobs > 0 {
+                return Err(TraceError::EmptyStage {
+                    job: "<empty trace>".to_owned(),
+                });
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = Vec::with_capacity(self.jobs);
+        let mut clock = 0u64;
+        for i in 0..self.jobs {
+            if i > 0 {
+                clock += self.process.sample_gap(&mut rng);
+            }
+            let dag = match &self.source {
+                JobSource::Layered(spec) => spec.generate(&mut rng),
+                JobSource::Trace(trace) => trace.jobs[i % trace.jobs.len()].to_dag()?,
+            };
+            stream.push((clock, dag));
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticTraceSpec;
+
+    fn layered_spec(mean_gap: f64) -> ArrivalStreamSpec {
+        ArrivalStreamSpec {
+            jobs: 6,
+            process: ArrivalProcess::Poisson { mean_gap },
+            source: JobSource::Layered(LayeredDagSpec {
+                num_tasks: 8,
+                ..LayeredDagSpec::paper_training()
+            }),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec = layered_spec(12.0);
+        let a = spec.generate(7).unwrap();
+        let b = spec.generate(7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = layered_spec(12.0);
+        let a = spec.generate(1).unwrap();
+        let b = spec.generate(2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_start_at_zero() {
+        for seed in 0..5 {
+            let stream = layered_spec(9.0).generate(seed).unwrap();
+            assert_eq!(stream[0].0, 0);
+            for w in stream.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    /// Golden fixture: the exact arrival ticks of seed 42 are pinned so an
+    /// accidental change to the sampling path (RNG stream order, rounding,
+    /// gap formula) cannot slip through as a silent re-randomization of
+    /// every experiment.
+    #[test]
+    fn golden_arrival_stream_seed_42() {
+        let stream = layered_spec(10.0).generate(42).unwrap();
+        let arrivals: Vec<u64> = stream.iter().map(|(a, _)| *a).collect();
+        assert_eq!(arrivals, vec![0, 7, 8, 8, 19, 48]);
+        // The jobs themselves are pinned structurally: sizes are part of
+        // the fixture so DAG generation stays on the same RNG stream.
+        let sizes: Vec<usize> = stream.iter().map(|(_, d)| d.len()).collect();
+        assert_eq!(sizes, vec![8; 6]);
+    }
+
+    #[test]
+    fn zero_mean_gap_degenerates_to_batch_arrivals() {
+        let stream = layered_spec(0.0).generate(3).unwrap();
+        assert!(stream.iter().all(|(a, _)| *a == 0));
+    }
+
+    #[test]
+    fn periodic_arrivals_are_exact() {
+        let spec = ArrivalStreamSpec {
+            process: ArrivalProcess::Periodic { gap: 5 },
+            ..layered_spec(0.0)
+        };
+        let arrivals: Vec<u64> = spec.generate(0).unwrap().iter().map(|(a, _)| *a).collect();
+        assert_eq!(arrivals, vec![0, 5, 10, 15, 20, 25]);
+    }
+
+    #[test]
+    fn trace_replay_cycles_in_order() {
+        let trace = SyntheticTraceSpec {
+            num_jobs: 3,
+            ..SyntheticTraceSpec::paper()
+        }
+        .generate(5);
+        let expected: Vec<Dag> = trace.jobs.iter().map(|j| j.to_dag().unwrap()).collect();
+        let spec = ArrivalStreamSpec {
+            jobs: 5,
+            process: ArrivalProcess::Periodic { gap: 3 },
+            source: JobSource::Trace(trace),
+        };
+        let stream = spec.generate(0).unwrap();
+        assert_eq!(stream.len(), 5);
+        for (i, (_, dag)) in stream.iter().enumerate() {
+            assert_eq!(dag, &expected[i % 3], "job {i} out of replay order");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let spec = ArrivalStreamSpec {
+            jobs: 2,
+            process: ArrivalProcess::Periodic { gap: 1 },
+            source: JobSource::Trace(Trace { jobs: Vec::new() }),
+        };
+        assert!(spec.generate(0).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Seed determinism over the whole parameter box: arrivals and
+            /// job structure replay exactly.
+            #[test]
+            fn stream_is_a_pure_function_of_the_seed(
+                seed in 0u64..1000,
+                jobs in 1usize..8,
+                mean_gap in 0.0f64..50.0,
+            ) {
+                let spec = ArrivalStreamSpec {
+                    jobs,
+                    process: ArrivalProcess::Poisson { mean_gap },
+                    source: JobSource::Layered(LayeredDagSpec {
+                        num_tasks: 6,
+                        ..LayeredDagSpec::paper_training()
+                    }),
+                };
+                let a = spec.generate(seed).unwrap();
+                let b = spec.generate(seed).unwrap();
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(a.len(), jobs);
+                prop_assert_eq!(a[0].0, 0);
+                for w in a.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0);
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //!   29 map / 38 reduce tasks; median 14 map / 17 reduce tasks; median
 //!   per-job mean task runtimes of ≈73 s (map) and ≈32 s (reduce),
 //! * summary statistics and CDFs ([`TraceStats`]) regenerating
-//!   Fig. 9(a)/(b).
+//!   Fig. 9(a)/(b),
+//! * a seeded **arrival-stream generator** ([`ArrivalStreamSpec`]) that
+//!   turns either generator into a reproducible `(arrival, DAG)` stream
+//!   for the online multi-job scheduling experiments.
 //!
 //! Note: the paper's prose ("mean map runtime varies from 2 to 17 s") and
 //! its Fig. 9(b) medians (map 73 s, reduce 32 s) are mutually
@@ -32,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod error;
 mod model;
 mod stats;
 mod synth;
 
+pub use arrivals::{ArrivalProcess, ArrivalStreamSpec, JobSource};
 pub use error::TraceError;
 pub use model::{Trace, TraceJob};
 pub use stats::{cdf_points, median_u64, TraceStats};

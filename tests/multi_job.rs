@@ -1,0 +1,146 @@
+//! Online multi-job acceptance: the full scheduler roster on seeded
+//! Poisson arrival streams, every union schedule vetted by the three
+//! differential judges (which also run the invariant auditor inside the
+//! sim-replay judge), plus a union-frontier property sweep over random
+//! two-job interleavings.
+
+use spear::dag::generator::LayeredDagSpec;
+use spear::diffcheck::{check_multi_schedule, MultiCaseSpec, SchedulerKind};
+use spear::{ArrivalProcess, ArrivalStreamSpec, JobQueue, JobSource, Scheduler};
+
+/// The ISSUE acceptance episode: all ten diffcheck schedulers complete a
+/// seeded 20-job Poisson stream; the resulting JctReport covers every job
+/// and all three judges accept every schedule.
+#[test]
+fn all_ten_schedulers_complete_a_20_job_poisson_episode() {
+    for kind in SchedulerKind::ALL {
+        let case = MultiCaseSpec {
+            seed: 2024,
+            jobs: 20,
+            tasks_per_job: 5,
+            dims: 2,
+            mean_gap: 6.0,
+            scheduler: kind,
+        };
+        let (tri, report) = case
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", case.label()));
+        assert!(tri.all_ok(), "{}: {}", case.label(), tri.summary());
+        assert_eq!(report.completions().len(), 20, "{}", case.label());
+        assert_eq!(report.unfinished(), 0, "{}", case.label());
+        assert!(report.mean_jct() > 0.0, "{}", case.label());
+        assert!(report.p99_jct() >= report.p50_jct(), "{}", case.label());
+        assert!(report.unfairness() >= 0.0, "{}", case.label());
+        // Every job's JCT is at least its own critical path: contention
+        // can only slow a job down.
+        for c in report.completions() {
+            let ideal = case.queue().job_dag(c.job).critical_path_length();
+            assert!(
+                c.jct >= ideal,
+                "{}: job {} finished in {} < critical path {ideal}",
+                case.label(),
+                c.job,
+                c.jct
+            );
+        }
+    }
+}
+
+/// The stream is seed-deterministic end to end: rerunning a case yields
+/// the same schedule and the same JCT report for every roster member.
+#[test]
+fn multi_job_episodes_are_seed_deterministic() {
+    for kind in SchedulerKind::ALL {
+        let case = MultiCaseSpec {
+            seed: 7,
+            jobs: 6,
+            tasks_per_job: 5,
+            dims: 2,
+            mean_gap: 4.0,
+            scheduler: kind,
+        };
+        let (_, a) = case.run().unwrap();
+        let (_, b) = case.run().unwrap();
+        assert_eq!(a, b, "{} is not deterministic", case.label());
+    }
+}
+
+mod union_frontier_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_job_queue(seed: u64, n0: usize, n1: usize, gap: u64) -> JobQueue {
+        let stream = ArrivalStreamSpec {
+            jobs: 2,
+            process: ArrivalProcess::Poisson { mean_gap: 0.0 },
+            source: JobSource::Layered(LayeredDagSpec {
+                num_tasks: n0.max(n1),
+                ..LayeredDagSpec::paper_training()
+            }),
+        };
+        // Draw two independent DAGs of possibly different sizes from the
+        // same seeded family, then pin the arrival gap explicitly.
+        let mut dags: Vec<_> = stream
+            .generate(seed)
+            .unwrap()
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect();
+        let d1 = dags.pop().unwrap();
+        let d0 = dags.pop().unwrap();
+        JobQueue::new(vec![(0, d0), (gap, d1)]).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Two interleaved jobs driven through the multi-job environment
+        /// (via each list scheduler's `schedule_multi`) always produce a
+        /// union schedule that all three judges accept — including the
+        /// per-job sub-schedule and JCT cross-checks inside them.
+        #[test]
+        fn interleaved_jobs_pass_all_three_judges(
+            seed in 0u64..500,
+            n in 3usize..9,
+            gap in 0u64..15,
+        ) {
+            let queue = two_job_queue(seed, n, n, gap);
+            let spec = spear::ClusterSpec::unit(2);
+            for kind in [SchedulerKind::Tetris, SchedulerKind::Sjf, SchedulerKind::Cp] {
+                let mut s = kind.build(seed, 2);
+                let schedule = s.schedule_multi(&queue, &spec).unwrap();
+                let tri = check_multi_schedule(&queue, &spec, &schedule);
+                prop_assert!(
+                    tri.all_ok(),
+                    "{} seed {seed} gap {gap}: {}",
+                    kind.name(),
+                    tri.summary()
+                );
+            }
+        }
+
+        /// A job arriving after the other job's critical path has elapsed
+        /// can never finish before the first job's earliest possible
+        /// finish — the union frontier must not let arrivals leak backward
+        /// in time.
+        #[test]
+        fn late_arrivals_never_finish_impossibly_early(
+            seed in 0u64..200,
+            n in 3usize..7,
+            gap in 1u64..20,
+        ) {
+            let queue = two_job_queue(seed, n, n, gap);
+            let spec = spear::ClusterSpec::unit(2);
+            let mut s = SchedulerKind::Tetris.build(seed, 2);
+            let schedule = s.schedule_multi(&queue, &spec).unwrap();
+            let report = queue.jct_report(&schedule);
+            prop_assert_eq!(report.completions().len(), 2);
+            for c in report.completions() {
+                let span = queue.span(c.job);
+                let ideal = queue.job_dag(c.job).critical_path_length();
+                prop_assert!(c.finish >= span.arrival + ideal);
+                prop_assert!(c.jct >= ideal);
+            }
+        }
+    }
+}
