@@ -36,8 +36,13 @@
 //!
 //! Every run also works a seeded Poisson multi-job arrival stream through
 //! the DRL-guided search in one continuous episode and folds the per-job
-//! completion times (mean/p50/p99 JCT, unfairness) into the output as the
-//! `multi_job` section.
+//! completion times (mean/p50/p99 JCT, unfairness — `null` when no job
+//! completed, never a fake zero) into the output as the `multi_job`
+//! section, then re-executes the same planned stream under a seeded 10%
+//! fault plan (failures + 1.5x stragglers) and folds the realized
+//! makespan, fault counters and recovery slowdown into the `faults`
+//! section. The fault replay never perturbs the planned sections: the
+//! quick goldens stay bit-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,8 +54,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use spear::dag::generator::LayeredDagSpec;
 use spear::{
-    ArrivalProcess, ArrivalStreamSpec, ClusterSpec, Dag, FeatureConfig, JobQueue, JobSource,
-    MctsConfig, MctsScheduler, MetricsRegistry, Obs, PolicyNetwork, SearchStats, TreeParallelMcts,
+    execute_multi_under_faults, ArrivalProcess, ArrivalStreamSpec, ClusterSpec, Dag, FaultProfile,
+    FeatureConfig, JobQueue, JobSource, MctsConfig, MctsScheduler, MetricsRegistry, Obs,
+    PolicyNetwork, Schedule, SearchStats, TreeParallelMcts,
 };
 use spear_bench::workload;
 
@@ -193,9 +199,12 @@ struct MultiJobReport {
     mean_gap: f64,
     stream_seed: u64,
     elapsed_seconds: f64,
-    mean_jct: f64,
-    p50_jct: u64,
-    p99_jct: u64,
+    /// Jobs the episode left unfinished (0 for a complete episode).
+    unfinished: usize,
+    /// `None` (JSON `null`) when no job completed — absent, not zero.
+    mean_jct: Option<f64>,
+    p50_jct: Option<u64>,
+    p99_jct: Option<u64>,
     /// Spread (max − min) of per-job slowdowns.
     unfairness: f64,
     /// Completion time of the whole stream (union makespan).
@@ -203,6 +212,27 @@ struct MultiJobReport {
     /// Per-job JCTs in queue (arrival) order — deterministic in the seeds,
     /// like the single-job makespans above.
     jcts: Vec<u64>,
+}
+
+/// The `faults` section: the planned multi-job stream re-executed under a
+/// seeded fault plan. Faults bite at execution time only, so this section
+/// cannot move the planned makespans or the quick goldens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FaultsReport {
+    fail_rate: f64,
+    straggler_rate: f64,
+    straggler_factor: f64,
+    max_retries: u32,
+    planned_makespan: u64,
+    realized_makespan: u64,
+    failures: u64,
+    straggles: u64,
+    /// realized / planned makespan — the fault-recovery overhead.
+    slowdown: f64,
+    unfinished: usize,
+    mean_jct: Option<f64>,
+    p99_jct: Option<u64>,
+    elapsed_seconds: f64,
 }
 
 /// What `BENCH_mcts.json` holds. A `metrics` key is added to the emitted
@@ -215,6 +245,7 @@ struct BenchOutput {
     speedup: Option<Speedup>,
     tree_parallel: Option<TreeParallelReport>,
     multi_job: MultiJobReport,
+    faults: FaultsReport,
 }
 
 struct ModeParams {
@@ -409,7 +440,11 @@ fn run_report(params: &ModeParams, eval_cache: bool, obs: &Obs) -> HotpathReport
     }
 }
 
-fn run_multi_job(params: &ModeParams, eval_cache: bool, obs: &Obs) -> MultiJobReport {
+fn run_multi_job(
+    params: &ModeParams,
+    eval_cache: bool,
+    obs: &Obs,
+) -> (MultiJobReport, JobQueue, Schedule) {
     let stream = ArrivalStreamSpec {
         jobs: params.multi_jobs,
         process: ArrivalProcess::Poisson {
@@ -440,24 +475,72 @@ fn run_multi_job(params: &ModeParams, eval_cache: bool, obs: &Obs) -> MultiJobRe
         "complete episode leaves no job behind"
     );
     eprintln!(
-        "[bench_hotpath] multi-job drl: {} jobs x {} tasks in {elapsed:.2}s, jct mean {:.1} p99 {}",
+        "[bench_hotpath] multi-job drl: {} jobs x {} tasks in {elapsed:.2}s, jct mean {} p99 {}",
         params.multi_jobs,
         params.multi_tasks,
-        report.mean_jct(),
-        report.p99_jct()
+        fmt_opt(report.mean_jct().map(|m| format!("{m:.1}"))),
+        fmt_opt(report.p99_jct())
     );
-    MultiJobReport {
+    let multi = MultiJobReport {
         jobs: params.multi_jobs,
         tasks_per_job: params.multi_tasks,
         mean_gap: params.multi_mean_gap,
         stream_seed: WORKLOAD_SEED,
         elapsed_seconds: elapsed,
+        unfinished: report.unfinished(),
         mean_jct: report.mean_jct(),
         p50_jct: report.p50_jct(),
         p99_jct: report.p99_jct(),
         unfairness: report.unfairness(),
         stream_makespan: schedule.makespan(),
         jcts: report.completions().iter().map(|c| c.jct).collect(),
+    };
+    (multi, queue, schedule)
+}
+
+/// `Some(value)` displayed, `None` as `n/a` — mirrors the CLI's handling
+/// of absent JCT statistics.
+fn fmt_opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |x| x.to_string())
+}
+
+/// Re-executes the planned multi-job schedule under a seeded 10% fault
+/// plan (failures and 1.5x stragglers; a retry budget of 5 keeps the
+/// deterministic stream clear of exhaustion) and reports the realized run.
+fn run_faults(queue: &JobQueue, planned: &Schedule) -> FaultsReport {
+    let profile = FaultProfile {
+        max_retries: 5,
+        ..FaultProfile::with_rate(0.10)
+    };
+    let plan = profile.plan(WORKLOAD_SEED);
+    let spec = workload::cluster();
+    let start = std::time::Instant::now();
+    let faulty = execute_multi_under_faults(queue, &spec, planned, &plan, None)
+        .expect("the 5-retry budget outlasts a seeded 10% failure rate");
+    let elapsed = start.elapsed().as_secs_f64();
+    let report = &faulty.report;
+    eprintln!(
+        "[bench_hotpath] faults @ {:.0}%: realized makespan {} (planned {}), {} failures, {} stragglers",
+        100.0 * profile.fail_rate,
+        faulty.run.makespan,
+        planned.makespan(),
+        faulty.run.failures,
+        faulty.run.straggles
+    );
+    FaultsReport {
+        fail_rate: profile.fail_rate,
+        straggler_rate: profile.straggler_rate,
+        straggler_factor: profile.straggler_factor,
+        max_retries: profile.max_retries,
+        planned_makespan: planned.makespan(),
+        realized_makespan: faulty.run.makespan,
+        failures: faulty.run.failures,
+        straggles: faulty.run.straggles,
+        slowdown: faulty.run.makespan as f64 / planned.makespan().max(1) as f64,
+        unfinished: report.unfinished(),
+        mean_jct: report.mean_jct(),
+        p99_jct: report.p99_jct(),
+        elapsed_seconds: elapsed,
     }
 }
 
@@ -527,7 +610,8 @@ fn main() {
         true
     };
 
-    let multi_job = run_multi_job(params, eval_cache, &sink);
+    let (multi_job, multi_queue, multi_schedule) = run_multi_job(params, eval_cache, &sink);
+    let faults = run_faults(&multi_queue, &multi_schedule);
 
     // Tree-parallel thread-scaling curve: the full default is the
     // 1/2/4/8 sweep; `--search-threads N` narrows it to [1, N] (the
@@ -590,14 +674,25 @@ fn main() {
         println!("tree-parallel host cores: {}", tp.host_cores);
     }
     println!(
-        "multi-job drl: {} jobs x {} tasks, jct mean {:.1} p50 {} p99 {}, unfairness {:.2}, stream makespan {}",
+        "multi-job drl: {} jobs x {} tasks ({} unfinished), jct mean {} p50 {} p99 {}, unfairness {:.2}, stream makespan {}",
         multi_job.jobs,
         multi_job.tasks_per_job,
-        multi_job.mean_jct,
-        multi_job.p50_jct,
-        multi_job.p99_jct,
+        multi_job.unfinished,
+        fmt_opt(multi_job.mean_jct.map(|m| format!("{m:.1}"))),
+        fmt_opt(multi_job.p50_jct),
+        fmt_opt(multi_job.p99_jct),
         multi_job.unfairness,
         multi_job.stream_makespan
+    );
+    println!(
+        "faults @ {:.0}%: realized makespan {} (planned {}, {:.2}x), {} failures, {} stragglers, jct mean {}",
+        100.0 * faults.fail_rate,
+        faults.realized_makespan,
+        faults.planned_makespan,
+        faults.slowdown,
+        faults.failures,
+        faults.straggles,
+        fmt_opt(faults.mean_jct.map(|m| format!("{m:.1}")))
     );
     if let Some(s) = &speedup {
         println!(
@@ -643,6 +738,7 @@ fn main() {
         speedup,
         tree_parallel,
         multi_job,
+        faults,
     };
     let mut value = serde_json::to_value(&output);
     if let (Some(m), serde_json::Value::Obj(entries)) = (metrics, &mut value) {

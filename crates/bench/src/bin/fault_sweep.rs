@@ -1,0 +1,18 @@
+//! Regenerates the EXPERIMENTS.md fault matrix: the scheduler roster
+//! executed under seeded failure/straggler injection at rates 0-20%.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spear_bench::experiments::fault_sweep;
+use spear_bench::{report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = fault_sweep::Config::for_scale(scale);
+    let outcome = fault_sweep::run(&config);
+    let table = fault_sweep::table(&outcome, &config);
+    println!("{}", table.render());
+    report::write_json(&format!("fault_sweep_{}", scale.tag()), &outcome);
+    report::write_text(&format!("fault_sweep_{}.csv", scale.tag()), &table.to_csv());
+}

@@ -12,10 +12,10 @@
 //! Usage:
 //!
 //! * `fuzz_differential` — the CI configuration: 200 single-job cases plus
-//!   40 multi-job arrival-stream cases, seed `0xD1FF5EED`, exit code 1 on
-//!   any failure.
-//! * `fuzz_differential --cases N --multi-cases M --seed S` — custom
-//!   corpus sizes.
+//!   40 multi-job arrival-stream cases and 40 fault-injection cases, seed
+//!   `0xD1FF5EED`, exit code 1 on any failure.
+//! * `fuzz_differential --cases N --multi-cases M --fault-cases F --seed S`
+//!   — custom corpus sizes.
 //! * `fuzz_differential --out DIR` — where to write shrunk witnesses
 //!   (default `tests/fuzz_failures/` at the repository root).
 //!
@@ -24,6 +24,13 @@
 //! (arrival gating, per-job sub-schedules, JCT accounting, invariant
 //! auditor); failures are reported by case label (streams have no DAG
 //! shrinker).
+//!
+//! The fault pass executes every roster scheduler's fault-free plan under
+//! seeded failure/straggler plans and applies the fault-aware judges
+//! (`spear::diffcheck::check_faulty_run`): declarative re-derivation from
+//! the plan's draws, audited bit-identical re-execution, and the occupancy
+//! grid over failed *and* final attempts. Deterministic retry exhaustion is
+//! legal; nondeterministic exhaustion or any judge failure is a finding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,11 +39,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use spear::diffcheck::{check_schedule, corpus, multi_corpus, shrink_dag, CaseSpec, Fixture};
+use spear::diffcheck::{
+    check_schedule, corpus, fault_corpus, multi_corpus, shrink_dag, CaseSpec, Fixture,
+};
 
 /// CI defaults: the corpus sizes the workflow's ~60 s budget is sized for.
 const DEFAULT_CASES: usize = 200;
 const DEFAULT_MULTI_CASES: usize = 40;
+const DEFAULT_FAULT_CASES: usize = 40;
 const DEFAULT_SEED: u64 = 0xD1FF_5EED;
 
 fn repo_root() -> PathBuf {
@@ -80,6 +90,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let cases = arg_value(&args, "--cases", DEFAULT_CASES);
     let multi_cases = arg_value(&args, "--multi-cases", DEFAULT_MULTI_CASES);
+    let fault_cases = arg_value(&args, "--fault-cases", DEFAULT_FAULT_CASES);
     let seed = arg_value(&args, "--seed", DEFAULT_SEED);
     let out_dir = arg_value(&args, "--out", repo_root().join("tests/fuzz_failures"));
 
@@ -152,7 +163,46 @@ fn main() -> ExitCode {
         println!("FAIL {}: {why}", case.label());
     }
 
-    let total = matrix.len() + multi_matrix.len();
+    // Fault pass: fault-free plans executed under seeded fault plans,
+    // judged by the fault-aware tri-check. `Ok(None)` is deterministic
+    // retry exhaustion — legal, counted separately.
+    let fault_matrix = fault_corpus(fault_cases, seed);
+    eprintln!(
+        "[fuzz_differential] {} fault cases, base seed {seed:#x}",
+        fault_matrix.len()
+    );
+    let mut exhausted = 0usize;
+    for (i, case) in fault_matrix.iter().enumerate() {
+        let why = match case.run() {
+            Ok(Some(tri)) if tri.all_ok() => {
+                if (i + 1) % 20 == 0 {
+                    eprintln!(
+                        "[fuzz_differential] faults {}/{} ok ({:.1}s)",
+                        i + 1,
+                        fault_matrix.len(),
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+                continue;
+            }
+            Ok(None) => {
+                exhausted += 1;
+                continue;
+            }
+            Ok(Some(tri)) => tri.summary(),
+            Err(e) => format!("fault case error: {e}"),
+        };
+        failures += 1;
+        println!("FAIL {}: {why}", case.label());
+    }
+    if exhausted > 0 {
+        eprintln!(
+            "[fuzz_differential] {exhausted} fault cases ended in deterministic retry \
+             exhaustion (legal)"
+        );
+    }
+
+    let total = matrix.len() + multi_matrix.len() + fault_matrix.len();
     let elapsed = start.elapsed().as_secs_f64();
     if failures == 0 {
         println!("fuzz_differential: {total} cases, 0 disagreements ({elapsed:.1}s)");

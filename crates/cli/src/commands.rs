@@ -6,10 +6,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spear::dag::generator::LayeredDagSpec;
 use spear::{
-    Action, ArrivalProcess, ArrivalStreamSpec, ClusterSpec, CpScheduler, Dag, Env, FeatureConfig,
-    Graphene, JctReport, JobQueue, JobSource, MctsConfig, MctsScheduler, MetricsRegistry,
-    MultiJobEnv, Obs, ObservedScheduler, PolicyNetwork, RandomScheduler, ResourceVec, Scheduler,
-    SjfScheduler, SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats, TreeParallelMcts,
+    execute_multi_under_faults, execute_under_faults, Action, ArrivalProcess, ArrivalStreamSpec,
+    ClusterSpec, CpScheduler, Dag, Env, FaultProfile, FeatureConfig, Graphene, JctReport, JobQueue,
+    JobSource, MctsConfig, MctsScheduler, MetricsRegistry, MultiJobEnv, Obs, ObservedScheduler,
+    PolicyNetwork, RandomScheduler, ResourceVec, Scheduler, SjfScheduler, SyntheticTraceSpec,
+    TetrisScheduler, Trace, TraceStats, TreeParallelMcts,
 };
 
 use crate::args::Args;
@@ -25,6 +26,7 @@ USAGE:
                      [--budget 100] [--min-budget 50] [--policy policy.json]
                      [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
                      [--search-threads 1] [--leaf-batch 8]
+                     [--faults 0.0] [--straggler 1.5] [--max-retries 3]
                      [--metrics-out metrics.jsonl]
   spear-cli schedule --arrivals poisson|periodic [--jobs 20] [--job-tasks 8]
                      [--mean-gap 8.0 | --gap 8] [--trace-file trace.json]
@@ -51,6 +53,17 @@ continuous episode. The report is per-job completion times (mean, p50,
 p99 JCT and the slowdown-spread unfairness) instead of one makespan.
 --horizon caps the episode's wall clock: jobs not fully scheduled by
 then count as unfinished.
+
+--faults injects seeded failures and stragglers at *execution* time:
+the scheduler still plans against the fault-free DAG, then the plan is
+executed under a deterministic per-(task, attempt) fault plan derived
+from --seed. Both the failure and the straggler probability are set to
+the --faults rate. A failing attempt frees its resources mid-run and
+the task re-queues (dependencies unchanged) until --max-retries extra
+attempts are exhausted, which aborts the run with a typed error; a
+straggling attempt occupies the cluster --straggler times longer than
+its runtime. The realized makespan (or, with --arrivals, the realized
+JCT report) is printed next to the planned one.
 
 --metrics-out writes every metric recorded during the run as JSON lines
 (one metric per line). Metric recording is compiled in behind the `obs`
@@ -84,6 +97,32 @@ fn write_metrics(registry: &MetricsRegistry, path: Option<&str>) -> Result<(), B
     std::fs::write(path, body)?;
     eprintln!("wrote metrics to {path}");
     Ok(())
+}
+
+/// The unreliable-cluster knobs of `schedule`: `--faults <rate>` sets both
+/// the failure and the straggler probability, `--straggler` the slowdown
+/// factor, `--max-retries` the per-task retry budget. Without `--faults`
+/// the profile is null and execution stays bit-identical to the fault-free
+/// simulator.
+fn fault_profile(args: &Args) -> Result<FaultProfile, Box<dyn Error>> {
+    let rate: f64 = args.get_or("faults", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--faults {rate} outside [0, 1]").into());
+    }
+    if rate == 0.0 {
+        return Ok(FaultProfile::none());
+    }
+    Ok(FaultProfile {
+        straggler_factor: args.get_or("straggler", 1.5)?,
+        max_retries: args.get_or("max-retries", 3)?,
+        ..FaultProfile::with_rate(rate)
+    })
+}
+
+/// `Some(value)` as its display form, `None` as `n/a` — JCT statistics
+/// are absent (not zero) when no job completed.
+fn opt_stat<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |x| x.to_string())
 }
 
 fn cluster_for(dag: &Dag, args: &Args) -> Result<ClusterSpec, Box<dyn Error>> {
@@ -272,12 +311,9 @@ fn schedule_arrivals(args: &Args) -> Result<(), Box<dyn Error>> {
     let schedule = scheduler.schedule_multi(&queue, &spec)?;
     let elapsed = start.elapsed();
     schedule.validate(union, &spec)?;
-    let report = match args.get("horizon") {
-        Some(_) => {
-            let horizon: u64 = args.get_or("horizon", 0)?;
-            truncated_report(&queue, &spec, &schedule, horizon)?
-        }
-        None => queue.jct_report(&schedule),
+    let horizon = match args.get("horizon") {
+        Some(_) => Some(args.get_or("horizon", 0)?),
+        None => None,
     };
     println!(
         "{}: {} jobs ({} tasks), stream makespan {} in {:.2?}",
@@ -287,13 +323,37 @@ fn schedule_arrivals(args: &Args) -> Result<(), Box<dyn Error>> {
         schedule.makespan(),
         elapsed
     );
+    let profile = fault_profile(args)?;
+    let report = if profile.is_none() {
+        match horizon {
+            Some(h) => truncated_report(&queue, &spec, &schedule, h)?,
+            None => queue.jct_report(&schedule),
+        }
+    } else {
+        let plan = profile.plan(args.get_or("seed", 0)?);
+        let faulty = execute_multi_under_faults(&queue, &spec, &schedule, &plan, horizon)?;
+        println!(
+            "faults: realized makespan {} (planned {}), {} failures, {} stragglers{}",
+            faulty.run.makespan,
+            schedule.makespan(),
+            faulty.run.failures,
+            faulty.run.straggles,
+            if faulty.truncated {
+                ", truncated at the horizon"
+            } else {
+                ""
+            }
+        );
+        faulty.report
+    };
     println!(
-        "completed {}/{} jobs, jct mean {:.1} p50 {} p99 {}, unfairness {:.2}",
+        "completed {}/{} jobs ({} unfinished), jct mean {} p50 {} p99 {}, unfairness {:.2}",
         report.completions().len(),
         queue.jobs(),
-        report.mean_jct(),
-        report.p50_jct(),
-        report.p99_jct(),
+        report.unfinished(),
+        opt_stat(report.mean_jct().map(|m| format!("{m:.1}"))),
+        opt_stat(report.p50_jct()),
+        opt_stat(report.p99_jct()),
         report.unfairness()
     );
     if args.flag("gantt") {
@@ -336,6 +396,25 @@ pub fn schedule(args: &Args) -> Result<(), Box<dyn Error>> {
         "utilization {:.1}%",
         100.0 * schedule.utilization(&dag, &spec)
     );
+    let profile = fault_profile(args)?;
+    if !profile.is_none() {
+        let plan = profile.plan(args.get_or("seed", 0)?);
+        let run = execute_under_faults(&dag, &spec, &schedule, &plan)?;
+        let tri = spear::diffcheck::check_faulty_run(&dag, &spec, &schedule, &plan, &run);
+        if !tri.all_ok() {
+            return Err(format!("fault replay judges disagree: {}", tri.summary()).into());
+        }
+        let attempts: u32 = run.attempts.iter().sum();
+        println!(
+            "faults: realized makespan {} (planned {}), {} failures, {} stragglers, \
+             {attempts} attempts / {} tasks",
+            run.makespan,
+            schedule.makespan(),
+            run.failures,
+            run.straggles,
+            dag.len()
+        );
+    }
     if args.flag("gantt") {
         println!("{}", schedule.render_gantt(&dag, &spec, 100));
     }
@@ -620,6 +699,73 @@ mod tests {
             "cp",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn schedule_with_faults_replays_the_plan_under_failures() {
+        let dag_path = tmp("cli-dag-faults.json");
+        generate(&args(&[
+            "--tasks", "12", "--seed", "6", "--output", &dag_path,
+        ]))
+        .unwrap();
+        schedule(&args(&[
+            "--dag", &dag_path, "--algo", "cp", "--seed", "6", "--faults", "0.3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn schedule_arrivals_with_faults_and_horizon() {
+        schedule(&args(&[
+            "--arrivals",
+            "periodic",
+            "--gap",
+            "4",
+            "--jobs",
+            "4",
+            "--job-tasks",
+            "5",
+            "--algo",
+            "tetris",
+            "--seed",
+            "2",
+            "--faults",
+            "0.2",
+            "--straggler",
+            "2.0",
+            "--horizon",
+            "40",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_a_typed_error() {
+        let dag_path = tmp("cli-dag-exhaust.json");
+        generate(&args(&["--tasks", "6", "--output", &dag_path])).unwrap();
+        let err = schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "sjf",
+            "--faults",
+            "1.0",
+            "--max-retries",
+            "0",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("retry budget"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn out_of_range_fault_rates_are_rejected() {
+        let dag_path = tmp("cli-dag-badrate.json");
+        generate(&args(&["--tasks", "4", "--output", &dag_path])).unwrap();
+        let err = schedule(&args(&["--dag", &dag_path, "--faults", "1.5"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("outside [0, 1]"));
     }
 
     #[test]

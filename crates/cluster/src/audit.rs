@@ -29,6 +29,14 @@
 //!   source leaks into the frontier), the injected-job prefix matches the
 //!   clock, and the per-job completed counts (the job-tagged half of
 //!   conservation) reconcile with the placement table.
+//! * **Fault coherence** (fault-injected states only) — attempt counts
+//!   are monotone across audited steps and bounded by the retry budget,
+//!   every recorded failed run matches the plan's seeded failure point,
+//!   the failure count reconciles with the attempt/start tables
+//!   (freed-on-failure accounting: a retracted attempt must not leave a
+//!   placement or resources behind), the exhaustion marker is coherent,
+//!   and the incremental attempt hash matches a from-scratch
+//!   recomputation.
 //!
 //! The auditor is pure observation: it never mutates the state, so an
 //! audited episode is bit-identical to an unaudited one. It is wired into
@@ -156,6 +164,37 @@ pub enum AuditViolation {
         /// The fingerprint recomputed from the placement list.
         recomputed: u64,
     },
+    /// A task accumulated more execution attempts than its retry budget
+    /// allows — the fail-fast exhaustion path was bypassed.
+    RetryOverrun {
+        /// The over-retried task.
+        task: TaskId,
+        /// Attempts recorded for it.
+        attempts: u32,
+        /// The plan's attempt ceiling (`max_retries + 1`).
+        max_attempts: u32,
+    },
+    /// A task's attempt counter decreased between two audited steps —
+    /// attempt counts are append-only history and must be monotone.
+    AttemptRegression {
+        /// The task whose counter went backwards.
+        task: TaskId,
+        /// Attempts at the previous audit.
+        from: u32,
+        /// Attempts now — smaller than `from`.
+        to: u32,
+    },
+    /// A fault-bookkeeping quantity disagrees with the value derived
+    /// from the plan and the placement/attempt tables (which field is
+    /// named in `field`).
+    FaultAccounting {
+        /// The inconsistent quantity.
+        field: &'static str,
+        /// The state's recorded value.
+        recorded: u64,
+        /// The value derived from the plan and the tables.
+        derived: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -236,6 +275,28 @@ impl fmt::Display for AuditViolation {
                 "state fingerprint {stored:#018x} disagrees with the \
                  from-scratch recomputation {recomputed:#018x}"
             ),
+            AuditViolation::RetryOverrun {
+                task,
+                attempts,
+                max_attempts,
+            } => write!(
+                f,
+                "task {task} recorded {attempts} execution attempts, past \
+                 the retry budget's ceiling of {max_attempts}"
+            ),
+            AuditViolation::AttemptRegression { task, from, to } => write!(
+                f,
+                "attempt counter of task {task} ran backwards from {from} to {to}"
+            ),
+            AuditViolation::FaultAccounting {
+                field,
+                recorded,
+                derived,
+            } => write!(
+                f,
+                "fault bookkeeping field {field} is recorded as {recorded} \
+                 but derives to {derived}"
+            ),
         }
     }
 }
@@ -269,6 +330,9 @@ impl Error for AuditViolation {}
 pub struct InvariantAuditor {
     /// Clock at the last audited step, for monotonicity.
     last_clock: Option<u64>,
+    /// Per-task attempt counts at the last audited step, for attempt
+    /// monotonicity (fault-injected states only; empty otherwise).
+    last_attempts: Vec<u32>,
     /// Scratch: per-dimension summed demand of the running set.
     committed: Vec<f64>,
     /// Scratch: per-task "currently running" flag.
@@ -283,10 +347,12 @@ impl InvariantAuditor {
         Self::default()
     }
 
-    /// Forgets the clock history — call when switching to a new episode so
-    /// its initial `clock == 0` is not reported as a regression.
+    /// Forgets the clock and attempt history — call when switching to a
+    /// new episode so its initial `clock == 0` is not reported as a
+    /// regression.
     pub fn reset(&mut self) {
         self.last_clock = None;
+        self.last_attempts.clear();
     }
 
     /// Checks every invariant of `state` against `dag`, returning the
@@ -323,10 +389,13 @@ impl InvariantAuditor {
         self.running.resize(dag.len(), false);
         for r in &state.running {
             let i = r.task.index();
+            // `run_slots_of` is the effective-duration ground truth: the
+            // plain runtime in fault-free states, the current attempt's
+            // fail-point/straggle occupancy under a fault plan.
             let coherent = !self.running[i]
                 && state.starts[i].is_some_and(|start| {
                     start <= state.clock
-                        && start.checked_add(dag.task(r.task).runtime()) == Some(r.finish)
+                        && start.checked_add(state.run_slots_of(dag, r.task)) == Some(r.finish)
                 })
                 && r.finish >= state.clock
                 && r.finish <= state.max_finish;
@@ -390,7 +459,7 @@ impl InvariantAuditor {
             done_count += 1;
             let task = TaskId::new(i);
             let finished_by_now = start
-                .checked_add(dag.task(task).runtime())
+                .checked_add(state.run_slots_of(dag, task))
                 .is_some_and(|finish| finish <= state.clock);
             if !finished_by_now {
                 return Err(AuditViolation::StartFinishMismatch { task });
@@ -439,6 +508,11 @@ impl InvariantAuditor {
                 .as_deref()
                 .is_some_and(|m| m.arrivals[m.job_of(i)] > state.clock)
             {
+                continue;
+            }
+            // A retry-exhausted task is deliberately *not* re-queued: it
+            // poisoned the episode and must stay out of the frontier.
+            if state.exhausted() == Some(t) {
                 continue;
             }
             if dag.parents(t).iter().all(|p| is_done(p.index())) {
@@ -501,6 +575,99 @@ impl InvariantAuditor {
                     derived: jobs_done,
                 });
             }
+        }
+
+        // 6c. Fault coherence: attempt counts are monotone and bounded,
+        // failed runs match the plan's seeded failure points, the
+        // failure tally reconciles with the attempt/start tables (a
+        // retracted attempt must have left no placement behind — its
+        // resources are already covered by checks 2/4, which derive
+        // everything from the *current* running set), and the exhaustion
+        // marker is coherent. Fault-free states skip the whole group.
+        if let Some(f) = state.faults.as_deref() {
+            let max_attempts = f.plan.max_attempts();
+            let mut derived_failures = 0u64;
+            for (i, &attempts) in f.attempts.iter().enumerate() {
+                let task = TaskId::new(i);
+                if attempts > max_attempts {
+                    return Err(AuditViolation::RetryOverrun {
+                        task,
+                        attempts,
+                        max_attempts,
+                    });
+                }
+                if let Some(&last) = self.last_attempts.get(i) {
+                    if attempts < last {
+                        return Err(AuditViolation::AttemptRegression {
+                            task,
+                            from: last,
+                            to: attempts,
+                        });
+                    }
+                }
+                let live = u32::from(state.starts[i].is_some());
+                if attempts < live {
+                    return Err(AuditViolation::FaultAccounting {
+                        field: "started_attempts",
+                        recorded: u64::from(attempts),
+                        derived: u64::from(live),
+                    });
+                }
+                derived_failures += u64::from(attempts - live);
+            }
+            if f.failed_runs.len() as u64 != derived_failures {
+                return Err(AuditViolation::FaultAccounting {
+                    field: "failed_runs",
+                    recorded: f.failed_runs.len() as u64,
+                    derived: derived_failures,
+                });
+            }
+            for run in &f.failed_runs {
+                let i = run.task.index();
+                let expected =
+                    match f
+                        .plan
+                        .outcome(run.task, run.attempt, dag.task(run.task).runtime())
+                    {
+                        crate::faults::FaultOutcome::Fail { after } => Some(after),
+                        _ => None,
+                    };
+                let coherent = run.attempt < f.attempts[i]
+                    && run.end <= state.clock
+                    && run.end.checked_sub(run.start) == expected;
+                if !coherent {
+                    return Err(AuditViolation::FaultAccounting {
+                        field: "failed_run",
+                        recorded: run.end.saturating_sub(run.start),
+                        derived: expected.unwrap_or(0),
+                    });
+                }
+            }
+            if let Some(t) = f.exhausted {
+                let i = t.index();
+                if f.attempts[i] != max_attempts {
+                    return Err(AuditViolation::FaultAccounting {
+                        field: "exhausted_attempts",
+                        recorded: u64::from(f.attempts[i]),
+                        derived: u64::from(max_attempts),
+                    });
+                }
+                if state.starts[i].is_some() || self.listed_ready[i] {
+                    return Err(AuditViolation::StaleReady { task: t });
+                }
+            }
+            let recomputed = f.recompute_attempt_hash();
+            if f.attempt_hash != recomputed {
+                return Err(AuditViolation::FaultAccounting {
+                    field: "attempt_hash",
+                    recorded: f.attempt_hash,
+                    derived: recomputed,
+                });
+            }
+            self.last_attempts.clear();
+            self.last_attempts.extend_from_slice(&f.attempts);
+        } else {
+            self.last_attempts.clear();
         }
 
         // 7. Fingerprint coherence: the incremental placement hash behind
@@ -824,6 +991,187 @@ mod tests {
         }
     }
 
+    mod faults {
+        use super::*;
+        use crate::faults::FaultPlan;
+        use crate::SimState;
+
+        fn plan(fail_rate: f64, max_retries: u32) -> FaultPlan {
+            FaultPlan {
+                seed: 3,
+                fail_rate,
+                straggler_rate: 0.4,
+                straggler_factor: 1.8,
+                max_retries,
+            }
+        }
+
+        /// A fault-riddled episode — failures, stragglers, retries,
+        /// eventually completion — passes every check at every step.
+        #[test]
+        fn clean_faulty_episode_passes_every_check() {
+            let dag = diamond();
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(plan(0.45, 8));
+            let mut audit = InvariantAuditor::new();
+            audit.check(&dag, &sim).unwrap();
+            while !sim.is_terminal(&dag) {
+                let actions = sim.legal_actions(&dag);
+                sim.apply(&dag, actions[0]).unwrap();
+                audit.check(&dag, &sim).unwrap();
+            }
+            assert!(
+                sim.exhausted().is_none(),
+                "retry budget of 8 should suffice"
+            );
+            assert!(sim.fault_failures() > 0 || sim.fault_straggles() > 0);
+        }
+
+        /// A retry-exhausted (poisoned) terminal state is still coherent:
+        /// the exhausted task sits outside the frontier by design.
+        #[test]
+        fn exhausted_terminal_state_passes_the_audit() {
+            let dag = diamond();
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(plan(1.0, 1));
+            let mut audit = InvariantAuditor::new();
+            while !sim.is_terminal(&dag) {
+                let actions = sim.legal_actions(&dag);
+                sim.apply(&dag, actions[0]).unwrap();
+                audit.check(&dag, &sim).unwrap();
+            }
+            assert!(sim.exhausted().is_some());
+        }
+
+        #[test]
+        fn attempt_count_past_the_budget_is_caught() {
+            let dag = diamond();
+            let mut sim = SimState::new(&dag, &ClusterSpec::unit(1))
+                .unwrap()
+                .with_faults(plan(0.2, 2));
+            sim.faults.as_deref_mut().unwrap().attempts[0] = 9;
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::RetryOverrun {
+                    task: TaskId::new(0),
+                    attempts: 9,
+                    max_attempts: 3
+                }
+            );
+        }
+
+        #[test]
+        fn attempt_regression_is_caught() {
+            let dag = diamond();
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(plan(1.0, 5));
+            let mut audit = InvariantAuditor::new();
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(&dag, Action::Process).unwrap(); // attempt 1 fails
+            audit.check(&dag, &sim).unwrap();
+            let f = sim.faults.as_deref_mut().unwrap();
+            f.attempts[0] = 0;
+            f.attempt_hash = f.recompute_attempt_hash();
+            f.failed_runs.clear();
+            let err = audit.check(&dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::AttemptRegression {
+                    task: TaskId::new(0),
+                    from: 1,
+                    to: 0
+                }
+            );
+        }
+
+        #[test]
+        fn dropped_failed_run_breaks_fault_accounting() {
+            let dag = diamond();
+            let mut sim = SimState::new(&dag, &ClusterSpec::unit(1))
+                .unwrap()
+                .with_faults(plan(1.0, 5));
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(&dag, Action::Process).unwrap(); // attempt fails
+            sim.faults.as_deref_mut().unwrap().failed_runs.clear();
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::FaultAccounting {
+                    field: "failed_runs",
+                    recorded: 0,
+                    derived: 1
+                }
+            );
+        }
+
+        #[test]
+        fn tampered_failure_interval_is_caught() {
+            let dag = diamond();
+            let mut sim = SimState::new(&dag, &ClusterSpec::unit(1))
+                .unwrap()
+                .with_faults(plan(1.0, 5));
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(&dag, Action::Process).unwrap();
+            // Stretch the recorded failed interval past the plan's seeded
+            // failure point.
+            sim.faults.as_deref_mut().unwrap().failed_runs[0].start = 0;
+            sim.faults.as_deref_mut().unwrap().failed_runs[0].end = 40;
+            sim.clock = 40;
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert!(matches!(
+                err,
+                AuditViolation::FaultAccounting {
+                    field: "failed_run",
+                    ..
+                }
+            ));
+        }
+
+        #[test]
+        fn desynced_attempt_hash_is_caught() {
+            let dag = diamond();
+            let mut sim = SimState::new(&dag, &ClusterSpec::unit(1))
+                .unwrap()
+                .with_faults(plan(0.3, 2));
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.faults.as_deref_mut().unwrap().attempt_hash ^= 1;
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert!(matches!(
+                err,
+                AuditViolation::FaultAccounting {
+                    field: "attempt_hash",
+                    ..
+                }
+            ));
+        }
+
+        #[test]
+        fn fake_exhaustion_marker_is_caught() {
+            let dag = diamond();
+            let mut sim = SimState::new(&dag, &ClusterSpec::unit(1))
+                .unwrap()
+                .with_faults(plan(0.3, 2));
+            // Claim exhaustion without the attempts to back it up.
+            sim.faults.as_deref_mut().unwrap().exhausted = Some(TaskId::new(0));
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::FaultAccounting {
+                    field: "exhausted_attempts",
+                    recorded: 0,
+                    derived: 3
+                }
+            );
+        }
+    }
+
     mod corruption_properties {
         //! Property tests: whatever (reachable) state an episode is in,
         //! each class of injected corruption is rejected with the right
@@ -1034,6 +1382,21 @@ mod tests {
                 job: 1,
                 recorded: 0,
                 derived: 1,
+            },
+            AuditViolation::RetryOverrun {
+                task: TaskId::new(5),
+                attempts: 4,
+                max_attempts: 3,
+            },
+            AuditViolation::AttemptRegression {
+                task: TaskId::new(6),
+                from: 2,
+                to: 1,
+            },
+            AuditViolation::FaultAccounting {
+                field: "failed_runs",
+                recorded: 3,
+                derived: 2,
             },
         ];
         for v in violations {

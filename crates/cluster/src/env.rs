@@ -19,13 +19,24 @@
 //! step does) live in [`SimState`]; everything above this module only
 //! decides *which* legal action to take.
 
+use std::cell::Cell;
+
 use rand::{Rng, RngCore};
-use spear_dag::Dag;
+use spear_dag::{Dag, TaskId};
 use spear_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::audit::InvariantAuditor;
+use crate::faults::FaultPlan;
 use crate::jobs::{JctReport, JobQueue};
-use crate::{Action, ClusterSpec, Schedule, SimState, SpearError};
+use crate::{Action, ClusterError, ClusterSpec, Schedule, SimState, SpearError};
+
+/// The typed fails-fast error for a retry-exhausted (poisoned) state.
+fn exhaustion_error(state: &SimState, task: TaskId) -> SpearError {
+    SpearError::Cluster(ClusterError::RetriesExhausted {
+        task,
+        attempts: state.attempts_of(task),
+    })
+}
 
 /// The static part of an environment an episode runs in: the job and the
 /// cluster. Passed to every [`DecisionPolicy::decide`] call so policies
@@ -116,6 +127,7 @@ pub struct SimEnv<'a> {
     dag: &'a Dag,
     spec: &'a ClusterSpec,
     state: SimState,
+    faults: FaultPlan,
 }
 
 impl<'a> SimEnv<'a> {
@@ -126,12 +138,38 @@ impl<'a> SimEnv<'a> {
     /// Fails if the DAG cannot run on the cluster.
     pub fn new(dag: &'a Dag, spec: &'a ClusterSpec) -> Result<Self, SpearError> {
         let state = SimState::new(dag, spec)?;
-        Ok(SimEnv { dag, spec, state })
+        Ok(SimEnv {
+            dag,
+            spec,
+            state,
+            faults: FaultPlan::none(),
+        })
     }
 
-    /// Adopts an existing simulation state (e.g. a replayed search node).
+    /// Attaches a fault-injection plan; [`Env::reset`] re-applies it, so
+    /// every episode of this environment replays the same seeded faults.
+    /// Call before the first step. A [`FaultPlan::none`] plan leaves the
+    /// environment bit-identical to an unfaulted one.
+    #[must_use]
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        SimEnv {
+            dag: self.dag,
+            spec: self.spec,
+            state: self.state.with_faults(plan),
+            faults: plan,
+        }
+    }
+
+    /// Adopts an existing simulation state (e.g. a replayed search node),
+    /// inheriting whatever fault plan the state carries.
     pub fn from_state(dag: &'a Dag, spec: &'a ClusterSpec, state: SimState) -> Self {
-        SimEnv { dag, spec, state }
+        let faults = state.fault_plan().copied().unwrap_or_default();
+        SimEnv {
+            dag,
+            spec,
+            state,
+            faults,
+        }
     }
 
     /// The current simulation state (same as [`Env::observe`]).
@@ -149,9 +187,13 @@ impl<'a> SimEnv<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SpearError::IncompleteEpisode`] if the episode has not
-    /// reached the terminal state.
+    /// Returns [`ClusterError::RetriesExhausted`] if fault injection
+    /// poisoned the episode, and [`SpearError::IncompleteEpisode`] if the
+    /// episode has not reached the terminal state.
     pub fn into_schedule(self) -> Result<Schedule, SpearError> {
+        if let Some(task) = self.state.exhausted() {
+            return Err(exhaustion_error(&self.state, task));
+        }
         if !self.state.is_terminal(self.dag) {
             return Err(SpearError::IncompleteEpisode);
         }
@@ -165,6 +207,7 @@ impl Clone for SimEnv<'_> {
             dag: self.dag,
             spec: self.spec,
             state: self.state.clone(),
+            faults: self.faults,
         }
     }
 
@@ -173,6 +216,7 @@ impl Clone for SimEnv<'_> {
         self.dag = source.dag;
         self.spec = source.spec;
         self.state.clone_from(&source.state);
+        self.faults = source.faults;
     }
 }
 
@@ -186,7 +230,7 @@ impl Env for SimEnv<'_> {
     }
 
     fn reset(&mut self) -> Result<(), SpearError> {
-        self.state = SimState::new(self.dag, self.spec)?;
+        self.state = SimState::new(self.dag, self.spec)?.with_faults(self.faults);
         Ok(())
     }
 
@@ -240,6 +284,7 @@ pub struct MultiJobEnv<'a> {
     spec: &'a ClusterSpec,
     state: SimState,
     horizon: Option<u64>,
+    faults: FaultPlan,
 }
 
 impl<'a> MultiJobEnv<'a> {
@@ -255,6 +300,7 @@ impl<'a> MultiJobEnv<'a> {
             spec,
             state,
             horizon: None,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -264,6 +310,21 @@ impl<'a> MultiJobEnv<'a> {
     pub fn with_horizon(mut self, horizon: Option<u64>) -> Self {
         self.horizon = horizon;
         self
+    }
+
+    /// Attaches a fault-injection plan; [`Env::reset`] re-applies it, so
+    /// every episode of this environment replays the same seeded faults.
+    /// Call before the first step. A [`FaultPlan::none`] plan leaves the
+    /// environment bit-identical to an unfaulted one.
+    #[must_use]
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        MultiJobEnv {
+            queue: self.queue,
+            spec: self.spec,
+            state: self.state.with_faults(plan),
+            horizon: self.horizon,
+            faults: plan,
+        }
     }
 
     /// The job queue this episode schedules.
@@ -298,9 +359,13 @@ impl<'a> MultiJobEnv<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SpearError::IncompleteEpisode`] if some job has
-    /// unfinished tasks — including horizon-truncated episodes.
+    /// Returns [`ClusterError::RetriesExhausted`] if fault injection
+    /// poisoned the episode, and [`SpearError::IncompleteEpisode`] if some
+    /// job has unfinished tasks — including horizon-truncated episodes.
     pub fn into_schedule(self) -> Result<Schedule, SpearError> {
+        if let Some(task) = self.state.exhausted() {
+            return Err(exhaustion_error(&self.state, task));
+        }
         if !self.state.is_terminal(self.queue.union_dag()) {
             return Err(SpearError::IncompleteEpisode);
         }
@@ -323,6 +388,7 @@ impl Clone for MultiJobEnv<'_> {
             spec: self.spec,
             state: self.state.clone(),
             horizon: self.horizon,
+            faults: self.faults,
         }
     }
 
@@ -332,6 +398,7 @@ impl Clone for MultiJobEnv<'_> {
         self.spec = source.spec;
         self.state.clone_from(&source.state);
         self.horizon = source.horizon;
+        self.faults = source.faults;
     }
 }
 
@@ -345,7 +412,7 @@ impl Env for MultiJobEnv<'_> {
     }
 
     fn reset(&mut self) -> Result<(), SpearError> {
-        self.state = SimState::new_multi(self.queue, self.spec)?;
+        self.state = SimState::new_multi(self.queue, self.spec)?.with_faults(self.faults);
         Ok(())
     }
 
@@ -507,6 +574,15 @@ struct EpisodeObs {
     occupancy: Vec<Gauge>,
     jobs_pending: Gauge,
     jobs_in_flight: Gauge,
+    fault_failures: Counter,
+    fault_stragglers: Counter,
+    fault_retries: Counter,
+    reexec_latency: Histogram,
+    /// Cumulative state totals already flushed into the fault counters —
+    /// counters are monotone across episodes while the state's totals
+    /// rewind on reset, so steps record deltas against these.
+    seen_failures: Cell<u64>,
+    seen_straggles: Cell<u64>,
 }
 
 impl EpisodeObs {
@@ -523,7 +599,22 @@ impl EpisodeObs {
                 .collect(),
             jobs_pending: obs.gauge("sim.jobs.pending"),
             jobs_in_flight: obs.gauge("sim.jobs.in_flight"),
+            fault_failures: obs.counter("sim.faults.injected"),
+            fault_stragglers: obs.counter("sim.faults.stragglers"),
+            fault_retries: obs.counter("sim.faults.retries"),
+            reexec_latency: obs.histogram("sim.faults.reexec_latency"),
+            seen_failures: Cell::new(0),
+            seen_straggles: Cell::new(0),
         }
+    }
+
+    /// Re-bases the fault-delta tracking on `env`'s current totals — call
+    /// at the start of a drive so a reset (rewound) state does not make
+    /// the deltas go backwards.
+    fn sync_faults<E: Env>(&self, env: &E) {
+        let state = env.observe();
+        self.seen_failures.set(state.fault_failures());
+        self.seen_straggles.set(state.fault_straggles());
     }
 
     /// Records one applied action. Admissions count `Schedule`s; clock
@@ -550,6 +641,28 @@ impl EpisodeObs {
                 }
             }
         }
+        let state = env.observe();
+        if state.fault_plan().is_some() {
+            let failures = state.fault_failures();
+            self.fault_failures
+                .add(failures.saturating_sub(self.seen_failures.get()));
+            self.seen_failures.set(failures);
+            let straggles = state.fault_straggles();
+            self.fault_stragglers
+                .add(straggles.saturating_sub(self.seen_straggles.get()));
+            self.seen_straggles.set(straggles);
+            if let Action::Schedule(task) = action {
+                if state.attempts_of(task) > 1 {
+                    self.fault_retries.incr();
+                    if let Some(failed_at) = state.last_failure_of(task) {
+                        // Re-execution latency: slots the task waited
+                        // between its failure and its re-launch.
+                        self.reexec_latency
+                            .record(state.clock().saturating_sub(failed_at));
+                    }
+                }
+            }
+        }
     }
 
     fn record_terminal<E: Env>(&self, env: &E) {
@@ -573,10 +686,12 @@ impl EpisodeObs {
 /// [`EpisodeDriver::with_obs`] records per-step simulation metrics
 /// (`sim.steps`, `sim.admissions`, `sim.clock_advances`,
 /// `sim.backlog_depth`, `sim.occupancy.r*`, `sim.episodes`,
-/// `sim.makespan`, and for multi-job episodes `sim.jobs.pending` /
-/// `sim.jobs.in_flight`). Instrumentation is pure observation — it reads the
-/// state and never influences a decision — and without the feature every
-/// recording call compiles to nothing.
+/// `sim.makespan`, for multi-job episodes `sim.jobs.pending` /
+/// `sim.jobs.in_flight`, and for fault-injected episodes
+/// `sim.faults.injected` / `sim.faults.stragglers` / `sim.faults.retries`
+/// plus the `sim.faults.reexec_latency` histogram). Instrumentation is pure
+/// observation — it reads the state and never influences a decision — and
+/// without the feature every recording call compiles to nothing.
 #[derive(Debug, Clone)]
 pub struct EpisodeDriver<P> {
     policy: P,
@@ -685,8 +800,10 @@ impl<P> EpisodeDriver<P> {
     /// # Errors
     ///
     /// Returns [`SpearError::Cluster`] if the policy picks an illegal
-    /// action, or [`SpearError::Audit`] if the state violates a simulation
-    /// invariant.
+    /// action — or, fault-injected, [`ClusterError::RetriesExhausted`] if
+    /// a task burned its whole retry budget (the episode fails fast; it
+    /// can never complete) — or [`SpearError::Audit`] if the state
+    /// violates a simulation invariant.
     pub fn drive<R, E>(
         &mut self,
         env: &mut E,
@@ -703,6 +820,11 @@ impl<P> EpisodeDriver<P> {
             auditor.check(env.dag(), env.observe())?;
         }
         self.prepare_obs(env);
+        if spear_obs::compiled() {
+            if let Some(eo) = &self.episode_obs {
+                eo.sync_faults(env);
+            }
+        }
         let mut steps = 0u64;
         while !env.is_terminal() {
             if steps >= max_steps {
@@ -723,6 +845,12 @@ impl<P> EpisodeDriver<P> {
             }
             steps += 1;
         }
+        // A retry-exhausted episode is terminal but poisoned: no schedule
+        // can ever emerge from it, so surface the typed error here instead
+        // of letting callers trip over a missing makespan.
+        if let Some(task) = env.observe().exhausted() {
+            return Err(exhaustion_error(env.observe(), task));
+        }
         // Environments with their own bound (a multi-job wall-clock
         // horizon) exit the loop "terminal" but truncated — report that
         // faithfully and skip the completed-episode instruments.
@@ -740,13 +868,16 @@ impl<P> EpisodeDriver<P> {
     /// Like [`EpisodeDriver::drive`] but applies actions through
     /// [`Env::step_trusted`] — the allocation- and check-free loop for hot
     /// paths whose policies are known to pick only legal actions (legality
-    /// is still debug-asserted).
+    /// is still debug-asserted). This loop has no error channel, so a
+    /// retry-exhausted (poisoned) fault-injected episode comes back as
+    /// `Terminal` — callers driving faulty environments must check
+    /// [`SimState::exhausted`] on the observation (or use
+    /// [`EpisodeDriver::drive`], which fails fast with a typed error).
     ///
     /// # Panics
     ///
-    /// Panics on an invariant violation when auditing is on — this loop
-    /// has no error channel, and a corrupt state on the trusted path is
-    /// always a bug.
+    /// Panics on an invariant violation when auditing is on — a corrupt
+    /// state on the trusted path is always a bug.
     pub fn drive_trusted<R, E>(&mut self, env: &mut E, rng: &mut R, max_steps: u64) -> DriveOutcome
     where
         R: Rng + ?Sized,
@@ -765,6 +896,11 @@ impl<P> EpisodeDriver<P> {
         }
         audit(&mut self.auditor, env);
         self.prepare_obs(env);
+        if spear_obs::compiled() {
+            if let Some(eo) = &self.episode_obs {
+                eo.sync_faults(env);
+            }
+        }
         let mut steps = 0u64;
         while !env.is_terminal() {
             if steps >= max_steps {
@@ -1053,6 +1189,111 @@ mod tests {
             let ob = driver.drive_trusted(&mut b, &mut NoRng, u64::MAX);
             assert_eq!(oa, ob);
             assert_eq!(a.into_schedule().unwrap(), b.into_schedule().unwrap());
+        }
+    }
+
+    mod fault_injection {
+        use super::*;
+        use crate::faults::FaultPlan;
+        use crate::{ClusterError, JobQueue};
+
+        fn flaky(fail_rate: f64, max_retries: u32) -> FaultPlan {
+            FaultPlan {
+                seed: 11,
+                fail_rate,
+                straggler_rate: 0.0,
+                straggler_factor: 1.0,
+                max_retries,
+            }
+        }
+
+        #[test]
+        fn driver_fails_fast_when_retries_are_exhausted() {
+            let dag = diamond();
+            let spec = ClusterSpec::unit(1);
+            let mut env = SimEnv::new(&dag, &spec).unwrap().with_faults(flaky(1.0, 2));
+            let mut driver = EpisodeDriver::new(first_legal());
+            let err = driver.drive(&mut env, &mut NoRng, u64::MAX).unwrap_err();
+            match err.root_cause() {
+                SpearError::Cluster(ClusterError::RetriesExhausted { attempts, .. }) => {
+                    assert_eq!(*attempts, 3); // max_retries + 1
+                }
+                other => panic!("expected RetriesExhausted, got {other}"),
+            }
+            assert!(env.is_terminal(), "a poisoned episode is terminal");
+            assert_eq!(env.makespan(), None);
+            // And the schedule extractor reports the same condition.
+            let err = env.into_schedule().unwrap_err();
+            assert!(matches!(
+                err.root_cause(),
+                SpearError::Cluster(ClusterError::RetriesExhausted { .. })
+            ));
+        }
+
+        #[test]
+        fn reset_reapplies_the_fault_plan() {
+            let dag = diamond();
+            let spec = ClusterSpec::unit(1);
+            let plan = flaky(0.4, 8);
+            let mut env = SimEnv::new(&dag, &spec).unwrap().with_faults(plan);
+            let mut driver = EpisodeDriver::new(first_legal());
+            driver.drive(&mut env, &mut NoRng, u64::MAX).unwrap();
+            let first = env.observe().clone();
+            assert!(first.fault_failures() > 0, "plan at 0.4 should bite");
+            env.reset().unwrap();
+            assert_eq!(env.observe().fault_plan(), Some(&plan));
+            assert_eq!(env.observe().fault_failures(), 0);
+            // The replayed episode is bit-identical: same seeded faults.
+            driver.drive(&mut env, &mut NoRng, u64::MAX).unwrap();
+            assert_eq!(env.observe().fingerprint(), first.fingerprint());
+            assert_eq!(env.observe().fault_failures(), first.fault_failures());
+        }
+
+        #[test]
+        fn multi_job_env_threads_faults_through_reset() {
+            let job = |runtime: u64| {
+                let mut b = DagBuilder::new(1);
+                b.add_task(Task::new(runtime, ResourceVec::from_slice(&[0.6])));
+                b.build().unwrap()
+            };
+            let queue = JobQueue::new(vec![(0, job(3)), (2, job(4))]).unwrap();
+            let spec = ClusterSpec::unit(1);
+            let plan = flaky(0.5, 6);
+            let mut env = MultiJobEnv::new(&queue, &spec).unwrap().with_faults(plan);
+            let mut driver = EpisodeDriver::new(first_legal());
+            driver.drive(&mut env, &mut NoRng, u64::MAX).unwrap();
+            let report = env.jct_report();
+            assert_eq!(report.completions().len(), 2);
+            env.reset().unwrap();
+            assert_eq!(env.observe().fault_plan(), Some(&plan));
+            driver.drive(&mut env, &mut NoRng, u64::MAX).unwrap();
+            assert_eq!(env.jct_report(), report, "seeded faults replay identically");
+        }
+
+        #[cfg(feature = "obs")]
+        #[test]
+        fn fault_metrics_flow_into_the_obs_sink() {
+            use spear_obs::MetricsRegistry;
+
+            let dag = diamond();
+            let spec = ClusterSpec::unit(1);
+            let registry = MetricsRegistry::new();
+            let obs = registry.sink("episode");
+            let mut env = SimEnv::new(&dag, &spec).unwrap().with_faults(flaky(0.4, 8));
+            let mut driver = EpisodeDriver::new(first_legal()).with_obs(&obs);
+            driver.drive(&mut env, &mut NoRng, u64::MAX).unwrap();
+            let snapshot = registry.snapshot();
+            let failures = env.observe().fault_failures();
+            assert!(failures > 0, "plan at 0.4 should bite");
+            assert_eq!(
+                snapshot.counter_value("sim.faults.injected"),
+                Some(failures)
+            );
+            assert_eq!(snapshot.counter_value("sim.faults.retries"), Some(failures));
+            assert_eq!(
+                snapshot.histogram_count("sim.faults.reexec_latency"),
+                Some(failures)
+            );
         }
     }
 

@@ -53,6 +53,14 @@ pub enum ClusterError {
         /// The offending resource dimension.
         dim: usize,
     },
+    /// Fault injection: a task failed every attempt its retry budget
+    /// allowed, poisoning the episode (it can never complete).
+    RetriesExhausted {
+        /// The task that ran out of retries.
+        task: TaskId,
+        /// Attempts it burned (`max_retries + 1`).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -88,6 +96,10 @@ impl fmt::Display for ClusterError {
             ClusterError::CapacityViolation { time, dim } => write!(
                 f,
                 "capacity of dimension {dim} exceeded at time slot {time}"
+            ),
+            ClusterError::RetriesExhausted { task, attempts } => write!(
+                f,
+                "task {task} failed all {attempts} execution attempts; retry budget exhausted"
             ),
         }
     }
@@ -249,6 +261,10 @@ mod tests {
                 child: TaskId::new(1),
             },
             ClusterError::CapacityViolation { time: 9, dim: 1 },
+            ClusterError::RetriesExhausted {
+                task: TaskId::new(5),
+                attempts: 4,
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -1,0 +1,624 @@
+//! Seeded fault injection: deterministic task failures, stragglers and
+//! bounded re-execution.
+//!
+//! The fault model follows the open-cluster evaluations of Decima and
+//! Graphene: schedulers plan against the *fault-free projected DAG* —
+//! their view of runtimes is never corrupted — and faults bite at
+//! execution time. A [`FaultPlan`] maps every `(task, attempt)` pair to a
+//! [`FaultOutcome`] by pure seeded hashing, so fault realizations are a
+//! deterministic function of `(plan, task, attempt)` with no RNG stream
+//! to keep aligned: replaying the same plan over the same dispatch order
+//! reproduces the run bit for bit, and two schedulers compared under the
+//! same plan face identical per-attempt luck.
+//!
+//! Three outcomes exist per attempt:
+//!
+//! * **Failure** — the attempt aborts after a seeded fraction of its
+//!   runtime. The simulator frees the task's resources at the failure
+//!   slot and re-queues it (dependencies are untouched: a failed task
+//!   never completed, so its children were never released).
+//! * **Straggle** — the attempt runs to completion but occupies the
+//!   cluster for `ceil(runtime * straggler_factor)` slots.
+//! * **None** — the attempt behaves exactly as planned.
+//!
+//! Retries are bounded: once a task has failed `max_retries + 1`
+//! attempts the episode is poisoned and fails fast with
+//! [`ClusterError::RetriesExhausted`].
+//!
+//! [`execute_under_faults`] replays a fault-free planned [`Schedule`]
+//! under a plan with greedy priority dispatch (planned `(start, task)`
+//! order), returning the realized [`FaultyRun`];
+//! [`execute_multi_under_faults`] is the multi-job, horizon-aware
+//! variant.
+
+use serde::{Deserialize, Serialize};
+use spear_dag::{Dag, TaskId};
+
+use crate::audit::InvariantAuditor;
+use crate::jobs::{JctReport, JobQueue};
+use crate::state::mix64;
+use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule, SimState, SpearError};
+
+/// Hash-domain salt of the fail/no-fail draw.
+const SALT_FAIL: u64 = 0x1fd3_4c2b_9a6e_8d17;
+/// Hash-domain salt of the failure-point draw (fraction of runtime).
+const SALT_POINT: u64 = 0x6b79_0b5c_2d84_f3a1;
+/// Hash-domain salt of the straggle/no-straggle draw.
+const SALT_STRAGGLE: u64 = 0xb4e5_d621_7f38_0c95;
+/// Hash-domain salt of the per-(task, attempts) fingerprint keys.
+const SALT_ATTEMPT: u64 = 0x94c1_73ae_55d9_216b;
+
+/// Uniform draw in `[0, 1)` from the top 53 bits of a mixed hash.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Zobrist-style key of one task's attempt counter, XOR-folded into the
+/// state fingerprints so two states that differ only in retry history
+/// (and therefore in future fault outcomes) never alias. Zero attempts
+/// key to zero, keeping fresh fault states' hash at 0.
+#[inline]
+pub(crate) fn attempt_key(task: usize, attempts: u32) -> u64 {
+    if attempts == 0 {
+        return 0;
+    }
+    mix64(
+        (task as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)
+            ^ u64::from(attempts).wrapping_mul(0xff51_afd7_ed55_8ccd)
+            ^ SALT_ATTEMPT,
+    )
+}
+
+/// What fault (if any) a given execution attempt of a task suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The attempt runs exactly as planned.
+    None,
+    /// The attempt aborts `after` slots of occupancy (`1 <= after <=
+    /// runtime`): resources are freed at `start + after` and the task
+    /// re-queues.
+    Fail {
+        /// Slots the failed attempt occupies before aborting.
+        after: u64,
+    },
+    /// The attempt completes but occupies the cluster for `slots >
+    /// runtime` slots.
+    Straggle {
+        /// Total slots the straggling attempt occupies.
+        slots: u64,
+    },
+}
+
+/// A deterministic, seeded fault realization: maps every `(task,
+/// attempt)` pair to a [`FaultOutcome`] by pure hashing.
+///
+/// `FaultPlan::none()` is the identity plan — a simulator carrying it is
+/// bit-identical to one carrying no plan at all (see
+/// [`SimState::with_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the per-(task, attempt) hash draws.
+    pub seed: u64,
+    /// Probability that an attempt fails mid-run, in `[0, 1]`.
+    pub fail_rate: f64,
+    /// Probability that a non-failing attempt straggles, in `[0, 1]`.
+    pub straggler_rate: f64,
+    /// Occupancy multiplier of a straggling attempt (`> 1` to have any
+    /// effect); the realized occupancy is `ceil(runtime * factor)`.
+    pub straggler_factor: f64,
+    /// Failed attempts a task may accumulate beyond its first attempt
+    /// before the episode fails fast ([`ClusterError::RetriesExhausted`]).
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: no failures, no stragglers.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            fail_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 1.0,
+            max_retries: 0,
+        }
+    }
+
+    /// `true` when the plan can never perturb an execution.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.fail_rate <= 0.0 && (self.straggler_rate <= 0.0 || self.straggler_factor <= 1.0)
+    }
+
+    /// Maximum execution attempts per task (`max_retries + 1`).
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// One seeded uniform draw in `[0, 1)` per `(task, attempt, salt)`.
+    #[inline]
+    fn draw(&self, task: TaskId, attempt: u32, salt: u64) -> f64 {
+        unit(mix64(
+            self.seed
+                ^ (task.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ u64::from(attempt).wrapping_mul(0xc4ce_b9fe_1a85_ec53)
+                ^ salt,
+        ))
+    }
+
+    /// The fault outcome of execution attempt `attempt` (0-based) of
+    /// `task`, whose fault-free runtime is `runtime`. Pure: the same
+    /// arguments always yield the same outcome. Failure is drawn first
+    /// and excludes straggling; zero-runtime tasks never fault (there is
+    /// nothing to interrupt or stretch).
+    #[must_use]
+    pub fn outcome(&self, task: TaskId, attempt: u32, runtime: u64) -> FaultOutcome {
+        if self.is_none() || runtime == 0 {
+            return FaultOutcome::None;
+        }
+        if self.fail_rate > 0.0 && self.draw(task, attempt, SALT_FAIL) < self.fail_rate {
+            // Failure point at a seeded fraction of the runtime, clamped
+            // into [1, runtime] so a failed attempt always occupies at
+            // least one slot and never outlives its fault-free finish.
+            let frac = self.draw(task, attempt, SALT_POINT);
+            let after = 1 + (frac * runtime as f64) as u64;
+            return FaultOutcome::Fail {
+                after: after.min(runtime),
+            };
+        }
+        if self.straggler_rate > 0.0
+            && self.straggler_factor > 1.0
+            && self.draw(task, attempt, SALT_STRAGGLE) < self.straggler_rate
+        {
+            let slots = (runtime as f64 * self.straggler_factor).ceil() as u64;
+            if slots > runtime {
+                return FaultOutcome::Straggle { slots };
+            }
+        }
+        FaultOutcome::None
+    }
+
+    /// Slots attempt `attempt` of `task` occupies the cluster for:
+    /// `runtime` unless the attempt fails early or straggles long.
+    #[must_use]
+    pub fn run_slots(&self, task: TaskId, attempt: u32, runtime: u64) -> u64 {
+        match self.outcome(task, attempt, runtime) {
+            FaultOutcome::None => runtime,
+            FaultOutcome::Fail { after } => after,
+            FaultOutcome::Straggle { slots } => slots,
+        }
+    }
+}
+
+/// One aborted execution attempt: the task occupied the cluster over
+/// `[start, end)` and then failed, freeing its resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailedRun {
+    /// The task that failed.
+    pub task: TaskId,
+    /// Slot the attempt started at.
+    pub start: u64,
+    /// Slot the attempt aborted at (exclusive; `end > start`).
+    pub end: u64,
+    /// 0-based attempt index of the aborted run.
+    pub attempt: u32,
+}
+
+/// Per-episode fault bookkeeping carried by [`SimState`] when a plan is
+/// attached. Boxed behind an `Option` so fault-free states grow by one
+/// pointer and skip every fault branch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct FaultState {
+    /// The plan realizing per-attempt outcomes.
+    pub(crate) plan: FaultPlan,
+    /// Execution attempts started per task (monotone; incremented at
+    /// schedule time).
+    pub(crate) attempts: Vec<u32>,
+    /// Clock of each task's most recent failure (meaningful once the
+    /// task has failed at least once) — feeds the re-execution latency
+    /// histogram.
+    pub(crate) last_fail: Vec<u64>,
+    /// Every aborted attempt, in failure order: the capacity these runs
+    /// held over `[start, end)` is part of the realized resource usage
+    /// and is re-checked by the fault-aware judges.
+    pub(crate) failed_runs: Vec<FailedRun>,
+    /// Straggling attempts started so far.
+    pub(crate) straggles: u64,
+    /// The first task to exhaust its retry budget, if any: a poison
+    /// marker that makes the state terminal and the episode fail fast.
+    pub(crate) exhausted: Option<TaskId>,
+    /// Incremental XOR-set of [`attempt_key`]s, folded into the state
+    /// fingerprints: states differing only in retry history differ in
+    /// future fault outcomes and must not alias.
+    pub(crate) attempt_hash: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, tasks: usize) -> Self {
+        FaultState {
+            plan,
+            attempts: vec![0; tasks],
+            last_fail: vec![0; tasks],
+            failed_runs: Vec::new(),
+            straggles: 0,
+            exhausted: None,
+            attempt_hash: 0,
+        }
+    }
+
+    /// From-scratch recomputation of [`FaultState::attempt_hash`] — the
+    /// invariant auditor's ground truth.
+    pub(crate) fn recompute_attempt_hash(&self) -> u64 {
+        self.attempts
+            .iter()
+            .enumerate()
+            .fold(0, |h, (i, &a)| h ^ attempt_key(i, a))
+    }
+}
+
+/// The realized outcome of executing a planned schedule under faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyRun {
+    /// The realized schedule: one placement per *started* task, with the
+    /// final attempt's actual start and occupancy (straggling attempts
+    /// finish later than `start + runtime`). Complete in single-job
+    /// runs; may omit never-started tasks under a multi-job horizon.
+    pub schedule: Schedule,
+    /// Every aborted attempt, in failure order.
+    pub failed_runs: Vec<FailedRun>,
+    /// Execution attempts started per task.
+    pub attempts: Vec<u32>,
+    /// Realized makespan (the last effective finish; equals
+    /// `schedule.makespan()`).
+    pub makespan: u64,
+    /// Total failed attempts (`== failed_runs.len()`).
+    pub failures: u64,
+    /// Total straggling attempts.
+    pub straggles: u64,
+}
+
+/// The realized outcome of a multi-job execution under faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFaultyRun {
+    /// The realized run (partial if the horizon cut the episode).
+    pub run: FaultyRun,
+    /// Fault-aware JCT report over the realized execution (censored at
+    /// the final clock when truncated).
+    pub report: JctReport,
+    /// `true` when the horizon cut the episode before all jobs finished.
+    pub truncated: bool,
+}
+
+/// Sorts a planned schedule into the greedy dispatch priority order:
+/// ascending planned start, ties by task id.
+fn dispatch_order(planned: &Schedule) -> Vec<TaskId> {
+    let mut order: Vec<(u64, TaskId)> = planned
+        .placements()
+        .iter()
+        .map(|p| (p.start, p.task))
+        .collect();
+    order.sort_unstable();
+    order.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Greedy priority dispatch of `order` over `sim` until terminal (or the
+/// horizon): schedule the first priority-order task that is ready and
+/// fits, else process. Deterministic given `(order, plan)`; fails fast
+/// with [`ClusterError::RetriesExhausted`] when a task runs out of
+/// retries, and audits every step when an auditor is supplied.
+fn dispatch(
+    dag: &Dag,
+    order: &[TaskId],
+    sim: &mut SimState,
+    mut auditor: Option<&mut InvariantAuditor>,
+    horizon: Option<u64>,
+) -> Result<(), SpearError> {
+    if let Some(a) = auditor.as_deref_mut() {
+        a.check(dag, sim)?;
+    }
+    loop {
+        if let Some(task) = sim.exhausted() {
+            return Err(ClusterError::RetriesExhausted {
+                task,
+                attempts: sim.attempts_of(task),
+            }
+            .into());
+        }
+        if sim.is_terminal(dag) || horizon.is_some_and(|h| sim.clock() >= h) {
+            return Ok(());
+        }
+        let action = order
+            .iter()
+            .copied()
+            .find(|&t| sim.can_schedule(dag, t))
+            .map_or(Action::Process, Action::Schedule);
+        sim.apply(dag, action)?;
+        if let Some(a) = auditor.as_deref_mut() {
+            a.check(dag, sim)?;
+        }
+    }
+}
+
+/// Freezes the (possibly partial) realized schedule out of a fault-aware
+/// simulation: one placement per started task, finish = start + the
+/// final attempt's effective occupancy.
+fn realized_schedule(dag: &Dag, sim: &SimState) -> Schedule {
+    let mut placements = Vec::new();
+    let mut makespan = 0u64;
+    for i in 0..dag.len() {
+        let task = TaskId::new(i);
+        if let Some(start) = sim.start_of(task) {
+            let finish = start + sim.run_slots_of(dag, task);
+            makespan = makespan.max(finish);
+            placements.push(Placement {
+                task,
+                start,
+                finish,
+            });
+        }
+    }
+    Schedule::from_placements(placements, makespan)
+}
+
+fn freeze_run(dag: &Dag, sim: &SimState) -> FaultyRun {
+    let schedule = realized_schedule(dag, sim);
+    let makespan = schedule.makespan();
+    FaultyRun {
+        schedule,
+        failed_runs: sim.failed_runs().to_vec(),
+        attempts: (0..dag.len())
+            .map(|i| sim.attempts_of(TaskId::new(i)))
+            .collect(),
+        makespan,
+        failures: sim.fault_failures(),
+        straggles: sim.fault_straggles(),
+    }
+}
+
+fn execute_impl(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    planned: &Schedule,
+    plan: &FaultPlan,
+    audited: bool,
+) -> Result<FaultyRun, SpearError> {
+    let mut sim = SimState::new(dag, spec)?.with_faults(*plan);
+    let order = dispatch_order(planned);
+    let mut auditor = audited.then(InvariantAuditor::new);
+    dispatch(dag, &order, &mut sim, auditor.as_mut(), None)?;
+    Ok(freeze_run(dag, &sim))
+}
+
+/// Executes a fault-free planned schedule under `plan` with greedy
+/// priority dispatch (planned `(start, task)` order) and returns the
+/// realized run. With `FaultPlan::none()` the realized schedule equals
+/// the planned one re-simulated, bit for bit.
+///
+/// # Errors
+///
+/// [`ClusterError::RetriesExhausted`] when a task fails more than
+/// `max_retries + 1` attempts; construction errors as [`SimState::new`].
+pub fn execute_under_faults(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    planned: &Schedule,
+    plan: &FaultPlan,
+) -> Result<FaultyRun, SpearError> {
+    execute_impl(dag, spec, planned, plan, false)
+}
+
+/// [`execute_under_faults`] with the invariant auditor checking the
+/// simulation after every step — the sim-replay judge of the fault-aware
+/// differential harness.
+///
+/// # Errors
+///
+/// Additionally [`SpearError::Audit`] on any invariant violation.
+pub fn execute_under_faults_audited(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    planned: &Schedule,
+    plan: &FaultPlan,
+) -> Result<FaultyRun, SpearError> {
+    execute_impl(dag, spec, planned, plan, true)
+}
+
+/// Executes a planned multi-job union schedule under `plan`, stopping at
+/// `horizon` (if given) like [`MultiJobEnv`](crate::MultiJobEnv): the
+/// realized run may then be partial and the JCT report censored at the
+/// final clock.
+///
+/// # Errors
+///
+/// As [`execute_under_faults`]; retry exhaustion fails fast even under a
+/// horizon.
+pub fn execute_multi_under_faults(
+    queue: &JobQueue,
+    spec: &ClusterSpec,
+    planned: &Schedule,
+    plan: &FaultPlan,
+    horizon: Option<u64>,
+) -> Result<MultiFaultyRun, SpearError> {
+    let dag = queue.union_dag();
+    let mut sim = SimState::new_multi(queue, spec)?.with_faults(*plan);
+    let order = dispatch_order(planned);
+    dispatch(dag, &order, &mut sim, None, horizon)?;
+    let truncated = !sim.is_terminal(dag);
+    let report = queue.jct_report_partial(&sim);
+    Ok(MultiFaultyRun {
+        run: freeze_run(dag, &sim),
+        report,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_dag::{DagBuilder, ResourceVec, Task};
+
+    fn plan(fail_rate: f64, straggler_rate: f64, factor: f64, retries: u32) -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            fail_rate,
+            straggler_rate,
+            straggler_factor: factor,
+            max_retries: retries,
+        }
+    }
+
+    fn diamond(dims: usize) -> Dag {
+        let mut b = DagBuilder::new(dims);
+        let demand = ResourceVec::from_slice(&vec![0.4; dims]);
+        let a = b.add_task(Task::new(3, demand.clone()));
+        let c = b.add_task(Task::new(2, demand.clone()));
+        let d = b.add_task(Task::new(4, demand.clone()));
+        let e = b.add_task(Task::new(1, demand));
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        b.add_edge(c, e).unwrap();
+        b.add_edge(d, e).unwrap();
+        b.build().unwrap()
+    }
+
+    fn greedy_schedule(dag: &Dag, spec: &ClusterSpec) -> Schedule {
+        let mut sim = SimState::new(dag, spec).unwrap();
+        sim.run_with(dag, |_, actions| actions[0]).unwrap();
+        sim.into_schedule(dag)
+    }
+
+    #[test]
+    fn outcomes_are_pure_and_bounded() {
+        let p = plan(0.3, 0.3, 1.5, 2);
+        for task in 0..40 {
+            for attempt in 0..4 {
+                let t = TaskId::new(task);
+                let a = p.outcome(t, attempt, 10);
+                assert_eq!(a, p.outcome(t, attempt, 10), "outcome must be pure");
+                match a {
+                    FaultOutcome::None => {}
+                    FaultOutcome::Fail { after } => {
+                        assert!((1..=10).contains(&after), "fail point {after} out of range")
+                    }
+                    FaultOutcome::Straggle { slots } => {
+                        assert!(slots > 10, "straggle must stretch occupancy");
+                        assert_eq!(slots, 15);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn none_plan_never_faults_and_zero_runtime_is_immune() {
+        let none = FaultPlan::none();
+        assert!(none.is_none());
+        for task in 0..20 {
+            assert_eq!(none.outcome(TaskId::new(task), 0, 7), FaultOutcome::None);
+        }
+        let certain = plan(1.0, 1.0, 3.0, 1);
+        assert_eq!(certain.outcome(TaskId::new(0), 0, 0), FaultOutcome::None);
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honored() {
+        let p = plan(0.2, 0.0, 1.0, 0);
+        let fails = (0..2000)
+            .filter(|&i| matches!(p.outcome(TaskId::new(i), 0, 5), FaultOutcome::Fail { .. }))
+            .count();
+        let rate = fails as f64 / 2000.0;
+        assert!((rate - 0.2).abs() < 0.03, "realized fail rate {rate}");
+    }
+
+    #[test]
+    fn attempt_keys_track_retry_history() {
+        assert_eq!(attempt_key(3, 0), 0);
+        assert_ne!(attempt_key(3, 1), attempt_key(3, 2));
+        assert_ne!(attempt_key(3, 1), attempt_key(4, 1));
+        let mut fs = FaultState::new(plan(0.5, 0.0, 1.0, 3), 4);
+        assert_eq!(fs.recompute_attempt_hash(), 0);
+        fs.attempts[2] = 2;
+        fs.attempts[0] = 1;
+        assert_eq!(
+            fs.recompute_attempt_hash(),
+            attempt_key(2, 2) ^ attempt_key(0, 1)
+        );
+    }
+
+    #[test]
+    fn none_plan_execution_reproduces_the_planned_schedule() {
+        let dag = diamond(2);
+        let spec = ClusterSpec::unit(2);
+        let planned = greedy_schedule(&dag, &spec);
+        let run = execute_under_faults_audited(&dag, &spec, &planned, &FaultPlan::none()).unwrap();
+        assert_eq!(run.schedule, planned);
+        assert_eq!(run.failures, 0);
+        assert_eq!(run.straggles, 0);
+        assert!(run.failed_runs.is_empty());
+        assert!(run.attempts.iter().all(|&a| a == 1));
+    }
+
+    #[test]
+    fn faulty_execution_is_deterministic_and_degrades_makespan() {
+        let dag = diamond(2);
+        let spec = ClusterSpec::unit(2);
+        let planned = greedy_schedule(&dag, &spec);
+        let p = plan(0.35, 0.3, 2.0, 5);
+        let a = execute_under_faults_audited(&dag, &spec, &planned, &p).unwrap();
+        let b = execute_under_faults(&dag, &spec, &planned, &p).unwrap();
+        assert_eq!(a, b, "same plan must realize the same run");
+        assert!(a.makespan >= planned.makespan());
+    }
+
+    #[test]
+    fn exhausted_retries_fail_fast_with_a_typed_error() {
+        let dag = diamond(1);
+        let spec = ClusterSpec::unit(1);
+        let planned = greedy_schedule(&dag, &spec);
+        let p = plan(1.0, 0.0, 1.0, 2);
+        let err = execute_under_faults(&dag, &spec, &planned, &p).unwrap_err();
+        match err.root_cause() {
+            SpearError::Cluster(ClusterError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_job_execution_reports_censored_jcts_under_a_horizon() {
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(4, ResourceVec::from_slice(&[0.6])));
+        let d0 = b.build().unwrap();
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(4, ResourceVec::from_slice(&[0.6])));
+        let d1 = b.build().unwrap();
+        let queue = JobQueue::new(vec![(0, d0), (1, d1)]).unwrap();
+        let spec = ClusterSpec::unit(1);
+        let planned = {
+            let mut sim = SimState::new_multi(&queue, &spec).unwrap();
+            sim.run_with(queue.union_dag(), |_, actions| actions[0])
+                .unwrap();
+            sim.into_schedule(queue.union_dag())
+        };
+        // Job 0 occupies the cluster until t=4, so the horizon at t=3
+        // cuts the episode before job 1 can start.
+        let out = execute_multi_under_faults(&queue, &spec, &planned, &FaultPlan::none(), Some(3))
+            .unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.report.completions().len(), 1);
+        assert_eq!(out.report.unfinished(), 1);
+        let full =
+            execute_multi_under_faults(&queue, &spec, &planned, &FaultPlan::none(), None).unwrap();
+        assert!(!full.truncated);
+        assert_eq!(full.report.unfinished(), 0);
+    }
+}

@@ -200,38 +200,59 @@ impl JobQueue {
 
     /// Per-job completion-time report of a complete union schedule.
     pub fn jct_report(&self, schedule: &Schedule) -> JctReport {
-        self.report_from_starts(|task| schedule.placement_of(task).map(|p| p.start))
+        self.report_from_finishes(None, |task| schedule.placement_of(task).map(|p| p.finish))
     }
 
     /// Per-job completion-time report of a (possibly horizon-truncated)
     /// simulation state. A job counts as completed once all of its tasks
     /// are *scheduled* — their finish times are then determined even if
     /// the clock has not yet reached them; jobs with unscheduled tasks are
-    /// tallied as `unfinished`.
+    /// tallied as `unfinished` and contribute a clock-censored slowdown
+    /// lower bound to [`JctReport::unfairness`]. Under fault injection a
+    /// task's finish accounts for its straggler-stretched occupancy, and
+    /// failed (retracted) attempts leave the task unscheduled again.
     pub fn jct_report_partial(&self, state: &SimState) -> JctReport {
-        self.report_from_starts(|task| state.start_of(task))
+        self.report_from_finishes(Some(state.clock()), |task| {
+            state
+                .start_of(task)
+                .map(|start| start + state.run_slots_of(&self.union, task))
+        })
     }
 
-    fn report_from_starts<F: Fn(TaskId) -> Option<u64>>(&self, start_of: F) -> JctReport {
+    /// `censor` is the observation clock of a truncated episode: each
+    /// unfinished job contributes the slowdown lower bound
+    /// `max(ideal, censor − arrival) / ideal` (it has provably waited that
+    /// long). `None` (complete-schedule reports) falls back to the neutral
+    /// bound `1.0`.
+    fn report_from_finishes<F: Fn(TaskId) -> Option<u64>>(
+        &self,
+        censor: Option<u64>,
+        finish_of: F,
+    ) -> JctReport {
         let mut completions = Vec::with_capacity(self.spans.len());
         let mut unfinished = 0usize;
+        let mut censored_slowdowns = Vec::new();
         for span in &self.spans {
             let mut finish = 0u64;
             let mut complete = true;
             for local in 0..span.tasks {
                 let task = TaskId::new(span.first_task + local);
-                match start_of(task) {
-                    Some(start) => {
-                        finish = finish.max(start + self.union.task(task).runtime());
-                    }
+                match finish_of(task) {
+                    Some(end) => finish = finish.max(end),
                     None => {
                         complete = false;
                         break;
                     }
                 }
             }
+            let ideal = span.ideal.max(1);
             if !complete {
                 unfinished += 1;
+                let lower = match censor {
+                    Some(clock) => ideal.max(clock.saturating_sub(span.arrival)),
+                    None => ideal,
+                };
+                censored_slowdowns.push(lower as f64 / ideal as f64);
                 continue;
             }
             let jct = finish - span.arrival;
@@ -240,12 +261,13 @@ impl JobQueue {
                 arrival: span.arrival,
                 finish,
                 jct,
-                slowdown: jct as f64 / span.ideal.max(1) as f64,
+                slowdown: jct as f64 / ideal as f64,
             });
         }
         JctReport {
             completions,
             unfinished,
+            censored_slowdowns,
         }
     }
 }
@@ -275,6 +297,11 @@ pub struct JobCompletion {
 pub struct JctReport {
     completions: Vec<JobCompletion>,
     unfinished: usize,
+    /// Slowdown lower bounds of the unfinished jobs (censored at the
+    /// observation clock), parallel to nothing — one entry per unfinished
+    /// job, in queue order.
+    #[serde(default)]
+    censored_slowdowns: Vec<f64>,
 }
 
 impl JctReport {
@@ -289,49 +316,71 @@ impl JctReport {
         self.unfinished
     }
 
-    /// Mean JCT over completed jobs (0.0 if none completed).
-    pub fn mean_jct(&self) -> f64 {
-        if self.completions.is_empty() {
-            return 0.0;
-        }
-        let total: u64 = self.completions.iter().map(|c| c.jct).sum();
-        total as f64 / self.completions.len() as f64
+    /// Censored slowdown lower bounds of the unfinished jobs (queue
+    /// order): each has provably waited `clock − arrival` slots already,
+    /// so its eventual slowdown is at least that over its ideal.
+    pub fn censored_slowdowns(&self) -> &[f64] {
+        &self.censored_slowdowns
     }
 
-    /// Nearest-rank percentile of the JCT distribution; `p` in `(0, 100]`.
-    /// Returns 0 if no job completed.
-    pub fn percentile_jct(&self, p: f64) -> u64 {
+    /// Mean JCT over completed jobs; `None` if no job completed (a
+    /// horizon-truncated run where nothing finished has no JCT sample, not
+    /// a perfect one).
+    pub fn mean_jct(&self) -> Option<f64> {
         if self.completions.is_empty() {
-            return 0;
+            return None;
+        }
+        let total: u64 = self.completions.iter().map(|c| c.jct).sum();
+        Some(total as f64 / self.completions.len() as f64)
+    }
+
+    /// Nearest-rank percentile of the JCT distribution; `p` must lie in
+    /// `(0, 100]` (debug-asserted). `None` if no job completed.
+    pub fn percentile_jct(&self, p: f64) -> Option<u64> {
+        debug_assert!(
+            p > 0.0 && p <= 100.0,
+            "percentile {p} outside the nearest-rank domain (0, 100]"
+        );
+        if self.completions.is_empty() {
+            return None;
         }
         let mut jcts: Vec<u64> = self.completions.iter().map(|c| c.jct).collect();
         jcts.sort_unstable();
         let rank = ((p / 100.0) * jcts.len() as f64).ceil() as usize;
-        jcts[rank.clamp(1, jcts.len()) - 1]
+        Some(jcts[rank.clamp(1, jcts.len()) - 1])
     }
 
-    /// Median (p50, nearest-rank) JCT.
-    pub fn p50_jct(&self) -> u64 {
+    /// Median (p50, nearest-rank) JCT; `None` if no job completed.
+    pub fn p50_jct(&self) -> Option<u64> {
         self.percentile_jct(50.0)
     }
 
-    /// Tail (p99, nearest-rank) JCT.
-    pub fn p99_jct(&self) -> u64 {
+    /// Tail (p99, nearest-rank) JCT; `None` if no job completed.
+    pub fn p99_jct(&self) -> Option<u64> {
         self.percentile_jct(99.0)
     }
 
-    /// Unfairness: the spread `max − min` of per-job slowdowns. Zero when
-    /// fewer than two jobs completed — and for a perfectly fair scheduler,
-    /// however loaded the cluster.
+    /// Unfairness: the spread `max − min` of per-job slowdowns, folding in
+    /// the censored lower bounds of unfinished jobs (a scheduler that
+    /// starves a job under a horizon must not look *fairer* for it). Zero
+    /// when fewer than two jobs contribute — and for a perfectly fair
+    /// scheduler, however loaded the cluster.
     pub fn unfairness(&self) -> f64 {
-        if self.completions.len() < 2 {
-            return 0.0;
-        }
+        let points = self
+            .completions
+            .iter()
+            .map(|c| c.slowdown)
+            .chain(self.censored_slowdowns.iter().copied());
+        let mut count = 0usize;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        for c in &self.completions {
-            min = min.min(c.slowdown);
-            max = max.max(c.slowdown);
+        for s in points {
+            count += 1;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        if count < 2 {
+            return 0.0;
         }
         max - min
     }
@@ -511,9 +560,9 @@ mod tests {
         assert_eq!(report.completions().len(), 2);
         assert_eq!(report.completions()[0].jct, 2);
         assert_eq!(report.completions()[1].jct, 4);
-        assert!((report.mean_jct() - 3.0).abs() < 1e-12);
-        assert_eq!(report.p50_jct(), 2);
-        assert_eq!(report.p99_jct(), 4);
+        assert!((report.mean_jct().unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(report.p50_jct(), Some(2));
+        assert_eq!(report.p99_jct(), Some(4));
         assert!((report.unfairness() - 1.0).abs() < 1e-12);
         assert_eq!(report.last_finish(), 7);
 
@@ -525,16 +574,102 @@ mod tests {
     }
 
     #[test]
-    fn empty_report_statistics_are_zero() {
+    fn empty_report_statistics_are_absent_not_zero() {
         let report = JctReport {
             completions: Vec::new(),
             unfinished: 3,
+            censored_slowdowns: vec![1.0, 2.5, 4.0],
         };
-        assert_eq!(report.mean_jct(), 0.0);
-        assert_eq!(report.p50_jct(), 0);
-        assert_eq!(report.p99_jct(), 0);
-        assert_eq!(report.unfairness(), 0.0);
+        assert_eq!(report.mean_jct(), None);
+        assert_eq!(report.p50_jct(), None);
+        assert_eq!(report.p99_jct(), None);
+        // Censored bounds still witness unfairness among the starved jobs.
+        assert!((report.unfairness() - 3.0).abs() < 1e-12);
         assert_eq!(report.last_finish(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside the nearest-rank domain")]
+    fn percentile_domain_is_debug_asserted() {
+        let queue = JobQueue::new(vec![(0, chain(&[2]))]).unwrap();
+        let schedule = Schedule::from_placements(
+            vec![Placement {
+                task: TaskId::new(0),
+                start: 0,
+                finish: 2,
+            }],
+            2,
+        );
+        let _ = queue.jct_report(&schedule).percentile_jct(0.0);
+    }
+
+    #[test]
+    fn nearest_rank_p99_of_twenty_jobs_is_the_max() {
+        // Nearest-rank property: for n = 20, rank(99%) = ceil(19.8) = 20,
+        // so p99 must be the maximum recorded JCT — exactly, for any
+        // distribution of values.
+        let mut jcts = [
+            3u64, 91, 14, 7, 7, 250, 1, 42, 42, 9, 88, 5, 63, 2, 17, 30, 11, 4, 6, 19,
+        ];
+        let report = JctReport {
+            completions: jcts
+                .iter()
+                .enumerate()
+                .map(|(job, &jct)| JobCompletion {
+                    job,
+                    arrival: 0,
+                    finish: jct,
+                    jct,
+                    slowdown: 1.0,
+                })
+                .collect(),
+            unfinished: 0,
+            censored_slowdowns: Vec::new(),
+        };
+        jcts.sort_unstable();
+        assert_eq!(report.p99_jct(), Some(jcts[19]));
+        assert_eq!(report.percentile_jct(100.0), Some(jcts[19]));
+        assert_eq!(report.percentile_jct(95.0), Some(jcts[18]));
+        // Smallest admissible percentile maps to the minimum.
+        assert_eq!(report.percentile_jct(0.01), Some(jcts[0]));
+        // Nearest-rank percentiles are monotone in p.
+        let mut prev = 0;
+        for p in 1..=100 {
+            let v = report.percentile_jct(p as f64).unwrap();
+            assert!(v >= prev, "percentile dipped at p={p}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn starvation_increases_unfairness() {
+        use crate::{Action, ClusterSpec, SimState};
+        use spear_dag::ResourceVec;
+
+        // Two identical one-task jobs, a cluster that fits only one at a
+        // time. Run job 0 to completion and leave job 1 starved while the
+        // clock sits at t=8 (job 0's task re-run horizon); the censored
+        // bound for job 1 is (8 − 0)/2 = 4.0 against job 0's slowdown 1.0.
+        let queue = JobQueue::new(vec![(0, chain(&[2, 2, 2, 2])), (0, chain(&[2]))]).unwrap();
+        let spec = ClusterSpec::new(ResourceVec::from_slice(&[0.75])).unwrap();
+        let mut sim = SimState::new_multi(&queue, &spec).unwrap();
+        for local in 0..4 {
+            sim.apply(queue.union_dag(), Action::Schedule(TaskId::new(local)))
+                .unwrap();
+            sim.apply(queue.union_dag(), Action::Process).unwrap();
+        }
+        assert_eq!(sim.clock(), 8);
+        let report = queue.jct_report_partial(&sim);
+        assert_eq!(report.unfinished(), 1);
+        // Job 0: jct 8 over ideal 8 → slowdown 1.0. Job 1: censored at
+        // clock 8 over ideal 2 → lower bound 4.0.
+        assert_eq!(report.censored_slowdowns(), &[4.0]);
+        assert!((report.unfairness() - 3.0).abs() < 1e-12);
+        // The pre-fix accounting (completed jobs only) would have reported
+        // a single-point spread of 0.0 — starvation made the run look
+        // perfectly fair.
+        assert_eq!(report.completions().len(), 1);
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod action;
 pub mod audit;
 pub mod env;
 mod error;
+pub mod faults;
 pub mod jobs;
 mod schedule;
 mod spec;
@@ -59,6 +60,10 @@ pub use env::{
     SimEnv,
 };
 pub use error::{ClusterError, ErrorContext, SpearError};
+pub use faults::{
+    execute_multi_under_faults, execute_under_faults, execute_under_faults_audited, FailedRun,
+    FaultOutcome, FaultPlan, FaultyRun, MultiFaultyRun,
+};
 pub use jobs::{JctReport, JobCompletion, JobQueue, JobSpan};
 pub use schedule::{Placement, Schedule};
 pub use spec::ClusterSpec;

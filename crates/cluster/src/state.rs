@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use spear_dag::topo::ReadyTracker;
 use spear_dag::{Dag, ResourceVec, TaskId, FIT_EPSILON};
 
+use crate::faults::{attempt_key, FailedRun, FaultOutcome, FaultPlan, FaultState};
 use crate::jobs::{JobQueue, MultiJob};
 use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule};
 
@@ -40,7 +41,7 @@ const FRONTIER_SEED: u64 = 0x27d4_eb2f_1656_67c5;
 
 /// SplitMix64 finalizer: a cheap full-avalanche bijection on `u64`.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -126,6 +127,12 @@ pub struct SimState {
     // the single-job state grows by one pointer, not five vectors.
     #[serde(default)]
     pub(crate) multi: Option<Box<MultiJob>>,
+    // Fault-injection bookkeeping; `None` in fault-free episodes, which
+    // therefore stay bit-identical to the pre-fault simulator (every
+    // fault branch below is behind this option). Boxed for the same
+    // one-pointer-growth reason as `multi`.
+    #[serde(default)]
+    pub(crate) faults: Option<Box<FaultState>>,
 }
 
 // Manual `Clone` so `clone_from` reuses every interior allocation. MCTS
@@ -145,6 +152,7 @@ impl Clone for SimState {
             max_finish: self.max_finish,
             placement_hash: self.placement_hash,
             multi: self.multi.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -161,6 +169,10 @@ impl Clone for SimState {
         self.placement_hash = source.placement_hash;
         match (&mut self.multi, &source.multi) {
             // Reuse the boxed bookkeeping's interior vectors.
+            (Some(dst), Some(src)) => dst.as_mut().clone_from(src.as_ref()),
+            (dst, src) => *dst = src.clone(),
+        }
+        match (&mut self.faults, &source.faults) {
             (Some(dst), Some(src)) => dst.as_mut().clone_from(src.as_ref()),
             (dst, src) => *dst = src.clone(),
         }
@@ -189,7 +201,28 @@ impl SimState {
             max_finish: 0,
             placement_hash: 0,
             multi: None,
+            faults: None,
         })
+    }
+
+    /// Attaches a fault plan to a *fresh* state (no task scheduled yet).
+    /// A [`FaultPlan::none`] plan attaches nothing: the state stays
+    /// bit-identical — same fingerprints, same serialization — to one
+    /// that never saw a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the simulation has already started.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        debug_assert_eq!(
+            self.scheduled, 0,
+            "fault plans must be attached before the simulation starts"
+        );
+        if !plan.is_none() {
+            self.faults = Some(Box::new(FaultState::new(plan, self.starts.len())));
+        }
+        self
     }
 
     /// Creates the initial state of a multi-job episode over `queue`'s
@@ -285,10 +318,12 @@ impl SimState {
         self.scheduled == self.starts.len()
     }
 
-    /// `true` when every task has completed.
+    /// `true` when every task has completed — or a task exhausted its
+    /// retry budget, which poisons the episode (see
+    /// [`SimState::exhausted`]).
     #[inline]
     pub fn is_terminal(&self, dag: &Dag) -> bool {
-        self.tracker.all_done(dag)
+        self.tracker.all_done(dag) || self.exhausted().is_some()
     }
 
     /// The makespan — the time the last task finishes — or `None` while
@@ -315,6 +350,80 @@ impl SimState {
     #[inline]
     pub fn is_multi_job(&self) -> bool {
         self.multi.is_some()
+    }
+
+    /// The attached fault plan, if any ([`SimState::with_faults`]).
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|f| &f.plan)
+    }
+
+    /// The task that exhausted its retry budget and poisoned the
+    /// episode, if any. A poisoned state is [terminal](Self::is_terminal)
+    /// but yields no schedule.
+    #[inline]
+    pub fn exhausted(&self) -> Option<TaskId> {
+        self.faults.as_deref().and_then(|f| f.exhausted)
+    }
+
+    /// Execution attempts started for `task` (0 before its first start;
+    /// always ≤ `max_retries + 1`). Without a fault plan every started
+    /// task has exactly one attempt.
+    #[inline]
+    pub fn attempts_of(&self, task: TaskId) -> u32 {
+        match self.faults.as_deref() {
+            Some(f) => f.attempts[task.index()],
+            None => u32::from(self.starts[task.index()].is_some()),
+        }
+    }
+
+    /// Total failed execution attempts so far (0 without a fault plan).
+    #[inline]
+    pub fn fault_failures(&self) -> u64 {
+        self.faults
+            .as_deref()
+            .map_or(0, |f| f.failed_runs.len() as u64)
+    }
+
+    /// Total straggling execution attempts started so far.
+    #[inline]
+    pub fn fault_straggles(&self) -> u64 {
+        self.faults.as_deref().map_or(0, |f| f.straggles)
+    }
+
+    /// Every aborted execution attempt so far, in failure order. The
+    /// capacity these runs held over `[start, end)` is part of the
+    /// realized resource usage.
+    #[inline]
+    pub fn failed_runs(&self) -> &[FailedRun] {
+        self.faults.as_deref().map_or(&[], |f| &f.failed_runs)
+    }
+
+    /// Clock of `task`'s most recent failed attempt, or `None` if it has
+    /// never failed.
+    pub fn last_failure_of(&self, task: TaskId) -> Option<u64> {
+        let f = self.faults.as_deref()?;
+        let i = task.index();
+        let failed = f.attempts[i].saturating_sub(u32::from(self.starts[i].is_some()));
+        (failed > 0).then_some(f.last_fail[i])
+    }
+
+    /// Slots the *current* (or final) execution attempt of `task`
+    /// occupies the cluster for: its fault-free runtime unless the
+    /// attached plan fails it early or straggles it long. Falls back to
+    /// the plain runtime for never-started tasks and fault-free states —
+    /// this is the effective-duration ground truth shared by
+    /// [`SimState::into_schedule`], the invariant auditor and the
+    /// fault-aware judges.
+    pub fn run_slots_of(&self, dag: &Dag, task: TaskId) -> u64 {
+        let runtime = dag.task(task).runtime();
+        match self.faults.as_deref() {
+            Some(f) if f.attempts[task.index()] > 0 => {
+                f.plan
+                    .run_slots(task, f.attempts[task.index()] - 1, runtime)
+            }
+            _ => runtime,
+        }
     }
 
     /// Jobs whose arrival time the clock has not reached yet (0 in the
@@ -411,6 +520,14 @@ impl SimState {
         if let Some(multi) = &self.multi {
             h = fold(h, multi.next_arrival as u64);
         }
+        // Fault injection: two states with identical placements but
+        // different retry histories face different *future* outcomes
+        // (the plan draws per attempt), so fold the attempt XOR-set.
+        // Fault-free states fold nothing, staying bit-identical to the
+        // pre-fault simulator.
+        if let Some(f) = self.faults.as_deref() {
+            h = fold(h, f.attempt_hash);
+        }
         h
     }
 
@@ -467,6 +584,12 @@ impl SimState {
             if let Some(arrival) = multi.next_arrival_time() {
                 h = fold(h, arrival - self.clock);
             }
+        }
+        // Same argument as `fold_fingerprint`: retry history changes the
+        // plan's future draws, so frontier-equal states with different
+        // attempt counts must not alias.
+        if let Some(f) = self.faults.as_deref() {
+            h = fold(h, f.attempt_hash);
         }
         h
     }
@@ -533,6 +656,10 @@ impl SimState {
     #[inline]
     pub fn legal_actions_into(&self, dag: &Dag, out: &mut Vec<Action>) {
         out.clear();
+        // A retry-exhausted state is terminal (poisoned): no actions.
+        if self.exhausted().is_some() {
+            return;
+        }
         for &t in self.tracker.ready() {
             if self.admits(dag.task(t).demand()) {
                 out.push(Action::Schedule(t));
@@ -608,7 +735,28 @@ impl SimState {
         self.tracker.take(task);
         self.used.add_assign(dag.task(task).demand());
         self.refresh_free();
-        let finish = self.clock + dag.task(task).runtime();
+        // Under a fault plan the attempt starts *now*: the attempt
+        // counter advances (with its fingerprint key) and the occupancy
+        // stretches or truncates per the plan's seeded outcome.
+        let slots = match self.faults.as_deref_mut() {
+            Some(f) => {
+                let i = task.index();
+                let attempt = f.attempts[i];
+                f.attempts[i] += 1;
+                f.attempt_hash ^= attempt_key(i, attempt) ^ attempt_key(i, attempt + 1);
+                let runtime = dag.task(task).runtime();
+                match f.plan.outcome(task, attempt, runtime) {
+                    FaultOutcome::None => runtime,
+                    FaultOutcome::Fail { after } => after,
+                    FaultOutcome::Straggle { slots } => {
+                        f.straggles += 1;
+                        slots
+                    }
+                }
+            }
+            None => dag.task(task).runtime(),
+        };
+        let finish = self.clock + slots;
         self.placement_hash ^= placement_key(task.index(), self.clock);
         self.running.push(Running { task, finish });
         self.starts[task.index()] = Some(self.clock);
@@ -637,12 +785,21 @@ impl SimState {
                 // could otherwise record a tiny negative `used`.
                 self.used
                     .saturating_sub_assign(dag.task(done.task).demand());
-                self.tracker.complete_in_place(dag, done.task);
-                if let Some(multi) = self.multi.as_deref_mut() {
-                    let job = multi.job_of(done.task.index());
-                    multi.completed[job] += 1;
-                    if multi.completed[job] as usize == multi.job_range(job).len() {
-                        multi.jobs_done += 1;
+                if self.attempt_failed(dag, done.task) {
+                    // The attempt aborted: the resources are freed (above)
+                    // but the task did not complete — its placement is
+                    // retracted and it re-queues (or poisons the episode
+                    // when its retry budget is spent). Dependencies need
+                    // no repair: a failed task never released children.
+                    self.retire_failed(done.task, next);
+                } else {
+                    self.tracker.complete_in_place(dag, done.task);
+                    if let Some(multi) = self.multi.as_deref_mut() {
+                        let job = multi.job_of(done.task.index());
+                        multi.completed[job] += 1;
+                        if multi.completed[job] as usize == multi.job_range(job).len() {
+                            multi.jobs_done += 1;
+                        }
                     }
                 }
             } else {
@@ -651,6 +808,54 @@ impl SimState {
         }
         self.advance_arrivals(dag);
         self.refresh_free();
+    }
+
+    /// Whether the retiring run of `task` is an aborted attempt (per the
+    /// attached plan) rather than a completion.
+    #[inline]
+    fn attempt_failed(&self, dag: &Dag, task: TaskId) -> bool {
+        self.faults.as_deref().is_some_and(|f| {
+            matches!(
+                f.plan
+                    .outcome(task, f.attempts[task.index()] - 1, dag.task(task).runtime()),
+                FaultOutcome::Fail { .. }
+            )
+        })
+    }
+
+    /// Retracts the placement of a just-aborted attempt of `task` at
+    /// clock `now` and re-queues the task — or poisons the episode when
+    /// its retry budget is exhausted. The caller has already freed the
+    /// attempt's resources and removed it from the running set.
+    fn retire_failed(&mut self, task: TaskId, now: u64) {
+        let i = task.index();
+        let start = self.starts[i]
+            .take()
+            .expect("a failing attempt was started");
+        self.scheduled -= 1;
+        // The placement XOR-set is self-inverse: re-keying the retracted
+        // `(task, start)` pair removes exactly that placement.
+        self.placement_hash ^= placement_key(i, start);
+        let f = self
+            .faults
+            .as_deref_mut()
+            .expect("attempt_failed implies a fault state");
+        f.failed_runs.push(FailedRun {
+            task,
+            start,
+            end: now,
+            attempt: f.attempts[i] - 1,
+        });
+        f.last_fail[i] = now;
+        if f.attempts[i] >= f.plan.max_attempts() {
+            // Keep the *first* exhaustion: it is the one that ended the
+            // episode, and determinism demands a stable culprit.
+            if f.exhausted.is_none() {
+                f.exhausted = Some(task);
+            }
+        } else {
+            self.tracker.insert_ready(task);
+        }
     }
 
     /// Injects every job whose arrival time the clock has reached: its
@@ -706,15 +911,24 @@ impl SimState {
         Ok(self.max_finish)
     }
 
-    /// Freezes a terminal state into a [`Schedule`].
+    /// Freezes a terminal state into a [`Schedule`]. Under a fault plan
+    /// the placements are *realized*: each finish reflects the final
+    /// attempt's effective occupancy (a straggler finishes later than
+    /// `start + runtime`).
     ///
     /// # Panics
     ///
-    /// Panics if the simulation is not terminal yet.
+    /// Panics if the simulation is not terminal yet, or if it terminated
+    /// by retry exhaustion (a poisoned episode has no schedule; check
+    /// [`SimState::exhausted`] first).
     pub fn into_schedule(self, dag: &Dag) -> Schedule {
         assert!(
             self.is_terminal(dag),
             "cannot extract a schedule from an unfinished simulation"
+        );
+        assert!(
+            self.exhausted().is_none(),
+            "cannot extract a schedule from a retry-exhausted simulation"
         );
         let placements = self
             .starts
@@ -726,7 +940,7 @@ impl SimState {
                 Placement {
                     task,
                     start,
-                    finish: start + dag.task(task).runtime(),
+                    finish: start + self.run_slots_of(dag, task),
                 }
             })
             .collect();
@@ -1244,6 +1458,168 @@ mod tests {
             assert_eq!(done.completions().len(), 2);
             assert_eq!(done.unfinished(), 0);
             assert_eq!(done.completions()[1].jct, 2); // arrived 5, ran 5..7
+        }
+    }
+
+    mod faults {
+        use super::*;
+        use crate::faults::FaultPlan;
+
+        /// A plan whose every attempt of every task fails.
+        fn always_fail(max_retries: u32) -> FaultPlan {
+            FaultPlan {
+                seed: 5,
+                fail_rate: 1.0,
+                straggler_rate: 0.0,
+                straggler_factor: 1.0,
+                max_retries,
+            }
+        }
+
+        #[test]
+        fn none_plan_attaches_nothing_and_stays_bit_identical() {
+            let dag = chain();
+            let spec = ClusterSpec::unit(1);
+            let plain = SimState::new(&dag, &spec).unwrap();
+            let mut faulty = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(FaultPlan::none());
+            assert!(faulty.faults.is_none());
+            assert_eq!(plain, faulty);
+            assert_eq!(plain.fingerprint(), faulty.fingerprint());
+            faulty.run_with(&dag, |_, actions| actions[0]).unwrap();
+            assert_eq!(faulty.makespan(), Some(5));
+        }
+
+        #[test]
+        fn failure_frees_resources_retracts_the_placement_and_requeues() {
+            let dag = chain();
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(always_fail(3));
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            let first_finish = sim.running()[0].finish;
+            assert!(
+                first_finish <= 2,
+                "failed attempt must not outlive the runtime"
+            );
+            sim.apply(&dag, Action::Process).unwrap();
+            // The attempt aborted: resources back, placement retracted,
+            // task ready again, child still gated.
+            assert_eq!(sim.free()[0], 1.0);
+            assert_eq!(sim.start_of(TaskId::new(0)), None);
+            assert_eq!(sim.ready(), &[TaskId::new(0)]);
+            assert_eq!(sim.completed(), 0);
+            assert_eq!(sim.attempts_of(TaskId::new(0)), 1);
+            assert_eq!(sim.fault_failures(), 1);
+            assert_eq!(sim.last_failure_of(TaskId::new(0)), Some(sim.clock()));
+            assert_eq!(sim.recompute_placement_hash(), sim.placement_hash);
+        }
+
+        #[test]
+        fn exhausted_retries_poison_the_episode() {
+            let dag = chain();
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(always_fail(1));
+            // max_retries = 1 → two attempts allowed, both fail.
+            for _ in 0..2 {
+                assert!(sim.exhausted().is_none());
+                sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+                sim.apply(&dag, Action::Process).unwrap();
+            }
+            assert_eq!(sim.exhausted(), Some(TaskId::new(0)));
+            assert!(sim.is_terminal(&dag));
+            assert!(sim.legal_actions(&dag).is_empty());
+            assert_eq!(sim.makespan(), None);
+            assert_eq!(
+                sim.apply(&dag, Action::Process).unwrap_err(),
+                ClusterError::SimulationFinished
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "retry-exhausted")]
+        fn into_schedule_panics_on_a_poisoned_episode() {
+            let dag = chain();
+            let mut sim = SimState::new(&dag, &ClusterSpec::unit(1))
+                .unwrap()
+                .with_faults(always_fail(0));
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(&dag, Action::Process).unwrap();
+            let _ = sim.into_schedule(&dag);
+        }
+
+        #[test]
+        fn retry_history_changes_the_fingerprints() {
+            // Drive two copies of the same state to the same frontier —
+            // one suffering a failure and retrying, one not — and check
+            // the attempt fold keeps their fingerprints distinct when
+            // their *visible* frontiers re-converge.
+            let dag = chain();
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec)
+                .unwrap()
+                .with_faults(always_fail(5));
+            let fresh = sim.fingerprint();
+            sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+            sim.apply(&dag, Action::Process).unwrap();
+            // Placement retracted: the placement component is back to the
+            // fresh value, but the attempt fold must keep the states
+            // distinct (the next attempt draws different luck).
+            assert_eq!(sim.recompute_placement_hash(), 0);
+            assert_ne!(sim.fingerprint(), fresh);
+        }
+
+        #[test]
+        fn stragglers_stretch_occupancy_without_failing() {
+            let plan = FaultPlan {
+                seed: 0,
+                fail_rate: 0.0,
+                straggler_rate: 1.0,
+                straggler_factor: 2.5,
+                max_retries: 0,
+            };
+            let dag = chain(); // runtimes 2 then 3
+            let spec = ClusterSpec::unit(1);
+            let mut sim = SimState::new(&dag, &spec).unwrap().with_faults(plan);
+            sim.run_with(&dag, |_, actions| actions[0]).unwrap();
+            // Both tasks straggle by 2.5×: 5 + 8 slots back to back.
+            assert_eq!(sim.makespan(), Some(13));
+            assert_eq!(sim.fault_straggles(), 2);
+            assert_eq!(sim.fault_failures(), 0);
+            let schedule = sim.into_schedule(&dag);
+            assert_eq!(schedule.placements()[0].finish, 5);
+            assert_eq!(schedule.placements()[1].finish, 13);
+        }
+
+        #[test]
+        fn simultaneous_failures_requeue_deterministically() {
+            // Two independent equal tasks fail at the same slot; rerunning
+            // the whole episode must reproduce the identical state stream.
+            let dag = two_independent();
+            let spec = ClusterSpec::new(ResourceVec::from_slice(&[2.0])).unwrap();
+            let run = || {
+                let mut sim = SimState::new(&dag, &spec)
+                    .unwrap()
+                    .with_faults(always_fail(4));
+                let mut trail = Vec::new();
+                sim.apply(&dag, Action::Schedule(TaskId::new(0))).unwrap();
+                sim.apply(&dag, Action::Schedule(TaskId::new(1))).unwrap();
+                trail.push(sim.fingerprint());
+                while !sim.is_terminal(&dag) {
+                    let actions = sim.legal_actions(&dag);
+                    sim.apply(&dag, actions[0]).unwrap();
+                    trail.push(sim.fingerprint());
+                }
+                (trail, sim.ready().to_vec())
+            };
+            let (a, ready_a) = run();
+            let (b, ready_b) = run();
+            assert_eq!(a, b);
+            assert_eq!(ready_a, ready_b);
         }
     }
 

@@ -21,13 +21,23 @@
 //! [`FIT_EPSILON`] of the capacity boundary, where
 //! the accounting bugs live. Failing cases shrink to minimized committed
 //! fixtures ([`Fixture`]).
+//!
+//! Fault-injected executions get their own tri-judge ([`check_faulty_run`]
+//! over a [`FaultyRun`]): the declarative judge re-derives every attempt
+//! from the plan's pure draws, the operational judge re-executes the plan
+//! under the auditor and demands a bit-identical run, and the occupancy
+//! judge replays failed *and* final attempts onto the grid. The
+//! [`fault_corpus`] crosses the roster with the EXPERIMENTS.md fault
+//! rates; deterministic retry exhaustion is a legal outcome, but any
+//! nondeterminism in it is a finding.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use spear_cluster::{
-    Action, ClusterSpec, InvariantAuditor, JctReport, JobQueue, ResourceTimeline, Schedule,
-    SimState,
+    execute_under_faults, execute_under_faults_audited, Action, ClusterError, ClusterSpec,
+    FaultOutcome, FaultPlan, FaultyRun, InvariantAuditor, JctReport, JobQueue, ResourceTimeline,
+    Schedule, SimState, SpearError,
 };
 use spear_dag::generator::LayeredDagSpec;
 use spear_dag::{Dag, DagBuilder, ResourceVec, Task, TaskId, FIT_EPSILON};
@@ -37,7 +47,7 @@ use spear_sched::{
     BnBConfig, BnBScheduler, CpScheduler, Graphene, RandomScheduler, Scheduler, SjfScheduler,
     TetrisScheduler,
 };
-use spear_trace::{ArrivalProcess, ArrivalStreamSpec, JobSource};
+use spear_trace::{ArrivalProcess, ArrivalStreamSpec, FaultProfile, JobSource};
 
 /// Every scheduler the differential fuzzer exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -624,6 +634,448 @@ pub fn multi_corpus(count: usize, base_seed: u64) -> Vec<MultiCaseSpec> {
         .collect()
 }
 
+/// Runs the three fault-aware judges on a realized run: `run` must be the
+/// outcome of executing the fault-free `planned` schedule to completion
+/// under `plan` (no horizon — every task placed).
+///
+/// 1. **validate** — declarative re-derivation of the whole run from the
+///    plan's pure draws: completeness, per-attempt durations, every failed
+///    attempt matching a `Fail` draw exactly, the retry budget, re-queue
+///    ordering, precedence on realized times, a capacity event sweep over
+///    final *and* failed occupancy intervals, and the fault counters;
+/// 2. **sim replay** — a fresh audited re-execution
+///    ([`execute_under_faults_audited`]) compared bit-for-bit against the
+///    recorded run;
+/// 3. **timeline replay** — failed and final attempts placed onto a
+///    [`ResourceTimeline`] occupancy grid with their realized durations.
+pub fn check_faulty_run(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    planned: &Schedule,
+    plan: &FaultPlan,
+    run: &FaultyRun,
+) -> TriCheck {
+    TriCheck {
+        validate: validate_faulty(dag, spec, plan, run),
+        sim_replay: replay_sim_faulty(dag, spec, planned, plan, run),
+        timeline_replay: replay_timeline_faulty(dag, spec, plan, run),
+    }
+}
+
+/// The declarative fault judge: re-derives the entire run from the plan's
+/// pure per-(task, attempt) draws and checks the recorded intervals and
+/// counters against that derivation.
+fn validate_faulty(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    plan: &FaultPlan,
+    run: &FaultyRun,
+) -> Result<(), String> {
+    if run.attempts.len() != dag.len() {
+        return Err(format!(
+            "attempts vector covers {} of {} tasks",
+            run.attempts.len(),
+            dag.len()
+        ));
+    }
+    // 1. Completeness, the retry budget, and per-placement durations
+    // against the final attempt's draw.
+    let mut seen = vec![false; dag.len()];
+    for p in run.schedule.placements() {
+        let i = p.task.index();
+        if i >= dag.len() || seen[i] {
+            return Err(format!(
+                "duplicate or out-of-range placement for task {}",
+                p.task
+            ));
+        }
+        seen[i] = true;
+        let attempts = run.attempts[i];
+        if attempts == 0 {
+            return Err(format!("task {} is placed but started no attempt", p.task));
+        }
+        if attempts > plan.max_attempts() {
+            return Err(format!(
+                "task {} started {attempts} attempts over the budget of {}",
+                p.task,
+                plan.max_attempts()
+            ));
+        }
+        let runtime = dag.task(p.task).runtime();
+        let last = attempts - 1;
+        if matches!(
+            plan.outcome(p.task, last, runtime),
+            FaultOutcome::Fail { .. }
+        ) {
+            return Err(format!(
+                "task {}: final attempt {last} is a failure draw yet the run completed it",
+                p.task
+            ));
+        }
+        let slots = plan.run_slots(p.task, last, runtime);
+        if p.finish.checked_sub(p.start) != Some(slots) {
+            return Err(format!(
+                "task {} spans [{}, {}) but attempt {last} occupies {slots} slots",
+                p.task, p.start, p.finish
+            ));
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!("task {missing} never completed in a full run"));
+    }
+    // 2. Failed attempts: every non-final attempt of every task, exactly
+    // once, each interval matching its `Fail` draw, and the re-queue
+    // ordering (an attempt begins only after the previous one frees its
+    // slots; the final attempt begins after the last failure).
+    let mut failed: Vec<Vec<(u32, u64, u64)>> = vec![Vec::new(); dag.len()];
+    for f in &run.failed_runs {
+        if f.task.index() >= dag.len() {
+            return Err(format!("failed run of out-of-range task {}", f.task));
+        }
+        failed[f.task.index()].push((f.attempt, f.start, f.end));
+    }
+    for (i, mut runs) in failed.into_iter().enumerate() {
+        let task = TaskId::new(i);
+        let runtime = dag.task(task).runtime();
+        let attempts = run.attempts[i];
+        runs.sort_unstable_by_key(|&(a, _, _)| a);
+        if runs.len() as u32 != attempts - 1 {
+            return Err(format!(
+                "task {task}: {} failed attempts recorded for {attempts} started attempts",
+                runs.len()
+            ));
+        }
+        let mut prev_end = 0u64;
+        for (k, &(attempt, start, end)) in runs.iter().enumerate() {
+            if attempt as usize != k {
+                return Err(format!("task {task}: failed attempts skip index {k}"));
+            }
+            let after = match plan.outcome(task, attempt, runtime) {
+                FaultOutcome::Fail { after } => after,
+                _ => {
+                    return Err(format!(
+                        "task {task}: attempt {attempt} is recorded failed but draws no failure"
+                    ))
+                }
+            };
+            if end.checked_sub(start) != Some(after) {
+                return Err(format!(
+                    "task {task}: failed attempt {attempt} spans [{start}, {end}) \
+                     but aborts after {after} slots"
+                ));
+            }
+            if start < prev_end {
+                return Err(format!(
+                    "task {task}: attempt {attempt} starts at {start} \
+                     before the previous attempt frees at {prev_end}"
+                ));
+            }
+            prev_end = end;
+        }
+        let p = run
+            .schedule
+            .placement_of(task)
+            .expect("completeness checked above");
+        if p.start < prev_end {
+            return Err(format!(
+                "task {task}: final attempt starts at {} before the last failure frees at \
+                 {prev_end}",
+                p.start
+            ));
+        }
+    }
+    // 3. Precedence on realized times: no attempt of a child (failed or
+    // final) may begin before the parent's completing attempt finishes.
+    for e in dag.edges() {
+        let parent = run
+            .schedule
+            .placement_of(e.from)
+            .expect("completeness checked above");
+        let child_first = run
+            .failed_runs
+            .iter()
+            .filter(|f| f.task == e.to)
+            .map(|f| f.start)
+            .chain(run.schedule.placement_of(e.to).map(|p| p.start))
+            .min()
+            .expect("completeness checked above");
+        if child_first < parent.finish {
+            return Err(format!(
+                "task {} begins at {child_first} before its parent {} finishes at {}",
+                e.to, e.from, parent.finish
+            ));
+        }
+    }
+    // 4. Capacity, via an event sweep over final *and* failed occupancy
+    // intervals — failed attempts hold resources until they abort, so
+    // they are part of the same constraint. Ends sort before starts at
+    // the same instant, exactly as in `Schedule::validate`.
+    let mut events: Vec<(u64, bool, TaskId)> =
+        Vec::with_capacity(2 * (run.schedule.placements().len() + run.failed_runs.len()));
+    for p in run.schedule.placements() {
+        if p.finish > p.start {
+            events.push((p.start, false, p.task));
+            events.push((p.finish, true, p.task));
+        }
+    }
+    for f in &run.failed_runs {
+        events.push((f.start, false, f.task));
+        events.push((f.end, true, f.task));
+    }
+    events.sort_by_key(|&(t, is_end, _)| (t, !is_end));
+    let mut used = ResourceVec::zeros(spec.dims());
+    for (time, is_end, task) in events {
+        let demand = dag.task(task).demand();
+        if is_end {
+            used.saturating_sub_assign(demand);
+        } else {
+            used.add_assign(demand);
+            if !used.fits_within(spec.capacity()) {
+                return Err(format!(
+                    "capacity exceeded at t={time} when task {task} starts"
+                ));
+            }
+        }
+    }
+    // 5. Fault accounting and the makespan.
+    if run.failures != run.failed_runs.len() as u64 {
+        return Err(format!(
+            "failure counter {} != {} recorded failed runs",
+            run.failures,
+            run.failed_runs.len()
+        ));
+    }
+    let straggles = run
+        .schedule
+        .placements()
+        .iter()
+        .filter(|p| {
+            let last = run.attempts[p.task.index()] - 1;
+            matches!(
+                plan.outcome(p.task, last, dag.task(p.task).runtime()),
+                FaultOutcome::Straggle { .. }
+            )
+        })
+        .count() as u64;
+    if run.straggles != straggles {
+        return Err(format!(
+            "straggle counter {} != {straggles} re-derived straggling attempts",
+            run.straggles
+        ));
+    }
+    let latest = run
+        .schedule
+        .placements()
+        .iter()
+        .map(|p| p.finish)
+        .max()
+        .unwrap_or(0);
+    if run.makespan != latest || run.schedule.makespan() != latest {
+        return Err(format!(
+            "makespan {} (schedule {}) != latest finish {latest}",
+            run.makespan,
+            run.schedule.makespan()
+        ));
+    }
+    Ok(())
+}
+
+/// The operational fault judge: re-execute the planned schedule under the
+/// same plan with the invariant auditor on, and demand a bit-identical
+/// realized run.
+fn replay_sim_faulty(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    planned: &Schedule,
+    plan: &FaultPlan,
+    run: &FaultyRun,
+) -> Result<(), String> {
+    let reexec = execute_under_faults_audited(dag, spec, planned, plan)
+        .map_err(|e| format!("audited re-execution: {e}"))?;
+    if &reexec == run {
+        return Ok(());
+    }
+    if reexec.schedule != run.schedule {
+        return Err("re-executed placements diverge from the recorded run".to_owned());
+    }
+    Err(format!(
+        "re-executed accounting diverges: makespan {} vs {}, failures {} vs {}, \
+         straggles {} vs {}, {} vs {} failed runs",
+        reexec.makespan,
+        run.makespan,
+        reexec.failures,
+        run.failures,
+        reexec.straggles,
+        run.straggles,
+        reexec.failed_runs.len(),
+        run.failed_runs.len()
+    ))
+}
+
+/// The occupancy fault judge: every failed and final attempt must fit the
+/// grid slot-by-slot with its realized duration (`Fail` draws for aborted
+/// attempts, [`FaultPlan::run_slots`] for completing ones).
+fn replay_timeline_faulty(
+    dag: &Dag,
+    spec: &ClusterSpec,
+    plan: &FaultPlan,
+    run: &FaultyRun,
+) -> Result<(), String> {
+    let mut tl = ResourceTimeline::new(spec.capacity().clone());
+    for f in &run.failed_runs {
+        let dur = f.end.checked_sub(f.start).ok_or_else(|| {
+            format!(
+                "failed attempt {} of task {} ends before it starts",
+                f.attempt, f.task
+            )
+        })?;
+        if !tl.fits(dag.task(f.task).demand(), f.start, dur) {
+            return Err(format!(
+                "failed attempt {} of task {} does not fit the grid at [{}, {})",
+                f.attempt, f.task, f.start, f.end
+            ));
+        }
+        tl.place(dag.task(f.task).demand(), f.start, dur);
+    }
+    let mut latest = 0u64;
+    for p in run.schedule.placements() {
+        let attempts = run
+            .attempts
+            .get(p.task.index())
+            .copied()
+            .filter(|&a| a > 0)
+            .ok_or_else(|| format!("task {} is placed without a started attempt", p.task))?;
+        let slots = plan.run_slots(p.task, attempts - 1, dag.task(p.task).runtime());
+        if p.finish.checked_sub(p.start) != Some(slots) {
+            return Err(format!(
+                "task {} spans [{}, {}) but its final attempt occupies {slots} slots",
+                p.task, p.start, p.finish
+            ));
+        }
+        if !tl.fits(dag.task(p.task).demand(), p.start, slots) {
+            return Err(format!(
+                "task {} does not fit the occupancy grid at [{}, {})",
+                p.task, p.start, p.finish
+            ));
+        }
+        tl.place(dag.task(p.task).demand(), p.start, slots);
+        latest = latest.max(p.finish);
+    }
+    if latest != run.makespan && !run.schedule.placements().is_empty() {
+        return Err(format!(
+            "latest finish {latest} != recorded makespan {}",
+            run.makespan
+        ));
+    }
+    Ok(())
+}
+
+/// One fault-injection fuzz case: a seeded workload crossed with a
+/// scheduler and an unreliable-cluster [`FaultProfile`]. The scheduler
+/// always plans against the fault-free DAG — faults bite at execution
+/// time — so every roster member runs unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCaseSpec {
+    /// Seed for the workload, the scheduler *and* the fault plan.
+    pub seed: u64,
+    /// Number of tasks in the generated DAG.
+    pub num_tasks: usize,
+    /// Resource dimensions.
+    pub dims: usize,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// The unreliable-cluster knobs; frozen to a plan via the case seed.
+    pub profile: FaultProfile,
+}
+
+impl FaultCaseSpec {
+    /// Generates the case's DAG deterministically from its seed.
+    pub fn dag(&self) -> Dag {
+        LayeredDagSpec {
+            num_tasks: self.num_tasks,
+            dims: self.dims,
+            ..LayeredDagSpec::paper_training()
+        }
+        .generate(&mut StdRng::seed_from_u64(self.seed))
+    }
+
+    /// The (unit-capacity) cluster the case runs on.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::unit(self.dims)
+    }
+
+    /// The frozen fault plan of this case.
+    pub fn plan(&self) -> FaultPlan {
+        self.profile.plan(self.seed)
+    }
+
+    /// Plans on the fault-free DAG, executes the plan under the case's
+    /// fault plan, and judges the realized run three ways.
+    ///
+    /// `Ok(None)` means the execution exhausted a task's retry budget — a
+    /// legal outcome, but only a *deterministic* one: the case re-executes
+    /// and demands the identical typed error, reporting any divergence as
+    /// a finding.
+    ///
+    /// # Errors
+    ///
+    /// The scheduler's own failure, a non-exhaustion execution error, or
+    /// nondeterministic exhaustion — all findings.
+    pub fn run(&self) -> Result<Option<TriCheck>, String> {
+        let dag = self.dag();
+        let spec = self.cluster();
+        let mut scheduler = self.scheduler.build(self.seed, self.dims);
+        let planned = scheduler
+            .schedule(&dag, &spec)
+            .map_err(|e| format!("{} failed to schedule: {e}", self.scheduler.name()))?;
+        let plan = self.plan();
+        match execute_under_faults(&dag, &spec, &planned, &plan) {
+            Ok(run) => Ok(Some(check_faulty_run(&dag, &spec, &planned, &plan, &run))),
+            Err(SpearError::Cluster(ClusterError::RetriesExhausted { task, attempts })) => {
+                match execute_under_faults(&dag, &spec, &planned, &plan) {
+                    Err(SpearError::Cluster(ClusterError::RetriesExhausted {
+                        task: t2,
+                        attempts: a2,
+                    })) if t2 == task && a2 == attempts => Ok(None),
+                    other => Err(format!(
+                        "retry exhaustion is nondeterministic: task {task} after {attempts} \
+                         attempts, then {other:?}"
+                    )),
+                }
+            }
+            Err(e) => Err(format!("execution under faults failed: {e}")),
+        }
+    }
+
+    /// Short label for reports, e.g. `tetris/n25/seed42/f0.10`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/n{}/seed{}/f{:.2}",
+            self.scheduler.name(),
+            self.num_tasks,
+            self.seed,
+            self.profile.fail_rate
+        )
+    }
+}
+
+/// The seeded fault-injection corpus: `count` cases cycling the full
+/// roster over mixed job sizes and the EXPERIMENTS.md fault rates.
+/// Deterministic in `base_seed`.
+pub fn fault_corpus(count: usize, base_seed: u64) -> Vec<FaultCaseSpec> {
+    let sizes = [8usize, 14, 25];
+    let rates = [0.05, 0.10, 0.20];
+    (0..count)
+        .map(|i| FaultCaseSpec {
+            seed: base_seed.wrapping_add(i as u64),
+            num_tasks: sizes[i % sizes.len()],
+            dims: 1 + (i / sizes.len()) % 2,
+            scheduler: SchedulerKind::ALL[i % SchedulerKind::ALL.len()],
+            profile: FaultProfile::with_rate(rates[i % rates.len()]),
+        })
+        .collect()
+}
+
 /// A task of a committed regression [`Fixture`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FixtureTask {
@@ -953,6 +1405,126 @@ mod tests {
         }
         assert!(a.iter().any(|c| c.epsilon_jitter));
         assert!(a.iter().any(|c| !c.epsilon_jitter));
+    }
+
+    fn faulty_case(seed: u64, profile: FaultProfile) -> FaultCaseSpec {
+        FaultCaseSpec {
+            seed,
+            num_tasks: 12,
+            dims: 2,
+            scheduler: SchedulerKind::Tetris,
+            profile,
+        }
+    }
+
+    #[test]
+    fn a_run_with_real_failures_and_stragglers_passes_three_ways() {
+        let case = faulty_case(
+            7,
+            FaultProfile {
+                fail_rate: 0.3,
+                straggler_rate: 0.3,
+                straggler_factor: 2.0,
+                max_retries: 5,
+            },
+        );
+        let dag = case.dag();
+        let spec = case.cluster();
+        let planned = case
+            .scheduler
+            .build(case.seed, case.dims)
+            .schedule(&dag, &spec)
+            .unwrap();
+        let plan = case.plan();
+        let run = execute_under_faults(&dag, &spec, &planned, &plan).unwrap();
+        assert!(
+            run.failures > 0 && run.straggles > 0,
+            "seed must actually inject faults (got {} failures, {} straggles)",
+            run.failures,
+            run.straggles
+        );
+        let tri = check_faulty_run(&dag, &spec, &planned, &plan, &run);
+        assert!(tri.all_ok(), "{}", tri.summary());
+        assert!(run.makespan >= planned.makespan());
+    }
+
+    #[test]
+    fn a_null_profile_leaves_execution_fault_free() {
+        let case = faulty_case(5, FaultProfile::none());
+        let dag = case.dag();
+        let spec = case.cluster();
+        let planned = case
+            .scheduler
+            .build(case.seed, case.dims)
+            .schedule(&dag, &spec)
+            .unwrap();
+        let plan = case.plan();
+        assert!(plan.is_none());
+        let run = execute_under_faults(&dag, &spec, &planned, &plan).unwrap();
+        assert_eq!((run.failures, run.straggles), (0, 0));
+        assert!(run.failed_runs.is_empty());
+        let tri = check_faulty_run(&dag, &spec, &planned, &plan, &run);
+        assert!(tri.all_ok(), "{}", tri.summary());
+    }
+
+    #[test]
+    fn a_tampered_faulty_run_is_rejected_coherently() {
+        let case = faulty_case(7, FaultProfile::with_rate(0.2));
+        let dag = case.dag();
+        let spec = case.cluster();
+        let planned = case
+            .scheduler
+            .build(case.seed, case.dims)
+            .schedule(&dag, &spec)
+            .unwrap();
+        let plan = case.plan();
+        let run = execute_under_faults(&dag, &spec, &planned, &plan).unwrap();
+        // Stretch the latest-finishing placement by one slot: the
+        // declarative judge sees a duration off its draw, the operational
+        // judge sees divergent placements, the occupancy judge sees the
+        // wrong interval length — all three reject, no disagreement.
+        let mut placements = run.schedule.placements().to_vec();
+        let worst = (0..placements.len())
+            .max_by_key(|&i| placements[i].finish)
+            .unwrap();
+        placements[worst].finish += 1;
+        let makespan = placements.iter().map(|p| p.finish).max().unwrap();
+        let mut bad = run.clone();
+        bad.schedule = Schedule::from_placements(placements, makespan);
+        bad.makespan = makespan;
+        let tri = check_faulty_run(&dag, &spec, &planned, &plan, &bad);
+        assert!(tri.validate.is_err(), "{}", tri.summary());
+        assert!(tri.sim_replay.is_err(), "{}", tri.summary());
+        assert!(tri.timeline_replay.is_err(), "{}", tri.summary());
+        assert!(!tri.is_disagreement());
+    }
+
+    #[test]
+    fn deterministic_exhaustion_is_a_legal_case_outcome() {
+        let case = faulty_case(
+            3,
+            FaultProfile {
+                fail_rate: 1.0,
+                straggler_rate: 0.0,
+                straggler_factor: 1.0,
+                max_retries: 0,
+            },
+        );
+        assert_eq!(case.run().unwrap(), None);
+    }
+
+    #[test]
+    fn fault_corpus_is_deterministic_and_covers_the_roster() {
+        let a = fault_corpus(30, 2);
+        assert_eq!(a, fault_corpus(30, 2));
+        for kind in SchedulerKind::ALL {
+            assert!(
+                a.iter().any(|c| c.scheduler == kind),
+                "{} missing",
+                kind.name()
+            );
+        }
+        assert!(a.iter().all(|c| !c.profile.is_none()));
     }
 
     #[test]

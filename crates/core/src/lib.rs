@@ -81,8 +81,10 @@ pub use spear_cluster::audit;
 // The most-used types at the top level.
 pub use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, MultiJobEnv, SimEnv};
 pub use spear_cluster::{
-    Action, AuditViolation, ClusterError, ClusterSpec, ErrorContext, InvariantAuditor, JctReport,
-    JobCompletion, JobQueue, JobSpan, Placement, Schedule, SimState, SpearError,
+    execute_multi_under_faults, execute_under_faults, execute_under_faults_audited, Action,
+    AuditViolation, ClusterError, ClusterSpec, ErrorContext, FailedRun, FaultOutcome, FaultPlan,
+    FaultyRun, InvariantAuditor, JctReport, JobCompletion, JobQueue, JobSpan, MultiFaultyRun,
+    Placement, Schedule, SimState, SpearError,
 };
 pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
 pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats, TreeParallelMcts};
@@ -93,5 +95,6 @@ pub use spear_sched::{
     TetrisScheduler,
 };
 pub use spear_trace::{
-    ArrivalProcess, ArrivalStreamSpec, JobSource, SyntheticTraceSpec, Trace, TraceJob, TraceStats,
+    ArrivalProcess, ArrivalStreamSpec, FaultProfile, JobSource, SyntheticTraceSpec, Trace,
+    TraceJob, TraceStats,
 };

@@ -1,0 +1,152 @@
+//! Seeded fault-environment recipes for the experiment harness.
+//!
+//! A [`FaultProfile`] is the *workload-level* description of an unreliable
+//! cluster — failure and straggler rates, the straggler slowdown, the
+//! retry budget — kept separate from any particular episode seed. The
+//! experiment matrix (see EXPERIMENTS.md) sweeps profiles across the
+//! scheduler roster; [`FaultProfile::plan`] freezes a profile into the
+//! [`FaultPlan`] the simulator consumes, decorrelating the fault draws
+//! from the arrival/DAG stream of the same experiment seed so changing
+//! the fault rate never reshuffles which jobs arrive when.
+//!
+//! ```
+//! use spear_trace::FaultProfile;
+//!
+//! let profile = FaultProfile::with_rate(0.10);
+//! let plan = profile.plan(42);
+//! assert_eq!(plan.fail_rate, 0.10);
+//! // Same experiment seed, decorrelated fault stream:
+//! assert_ne!(plan.seed, 42);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use spear_cluster::FaultPlan;
+
+/// Salt separating the fault-plan seed domain from the arrival/DAG seed
+/// domain (an experiment reuses one `u64` seed for both).
+const FAULT_SEED_SALT: u64 = 0xfa17_0d0c_5eed_b00b;
+
+/// A seed-free description of an unreliable execution environment.
+///
+/// The profile carries the paper-style fault knobs; combining it with an
+/// experiment seed via [`FaultProfile::plan`] yields the deterministic
+/// per-(task, attempt) [`FaultPlan`] the simulator replays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability that an execution attempt fails mid-run, in `[0, 1]`.
+    pub fail_rate: f64,
+    /// Probability that a non-failing attempt straggles, in `[0, 1]`.
+    pub straggler_rate: f64,
+    /// Occupancy multiplier of a straggling attempt (`> 1` to matter).
+    pub straggler_factor: f64,
+    /// Failed attempts a task may accumulate beyond its first before the
+    /// episode fails fast.
+    pub max_retries: u32,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+impl FaultProfile {
+    /// The reliable-cluster profile: no failures, no stragglers. Its plans
+    /// are [`FaultPlan::none`] for every seed, leaving episodes
+    /// bit-identical to the fault-free simulator.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultProfile {
+            fail_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 1.0,
+            max_retries: 0,
+        }
+    }
+
+    /// The standard sweep point used by the experiment matrix: failure
+    /// *and* straggler probability `rate`, 1.5× straggler slowdown, and a
+    /// 3-retry budget (the defaults of `spear schedule --faults`).
+    #[must_use]
+    pub fn with_rate(rate: f64) -> Self {
+        FaultProfile {
+            fail_rate: rate,
+            straggler_rate: rate,
+            straggler_factor: 1.5,
+            max_retries: 3,
+        }
+    }
+
+    /// Whether plans from this profile can never perturb an episode.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.fail_rate <= 0.0 && (self.straggler_rate <= 0.0 || self.straggler_factor <= 1.0)
+    }
+
+    /// Freezes the profile into the deterministic [`FaultPlan`] of
+    /// experiment seed `seed`. The plan seed is salted so fault draws stay
+    /// decorrelated from the arrival/DAG stream generated from the same
+    /// experiment seed — sweeping the fault rate never changes which jobs
+    /// arrive when. The null profile maps to [`FaultPlan::none`] exactly
+    /// (same seed included), preserving the fault-free bit-identity
+    /// contract end to end.
+    #[must_use]
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        if self.is_none() {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            seed: (seed ^ FAULT_SEED_SALT).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            fail_rate: self.fail_rate,
+            straggler_rate: self.straggler_rate,
+            straggler_factor: self.straggler_factor,
+            max_retries: self.max_retries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_profile_freezes_to_the_identity_plan() {
+        for seed in [0, 7, 42, u64::MAX] {
+            assert_eq!(FaultProfile::none().plan(seed), FaultPlan::none());
+            assert!(FaultProfile::none().plan(seed).is_none());
+        }
+        // A straggler factor of 1.0 cannot perturb anything either.
+        let harmless = FaultProfile {
+            straggler_rate: 0.8,
+            ..FaultProfile::none()
+        };
+        assert_eq!(harmless.plan(3), FaultPlan::none());
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let profile = FaultProfile::with_rate(0.1);
+        assert_eq!(profile.plan(9), profile.plan(9));
+        assert_ne!(profile.plan(9).seed, profile.plan(10).seed);
+        // The plan seed is decorrelated from the experiment seed itself.
+        assert_ne!(profile.plan(9).seed, 9);
+    }
+
+    #[test]
+    fn rate_preset_matches_the_cli_defaults() {
+        let p = FaultProfile::with_rate(0.2);
+        assert_eq!(p.fail_rate, 0.2);
+        assert_eq!(p.straggler_rate, 0.2);
+        assert_eq!(p.straggler_factor, 1.5);
+        assert_eq!(p.max_retries, 3);
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let p = FaultProfile::with_rate(0.05);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -14,7 +14,11 @@
 //!   Fig. 9(a)/(b),
 //! * a seeded **arrival-stream generator** ([`ArrivalStreamSpec`]) that
 //!   turns either generator into a reproducible `(arrival, DAG)` stream
-//!   for the online multi-job scheduling experiments.
+//!   for the online multi-job scheduling experiments,
+//! * a seeded **fault-environment recipe** ([`FaultProfile`]) freezing
+//!   failure/straggler rates and a retry budget into the deterministic
+//!   fault plans the simulator replays during the unreliable-cluster
+//!   sweeps.
 //!
 //! Note: the paper's prose ("mean map runtime varies from 2 to 17 s") and
 //! its Fig. 9(b) medians (map 73 s, reduce 32 s) are mutually
@@ -37,12 +41,14 @@
 
 mod arrivals;
 mod error;
+mod faults;
 mod model;
 mod stats;
 mod synth;
 
 pub use arrivals::{ArrivalProcess, ArrivalStreamSpec, JobSource};
 pub use error::TraceError;
+pub use faults::FaultProfile;
 pub use model::{Trace, TraceJob};
 pub use stats::{cdf_points, median_u64, TraceStats};
 pub use synth::SyntheticTraceSpec;

@@ -28,8 +28,9 @@ fn all_ten_schedulers_complete_a_20_job_poisson_episode() {
         assert!(tri.all_ok(), "{}: {}", case.label(), tri.summary());
         assert_eq!(report.completions().len(), 20, "{}", case.label());
         assert_eq!(report.unfinished(), 0, "{}", case.label());
-        assert!(report.mean_jct() > 0.0, "{}", case.label());
+        assert!(report.mean_jct().unwrap() > 0.0, "{}", case.label());
         assert!(report.p99_jct() >= report.p50_jct(), "{}", case.label());
+        assert!(report.p50_jct().is_some(), "{}", case.label());
         assert!(report.unfairness() >= 0.0, "{}", case.label());
         // Every job's JCT is at least its own critical path: contention
         // can only slow a job down.
