@@ -25,6 +25,7 @@ USAGE:
                      [--algo spear|mcts|tetris|sjf|cp|graphene|random]
                      [--budget 100] [--min-budget 50] [--policy policy.json]
                      [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
+                     [--nn-precision exact|fast]
                      [--search-threads 1] [--leaf-batch 8]
                      [--faults 0.0] [--straggler 1.5] [--max-retries 3]
                      [--metrics-out metrics.jsonl]
@@ -39,6 +40,14 @@ USAGE:
 
 All demands/capacities are fractions of a two-dimensional (CPU, memory)
 cluster unless the input file says otherwise.
+
+--nn-precision selects the numeric mode of the DRL policy's inference
+inside the search: `exact` (the default) runs the training-grade f64
+forward pass and is bit-identical to previous releases; `fast` runs a
+lane-padded f32 snapshot of the weights (and doubles the eval cache's
+capacity at the same memory budget) for speed, at a bounded makespan-
+quality cost validated by the differential judges. Training is always
+f64; only search-time inference changes.
 
 --search-threads > 1 runs the mcts/spear searches tree-parallel: the
 workers share one tree (virtual-loss decorrelated) and DRL leaf
@@ -193,6 +202,12 @@ fn build_scheduler(
     let min_budget: u64 = args.get_or("min-budget", budget / 2)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let search_threads: usize = args.get_or("search-threads", 1)?;
+    let nn_precision: spear::nn::Precision = match args.get("nn-precision") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("unknown --nn-precision `{raw}` (exact|fast)"))?,
+        None => spear::nn::Precision::Exact,
+    };
     let config = MctsConfig {
         initial_budget: budget,
         min_budget,
@@ -203,6 +218,7 @@ fn build_scheduler(
         eval_cache: !args.flag("no-eval-cache"),
         search_threads,
         leaf_batch_size: args.get_or("leaf-batch", 8)?,
+        nn_precision,
         ..MctsConfig::default()
     };
     Ok(match algo {
@@ -612,6 +628,69 @@ mod tests {
             std::fs::read_to_string(&on).unwrap(),
             std::fs::read_to_string(&off).unwrap()
         );
+    }
+
+    /// `--nn-precision fast` must run end to end, and — like the exact
+    /// path — the eval cache must change only speed, never the schedule
+    /// (the f32 rounding happens on the inference path, before the
+    /// cache).
+    #[test]
+    fn fast_precision_flag_is_cache_transparent() {
+        let dag_path = tmp("cli-dag-fastprec.json");
+        generate(&args(&[
+            "--tasks", "8", "--seed", "5", "--output", &dag_path,
+        ]))
+        .unwrap();
+        let on = tmp("cli-fastprec-on.json");
+        let off = tmp("cli-fastprec-off.json");
+        schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "spear",
+            "--budget",
+            "10",
+            "--nn-precision",
+            "fast",
+            "--output",
+            &on,
+        ]))
+        .unwrap();
+        schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "spear",
+            "--budget",
+            "10",
+            "--nn-precision",
+            "fast",
+            "--no-eval-cache",
+            "--output",
+            &off,
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&on).unwrap(),
+            std::fs::read_to_string(&off).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_nn_precision_is_rejected() {
+        let dag_path = tmp("cli-dag-badprec.json");
+        generate(&args(&["--tasks", "4", "--output", &dag_path])).unwrap();
+        let err = schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "spear",
+            "--nn-precision",
+            "f16",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("f16"), "unexpected error: {err}");
     }
 
     #[test]

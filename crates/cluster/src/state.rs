@@ -622,8 +622,12 @@ impl SimState {
     }
 
     /// Whether `task` is ready and fits the remaining capacity.
+    ///
+    /// The ready set is kept sorted by id ([`ReadyTracker::ready`]), so
+    /// membership is a binary search rather than a linear scan — this
+    /// check sits on the search hot path via [`SimState::apply`].
     pub fn can_schedule(&self, dag: &Dag, task: TaskId) -> bool {
-        self.tracker.ready().contains(&task) && self.admits(dag.task(task).demand())
+        self.tracker.ready().binary_search(&task).is_ok() && self.admits(dag.task(task).demand())
     }
 
     /// The legal actions in this state, in deterministic order (schedules
@@ -691,7 +695,7 @@ impl SimState {
         }
         match action {
             Action::Schedule(task) => {
-                if !self.tracker.ready().contains(&task) {
+                if self.tracker.ready().binary_search(&task).is_err() {
                     return Err(ClusterError::TaskNotReady(task));
                 }
                 if !self.admits(dag.task(task).demand()) {
@@ -720,7 +724,7 @@ impl SimState {
         debug_assert!(!self.is_terminal(dag), "apply_legal on a terminal state");
         match action {
             Action::Schedule(task) => {
-                debug_assert!(self.tracker.ready().contains(&task));
+                debug_assert!(self.tracker.ready().binary_search(&task).is_ok());
                 debug_assert!(self.admits(dag.task(task).demand()));
                 self.schedule_unchecked(dag, task);
             }

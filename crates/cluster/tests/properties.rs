@@ -110,6 +110,41 @@ proptest! {
         }
     }
 
+    /// `apply` and `apply_legal` agree step for step: driving the same
+    /// legal action sequence through both produces identical states (the
+    /// binary-search readiness check behind `apply` and the
+    /// `debug_assert`-only path of `apply_legal` can never diverge), and
+    /// `can_schedule` agrees with the legality probe for every task.
+    #[test]
+    fn apply_and_apply_legal_agree(
+        num_tasks in 1usize..20,
+        dag_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let dag = random_dag(num_tasks, dag_seed);
+        let spec = ClusterSpec::unit(2);
+        let mut checked = SimState::new(&dag, &spec).unwrap();
+        let mut trusted = checked.clone();
+        let mut rng = StdRng::seed_from_u64(policy_seed);
+        while !checked.is_terminal(&dag) {
+            let legal = checked.legal_actions(&dag);
+            prop_assert!(!legal.is_empty());
+            for t in dag.task_ids() {
+                prop_assert_eq!(
+                    checked.can_schedule(&dag, t),
+                    legal.contains(&Action::Schedule(t)),
+                    "can_schedule({}) disagrees with legal_actions", t
+                );
+            }
+            let action = legal[rng.gen_range(0..legal.len())];
+            checked.apply(&dag, action).unwrap();
+            trusted.apply_legal(&dag, action);
+            prop_assert_eq!(&checked, &trusted, "states diverged after {}", action);
+        }
+        prop_assert!(trusted.is_terminal(&dag));
+        prop_assert_eq!(checked.makespan(), trusted.makespan());
+    }
+
     /// Free capacity accounting: at all times the free vector equals
     /// capacity minus the sum of running demands.
     #[test]

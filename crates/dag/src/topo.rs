@@ -135,10 +135,10 @@ impl ReadyTracker {
     /// Panics if `task` is not currently ready.
     #[inline]
     pub fn take(&mut self, task: TaskId) {
+        // The set is sorted by id, so membership is a binary search.
         let pos = self
             .ready
-            .iter()
-            .position(|&t| t == task)
+            .binary_search(&task)
             .expect("task is not in the ready set");
         self.ready.remove(pos);
     }

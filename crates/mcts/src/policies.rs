@@ -7,7 +7,8 @@ use spear_cluster::env::{DecisionPolicy, EnvContext};
 use spear_cluster::{Action, ClusterSpec, SimState};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
-use spear_rl::{EvalCache, EvalCacheStats, PolicyNetwork, StateView};
+use spear_nn::{InferScratch, InferenceEngine, Precision};
+use spear_rl::{EvalCache, EvalCacheF32, EvalCacheStats, PolicyNetwork, StateView};
 
 /// Read-only context handed to policies at every decision.
 #[derive(Debug)]
@@ -273,8 +274,17 @@ pub struct DrlPolicy {
     // re-explore overlapping subtrees — so the masked distribution is
     // cached by `SimState::fingerprint` and cleared (by generation bump)
     // at each episode start. `None` when disabled for differential
-    // testing (`MctsConfig::eval_cache = false`).
+    // testing (`MctsConfig::eval_cache = false`) or when the fast path
+    // owns the cache instead.
     cache: Option<EvalCache>,
+    // Fast-precision state: the `f32` engine snapshot, its scratch, and
+    // the half-footprint `f32` row cache (double the entries at the
+    // same memory budget). All `None`/unused in `Precision::Exact`.
+    precision: Precision,
+    engine: Option<InferenceEngine>,
+    infer_scratch: InferScratch,
+    cache_f32: Option<EvalCacheF32>,
+    probs_f32: Vec<f32>,
     // Reused across inferences: slot probabilities, featurized view, and
     // the per-action probabilities handed back to the search. Rollouts run
     // one inference per step, so without these the guidance path would
@@ -302,19 +312,56 @@ impl DrlPolicy {
     /// uncached distribution bit-identically, so this only trades memory
     /// for speed; disabling is for differential testing.
     pub fn with_cache(policy: PolicyNetwork, eval_cache: bool) -> Self {
-        let cache = eval_cache.then(|| {
-            let fc = policy.feature_config();
-            EvalCache::new(EVAL_CACHE_CAPACITY, fc.action_dim(), fc.process_action())
-        });
+        Self::with_cache_precision(policy, eval_cache, Precision::Exact)
+    }
+
+    /// [`DrlPolicy::with_cache`] with an explicit numeric mode. `Exact`
+    /// is the golden-checked `f64` path. `Fast` snapshots the weights
+    /// into an `f32` [`InferenceEngine`] and caches `f32` rows — half
+    /// the footprint per entry, so the cache holds twice the entries at
+    /// the same memory budget. Within fast mode, cached and uncached
+    /// runs still agree bit-for-bit: the masked softmax is computed
+    /// entirely in `f32`, so a cached row replays exactly, and the
+    /// upcast to `f64` at the sampling boundary is exact.
+    pub fn with_cache_precision(
+        policy: PolicyNetwork,
+        eval_cache: bool,
+        precision: Precision,
+    ) -> Self {
+        let fc = policy.feature_config();
+        let (action_dim, max_ready) = (fc.action_dim(), fc.process_action());
+        let (cache, engine, cache_f32) = match precision {
+            Precision::Exact => (
+                eval_cache.then(|| EvalCache::new(EVAL_CACHE_CAPACITY, action_dim, max_ready)),
+                None,
+                None,
+            ),
+            Precision::Fast => (
+                None,
+                Some(policy.inference_engine()),
+                eval_cache
+                    .then(|| EvalCacheF32::new(2 * EVAL_CACHE_CAPACITY, action_dim, max_ready)),
+            ),
+        };
         DrlPolicy {
             policy,
             inferences: 0,
             skips: 0,
             cache,
+            precision,
+            engine,
+            infer_scratch: InferScratch::new(),
+            cache_f32,
+            probs_f32: Vec::new(),
             probs: Vec::new(),
             view: StateView::default(),
             action_probs: Vec::new(),
         }
+    }
+
+    /// The numeric mode this policy runs its forward passes in.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The wrapped network.
@@ -345,6 +392,9 @@ impl DrlPolicy {
         state: &SimState,
         actions: &[Action],
     ) -> &[f64] {
+        if self.precision == Precision::Fast {
+            return self.action_probs_fast(ctx, state, actions);
+        }
         let process_idx = self.policy.feature_config().process_action();
         let key = self.cache.is_some().then(|| state.frontier_fingerprint());
         if let (Some(cache), Some(key)) = (self.cache.as_mut(), key) {
@@ -386,6 +436,75 @@ impl DrlPolicy {
                     .iter()
                     .position(|&s| s == Some(t))
                     .map(|slot| self.probs[slot])
+                    // Backlogged tasks are invisible to the network.
+                    .unwrap_or(1e-9),
+            }
+        }));
+        &self.action_probs
+    }
+
+    /// The fast-precision miss/hit pipeline: `f32` engine forward pass,
+    /// `f32` masked softmax, `f32` cache rows. The `f64` upcast happens
+    /// only while mapping onto `actions`, which is exact — so fast-mode
+    /// cached and uncached runs stay bit-identical to each other (the
+    /// same transparency contract the exact cache pins, inside the
+    /// fast numeric universe).
+    fn action_probs_fast(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        state: &SimState,
+        actions: &[Action],
+    ) -> &[f64] {
+        let process_idx = self.policy.feature_config().process_action();
+        let key = self
+            .cache_f32
+            .is_some()
+            .then(|| state.frontier_fingerprint());
+        if let (Some(cache), Some(key)) = (self.cache_f32.as_mut(), key) {
+            if let Some((probs, slots)) = cache.get(key) {
+                self.action_probs.clear();
+                self.action_probs.extend(actions.iter().map(|&a| {
+                    match a {
+                        Action::Process => f64::from(probs[process_idx]),
+                        Action::Schedule(t) => slots
+                            .iter()
+                            .position(|&s| s == Some(t))
+                            .map(|slot| f64::from(probs[slot]))
+                            // Backlogged tasks are invisible to the network.
+                            .unwrap_or(1e-9),
+                    }
+                }));
+                return &self.action_probs;
+            }
+        }
+        self.inferences += 1;
+        let engine = self
+            .engine
+            .as_ref()
+            .expect("fast mode always has an engine");
+        self.policy.action_distribution_fast_into(
+            engine,
+            &mut self.infer_scratch,
+            ctx.dag,
+            ctx.spec,
+            state,
+            ctx.features,
+            &mut self.probs_f32,
+            &mut self.view,
+        );
+        if let (Some(cache), Some(key)) = (self.cache_f32.as_mut(), key) {
+            cache.insert(key, &self.probs_f32, &self.view.slot_tasks);
+        }
+        self.action_probs.clear();
+        self.action_probs.extend(actions.iter().map(|&a| {
+            match a {
+                Action::Process => f64::from(self.probs_f32[process_idx]),
+                Action::Schedule(t) => self
+                    .view
+                    .slot_tasks
+                    .iter()
+                    .position(|&s| s == Some(t))
+                    .map(|slot| f64::from(self.probs_f32[slot]))
                     // Backlogged tasks are invisible to the network.
                     .unwrap_or(1e-9),
             }
@@ -464,13 +583,24 @@ impl SearchPolicy for DrlPolicy {
         if let Some(cache) = self.cache.as_mut() {
             cache.begin_generation();
         }
+        if let Some(cache) = self.cache_f32.as_mut() {
+            cache.begin_generation();
+        }
     }
 
     fn cache_stats(&self) -> EvalCacheStats {
+        // At most one of the two caches exists (per precision mode), so
+        // the merge is really a select.
         self.cache
             .as_ref()
             .map(EvalCache::stats)
             .unwrap_or_default()
+            .merged(
+                self.cache_f32
+                    .as_ref()
+                    .map(EvalCacheF32::stats)
+                    .unwrap_or_default(),
+            )
     }
 
     fn inference_skips(&self) -> u64 {
@@ -618,5 +748,38 @@ mod tests {
         let mut rng_c = StdRng::seed_from_u64(3);
         let _ = cached.choose_rollout(&ctx, &state, &legal, &mut rng_c);
         assert_eq!(cached.cache_stats().misses, 2);
+    }
+
+    /// The fast-mode transparency contract: within `Precision::Fast`,
+    /// cached and uncached policies make bit-identical choices (the
+    /// `f32` softmax round-trips exactly through the `f32` cache).
+    #[test]
+    fn fast_cached_policy_choices_match_fast_uncached_bitwise() {
+        let (dag, spec, features) = setup();
+        let ctx = PolicyContext {
+            dag: &dag,
+            spec: &spec,
+            features: &features,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[12], &mut rng);
+        let mut cached = DrlPolicy::with_cache_precision(net.clone(), true, Precision::Fast);
+        let mut uncached = DrlPolicy::with_cache_precision(net, false, Precision::Fast);
+        assert_eq!(cached.precision(), Precision::Fast);
+        let state = SimState::new(&dag, &spec).unwrap();
+        let legal = state.legal_actions(&dag);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let ia = cached.choose_expansion(&ctx, &state, &legal, &mut rng_a);
+            let ib = uncached.choose_expansion(&ctx, &state, &legal, &mut rng_b);
+            assert_eq!(ia, ib);
+            let aa = cached.choose_rollout(&ctx, &state, &legal, &mut rng_a);
+            let ab = uncached.choose_rollout(&ctx, &state, &legal, &mut rng_b);
+            assert_eq!(aa, ab);
+        }
+        assert!(cached.cache_stats().hits > 0, "repeat visits must hit");
+        assert_eq!(cached.cache_stats().misses, 1);
+        assert!(uncached.inferences() > cached.inferences());
     }
 }

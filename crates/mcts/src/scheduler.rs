@@ -58,6 +58,16 @@ pub struct MctsConfig {
     /// mode.
     #[serde(default = "default_leaf_batch_size")]
     pub leaf_batch_size: usize,
+    /// Numeric precision of policy/value inference during search.
+    /// `Exact` (the default, and what configs serialized before this
+    /// field existed deserialize to) runs the training-grade `f64`
+    /// forward pass and stays bit-identical to earlier releases; `Fast`
+    /// snapshots the weights into the lane-padded `f32`
+    /// [`InferenceEngine`](spear_nn::InferenceEngine) and doubles the
+    /// eval-cache capacity at the same memory budget. Training is never
+    /// affected — only inference inside the search loop.
+    #[serde(default)]
+    pub nn_precision: spear_nn::Precision,
 }
 
 fn default_search_threads() -> usize {
@@ -80,6 +90,7 @@ impl Default for MctsConfig {
             seed: 0,
             search_threads: default_search_threads(),
             leaf_batch_size: default_leaf_batch_size(),
+            nn_precision: spear_nn::Precision::default(),
         }
     }
 }
@@ -284,7 +295,11 @@ impl MctsScheduler {
 
     /// MCTS guided by a trained DRL policy — the full Spear scheduler.
     pub fn drl(config: MctsConfig, policy: PolicyNetwork) -> Self {
-        let policy = Box::new(DrlPolicy::with_cache(policy, config.eval_cache));
+        let policy = Box::new(DrlPolicy::with_cache_precision(
+            policy,
+            config.eval_cache,
+            config.nn_precision,
+        ));
         MctsScheduler {
             config,
             policy,
@@ -306,8 +321,16 @@ impl MctsScheduler {
         value: spear_rl::ValueNetwork,
         truncate_steps: u64,
     ) -> Self {
-        let policy = Box::new(DrlPolicy::with_cache(policy, config.eval_cache));
-        let evaluator = Box::new(ValueEvaluator::with_cache(value, config.eval_cache));
+        let policy = Box::new(DrlPolicy::with_cache_precision(
+            policy,
+            config.eval_cache,
+            config.nn_precision,
+        ));
+        let evaluator = Box::new(ValueEvaluator::with_cache_precision(
+            value,
+            config.eval_cache,
+            config.nn_precision,
+        ));
         MctsScheduler {
             config,
             policy,

@@ -23,11 +23,16 @@
 //!   their featurized leaf states in a shared queue; once
 //!   `min(leaf_batch_size, search_threads)` requests are pending (or a
 //!   50µs wait times out), one worker flushes the whole batch through a
-//!   single [`Mlp::forward_batch_into`] matmul. Each output row is
-//!   bit-identical to the row a solo forward pass would produce, so
-//!   batching changes *scheduling of work*, never *values*. The shared
+//!   single [`Mlp::forward_batch_into`] matmul (or, under
+//!   [`MctsConfig::nn_precision`]` = Fast`, one
+//!   [`InferenceEngine::forward_batch`] pass over the `f32` weight
+//!   snapshot). Each output row is bit-identical to the row a solo
+//!   forward pass at the same precision would produce, so batching
+//!   changes *scheduling of work*, never *values*. The shared
 //!   frontier-fingerprint cache ([`SharedEvalCache`]) is probed **before**
-//!   enqueuing, so cache hits never wait on a batch.
+//!   enqueuing, so cache hits never wait on a batch; in fast mode it
+//!   stores exact `f64` upcasts of the `f32` probabilities, so hits
+//!   replay the fast rows bit-identically too.
 //!
 //! The tree lock is held only for pointer-chasing phases (selection,
 //! claim, attach/backpropagate); simulation — the dominant cost — runs
@@ -56,7 +61,10 @@ use spear_cluster::env::{Env, EpisodeDriver, SimEnv};
 use spear_cluster::{Action, ClusterSpec, JobQueue, Schedule, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::{Dag, TaskId};
-use spear_nn::{softmax_masked_into, BatchScratch, Matrix, Mlp};
+use spear_nn::{
+    softmax_masked_f32_into, softmax_masked_into, BatchScratch, InferScratch, InferenceEngine,
+    Matrix, Mlp, Precision,
+};
 use spear_obs::{Counter, Histogram, Obs};
 use spear_rl::{Featurizer, PolicyNetwork, SharedEvalCache, StateView};
 use spear_sched::Scheduler;
@@ -84,8 +92,29 @@ const FLUSH_TIMEOUT: Duration = Duration::from_micros(50);
 /// `forward_batch_into` over all pending rows — the whole point of the
 /// batcher is replacing per-leaf matrix-vector passes with fewer, wider
 /// matmuls that amortize weight traffic.
+/// Which forward pass a flush runs: the training-grade `f64` network or
+/// the fast-precision `f32` snapshot. Either way the queue keeps `f64`
+/// feature rows and publishes `f64` logits rows; the fast backend rounds
+/// features to `f32` inside the engine (the same rounding the sequential
+/// fast path applies) and upcasts its `f32` logits exactly on
+/// publication, so batched and solo fast inferences stay bit-identical.
+enum BatchBackend<'a> {
+    Exact(&'a Mlp),
+    Fast(&'a InferenceEngine),
+}
+
+/// Per-worker flush scratch: the `f64` batch buffers plus the `f32`
+/// engine scratch (only one side is touched per flush, but carrying both
+/// keeps [`LeafBatcher::infer`] backend-agnostic).
+#[derive(Default)]
+struct FlushScratch {
+    batch: BatchScratch,
+    infer: InferScratch,
+    rows_f32: Vec<f32>,
+}
+
 struct LeafBatcher<'a> {
-    net: &'a Mlp,
+    backend: BatchBackend<'a>,
     input_dim: usize,
     /// Pending requests at which the enqueuer flushes immediately.
     threshold: usize,
@@ -113,9 +142,14 @@ struct PendingBatch {
 }
 
 impl<'a> LeafBatcher<'a> {
-    fn new(net: &'a Mlp, input_dim: usize, threshold: usize, obs: Option<&BatchObs>) -> Self {
+    fn new(
+        backend: BatchBackend<'a>,
+        input_dim: usize,
+        threshold: usize,
+        obs: Option<&BatchObs>,
+    ) -> Self {
         LeafBatcher {
-            net,
+            backend,
             input_dim,
             threshold: threshold.max(1),
             shared: Mutex::new(BatcherQueue::default()),
@@ -136,7 +170,7 @@ impl<'a> LeafBatcher<'a> {
     /// Enqueues `features`, blocks until its logits row is available, and
     /// copies it into `out`. `scratch` is the calling worker's private
     /// batch-forward scratch, used only if this call ends up flushing.
-    fn infer(&self, features: &[f64], out: &mut Vec<f64>, scratch: &mut BatchScratch) {
+    fn infer(&self, features: &[f64], out: &mut Vec<f64>, scratch: &mut FlushScratch) {
         debug_assert_eq!(features.len(), self.input_dim);
         let mut queue = self.shared.lock().expect("batcher lock poisoned");
         let ticket = queue.next_ticket;
@@ -175,19 +209,36 @@ impl<'a> LeafBatcher<'a> {
     /// Runs one batched forward pass over `batch` and publishes each
     /// logits row under its ticket. Runs entirely outside the queue lock
     /// except for the final publication.
-    fn flush(&self, batch: PendingBatch, scratch: &mut BatchScratch) {
+    fn flush(&self, batch: PendingBatch, scratch: &mut FlushScratch) {
         let n = batch.tickets.len();
         self.flushes.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = &self.fill {
             h.record(n as u64);
         }
         let span = self.flush_ns.as_ref().map(|h| h.start_span());
-        let x = Matrix::from_vec(n, self.input_dim, batch.rows);
-        let logits = self.net.forward_batch_into(&x, scratch);
-        let mut queue = self.shared.lock().expect("batcher lock poisoned");
-        for (i, &ticket) in batch.tickets.iter().enumerate() {
-            queue.results.insert(ticket, logits.row(i).to_vec());
-        }
+        let queue = match &self.backend {
+            BatchBackend::Exact(net) => {
+                let x = Matrix::from_vec(n, self.input_dim, batch.rows);
+                let logits = net.forward_batch_into(&x, &mut scratch.batch);
+                let mut queue = self.shared.lock().expect("batcher lock poisoned");
+                for (i, &ticket) in batch.tickets.iter().enumerate() {
+                    queue.results.insert(ticket, logits.row(i).to_vec());
+                }
+                queue
+            }
+            BatchBackend::Fast(engine) => {
+                engine.forward_batch(&batch.rows, n, &mut scratch.rows_f32, &mut scratch.infer);
+                let out_dim = engine.output_dim();
+                let mut queue = self.shared.lock().expect("batcher lock poisoned");
+                for (i, &ticket) in batch.tickets.iter().enumerate() {
+                    let row = &scratch.rows_f32[i * out_dim..(i + 1) * out_dim];
+                    queue
+                        .results
+                        .insert(ticket, row.iter().map(|&v| f64::from(v)).collect());
+                }
+                queue
+            }
+        };
         drop(queue);
         drop(span);
         self.ready.notify_all();
@@ -200,6 +251,7 @@ impl<'a> LeafBatcher<'a> {
 struct DrlShared<'a> {
     featurizer: &'a Featurizer,
     process_idx: usize,
+    precision: Precision,
     batcher: LeafBatcher<'a>,
     cache: Option<SharedEvalCache>,
 }
@@ -213,9 +265,11 @@ struct BatchedDrlGuide<'a> {
     shared: &'a DrlShared<'a>,
     ready_scratch: Vec<TaskId>,
     view: StateView,
-    batch_scratch: BatchScratch,
+    flush_scratch: FlushScratch,
     logits: Vec<f64>,
+    logits_f32: Vec<f32>,
     probs: Vec<f64>,
+    probs_f32: Vec<f32>,
     slot_scratch: Vec<Option<TaskId>>,
     action_probs: Vec<f64>,
     inferences: u64,
@@ -253,9 +307,11 @@ impl<'a> BatchedDrlGuide<'a> {
             shared,
             ready_scratch: Vec::new(),
             view: StateView::default(),
-            batch_scratch: BatchScratch::default(),
+            flush_scratch: FlushScratch::default(),
             logits: Vec::new(),
+            logits_f32: Vec::new(),
             probs: Vec::new(),
+            probs_f32: Vec::new(),
             slot_scratch: Vec::new(),
             action_probs: Vec::new(),
             inferences: 0,
@@ -303,9 +359,28 @@ impl<'a> BatchedDrlGuide<'a> {
         self.shared.batcher.infer(
             &self.view.features,
             &mut self.logits,
-            &mut self.batch_scratch,
+            &mut self.flush_scratch,
         );
-        softmax_masked_into(&self.logits, &self.view.mask, &mut self.probs);
+        match self.shared.precision {
+            Precision::Exact => {
+                softmax_masked_into(&self.logits, &self.view.mask, &mut self.probs);
+            }
+            Precision::Fast => {
+                // Published fast logits are exact upcasts of the engine's
+                // `f32` rows, so this downcast is lossless; the softmax
+                // then runs entirely in `f32`, matching the sequential
+                // fast path bit for bit, and only the resulting
+                // probabilities are upcast (exactly) for the shared `f64`
+                // cache and the action mapping.
+                self.logits_f32.clear();
+                self.logits_f32
+                    .extend(self.logits.iter().map(|&v| v as f32));
+                softmax_masked_f32_into(&self.logits_f32, &self.view.mask, &mut self.probs_f32);
+                self.probs.clear();
+                self.probs
+                    .extend(self.probs_f32.iter().map(|&p| f64::from(p)));
+            }
+        }
         if let (Some(cache), Some(key)) = (self.shared.cache.as_ref(), key) {
             cache.insert(key, &self.probs, &self.view.slot_tasks);
         }
@@ -859,6 +934,14 @@ impl TreeParallelMcts {
         let mut tree = Tree::new();
         let root = tree.push(Node::fresh(None, None, untried, terminal, terminal_value));
 
+        // The `f32` weight snapshot for fast-precision flushes; hoisted
+        // out of `drl` so the shared borrow below can reference it.
+        let engine = match &self.mode {
+            Mode::Drl(policy) if self.config.nn_precision == Precision::Fast => {
+                Some(policy.inference_engine())
+            }
+            _ => None,
+        };
         let drl = match &self.mode {
             Mode::Pure => None,
             Mode::Drl(policy) => {
@@ -871,11 +954,16 @@ impl TreeParallelMcts {
                         threads,
                     )
                 });
+                let backend = match engine.as_ref() {
+                    Some(e) => BatchBackend::Fast(e),
+                    None => BatchBackend::Exact(policy.net()),
+                };
                 Some(DrlShared {
                     featurizer: policy.featurizer(),
                     process_idx: fc.process_action(),
+                    precision: self.config.nn_precision,
                     batcher: LeafBatcher::new(
-                        policy.net(),
+                        backend,
                         fc.input_dim(),
                         self.config.leaf_batch_size.min(threads),
                         self.batch_obs.as_ref(),
@@ -1153,6 +1241,33 @@ mod tests {
             stats.batch_flushes, stats.policy_inferences,
             "batch size 1 flushes every inference alone"
         );
+    }
+
+    /// Fast precision must flow through the batched flush path: the
+    /// schedule stays valid, batches still flush, and the shared cache
+    /// still serves hits (it stores exact upcasts of the `f32` rows).
+    #[test]
+    fn parallel_fast_precision_drl_batches_validly() {
+        let dag = dag(9);
+        let spec = ClusterSpec::unit(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[16], &mut rng);
+        let cfg = MctsConfig {
+            nn_precision: Precision::Fast,
+            ..config(4)
+        };
+        let (schedule, stats) = TreeParallelMcts::drl(cfg, policy)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        schedule.validate(&dag, &spec).unwrap();
+        assert!(stats.policy_inferences > 0);
+        assert!(stats.batch_flushes > 0, "fast mode must still batch");
+        assert!(
+            stats.cache_hits > 0,
+            "fast rows must land in the shared cache"
+        );
+        assert!(schedule.makespan() >= dag.makespan_lower_bound(spec.capacity()));
+        assert!(schedule.makespan() <= dag.total_work());
     }
 
     #[test]

@@ -148,6 +148,50 @@ proptest! {
         );
     }
 
+    /// The fast-precision (`f32`) variant of the cache-transparency
+    /// property: the half-width eval cache must also be bit-transparent
+    /// *within* fast mode — a fast cached search and a fast uncached
+    /// search produce identical schedules — because the `f32` rounding
+    /// happens on the inference path, before the cache. Fast schedules
+    /// must also be valid and bounded in their own right.
+    #[test]
+    fn fast_precision_eval_cache_is_bit_transparent(
+        num_tasks in 2usize..16,
+        dag_seed in any::<u64>(),
+        search_seed in any::<u64>(),
+        capacity_step in 0u32..3,
+    ) {
+        let dag = random_dag(num_tasks, dag_seed);
+        let capacity = 1.0 + 0.25 * f64::from(capacity_step);
+        let spec =
+            ClusterSpec::new(spear_dag::ResourceVec::splat(2, capacity)).unwrap();
+        let mut rng = StdRng::seed_from_u64(search_seed);
+        let net = PolicyNetwork::with_hidden(FeatureConfig::small(2), &[8], &mut rng);
+        let fast_cfg = MctsConfig {
+            nn_precision: spear_nn::Precision::Fast,
+            ..config(12, search_seed)
+        };
+        let (cached, cs) = MctsScheduler::drl(fast_cfg.clone(), net.clone())
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        let uncached_cfg = MctsConfig { eval_cache: false, ..fast_cfg };
+        let (uncached, us) = MctsScheduler::drl(uncached_cfg, net)
+            .schedule_with_stats(&dag, &spec)
+            .unwrap();
+        cached.validate(&dag, &spec).unwrap();
+        prop_assert_eq!(&cached, &uncached, "f32 cache changed the schedule");
+        prop_assert!(cached.makespan() >= dag.makespan_lower_bound(spec.capacity()));
+        prop_assert!(cached.makespan() <= dag.total_work());
+        prop_assert_eq!(cs.iterations, us.iterations);
+        prop_assert_eq!(cs.rollout_steps, us.rollout_steps);
+        prop_assert_eq!(us.cache_hits, 0);
+        prop_assert_eq!(
+            cs.policy_inferences + cs.cache_hits,
+            us.policy_inferences,
+            "every hit must replace exactly one inference"
+        );
+    }
+
     /// Cross-validation against the exact solver: on tiny jobs, MCTS can
     /// never beat a branch-and-bound-*proven* optimum (a violation would
     /// mean the bound or the simulator is broken), and with a healthy

@@ -31,6 +31,17 @@ impl Activation {
         }
     }
 
+    /// [`Activation::apply`] in `f32` — the scalar kernel of the
+    /// fast-precision inference engine's fused epilogue.
+    #[inline]
+    pub fn apply_f32(self, v: f32) -> f32 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::Identity => v,
+            Activation::Tanh => v.tanh(),
+        }
+    }
+
     /// Applies the activation to every element of `z` in place.
     pub fn forward_inplace(self, z: &mut Matrix) {
         self.forward_slice_inplace(z.as_mut_slice());

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod infer;
 mod layer;
 pub mod loss;
 mod matrix;
@@ -51,6 +52,7 @@ mod mlp;
 mod optim;
 
 pub use activation::{log_softmax, softmax, softmax_masked, softmax_masked_into, Activation};
+pub use infer::{softmax_masked_f32_into, InferScratch, InferenceEngine, Precision, LANES};
 pub use layer::Dense;
 pub use matrix::Matrix;
 pub use mlp::{BatchScratch, ForwardScratch, Mlp, MlpConfig};

@@ -74,8 +74,13 @@ impl EvalCacheStats {
 /// ready-slot → task assignment (`max_ready` slots) that gives those
 /// probabilities meaning. A hit reproduces `action_probs` output
 /// bit-identically without featurizing or running the network.
+///
+/// Generic over the probability element: `f64` (the default) for the
+/// exact path, `f32` ([`EvalCacheF32`]) for the fast-precision path,
+/// where halving the row footprint doubles the effective entry count at
+/// the same memory budget.
 #[derive(Debug, Clone)]
-pub struct EvalCache {
+pub struct EvalCache<T = f64> {
     /// Slot count; always a power of two so probing can mask.
     capacity: usize,
     /// Fingerprint stored in each slot (valid only when the slot's
@@ -87,7 +92,7 @@ pub struct EvalCache {
     /// Current generation; bumped by [`EvalCache::begin_generation`].
     generation: u64,
     /// Flat `capacity × action_dim` probability storage.
-    probs: Vec<f64>,
+    probs: Vec<T>,
     /// Flat `capacity × max_ready` slot-task storage.
     slots: Vec<Option<TaskId>>,
     /// Probability row width.
@@ -98,7 +103,7 @@ pub struct EvalCache {
     stats: EvalCacheStats,
 }
 
-impl EvalCache {
+impl<T: Copy + Default> EvalCache<T> {
     /// Creates a cache with room for at least `capacity` entries
     /// (rounded up to a power of two), each holding `action_dim`
     /// probabilities and `max_ready` slot tasks.
@@ -110,7 +115,7 @@ impl EvalCache {
             keys: vec![0; capacity],
             gens: vec![0; capacity],
             generation: 1,
-            probs: vec![0.0; capacity * action_dim],
+            probs: vec![T::default(); capacity * action_dim],
             slots: vec![None; capacity * max_ready],
             action_dim,
             max_ready,
@@ -127,7 +132,7 @@ impl EvalCache {
 
     /// Looks up `key`, returning the cached `(probabilities,
     /// slot_tasks)` rows on a hit. Counts a hit or a miss either way.
-    pub fn get(&mut self, key: u64) -> Option<(&[f64], &[Option<TaskId>])> {
+    pub fn get(&mut self, key: u64) -> Option<(&[T], &[Option<TaskId>])> {
         let mask = self.capacity - 1;
         let start = (key as usize) & mask;
         for step in 0..PROBE_LIMIT {
@@ -153,7 +158,7 @@ impl EvalCache {
     ///
     /// # Panics
     /// If the row widths disagree with the ones given to `new`.
-    pub fn insert(&mut self, key: u64, probs: &[f64], slot_tasks: &[Option<TaskId>]) {
+    pub fn insert(&mut self, key: u64, probs: &[T], slot_tasks: &[Option<TaskId>]) {
         assert_eq!(probs.len(), self.action_dim);
         assert_eq!(slot_tasks.len(), self.max_ready);
         let mask = self.capacity - 1;
@@ -185,10 +190,17 @@ impl EvalCache {
     }
 }
 
+/// The `f32`-row policy cache of the fast-precision inference path.
+pub type EvalCacheF32 = EvalCache<f32>;
+
+/// The `f32` value cache of the fast-precision inference path.
+pub type ValueCacheF32 = ValueCache<f32>;
+
 /// Generation-cleared scalar cache for value-network estimates, keyed
-/// the same way as [`EvalCache`].
+/// the same way as [`EvalCache`]. Generic over the stored scalar like
+/// [`EvalCache`] (`f64` exact, `f32` fast).
 #[derive(Debug, Clone)]
-pub struct ValueCache {
+pub struct ValueCache<T = f64> {
     /// Slot count; always a power of two so probing can mask.
     capacity: usize,
     /// Fingerprint stored in each slot.
@@ -198,12 +210,12 @@ pub struct ValueCache {
     /// Current generation.
     generation: u64,
     /// Cached scalar per slot.
-    values: Vec<f64>,
+    values: Vec<T>,
     /// Lifetime counters.
     stats: EvalCacheStats,
 }
 
-impl ValueCache {
+impl<T: Copy + Default> ValueCache<T> {
     /// Creates a cache with room for at least `capacity` entries
     /// (rounded up to a power of two).
     #[must_use]
@@ -214,7 +226,7 @@ impl ValueCache {
             keys: vec![0; capacity],
             gens: vec![0; capacity],
             generation: 1,
-            values: vec![0.0; capacity],
+            values: vec![T::default(); capacity],
             stats: EvalCacheStats::default(),
         }
     }
@@ -225,7 +237,7 @@ impl ValueCache {
     }
 
     /// Looks up `key`, counting a hit or a miss.
-    pub fn get(&mut self, key: u64) -> Option<f64> {
+    pub fn get(&mut self, key: u64) -> Option<T> {
         let mask = self.capacity - 1;
         let start = (key as usize) & mask;
         for step in 0..PROBE_LIMIT {
@@ -244,7 +256,7 @@ impl ValueCache {
 
     /// Stores `value` under `key`, evicting at the probe start if the
     /// window is full.
-    pub fn insert(&mut self, key: u64, value: f64) {
+    pub fn insert(&mut self, key: u64, value: T) {
         let mask = self.capacity - 1;
         let start = (key as usize) & mask;
         let mut target = start;
@@ -356,6 +368,24 @@ mod tests {
                 evictions: 0
             }
         );
+    }
+
+    #[test]
+    fn f32_variants_round_trip_at_half_footprint() {
+        let mut cache: EvalCacheF32 = EvalCache::new(64, 3, 2);
+        assert!(cache.get(42).is_none());
+        cache.insert(42, &[0.25f32, 0.5, 0.25], &[Some(TaskId::new(7)), None]);
+        let (p, s) = cache.get(42).expect("inserted key must hit");
+        assert_eq!(p, &[0.25f32, 0.5, 0.25]);
+        assert_eq!(s, &[Some(TaskId::new(7)), None]);
+        cache.begin_generation();
+        assert!(cache.get(42).is_none());
+
+        let mut values: ValueCacheF32 = ValueCache::new(32);
+        values.insert(9, 123.5f32);
+        assert_eq!(values.get(9), Some(123.5f32));
+        values.begin_generation();
+        assert!(values.get(9).is_none());
     }
 
     #[test]

@@ -49,8 +49,11 @@ mod reinforce;
 mod shared_cache;
 pub mod value;
 
-pub use cache::{EvalCache, EvalCacheStats, ValueCache};
-pub use episode::{run_episode, run_episode_with_features, Episode, SelectionMode, StepRecord};
+pub use cache::{EvalCache, EvalCacheF32, EvalCacheStats, ValueCache, ValueCacheF32};
+pub use episode::{
+    run_episode, run_episode_with_features, run_episode_with_features_precision, Episode,
+    SelectionMode, StepRecord,
+};
 pub use expert::{collect_expert_dataset, CpExpert, ExpertDataset};
 pub use features::{FeatureConfig, Featurizer, StateView};
 pub use policy::PolicyNetwork;

@@ -19,7 +19,7 @@ use rand::Rng;
 use spear_cluster::{ClusterSpec, SimState, SpearError};
 use spear_dag::analysis::GraphFeatures;
 use spear_dag::Dag;
-use spear_nn::{Matrix, Mlp, MlpConfig, Optimizer, RmsProp};
+use spear_nn::{InferScratch, InferenceEngine, Matrix, Mlp, MlpConfig, Optimizer, RmsProp};
 
 use crate::episode::run_episode_with_features;
 use crate::{FeatureConfig, Featurizer, PolicyNetwork, SelectionMode};
@@ -47,6 +47,20 @@ impl ValueNetwork {
         self.featurizer.config()
     }
 
+    /// The featurizer (used by the fast-precision evaluator, which
+    /// featurizes in `f64` and runs the `f32` engine).
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// Snapshots the current weights into an `f32`
+    /// [`InferenceEngine`]. Like the policy snapshot, it does not track
+    /// later training updates.
+    #[must_use]
+    pub fn inference_engine(&self) -> InferenceEngine {
+        InferenceEngine::from_mlp(&self.net)
+    }
+
     /// The underlying network.
     pub fn net(&self) -> &Mlp {
         &self.net
@@ -71,6 +85,44 @@ impl ValueNetwork {
         let view = self.featurizer.featurize(dag, spec, state, features);
         let out = self.net.forward_one(&view.features);
         (out[0] * scale).max(0.0)
+    }
+
+    /// Fast-precision [`ValueNetwork::predict_remaining`]: the same
+    /// featurization, the `f32` engine forward pass, and the same
+    /// `(out · scale).max(0)` epilogue with the single output upcast
+    /// exactly at the boundary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict_remaining_fast(
+        &mut self,
+        engine: &InferenceEngine,
+        scratch: &mut InferScratch,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        state: &SimState,
+        features: &GraphFeatures,
+        scale: f64,
+    ) -> f64 {
+        let view = self.featurizer.featurize(dag, spec, state, features);
+        let out = engine.forward_one(&view.features, scratch);
+        (f64::from(out[0]) * scale).max(0.0)
+    }
+
+    /// Fast-precision [`ValueNetwork::predict_final`]: clock plus the
+    /// fast remainder, floored at the largest committed finish time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict_final_fast(
+        &mut self,
+        engine: &InferenceEngine,
+        scratch: &mut InferScratch,
+        dag: &Dag,
+        spec: &ClusterSpec,
+        state: &SimState,
+        features: &GraphFeatures,
+        scale: f64,
+    ) -> f64 {
+        let remaining =
+            self.predict_remaining_fast(engine, scratch, dag, spec, state, features, scale);
+        (state.clock() as f64 + remaining).max(state.max_finish() as f64)
     }
 
     /// Predicts the *final* makespan from `state`: the current clock plus
