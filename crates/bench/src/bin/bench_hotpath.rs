@@ -13,8 +13,10 @@
 //! * `bench_hotpath --quick` — a seconds-scale smoke configuration for CI;
 //!   writes `BENCH_mcts_quick.json` instead and never compares against the
 //!   full baseline. Quick mode additionally asserts the pinned golden
-//!   makespans and exits nonzero on drift, so the CI job catches
-//!   bit-exactness regressions, not just panics. The JSON output and any
+//!   makespans — on the single-box cluster *and* on a degenerate
+//!   1-machine heterogeneous cluster, which must agree exactly — and
+//!   exits nonzero on drift, so the CI job catches bit-exactness
+//!   regressions, not just panics. The JSON output and any
 //!   `--metrics-out` file are written *before* the drift exit, so a failed
 //!   run still leaves its evidence for CI to upload.
 //! * `bench_hotpath --no-eval-cache` — disables the fingerprint-keyed
@@ -730,6 +732,31 @@ fn comparable(a: &HotpathReport, b: &HotpathReport) -> bool {
 const QUICK_GOLDEN_PURE: [u64; 2] = [203, 208];
 const QUICK_GOLDEN_DRL: [u64; 2] = [233, 229];
 
+/// Quick-mode companion to the golden check: the same workload searched
+/// on the degenerate 1-machine heterogeneous cluster must reproduce the
+/// pinned single-box goldens exactly. The machine generalization routes
+/// these runs through `Action::Place` and the per-machine accounting,
+/// so any divergence there shows up as a golden mismatch.
+fn one_machine_equivalence(params: &ModeParams, eval_cache: bool) -> bool {
+    let dags = workload::simulation_dags(params.dags, params.tasks, WORKLOAD_SEED);
+    let spec = workload::degenerate_hetero_cluster();
+    let (pure_runs, _) = measure(&dags, &spec, pure_scheduler(params));
+    let (drl_runs, _) = measure(&dags, &spec, drl_scheduler(params, eval_cache));
+    let pure: Vec<u64> = pure_runs.iter().map(|&(m, _)| m).collect();
+    let drl: Vec<u64> = drl_runs.iter().map(|&(m, _)| m).collect();
+    let ok = pure == QUICK_GOLDEN_PURE && drl == QUICK_GOLDEN_DRL;
+    if ok {
+        eprintln!("[bench_hotpath] 1-machine hetero equivalence OK");
+    } else {
+        eprintln!(
+            "[bench_hotpath] 1-MACHINE EQUIVALENCE MISMATCH: pure {pure:?} (want {:?}), \
+             drl {drl:?} (want {:?})",
+            QUICK_GOLDEN_PURE, QUICK_GOLDEN_DRL
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -781,7 +808,7 @@ fn main() {
                 report.pure.makespans, QUICK_GOLDEN_PURE, report.drl.makespans, QUICK_GOLDEN_DRL
             );
         }
-        ok
+        ok && one_machine_equivalence(params, eval_cache)
     } else {
         true
     };

@@ -12,10 +12,11 @@
 //! Usage:
 //!
 //! * `fuzz_differential` — the CI configuration: 200 single-job cases plus
-//!   40 multi-job arrival-stream cases and 40 fault-injection cases, seed
-//!   `0xD1FF5EED`, exit code 1 on any failure.
-//! * `fuzz_differential --cases N --multi-cases M --fault-cases F --seed S`
-//!   — custom corpus sizes.
+//!   40 multi-job arrival-stream cases, 40 fault-injection cases and 40
+//!   heterogeneous-cluster cases, seed `0xD1FF5EED`, exit code 1 on any
+//!   failure.
+//! * `fuzz_differential --cases N --multi-cases M --fault-cases F
+//!   --hetero-cases H --seed S` — custom corpus sizes.
 //! * `fuzz_differential --out DIR` — where to write shrunk witnesses
 //!   (default `tests/fuzz_failures/` at the repository root).
 //!
@@ -31,6 +32,12 @@
 //! the plan's draws, audited bit-identical re-execution, and the occupancy
 //! grid over failed *and* final attempts. Deterministic retry exhaustion is
 //! legal; nondeterministic exhaustion or any judge failure is a finding.
+//!
+//! The heterogeneous pass runs the roster over seeded 2–3-machine clusters
+//! with data-transfer-aware placement (both transfer modes, mixed
+//! bandwidths); every judge re-derives the transfer delays independently.
+//! A failing case first shrinks its *machine count* to the minimum that
+//! still reproduces the disagreement, then its DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,13 +47,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use spear::diffcheck::{
-    check_schedule, corpus, fault_corpus, multi_corpus, shrink_dag, CaseSpec, Fixture,
+    check_schedule, corpus, fault_corpus, hetero_corpus, multi_corpus, shrink_dag, CaseSpec,
+    Fixture, HeteroCaseSpec,
 };
 
 /// CI defaults: the corpus sizes the workflow's ~60 s budget is sized for.
 const DEFAULT_CASES: usize = 200;
 const DEFAULT_MULTI_CASES: usize = 40;
 const DEFAULT_FAULT_CASES: usize = 40;
+const DEFAULT_HETERO_CASES: usize = 40;
 const DEFAULT_SEED: u64 = 0xD1FF_5EED;
 
 fn repo_root() -> PathBuf {
@@ -86,11 +95,48 @@ fn shrink_case(case: &CaseSpec, why: &str) -> Fixture {
     )
 }
 
+/// Shrinks a failing heterogeneous case: first to the minimal machine
+/// count that still reproduces the disagreement, then to a minimal DAG on
+/// that cluster.
+fn shrink_hetero_case(case: &HeteroCaseSpec, why: &str) -> Fixture {
+    let fails_with = |c: &HeteroCaseSpec, d: &spear::Dag| {
+        let spec = c.cluster();
+        let mut scheduler = c.scheduler.build(c.seed, c.dims);
+        match scheduler.schedule(d, &spec) {
+            Ok(schedule) => !check_schedule(d, &spec, &schedule).all_ok(),
+            Err(_) => false,
+        }
+    };
+    let dag = case.dag();
+    let mut small_case = *case;
+    while small_case.machines > 1 {
+        let candidate = HeteroCaseSpec {
+            machines: small_case.machines - 1,
+            ..small_case
+        };
+        if fails_with(&candidate, &dag) {
+            small_case = candidate;
+        } else {
+            break;
+        }
+    }
+    let small = shrink_dag(&dag, |d| fails_with(&small_case, d));
+    Fixture::from_parts(
+        &format!("fuzz_{}", small_case.label().replace('/', "_")),
+        &format!("shrunk witness of a heterogeneous three-way disagreement: {why}"),
+        small_case.scheduler,
+        small_case.seed,
+        &small,
+        &small_case.cluster(),
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let cases = arg_value(&args, "--cases", DEFAULT_CASES);
     let multi_cases = arg_value(&args, "--multi-cases", DEFAULT_MULTI_CASES);
     let fault_cases = arg_value(&args, "--fault-cases", DEFAULT_FAULT_CASES);
+    let hetero_cases = arg_value(&args, "--hetero-cases", DEFAULT_HETERO_CASES);
     let seed = arg_value(&args, "--seed", DEFAULT_SEED);
     let out_dir = arg_value(&args, "--out", repo_root().join("tests/fuzz_failures"));
 
@@ -202,7 +248,44 @@ fn main() -> ExitCode {
         );
     }
 
-    let total = matrix.len() + multi_matrix.len() + fault_matrix.len();
+    // Heterogeneous pass: the roster over seeded multi-machine clusters
+    // with data-transfer-aware placement, judged by the same tri-check —
+    // each judge re-derives the transfer delays on its own.
+    let hetero_matrix = hetero_corpus(hetero_cases, seed);
+    eprintln!(
+        "[fuzz_differential] {} hetero cases, base seed {seed:#x}",
+        hetero_matrix.len()
+    );
+    for (i, case) in hetero_matrix.iter().enumerate() {
+        let why = match case.run() {
+            Ok(tri) if tri.all_ok() => {
+                if (i + 1) % 20 == 0 {
+                    eprintln!(
+                        "[fuzz_differential] hetero {}/{} ok ({:.1}s)",
+                        i + 1,
+                        hetero_matrix.len(),
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+                continue;
+            }
+            Ok(tri) => tri.summary(),
+            Err(e) => format!("scheduler error: {e}"),
+        };
+        failures += 1;
+        println!("FAIL {}: {why}", case.label());
+        let fixture = shrink_hetero_case(case, &why);
+        std::fs::create_dir_all(&out_dir).expect("cannot create witness dir");
+        let path = out_dir.join(format!("{}.json", fixture.name));
+        std::fs::write(&path, fixture.to_json()).expect("cannot write witness");
+        println!(
+            "  shrunk witness ({} tasks) written to {}",
+            fixture.tasks.len(),
+            path.display()
+        );
+    }
+
+    let total = matrix.len() + multi_matrix.len() + fault_matrix.len() + hetero_matrix.len();
     let elapsed = start.elapsed().as_secs_f64();
     if failures == 0 {
         println!("fuzz_differential: {total} cases, 0 disagreements ({elapsed:.1}s)");

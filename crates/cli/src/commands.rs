@@ -8,9 +8,9 @@ use spear::dag::generator::LayeredDagSpec;
 use spear::{
     execute_multi_under_faults, execute_under_faults, Action, ArrivalProcess, ArrivalStreamSpec,
     ClusterSpec, CpScheduler, Dag, Env, FaultProfile, FeatureConfig, Graphene, JctReport, JobQueue,
-    JobSource, MctsConfig, MctsScheduler, MetricsRegistry, MultiJobEnv, Obs, ObservedScheduler,
-    PolicyNetwork, RandomScheduler, ResourceVec, Scheduler, SjfScheduler, SyntheticTraceSpec,
-    TetrisScheduler, Trace, TraceStats, TreeParallelMcts,
+    JobSource, MachineProfile, MctsConfig, MctsScheduler, MetricsRegistry, MultiJobEnv, Obs,
+    ObservedScheduler, PolicyNetwork, RandomScheduler, ResourceVec, Scheduler, SjfScheduler,
+    SyntheticTraceSpec, TetrisScheduler, Trace, TraceStats, TransferMode, TreeParallelMcts,
 };
 
 use crate::args::Args;
@@ -25,6 +25,8 @@ USAGE:
                      [--algo spear|mcts|tetris|sjf|cp|graphene|random]
                      [--budget 100] [--min-budget 50] [--policy policy.json]
                      [--capacity 1.0] [--seed 0] [--gantt] [--no-eval-cache]
+                     [--machines 1] [--bandwidth 4]
+                     [--transfer-mode direct|via-master]
                      [--nn-precision exact|fast]
                      [--search-threads 1] [--leaf-batch 8]
                      [--faults 0.0] [--straggler 1.5] [--max-retries 3]
@@ -73,6 +75,17 @@ attempts are exhausted, which aborts the run with a typed error; a
 straggling attempt occupies the cluster --straggler times longer than
 its runtime. The realized makespan (or, with --arrivals, the realized
 JCT report) is printed next to the planned one.
+
+--machines > 1 plans against a seeded heterogeneous cluster instead of
+one box: machine 0 keeps the full --capacity, later machines shrink by
+a seeded factor, and every placement names its machine. A task whose
+parent ran elsewhere waits for a deterministic transfer of the edge's
+payload — ceil(bytes / link bandwidth) slots over the direct link, or
+up then down the master uplinks with --transfer-mode via-master.
+--bandwidth sets the baseline link speed in bytes per slot. The same
+--seed always yields the same machine set, payload sizes and schedule.
+With --machines 1 (explicitly) the degenerate one-machine cluster
+reproduces the single-box schedule exactly.
 
 --metrics-out writes every metric recorded during the run as JSON lines
 (one metric per line). Metric recording is compiled in behind the `obs`
@@ -134,9 +147,37 @@ fn opt_stat<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map_or_else(|| "n/a".to_owned(), |x| x.to_string())
 }
 
-fn cluster_for(dag: &Dag, args: &Args) -> Result<ClusterSpec, Box<dyn Error>> {
+/// The cluster the schedulers plan against: a single box of `--capacity`
+/// by default, or — with `--machines N` — a seeded heterogeneous set of
+/// `N` machines linked at `--bandwidth` bytes/slot with `--transfer-mode`
+/// routing (machine 0 keeps the full `--capacity`, so single-box
+/// workloads stay admissible).
+fn cluster_spec(dims: usize, args: &Args) -> Result<ClusterSpec, Box<dyn Error>> {
     let capacity: f64 = args.get_or("capacity", 1.0)?;
-    Ok(ClusterSpec::new(ResourceVec::splat(dag.dims(), capacity))?)
+    let machines: usize = args.get_or("machines", 1)?;
+    // Validate the mode even on the single-box path below, so a typo'd
+    // value never silently degrades to a default.
+    let mode = match args.get("transfer-mode") {
+        Some(raw) => TransferMode::parse(raw).map_err(|e| format!("--transfer-mode: {e}"))?,
+        None => TransferMode::Direct,
+    };
+    if machines <= 1 && args.get("machines").is_none() {
+        return Ok(ClusterSpec::new(ResourceVec::splat(dims, capacity))?);
+    }
+    let profile = MachineProfile {
+        machines,
+        dims,
+        base_capacity: capacity,
+        base_bandwidth: args.get_or("bandwidth", 4)?,
+        mode,
+        ..MachineProfile::sweep(machines)
+    };
+    let seed: u64 = args.get_or("seed", 0)?;
+    Ok(ClusterSpec::hetero(profile.generate(seed)?)?)
+}
+
+fn cluster_for(dag: &Dag, args: &Args) -> Result<ClusterSpec, Box<dyn Error>> {
+    cluster_spec(dag.dims(), args)
 }
 
 /// Loads a DAG from `--dag file.json` or `--stg file.stg` (STG files get
@@ -316,8 +357,7 @@ fn truncated_report(
 fn schedule_arrivals(args: &Args) -> Result<(), Box<dyn Error>> {
     let queue = load_arrival_stream(args)?;
     let union = queue.union_dag();
-    let capacity: f64 = args.get_or("capacity", 1.0)?;
-    let spec = ClusterSpec::new(ResourceVec::splat(union.dims(), capacity))?;
+    let spec = cluster_spec(union.dims(), args)?;
     let algo = args.get("algo").unwrap_or("spear");
     let (registry, metrics_path) = metrics_registry(args);
     let sink = registry.sink("cli");
@@ -863,6 +903,91 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("magic"));
+    }
+
+    #[test]
+    fn schedule_on_a_heterogeneous_cluster() {
+        let dag_path = tmp("cli-dag-hetero.json");
+        generate(&args(&[
+            "--tasks", "10", "--seed", "9", "--output", &dag_path,
+        ]))
+        .unwrap();
+        let out = tmp("cli-hetero-schedule.json");
+        schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "tetris",
+            "--machines",
+            "3",
+            "--bandwidth",
+            "2",
+            "--transfer-mode",
+            "via-master",
+            "--seed",
+            "9",
+            "--output",
+            &out,
+        ]))
+        .unwrap();
+        let loaded: spear::Schedule =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        // A 3-machine run actually spreads across machines.
+        assert!(loaded.placements().iter().any(|p| p.machine > 0));
+    }
+
+    #[test]
+    fn explicit_single_machine_matches_the_single_box_schedule() {
+        let dag_path = tmp("cli-dag-onebox.json");
+        generate(&args(&[
+            "--tasks", "10", "--seed", "4", "--output", &dag_path,
+        ]))
+        .unwrap();
+        let homo = tmp("cli-onebox-homo.json");
+        let one = tmp("cli-onebox-hetero.json");
+        schedule(&args(&[
+            "--dag", &dag_path, "--algo", "cp", "--output", &homo,
+        ]))
+        .unwrap();
+        schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--algo",
+            "cp",
+            "--machines",
+            "1",
+            "--output",
+            &one,
+        ]))
+        .unwrap();
+        let a: spear::Schedule =
+            serde_json::from_str(&std::fs::read_to_string(&homo).unwrap()).unwrap();
+        let b: spear::Schedule =
+            serde_json::from_str(&std::fs::read_to_string(&one).unwrap()).unwrap();
+        // Same starts and finishes; the degenerate cluster only adds the
+        // (all-zero) machine column.
+        assert_eq!(a.makespan(), b.makespan());
+        for (x, y) in a.placements().iter().zip(b.placements()) {
+            assert_eq!((x.task, x.start, x.finish), (y.task, y.start, y.finish));
+            assert_eq!(y.machine, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_transfer_mode_is_rejected() {
+        let dag_path = tmp("cli-dag-badmode.json");
+        generate(&args(&["--tasks", "4", "--output", &dag_path])).unwrap();
+        let err = schedule(&args(&[
+            "--dag",
+            &dag_path,
+            "--machines",
+            "2",
+            "--transfer-mode",
+            "teleport",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("teleport"), "unexpected error: {err}");
     }
 
     #[test]

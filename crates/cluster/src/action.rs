@@ -14,8 +14,15 @@ use spear_dag::TaskId;
 /// choices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Action {
-    /// Start the given ready task now, consuming its demand.
+    /// Start the given ready task now, consuming its demand. The only
+    /// scheduling action of the single-box regime (the simulator rejects
+    /// it on heterogeneous clusters, where a machine must be named).
     Schedule(TaskId),
+    /// Start the given ready task (first field) now on a specific machine
+    /// (second field) of a heterogeneous cluster, consuming its demand
+    /// there. On a single-box cluster `Place(t, 0)` is equivalent to
+    /// `Schedule(t)`.
+    Place(TaskId, u32),
     /// Advance the clock until at least one running task finishes
     /// (the paper's `-1` action).
     Process,
@@ -25,6 +32,7 @@ impl fmt::Display for Action {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Action::Schedule(t) => write!(f, "schedule({t})"),
+            Action::Place(task, machine) => write!(f, "place({task}@m{machine})"),
             Action::Process => write!(f, "process"),
         }
     }
@@ -35,6 +43,19 @@ impl Action {
     pub fn task(self) -> Option<TaskId> {
         match self {
             Action::Schedule(t) => Some(t),
+            Action::Place(task, _) => Some(task),
+            Action::Process => None,
+        }
+    }
+
+    /// The machine this action places its task on: explicit for
+    /// [`Action::Place`], machine 0 for [`Action::Schedule`] (the
+    /// single-box regime's only machine), `None` for
+    /// [`Action::Process`].
+    pub fn machine(self) -> Option<u32> {
+        match self {
+            Action::Schedule(_) => Some(0),
+            Action::Place(_, machine) => Some(machine),
             Action::Process => None,
         }
     }
@@ -47,6 +68,7 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Action::Schedule(TaskId::new(3)).to_string(), "schedule(t3)");
+        assert_eq!(Action::Place(TaskId::new(3), 2).to_string(), "place(t3@m2)");
         assert_eq!(Action::Process.to_string(), "process");
     }
 
@@ -56,6 +78,17 @@ mod tests {
             Action::Schedule(TaskId::new(1)).task(),
             Some(TaskId::new(1))
         );
+        assert_eq!(
+            Action::Place(TaskId::new(1), 2).task(),
+            Some(TaskId::new(1))
+        );
         assert_eq!(Action::Process.task(), None);
+    }
+
+    #[test]
+    fn machine_accessor() {
+        assert_eq!(Action::Schedule(TaskId::new(1)).machine(), Some(0));
+        assert_eq!(Action::Place(TaskId::new(1), 2).machine(), Some(2));
+        assert_eq!(Action::Process.machine(), None);
     }
 }

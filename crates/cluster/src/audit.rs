@@ -37,6 +37,12 @@
 //!   placement or resources behind), the exhaustion marker is coherent,
 //!   and the incremental attempt hash matches a from-scratch
 //!   recomputation.
+//! * **Heterogeneous coherence** (multi-machine states only) — machine
+//!   assignments mirror the start table, every machine's `used`/`free`
+//!   reconciles with the demand actually running on it (per-machine
+//!   conservation), and every started task respects the transfer gate
+//!   against edge delays the auditor re-derives from the machine set
+//!   itself.
 //!
 //! The auditor is pure observation: it never mutates the state, so an
 //! audited episode is bit-identical to an unaudited one. It is wired into
@@ -195,6 +201,54 @@ pub enum AuditViolation {
         /// The value derived from the plan and the tables.
         derived: u64,
     },
+    /// A machine's recorded `used` disagrees with the summed demand of
+    /// the running tasks placed on it — the per-machine admission basis
+    /// is corrupt (heterogeneous states only).
+    MachineUsedMismatch {
+        /// The machine with corrupt accounting.
+        machine: u32,
+        /// The offending resource dimension.
+        dim: usize,
+        /// Used capacity recorded for the machine.
+        used: f64,
+        /// Summed demand of the tasks running on it.
+        committed: f64,
+    },
+    /// A machine's `free + Σ(demands running on it)` drifted away from
+    /// its capacity, or its derived `free` exceeds its capacity —
+    /// per-machine conservation is broken (heterogeneous states only).
+    MachineConservation {
+        /// The machine with corrupt accounting.
+        machine: u32,
+        /// The offending resource dimension.
+        dim: usize,
+        /// Free capacity recorded for the machine.
+        free: f64,
+        /// Summed demand of the tasks running on it.
+        committed: f64,
+        /// The machine's true capacity.
+        capacity: f64,
+    },
+    /// A task's machine assignment is incoherent: assigned without a
+    /// recorded start, started without an assignment, or out of range
+    /// (heterogeneous states only).
+    MachineAssignment {
+        /// The incoherently assigned task.
+        task: TaskId,
+    },
+    /// A task started inside the transfer window of a cross-machine
+    /// parent — the start precedes the parent's finish plus the
+    /// re-derived edge transfer delay (heterogeneous states only).
+    TransferGatedStart {
+        /// The parent whose output had not arrived yet.
+        parent: TaskId,
+        /// The prematurely started child.
+        child: TaskId,
+        /// The child's recorded start.
+        start: u64,
+        /// The earliest legal start re-derived from the network model.
+        ready: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -296,6 +350,41 @@ impl fmt::Display for AuditViolation {
                 f,
                 "fault bookkeeping field {field} is recorded as {recorded} \
                  but derives to {derived}"
+            ),
+            AuditViolation::MachineUsedMismatch {
+                machine,
+                dim,
+                used,
+                committed,
+            } => write!(
+                f,
+                "machine {machine} records used capacity {used} but its running \
+                 set's summed demand is {committed} in dimension {dim}"
+            ),
+            AuditViolation::MachineConservation {
+                machine,
+                dim,
+                free,
+                committed,
+                capacity,
+            } => write!(
+                f,
+                "machine {machine} breaks conservation in dimension {dim}: \
+                 free {free} + committed {committed} != capacity {capacity}"
+            ),
+            AuditViolation::MachineAssignment { task } => write!(
+                f,
+                "machine assignment of task {task} disagrees with its start record"
+            ),
+            AuditViolation::TransferGatedStart {
+                parent,
+                child,
+                start,
+                ready,
+            } => write!(
+                f,
+                "task {child} started at {start}, inside the transfer window of \
+                 its parent {parent} (data arrives at {ready})"
             ),
         }
     }
@@ -668,6 +757,89 @@ impl InvariantAuditor {
             self.last_attempts.extend_from_slice(&f.attempts);
         } else {
             self.last_attempts.clear();
+        }
+
+        // 6d. Heterogeneous-cluster coherence: machine assignments mirror
+        // the start table, every machine's `used`/`free` reconciles with
+        // the demand actually running on it, and every started task
+        // respects the transfer gate — its start at or after each
+        // parent's finish plus the edge delay *re-derived here* from the
+        // machine set's seeded bytes and link bandwidths. Single-box
+        // states skip the whole group.
+        if let Some(h) = state.hetero.as_deref() {
+            let n = h.machines.len();
+            for i in 0..dag.len() {
+                let assigned = h.machine_of[i];
+                let incoherent = assigned.is_some() != state.starts[i].is_some()
+                    || assigned.is_some_and(|m| (m as usize) >= n);
+                if incoherent {
+                    return Err(AuditViolation::MachineAssignment {
+                        task: TaskId::new(i),
+                    });
+                }
+            }
+            for m in 0..n {
+                let machine = m as u32;
+                let cap = h.machines.capacity(machine);
+                self.committed.clear();
+                self.committed.resize(dims, 0.0);
+                for r in &state.running {
+                    if h.machine_of[r.task.index()] == Some(machine) {
+                        let demand = dag.task(r.task).demand();
+                        for d in 0..dims {
+                            self.committed[d] += demand[d];
+                        }
+                    }
+                }
+                for d in 0..dims {
+                    if (h.used[m][d] - self.committed[d]).abs() > FIT_EPSILON {
+                        return Err(AuditViolation::MachineUsedMismatch {
+                            machine,
+                            dim: d,
+                            used: h.used[m][d],
+                            committed: self.committed[d],
+                        });
+                    }
+                    let drifted = h.free[m][d] > cap[d]
+                        || (h.free[m][d] + self.committed[d] - cap[d]).abs() > tolerance;
+                    if drifted {
+                        return Err(AuditViolation::MachineConservation {
+                            machine,
+                            dim: d,
+                            free: h.free[m][d],
+                            committed: self.committed[d],
+                            capacity: cap[d],
+                        });
+                    }
+                }
+            }
+            for e in dag.edges() {
+                let (Some(ps), Some(cs)) =
+                    (state.starts[e.from.index()], state.starts[e.to.index()])
+                else {
+                    continue;
+                };
+                let (Some(pm), Some(cm)) =
+                    (h.machine_of[e.from.index()], h.machine_of[e.to.index()])
+                else {
+                    continue; // assignment coherence already checked above
+                };
+                let finish = ps.saturating_add(state.run_slots_of(dag, e.from));
+                let ready = finish.saturating_add(h.machines.edge_delay(
+                    e.from.index(),
+                    e.to.index(),
+                    pm,
+                    cm,
+                ));
+                if cs < ready {
+                    return Err(AuditViolation::TransferGatedStart {
+                        parent: e.from,
+                        child: e.to,
+                        start: cs,
+                        ready,
+                    });
+                }
+            }
         }
 
         // 7. Fingerprint coherence: the incremental placement hash behind
@@ -1172,6 +1344,126 @@ mod tests {
         }
     }
 
+    mod hetero {
+        use super::*;
+        use crate::{MachineSet, TransferMode};
+
+        /// Two machines: a full-size box and a half-size box, over a slow
+        /// direct network.
+        fn spec() -> ClusterSpec {
+            let machines = MachineSet::new(
+                vec![
+                    ResourceVec::from_slice(&[1.0]),
+                    ResourceVec::from_slice(&[0.5]),
+                ],
+                vec![4, 2, 2, 4],
+                TransferMode::Direct,
+                7,
+                16,
+            )
+            .unwrap();
+            ClusterSpec::hetero(machines).unwrap()
+        }
+
+        #[test]
+        fn clean_hetero_episode_passes_every_check() {
+            let dag = diamond();
+            let spec = spec();
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            let mut audit = InvariantAuditor::new();
+            audit.check(&dag, &sim).unwrap();
+            while !sim.is_terminal(&dag) {
+                let actions = sim.legal_actions(&dag);
+                sim.apply(&dag, actions[0]).unwrap();
+                audit.check(&dag, &sim).unwrap();
+            }
+        }
+
+        #[test]
+        fn corrupted_machine_used_is_caught() {
+            let dag = diamond();
+            let spec = spec();
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            let place = sim
+                .legal_actions(&dag)
+                .into_iter()
+                .find(|a| a.machine() == Some(0))
+                .unwrap();
+            sim.apply(&dag, place).unwrap();
+            // Shrink machine 0's `used` while its `free` still reconciles
+            // with the running set — only the per-machine used-vs-running
+            // cross-check can see this.
+            sim.hetero.as_deref_mut().unwrap().used[0] = ResourceVec::from_slice(&[0.1]);
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert!(matches!(
+                err,
+                AuditViolation::MachineUsedMismatch { machine: 0, .. }
+            ));
+        }
+
+        #[test]
+        fn inflated_machine_free_breaks_machine_conservation() {
+            let dag = diamond();
+            let spec = spec();
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            sim.hetero.as_deref_mut().unwrap().free[1] = ResourceVec::from_slice(&[0.9]);
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert!(matches!(
+                err,
+                AuditViolation::MachineConservation { machine: 1, .. }
+            ));
+        }
+
+        #[test]
+        fn dangling_machine_assignment_is_caught() {
+            let dag = diamond();
+            let spec = spec();
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            // Assign a machine to a task that never started.
+            sim.hetero.as_deref_mut().unwrap().machine_of[2] = Some(1);
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert_eq!(
+                err,
+                AuditViolation::MachineAssignment {
+                    task: TaskId::new(2)
+                }
+            );
+        }
+
+        #[test]
+        fn transfer_gated_start_violation_is_caught() {
+            let dag = diamond();
+            let spec = spec();
+            let machines = spec.machines().unwrap();
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            // Run the episode placing everything on machine 0 (no
+            // transfers), then rewrite task 1's assignment to machine 1:
+            // its recorded start now sits inside the re-derived transfer
+            // window of the cross-machine edge 0 -> 1.
+            while !sim.is_terminal(&dag) {
+                let actions = sim.legal_actions(&dag);
+                let a = actions
+                    .iter()
+                    .copied()
+                    .find(|a| a.machine() == Some(0))
+                    .unwrap_or(Action::Process);
+                sim.apply(&dag, a).unwrap();
+            }
+            assert!(machines.edge_delay(0, 1, 0, 1) > 0);
+            let h = sim.hetero.as_deref_mut().unwrap();
+            h.machine_of[1] = Some(1);
+            let err = InvariantAuditor::new().check(&dag, &sim).unwrap_err();
+            assert!(matches!(
+                err,
+                AuditViolation::TransferGatedStart {
+                    parent,
+                    child,
+                    ..
+                } if parent == TaskId::new(0) && child == TaskId::new(1)
+            ));
+        }
+    }
+
     mod corruption_properties {
         //! Property tests: whatever (reachable) state an episode is in,
         //! each class of injected corruption is rejected with the right
@@ -1397,6 +1689,28 @@ mod tests {
                 field: "failed_runs",
                 recorded: 3,
                 derived: 2,
+            },
+            AuditViolation::MachineUsedMismatch {
+                machine: 1,
+                dim: 0,
+                used: 0.2,
+                committed: 0.5,
+            },
+            AuditViolation::MachineConservation {
+                machine: 0,
+                dim: 1,
+                free: 1.0,
+                committed: 0.5,
+                capacity: 1.0,
+            },
+            AuditViolation::MachineAssignment {
+                task: TaskId::new(7),
+            },
+            AuditViolation::TransferGatedStart {
+                parent: TaskId::new(0),
+                child: TaskId::new(1),
+                start: 3,
+                ready: 5,
             },
         ];
         for v in violations {

@@ -623,7 +623,7 @@ impl EpisodeObs {
     fn record_step<E: Env>(&self, env: &E, action: Action) {
         self.steps.incr();
         match action {
-            Action::Schedule(_) => self.admissions.incr(),
+            Action::Schedule(_) | Action::Place(..) => self.admissions.incr(),
             Action::Process => {
                 self.clock_advances.incr();
                 let state = env.observe();

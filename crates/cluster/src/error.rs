@@ -61,6 +61,38 @@ pub enum ClusterError {
         /// Attempts it burned (`max_retries + 1`).
         attempts: u32,
     },
+    /// A machine set's bandwidth matrix is malformed: wrong size, a zero
+    /// entry, or a zero `max_edge_bytes`.
+    InvalidBandwidth,
+    /// A placement names a machine index outside the cluster's machine
+    /// set.
+    MachineOutOfRange {
+        /// The placed task.
+        task: TaskId,
+        /// The out-of-range machine index.
+        machine: u32,
+    },
+    /// `Schedule(t)` was applied to a heterogeneous cluster, where every
+    /// placement must name a machine (`Action::Place`).
+    MachineRequired(TaskId),
+    /// A task was placed before the data transfer from some
+    /// differently-located parent completed.
+    TransferViolation {
+        /// The parent whose output was still in flight.
+        parent: TaskId,
+        /// The task that started too early.
+        child: TaskId,
+    },
+    /// Schedule validation: a machine's individual capacity is exceeded
+    /// at some time slot.
+    MachineCapacityViolation {
+        /// The offending machine.
+        machine: u32,
+        /// The earliest offending time slot.
+        time: u64,
+        /// The offending resource dimension.
+        dim: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -100,6 +132,24 @@ impl fmt::Display for ClusterError {
             ClusterError::RetriesExhausted { task, attempts } => write!(
                 f,
                 "task {task} failed all {attempts} execution attempts; retry budget exhausted"
+            ),
+            ClusterError::InvalidBandwidth => {
+                write!(f, "bandwidth matrix must be n*n with positive entries")
+            }
+            ClusterError::MachineOutOfRange { task, machine } => {
+                write!(f, "task {task} names machine {machine} outside the cluster")
+            }
+            ClusterError::MachineRequired(t) => write!(
+                f,
+                "task {t} must be placed on a named machine of a heterogeneous cluster"
+            ),
+            ClusterError::TransferViolation { parent, child } => write!(
+                f,
+                "task {child} starts before the data transfer from parent {parent} completes"
+            ),
+            ClusterError::MachineCapacityViolation { machine, time, dim } => write!(
+                f,
+                "machine {machine} capacity of dimension {dim} exceeded at time slot {time}"
             ),
         }
     }
@@ -264,6 +314,21 @@ mod tests {
             ClusterError::RetriesExhausted {
                 task: TaskId::new(5),
                 attempts: 4,
+            },
+            ClusterError::InvalidBandwidth,
+            ClusterError::MachineOutOfRange {
+                task: TaskId::new(6),
+                machine: 3,
+            },
+            ClusterError::MachineRequired(TaskId::new(7)),
+            ClusterError::TransferViolation {
+                parent: TaskId::new(0),
+                child: TaskId::new(1),
+            },
+            ClusterError::MachineCapacityViolation {
+                machine: 1,
+                time: 4,
+                dim: 0,
             },
         ];
         for e in errors {

@@ -362,6 +362,7 @@ fn realized_schedule(dag: &Dag, sim: &SimState) -> Schedule {
                 task,
                 start,
                 finish,
+                machine: sim.machine_of(task).unwrap_or(0),
             });
         }
     }

@@ -5,7 +5,7 @@
 //! between jobs — plus the arrival metadata the simulator needs to gate
 //! each job's sources until its arrival time. The union view is what lets
 //! the whole scheduler stack run unchanged: the frontier of a multi-job
-//! [`SimState`](crate::SimState) is simply the union of the per-job
+//! [`SimState`] is simply the union of the per-job
 //! frontiers of the *arrived* jobs, so `legal_actions_into`/`apply_legal`
 //! and everything above them (baselines, MCTS, the DRL featurizer) operate
 //! on one DAG exactly as in the single-job regime.
@@ -191,6 +191,7 @@ impl JobQueue {
                         task: TaskId::new(local),
                         start: p.start,
                         finish: p.finish,
+                        machine: p.machine,
                     });
                 }
                 Schedule::from_placements(placements, makespan)
@@ -542,16 +543,8 @@ mod tests {
         let queue = JobQueue::new(vec![(0, chain(&[2])), (3, chain(&[2]))]).unwrap();
         let schedule = Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 5,
-                    finish: 7,
-                },
+                Placement::new(TaskId::new(0), 0, 2),
+                Placement::new(TaskId::new(1), 5, 7),
             ],
             7,
         );
@@ -593,15 +586,48 @@ mod tests {
     #[should_panic(expected = "outside the nearest-rank domain")]
     fn percentile_domain_is_debug_asserted() {
         let queue = JobQueue::new(vec![(0, chain(&[2]))]).unwrap();
-        let schedule = Schedule::from_placements(
-            vec![Placement {
-                task: TaskId::new(0),
-                start: 0,
-                finish: 2,
-            }],
-            2,
-        );
+        let schedule = Schedule::from_placements(vec![Placement::new(TaskId::new(0), 0, 2)], 2);
         let _ = queue.jct_report(&schedule).percentile_jct(0.0);
+    }
+
+    /// A report built from `jcts` in queue order.
+    fn report_of(jcts: &[u64]) -> JctReport {
+        JctReport {
+            completions: jcts
+                .iter()
+                .enumerate()
+                .map(|(job, &jct)| JobCompletion {
+                    job,
+                    arrival: 0,
+                    finish: jct,
+                    jct,
+                    slowdown: 1.0,
+                })
+                .collect(),
+            unfinished: 0,
+            censored_slowdowns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn every_percentile_of_a_single_job_is_that_job() {
+        // n = 1: rank = ceil(p/100) = 1 for every admissible p, and the
+        // clamp must not push the rank out of the one-element array.
+        let report = report_of(&[17]);
+        for p in [0.01, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(report.percentile_jct(p), Some(17), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn all_equal_jcts_collapse_every_percentile() {
+        // Ties: whatever rank nearest-rank lands on, the value is the
+        // same — no percentile may invent a different number.
+        let report = report_of(&[8, 8, 8, 8, 8]);
+        for p in [0.01, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(report.percentile_jct(p), Some(8), "p = {p}");
+        }
+        assert_eq!(report.mean_jct(), Some(8.0));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod audit;
 pub mod env;
 mod error;
 pub mod faults;
+pub mod hetero;
 pub mod jobs;
 mod schedule;
 mod spec;
@@ -64,6 +65,7 @@ pub use faults::{
     execute_multi_under_faults, execute_under_faults, execute_under_faults_audited, FailedRun,
     FaultOutcome, FaultPlan, FaultyRun, MultiFaultyRun,
 };
+pub use hetero::{MachineSet, TransferMode};
 pub use jobs::{JctReport, JobCompletion, JobQueue, JobSpan};
 pub use schedule::{Placement, Schedule};
 pub use spec::ClusterSpec;

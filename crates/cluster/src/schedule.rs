@@ -14,6 +14,23 @@ pub struct Placement {
     pub start: u64,
     /// Finish time slot (exclusive): `start + runtime`.
     pub finish: u64,
+    /// The machine the task occupies — always 0 in the single-box
+    /// regime, and defaulted to 0 when deserializing pre-hetero
+    /// schedules.
+    #[serde(default)]
+    pub machine: u32,
+}
+
+impl Placement {
+    /// A single-box placement (machine 0).
+    pub fn new(task: TaskId, start: u64, finish: u64) -> Self {
+        Placement {
+            task,
+            start,
+            finish,
+            machine: 0,
+        }
+    }
 }
 
 /// A complete schedule: one [`Placement`] per task plus the makespan.
@@ -89,7 +106,7 @@ impl Schedule {
     /// # let a = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])).with_name("map"));
     /// # let dag = b.build().unwrap();
     /// # let spec = ClusterSpec::unit(1);
-    /// # let s = Schedule::from_placements(vec![Placement { task: a, start: 0, finish: 2 }], 2);
+    /// # let s = Schedule::from_placements(vec![Placement::new(a, 0, 2)], 2);
     /// let art = s.render_gantt(&dag, &spec, 40);
     /// assert!(art.contains("map"));
     /// assert!(art.contains("##"));
@@ -160,9 +177,16 @@ impl Schedule {
     ///
     /// 1. every task appears exactly once with duration equal to its
     ///    runtime, and the recorded makespan equals the latest finish;
-    /// 2. every task starts at or after each parent's finish;
-    /// 3. at every time slot the summed demand of running tasks fits the
-    ///    cluster capacity.
+    /// 2. every placement names an in-range machine (machine 0 in the
+    ///    single-box regime);
+    /// 3. every task starts at or after each parent's finish — plus, on
+    ///    a heterogeneous cluster, the transfer delay of the edge when
+    ///    parent and child ran on different machines (re-derived here
+    ///    from the [`MachineSet`](crate::MachineSet) alone, independent
+    ///    of the simulator);
+    /// 4. at every time slot the summed demand of running tasks fits the
+    ///    aggregate cluster capacity — and each machine's individual
+    ///    capacity on a heterogeneous cluster.
     ///
     /// # Errors
     ///
@@ -199,7 +223,19 @@ impl Schedule {
                 .expect("non-empty dag has placements");
             return Err(ClusterError::WrongDuration(worst.task));
         }
-        // 2. Precedence.
+        // 2. Machine indices. The single-box regime has exactly one
+        // machine, so any nonzero index is out of range.
+        let machines = spec.machines();
+        let num_machines = machines.map_or(1, |m| m.len()) as u32;
+        for p in &self.placements {
+            if p.machine >= num_machines {
+                return Err(ClusterError::MachineOutOfRange {
+                    task: p.task,
+                    machine: p.machine,
+                });
+            }
+        }
+        // 3. Precedence + transfer gating.
         for e in dag.edges() {
             let parent = self
                 .placement_of(e.from)
@@ -211,8 +247,18 @@ impl Schedule {
                     child: e.to,
                 });
             }
+            if let Some(m) = machines {
+                let delay =
+                    m.edge_delay(e.from.index(), e.to.index(), parent.machine, child.machine);
+                if child.start < parent.finish + delay {
+                    return Err(ClusterError::TransferViolation {
+                        parent: e.from,
+                        child: e.to,
+                    });
+                }
+            }
         }
-        // 3. Capacity, via an event sweep over start/finish boundaries.
+        // 4. Capacity, via an event sweep over start/finish boundaries.
         let mut events: Vec<(u64, bool, TaskId)> = Vec::with_capacity(self.placements.len() * 2);
         for p in &self.placements {
             events.push((p.start, false, p.task)); // false = start
@@ -222,7 +268,7 @@ impl Schedule {
         // exactly when another finishes.
         events.sort_by_key(|&(t, is_start, _)| (t, !is_start));
         let mut used = ResourceVec::zeros(spec.dims());
-        for (time, is_end, task) in events {
+        for &(time, is_end, task) in &events {
             let demand = dag.task(task).demand();
             if is_end {
                 used.saturating_sub_assign(demand);
@@ -233,6 +279,40 @@ impl Schedule {
                         .find(|&r| used[r] > spec.capacity()[r] + FIT_EPSILON)
                         .unwrap_or(0);
                     return Err(ClusterError::CapacityViolation { time, dim });
+                }
+            }
+        }
+        // Per-machine sweeps: the same arithmetic against each machine's
+        // own capacity, restricted to its placements.
+        if let Some(m) = machines {
+            for machine in 0..num_machines {
+                let cap = m.capacity(machine);
+                let mut used = ResourceVec::zeros(spec.dims());
+                for &(time, is_end, task) in &events {
+                    if self
+                        .placement_of(task)
+                        .expect("completeness checked above")
+                        .machine
+                        != machine
+                    {
+                        continue;
+                    }
+                    let demand = dag.task(task).demand();
+                    if is_end {
+                        used.saturating_sub_assign(demand);
+                    } else {
+                        used.add_assign(demand);
+                        if !used.fits_within(cap) {
+                            let dim = (0..spec.dims())
+                                .find(|&r| used[r] > cap[r] + FIT_EPSILON)
+                                .unwrap_or(0);
+                            return Err(ClusterError::MachineCapacityViolation {
+                                machine,
+                                time,
+                                dim,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -260,16 +340,8 @@ mod tests {
     fn valid_schedule() -> Schedule {
         Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 2,
-                    finish: 5,
-                },
+                Placement::new(TaskId::new(0), 0, 2),
+                Placement::new(TaskId::new(1), 2, 5),
             ],
             5,
         )
@@ -282,14 +354,7 @@ mod tests {
 
     #[test]
     fn detects_missing_placement() {
-        let s = Schedule::from_placements(
-            vec![Placement {
-                task: TaskId::new(0),
-                start: 0,
-                finish: 2,
-            }],
-            2,
-        );
+        let s = Schedule::from_placements(vec![Placement::new(TaskId::new(0), 0, 2)], 2);
         assert_eq!(
             s.validate(&chain(), &spec()).unwrap_err(),
             ClusterError::MissingPlacement(TaskId::new(1))
@@ -300,16 +365,8 @@ mod tests {
     fn detects_wrong_duration() {
         let s = Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 3, // runtime is 2
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 3,
-                    finish: 6,
-                },
+                Placement::new(TaskId::new(0), 0, 3), // runtime is 2
+                Placement::new(TaskId::new(1), 3, 6),
             ],
             6,
         );
@@ -323,16 +380,8 @@ mod tests {
     fn detects_wrong_makespan() {
         let s = Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 2,
-                    finish: 5,
-                },
+                Placement::new(TaskId::new(0), 0, 2),
+                Placement::new(TaskId::new(1), 2, 5),
             ],
             9,
         );
@@ -346,16 +395,9 @@ mod tests {
     fn detects_precedence_violation() {
         let s = Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 1, // starts before parent finishes
-                    finish: 4,
-                },
+                Placement::new(TaskId::new(0), 0, 2),
+                // Starts before the parent finishes.
+                Placement::new(TaskId::new(1), 1, 4),
             ],
             4,
         );
@@ -376,16 +418,8 @@ mod tests {
         let dag = b.build().unwrap();
         let s = Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 0,
-                    finish: 2,
-                },
+                Placement::new(TaskId::new(0), 0, 2),
+                Placement::new(TaskId::new(1), 0, 2),
             ],
             2,
         );
@@ -404,16 +438,8 @@ mod tests {
         let dag = b.build().unwrap();
         let s = Schedule::from_placements(
             vec![
-                Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                Placement {
-                    task: TaskId::new(1),
-                    start: 2,
-                    finish: 4,
-                },
+                Placement::new(TaskId::new(0), 0, 2),
+                Placement::new(TaskId::new(1), 2, 4),
             ],
             4,
         );
@@ -433,5 +459,92 @@ mod tests {
         let s = valid_schedule();
         assert_eq!(s.placement_of(TaskId::new(1)).unwrap().start, 2);
         assert!(s.placement_of(TaskId::new(9)).is_none());
+    }
+
+    /// Two unit machines, bandwidth 1, `max_edge_bytes` 1: every
+    /// cross-machine edge costs exactly one transfer slot.
+    fn two_machine_spec() -> ClusterSpec {
+        use crate::{MachineSet, TransferMode};
+        let machines = MachineSet::uniform(
+            2,
+            ResourceVec::from_slice(&[1.0]),
+            1,
+            TransferMode::Direct,
+            0,
+            1,
+        )
+        .unwrap();
+        ClusterSpec::hetero(machines).unwrap()
+    }
+
+    fn placed(task: usize, start: u64, finish: u64, machine: u32) -> Placement {
+        let mut p = Placement::new(TaskId::new(task), start, finish);
+        p.machine = machine;
+        p
+    }
+
+    #[test]
+    fn detects_machine_out_of_range() {
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 0), placed(1, 3, 6, 2)], 6);
+        assert_eq!(
+            s.validate(&chain(), &two_machine_spec()).unwrap_err(),
+            ClusterError::MachineOutOfRange {
+                task: TaskId::new(1),
+                machine: 2
+            }
+        );
+        // The single-box regime has exactly one machine, so even
+        // machine 1 is out of range there.
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 0), placed(1, 2, 5, 1)], 5);
+        assert_eq!(
+            s.validate(&chain(), &spec()).unwrap_err(),
+            ClusterError::MachineOutOfRange {
+                task: TaskId::new(1),
+                machine: 1
+            }
+        );
+    }
+
+    #[test]
+    fn detects_transfer_violation_across_machines() {
+        let spec = two_machine_spec();
+        // Child starts at the parent's finish: legal on one machine,
+        // one slot too early across the cross-machine link.
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 0), placed(1, 2, 5, 1)], 5);
+        assert_eq!(
+            s.validate(&chain(), &spec).unwrap_err(),
+            ClusterError::TransferViolation {
+                parent: TaskId::new(0),
+                child: TaskId::new(1)
+            }
+        );
+        // Waiting out the transfer slot makes it valid...
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 0), placed(1, 3, 6, 1)], 6);
+        s.validate(&chain(), &spec).unwrap();
+        // ...and co-located parent/child never pay a delay.
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 1), placed(1, 2, 5, 1)], 5);
+        s.validate(&chain(), &spec).unwrap();
+    }
+
+    #[test]
+    fn detects_per_machine_capacity_violation() {
+        // Two 0.6 tasks overlap on machine 0: they fit the 2.0 aggregate
+        // but overfill that machine's own 1.0 capacity.
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+        b.add_task(Task::new(2, ResourceVec::from_slice(&[0.6])));
+        let dag = b.build().unwrap();
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 0), placed(1, 0, 2, 0)], 2);
+        assert_eq!(
+            s.validate(&dag, &two_machine_spec()).unwrap_err(),
+            ClusterError::MachineCapacityViolation {
+                machine: 0,
+                time: 0,
+                dim: 0
+            }
+        );
+        // Spreading them across machines resolves the overload.
+        let s = Schedule::from_placements(vec![placed(0, 0, 2, 0), placed(1, 0, 2, 1)], 2);
+        s.validate(&dag, &two_machine_spec()).unwrap();
     }
 }

@@ -3,14 +3,20 @@
 use serde::{Deserialize, Serialize};
 use spear_dag::{Dag, ResourceVec};
 
+use crate::hetero::MachineSet;
 use crate::ClusterError;
 
 /// The static description of a cluster: its total capacity per resource
-/// dimension.
+/// dimension, optionally broken down into a heterogeneous
+/// [`MachineSet`] with an inter-machine network model.
 ///
 /// The paper's motivating example uses `[1.0, 1.0]` (unit CPU and memory);
 /// the DRL training setting uses 20 resource slots. Capacities are
-/// arbitrary positive reals here.
+/// arbitrary positive reals here. Without a machine set the cluster is
+/// the single homogeneous box every pre-hetero component assumes;
+/// [`ClusterSpec::hetero`] attaches machines and keeps `capacity` as
+/// their aggregate sum so total-capacity consumers (featurizer globals,
+/// lower bounds, utilization) work unchanged.
 ///
 /// ```
 /// use spear_dag::ResourceVec;
@@ -18,11 +24,16 @@ use crate::ClusterError;
 ///
 /// let spec = ClusterSpec::new(ResourceVec::from_slice(&[1.0, 1.0]))?;
 /// assert_eq!(spec.dims(), 2);
+/// assert_eq!(spec.num_machines(), 1);
 /// # Ok::<(), spear_cluster::ClusterError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     capacity: ResourceVec,
+    // `None` in the single-box regime; present only for heterogeneous
+    // clusters, so pre-hetero serialized specs deserialize unchanged.
+    #[serde(default)]
+    machines: Option<MachineSet>,
 }
 
 impl ClusterSpec {
@@ -41,7 +52,10 @@ impl ClusterSpec {
         {
             return Err(ClusterError::InvalidCapacity);
         }
-        Ok(ClusterSpec { capacity })
+        Ok(ClusterSpec {
+            capacity,
+            machines: None,
+        })
     }
 
     /// A unit-capacity cluster with `dims` dimensions — the motivating
@@ -49,10 +63,25 @@ impl ClusterSpec {
     pub fn unit(dims: usize) -> Self {
         ClusterSpec {
             capacity: ResourceVec::splat(dims.max(1), 1.0),
+            machines: None,
         }
     }
 
-    /// Total capacity per dimension.
+    /// Creates a heterogeneous cluster from a machine set; the aggregate
+    /// `capacity` becomes the sum of machine capacities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterError::InvalidCapacity`] from the aggregate
+    /// (cannot actually fail for a set that passed [`MachineSet::new`]).
+    pub fn hetero(machines: MachineSet) -> Result<Self, ClusterError> {
+        let mut spec = ClusterSpec::new(machines.total_capacity())?;
+        spec.machines = Some(machines);
+        Ok(spec)
+    }
+
+    /// Total capacity per dimension (the machine-capacity sum in the
+    /// heterogeneous regime).
     pub fn capacity(&self) -> &ResourceVec {
         &self.capacity
     }
@@ -62,8 +91,23 @@ impl ClusterSpec {
         self.capacity.dims()
     }
 
+    /// The machine set, if this is a heterogeneous cluster.
+    #[inline]
+    pub fn machines(&self) -> Option<&MachineSet> {
+        self.machines.as_ref()
+    }
+
+    /// Number of machines (1 for the single-box regime).
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.machines.as_ref().map_or(1, MachineSet::len)
+    }
+
     /// Checks that `dag` is schedulable on this cluster: matching
-    /// dimensionality and every task demand within total capacity.
+    /// dimensionality and every task demand within total capacity — and,
+    /// in the heterogeneous regime, within at least one machine's
+    /// individual capacity (a task no machine can hold would deadlock
+    /// the simulation).
     ///
     /// # Errors
     ///
@@ -79,6 +123,12 @@ impl ClusterSpec {
         for t in dag.task_ids() {
             if !dag.task(t).demand().fits_within(&self.capacity) {
                 return Err(ClusterError::TaskExceedsCapacity(t));
+            }
+            if let Some(machines) = &self.machines {
+                let demand = dag.task(t).demand();
+                if !machines.capacities().iter().any(|c| demand.fits_within(c)) {
+                    return Err(ClusterError::TaskExceedsCapacity(t));
+                }
             }
         }
         Ok(())
@@ -152,5 +202,77 @@ mod tests {
         b.add_task(Task::new(1, ResourceVec::from_slice(&[1.0, 0.5])));
         let dag = b.build().unwrap();
         assert!(ClusterSpec::unit(2).validate_dag(&dag).is_ok());
+    }
+
+    #[test]
+    fn hetero_aggregates_machine_capacities() {
+        use crate::TransferMode;
+        let machines = MachineSet::new(
+            vec![
+                ResourceVec::from_slice(&[1.0, 0.5]),
+                ResourceVec::from_slice(&[0.5, 0.25]),
+            ],
+            vec![4, 4, 4, 4],
+            TransferMode::Direct,
+            7,
+            8,
+        )
+        .unwrap();
+        let spec = ClusterSpec::hetero(machines).unwrap();
+        assert_eq!(spec.capacity().as_slice(), &[1.5, 0.75]);
+        assert_eq!(spec.num_machines(), 2);
+        assert!(spec.machines().is_some());
+        // Single-box specs report one machine and no set.
+        assert_eq!(ClusterSpec::unit(2).num_machines(), 1);
+        assert!(ClusterSpec::unit(2).machines().is_none());
+    }
+
+    #[test]
+    fn validate_dag_rejects_a_task_no_single_machine_can_hold() {
+        use crate::TransferMode;
+        // Aggregate capacity is 1.0 but each machine holds only 0.5: a
+        // 0.7 task fits the sum yet would deadlock the simulation.
+        let machines = MachineSet::uniform(
+            2,
+            ResourceVec::from_slice(&[0.5]),
+            4,
+            TransferMode::Direct,
+            0,
+            8,
+        )
+        .unwrap();
+        let spec = ClusterSpec::hetero(machines).unwrap();
+        let mut b = DagBuilder::new(1);
+        let t = b.add_task(Task::new(1, ResourceVec::from_slice(&[0.7])));
+        let dag = b.build().unwrap();
+        assert_eq!(
+            spec.validate_dag(&dag).unwrap_err(),
+            ClusterError::TaskExceedsCapacity(TaskId::new(t.index()))
+        );
+        // A 0.4 task fits machine 0 and passes.
+        let mut b = DagBuilder::new(1);
+        b.add_task(Task::new(1, ResourceVec::from_slice(&[0.4])));
+        assert!(spec.validate_dag(&b.build().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn hetero_spec_round_trips_through_serde_and_legacy_json_parses() {
+        use crate::TransferMode;
+        let machines = MachineSet::uniform(
+            3,
+            ResourceVec::from_slice(&[1.0, 1.0]),
+            2,
+            TransferMode::ViaMaster,
+            5,
+            16,
+        )
+        .unwrap();
+        let spec = ClusterSpec::hetero(machines).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // A pre-hetero spec (no `machines` key) still deserializes.
+        let legacy: ClusterSpec = serde_json::from_str("{\"capacity\":[1.0,1.0]}").unwrap();
+        assert_eq!(legacy, ClusterSpec::unit(2));
     }
 }

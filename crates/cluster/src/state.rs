@@ -5,6 +5,7 @@ use spear_dag::topo::ReadyTracker;
 use spear_dag::{Dag, ResourceVec, TaskId, FIT_EPSILON};
 
 use crate::faults::{attempt_key, FailedRun, FaultOutcome, FaultPlan, FaultState};
+use crate::hetero::MachineSet;
 use crate::jobs::{JobQueue, MultiJob};
 use crate::{Action, ClusterError, ClusterSpec, Placement, Schedule};
 
@@ -62,10 +63,50 @@ fn placement_key(task: usize, start: u64) -> u64 {
     )
 }
 
+/// Zobrist-style key of one committed placement `(task, start, machine)`
+/// in the heterogeneous regime. Built on [`placement_key`] so the
+/// single-box key family is untouched; the `+ 1` keeps machine 0 from
+/// degenerating to a zero mix term.
+#[inline]
+fn hetero_placement_key(task: usize, start: u64, machine: u32) -> u64 {
+    mix64(placement_key(task, start) ^ (u64::from(machine) + 1).wrapping_mul(0xd6e8_feb8_6659_fd93))
+}
+
 /// Order-sensitive fold of one component into the fingerprint.
 #[inline]
 fn fold(h: u64, v: u64) -> u64 {
     mix64(h.wrapping_add(mix64(v)))
+}
+
+/// Per-machine bookkeeping of a heterogeneous episode: the machine set
+/// (capacities + network model), per-machine accounting mirroring the
+/// global `used`/`free` pair, and each started task's machine. `None` on
+/// single-box states, which therefore stay bit-identical to the
+/// pre-hetero simulator (every hetero branch is behind the option).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct HeteroState {
+    pub(crate) machines: MachineSet,
+    /// Summed demand of the running set, per machine (the per-machine
+    /// admission truth, same sum-based rule as the global `used`).
+    pub(crate) used: Vec<ResourceVec>,
+    /// Derived `max(0, capacity - used)` per machine.
+    pub(crate) free: Vec<ResourceVec>,
+    /// Machine of every started task (`None` before its start; retracted
+    /// when a faulty attempt aborts).
+    pub(crate) machine_of: Vec<Option<u32>>,
+}
+
+impl HeteroState {
+    fn new(machines: MachineSet, num_tasks: usize) -> Self {
+        let dims = machines.capacity(0).dims();
+        let n = machines.len();
+        HeteroState {
+            free: machines.capacities().to_vec(),
+            used: vec![ResourceVec::zeros(dims); n],
+            machine_of: vec![None; num_tasks],
+            machines,
+        }
+    }
 }
 
 /// A task currently occupying the cluster.
@@ -133,6 +174,12 @@ pub struct SimState {
     // one-pointer-growth reason as `multi`.
     #[serde(default)]
     pub(crate) faults: Option<Box<FaultState>>,
+    // Heterogeneous-cluster bookkeeping (per-machine accounting + network
+    // model); `None` on single-box states, which therefore stay
+    // bit-identical to the pre-hetero simulator. Boxed like `multi` and
+    // `faults`.
+    #[serde(default)]
+    pub(crate) hetero: Option<Box<HeteroState>>,
 }
 
 // Manual `Clone` so `clone_from` reuses every interior allocation. MCTS
@@ -153,6 +200,7 @@ impl Clone for SimState {
             placement_hash: self.placement_hash,
             multi: self.multi.clone(),
             faults: self.faults.clone(),
+            hetero: self.hetero.clone(),
         }
     }
 
@@ -173,6 +221,10 @@ impl Clone for SimState {
             (dst, src) => *dst = src.clone(),
         }
         match (&mut self.faults, &source.faults) {
+            (Some(dst), Some(src)) => dst.as_mut().clone_from(src.as_ref()),
+            (dst, src) => *dst = src.clone(),
+        }
+        match (&mut self.hetero, &source.hetero) {
             (Some(dst), Some(src)) => dst.as_mut().clone_from(src.as_ref()),
             (dst, src) => *dst = src.clone(),
         }
@@ -202,6 +254,9 @@ impl SimState {
             placement_hash: 0,
             multi: None,
             faults: None,
+            hetero: spec
+                .machines()
+                .map(|m| Box::new(HeteroState::new(m.clone(), dag.len()))),
         })
     }
 
@@ -468,6 +523,95 @@ impl SimState {
             .and_then(|m| m.arrivals.get(job).copied())
     }
 
+    /// Whether this state runs on a heterogeneous cluster (created from
+    /// a spec with a [`MachineSet`]).
+    #[inline]
+    pub fn is_hetero(&self) -> bool {
+        self.hetero.is_some()
+    }
+
+    /// The machine set of a heterogeneous state, if any.
+    #[inline]
+    pub fn machines(&self) -> Option<&MachineSet> {
+        self.hetero.as_deref().map(|h| &h.machines)
+    }
+
+    /// Number of machines (1 in the single-box regime).
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.hetero.as_deref().map_or(1, |h| h.machines.len())
+    }
+
+    /// The machine `task` was placed on: `Some(0)` for every started task
+    /// in the single-box regime, the placement machine in the
+    /// heterogeneous regime, `None` before the task starts.
+    #[inline]
+    pub fn machine_of(&self, task: TaskId) -> Option<u32> {
+        match self.hetero.as_deref() {
+            Some(h) => h.machine_of[task.index()],
+            None => self.starts[task.index()].map(|_| 0),
+        }
+    }
+
+    /// Summed demand of the tasks running on machine `m` (the global
+    /// `used` in the single-box regime).
+    #[inline]
+    pub fn machine_used(&self, m: u32) -> &ResourceVec {
+        match self.hetero.as_deref() {
+            Some(h) => &h.used[m as usize],
+            None => &self.used,
+        }
+    }
+
+    /// Free capacity of machine `m` (the global `free` in the single-box
+    /// regime).
+    #[inline]
+    pub fn machine_free(&self, m: u32) -> &ResourceVec {
+        match self.hetero.as_deref() {
+            Some(h) => &h.free[m as usize],
+            None => &self.free,
+        }
+    }
+
+    /// Earliest slot at which `task` could start on machine `m` once its
+    /// parents' outputs have arrived there: the max over parents of
+    /// `parent_finish + transfer_delay`, 0 for sources or single-box
+    /// states. Only meaningful for *ready* tasks (every parent started
+    /// and finished).
+    pub fn transfer_ready_on(&self, dag: &Dag, task: TaskId, m: u32) -> u64 {
+        let Some(h) = self.hetero.as_deref() else {
+            return 0;
+        };
+        let mut at = 0;
+        for &p in dag.parents(task) {
+            let start = self.starts[p.index()].expect("transfer_ready_on requires a ready task");
+            let finish = start + self.run_slots_of(dag, p);
+            let src = h.machine_of[p.index()].expect("completed parent has a machine");
+            at = at.max(finish + h.machines.edge_delay(p.index(), task.index(), src, m));
+        }
+        at
+    }
+
+    /// Whether `task` is ready, fits machine `m`'s remaining capacity,
+    /// and has every parent's output already transferred to `m`.
+    pub fn can_schedule_on(&self, dag: &Dag, task: TaskId, m: u32) -> bool {
+        if self.tracker.ready().binary_search(&task).is_err() {
+            return false;
+        }
+        match self.hetero.as_deref() {
+            Some(h) => {
+                (m as usize) < h.machines.len()
+                    && Self::admits_in(
+                        &h.used[m as usize],
+                        dag.task(task).demand(),
+                        h.machines.capacity(m),
+                    )
+                    && self.transfer_ready_on(dag, task, m) <= self.clock
+            }
+            None => m == 0 && self.admits(dag.task(task).demand()),
+        }
+    }
+
     /// A 64-bit Zobrist-style fingerprint of the exact simulation state.
     /// The placement component is maintained incrementally by
     /// [`SimState::apply`]/[`SimState::apply_legal`] (one key XOR per
@@ -527,6 +671,17 @@ impl SimState {
         // pre-fault simulator.
         if let Some(f) = self.faults.as_deref() {
             h = fold(h, f.attempt_hash);
+        }
+        // Heterogeneous clusters: per-machine occupancy feeds admission
+        // and featurization, so fold each machine's exact `used` bit
+        // patterns (machine assignments themselves are covered by the
+        // machine-aware placement keys). Single-box states fold nothing.
+        if let Some(hs) = self.hetero.as_deref() {
+            for mu in &hs.used {
+                for &u in mu.as_slice() {
+                    h = fold(h, u.to_bits());
+                }
+            }
         }
         h
     }
@@ -591,6 +746,23 @@ impl SimState {
         if let Some(f) = self.faults.as_deref() {
             h = fold(h, f.attempt_hash);
         }
+        // Heterogeneous clusters: the legality mask depends on where
+        // *completed* parents ran (transfer gating reads their finish
+        // times and machines), which the frontier deliberately does not
+        // capture. Rather than weaken the equal-fingerprint ⇒
+        // equal-featurization contract, fold the full placement set and
+        // the absolute clock back in: hetero frontier keys give up
+        // cross-history cache hits but never alias states with different
+        // transfer outlooks. Single-box states fold nothing.
+        if let Some(hs) = self.hetero.as_deref() {
+            h = fold(h, self.placement_hash);
+            h = fold(h, self.clock);
+            for mu in &hs.used {
+                for &u in mu.as_slice() {
+                    h = fold(h, u.to_bits());
+                }
+            }
+        }
         h
     }
 
@@ -601,7 +773,14 @@ impl SimState {
         let mut placement = 0u64;
         for (i, start) in self.starts.iter().enumerate() {
             if let Some(s) = start {
-                placement ^= placement_key(i, *s);
+                placement ^= match self.hetero.as_deref() {
+                    Some(h) => hetero_placement_key(
+                        i,
+                        *s,
+                        h.machine_of[i].expect("started task has a machine"),
+                    ),
+                    None => placement_key(i, *s),
+                };
             }
         }
         placement
@@ -613,21 +792,65 @@ impl SimState {
     #[inline]
     fn admits(&self, demand: &ResourceVec) -> bool {
         debug_assert_eq!(demand.dims(), self.capacity.dims());
-        self.used
-            .as_slice()
+        Self::admits_in(&self.used, demand, &self.capacity)
+    }
+
+    /// The sum-based admission rule against an arbitrary `(used,
+    /// capacity)` pair — shared by the global and the per-machine
+    /// accounting so the two regimes can never disagree on arithmetic.
+    #[inline]
+    fn admits_in(used: &ResourceVec, demand: &ResourceVec, capacity: &ResourceVec) -> bool {
+        used.as_slice()
             .iter()
             .zip(demand.as_slice())
-            .zip(self.capacity.as_slice())
+            .zip(capacity.as_slice())
             .all(|((&u, &d), &c)| u + d <= c + FIT_EPSILON)
     }
 
-    /// Whether `task` is ready and fits the remaining capacity.
+    /// Whether `task` is ready and fits the remaining capacity — of the
+    /// single box, or of *some* machine (with its transfers complete) in
+    /// the heterogeneous regime.
     ///
     /// The ready set is kept sorted by id ([`ReadyTracker::ready`]), so
     /// membership is a binary search rather than a linear scan — this
     /// check sits on the search hot path via [`SimState::apply`].
     pub fn can_schedule(&self, dag: &Dag, task: TaskId) -> bool {
-        self.tracker.ready().binary_search(&task).is_ok() && self.admits(dag.task(task).demand())
+        if self.tracker.ready().binary_search(&task).is_err() {
+            return false;
+        }
+        match self.hetero.as_deref() {
+            Some(h) => (0..h.machines.len() as u32).any(|m| {
+                Self::admits_in(
+                    &h.used[m as usize],
+                    dag.task(task).demand(),
+                    h.machines.capacity(m),
+                ) && self.transfer_ready_on(dag, task, m) <= self.clock
+            }),
+            None => self.admits(dag.task(task).demand()),
+        }
+    }
+
+    /// Earliest future instant at which waiting alone (no completion, no
+    /// arrival) unlocks a currently-blocked `(ready task, machine)` pair:
+    /// the minimum pending transfer-release time. `None` when no such
+    /// pair exists (or in the single-box regime, where starts are never
+    /// transfer-gated).
+    fn next_transfer_release(&self, dag: &Dag) -> Option<u64> {
+        let h = self.hetero.as_deref()?;
+        let mut next: Option<u64> = None;
+        for &t in self.tracker.ready() {
+            let demand = dag.task(t).demand();
+            for m in 0..h.machines.len() as u32 {
+                if !Self::admits_in(&h.used[m as usize], demand, h.machines.capacity(m)) {
+                    continue;
+                }
+                let at = self.transfer_ready_on(dag, t, m);
+                if at > self.clock {
+                    next = Some(next.map_or(at, |n| n.min(at)));
+                }
+            }
+        }
+        next
     }
 
     /// The legal actions in this state, in deterministic order (schedules
@@ -664,16 +887,38 @@ impl SimState {
         if self.exhausted().is_some() {
             return;
         }
-        for &t in self.tracker.ready() {
-            if self.admits(dag.task(t).demand()) {
-                out.push(Action::Schedule(t));
+        if let Some(h) = self.hetero.as_deref() {
+            // Heterogeneous regime: one `Place` per (ready task, machine)
+            // pair that fits *and* has its parent transfers complete —
+            // task-id-major, machine-minor order keeps the list
+            // deterministic.
+            for &t in self.tracker.ready() {
+                let demand = dag.task(t).demand();
+                for m in 0..h.machines.len() as u32 {
+                    if Self::admits_in(&h.used[m as usize], demand, h.machines.capacity(m))
+                        && self.transfer_ready_on(dag, t, m) <= self.clock
+                    {
+                        out.push(Action::Place(t, m));
+                    }
+                }
+            }
+        } else {
+            for &t in self.tracker.ready() {
+                if self.admits(dag.task(t).demand()) {
+                    out.push(Action::Schedule(t));
+                }
             }
         }
         // `Process` also covers a pure arrival event: with an idle cluster
         // but jobs still queued, advancing the clock to the next arrival is
         // the only way forward (and the only legal action when the arrived
-        // frontier is exhausted).
-        if !self.running.is_empty() || self.next_arrival().is_some() {
+        // frontier is exhausted). A pending inter-machine transfer is a
+        // third kind of future event: a ready task that fits a machine but
+        // whose inputs are still in flight makes waiting legal too.
+        if !self.running.is_empty()
+            || self.next_arrival().is_some()
+            || self.next_transfer_release(dag).is_some()
+        {
             out.push(Action::Process);
         }
     }
@@ -695,17 +940,67 @@ impl SimState {
         }
         match action {
             Action::Schedule(task) => {
+                if self.hetero.is_some() {
+                    return Err(ClusterError::MachineRequired(task));
+                }
                 if self.tracker.ready().binary_search(&task).is_err() {
                     return Err(ClusterError::TaskNotReady(task));
                 }
                 if !self.admits(dag.task(task).demand()) {
                     return Err(ClusterError::InsufficientResources(task));
                 }
-                self.schedule_unchecked(dag, task);
+                self.schedule_unchecked(dag, task, 0);
+                Ok(())
+            }
+            Action::Place(task, machine) => {
+                let Some(h) = self.hetero.as_deref() else {
+                    // Single box: `Place { machine: 0 }` aliases
+                    // `Schedule`; any other machine does not exist.
+                    if machine != 0 {
+                        return Err(ClusterError::MachineOutOfRange { task, machine });
+                    }
+                    return self.apply(dag, Action::Schedule(task));
+                };
+                if machine as usize >= h.machines.len() {
+                    return Err(ClusterError::MachineOutOfRange { task, machine });
+                }
+                if self.tracker.ready().binary_search(&task).is_err() {
+                    return Err(ClusterError::TaskNotReady(task));
+                }
+                if !Self::admits_in(
+                    &h.used[machine as usize],
+                    dag.task(task).demand(),
+                    h.machines.capacity(machine),
+                ) {
+                    return Err(ClusterError::InsufficientResources(task));
+                }
+                if self.transfer_ready_on(dag, task, machine) > self.clock {
+                    // Report the parent whose transfer is still in
+                    // flight (the one gating the latest).
+                    let parent = dag
+                        .parents(task)
+                        .iter()
+                        .copied()
+                        .max_by_key(|&p| {
+                            let start = self.starts[p.index()].expect("ready task");
+                            let finish = start + self.run_slots_of(dag, p);
+                            let src = h.machine_of[p.index()].expect("completed parent");
+                            finish + h.machines.edge_delay(p.index(), task.index(), src, machine)
+                        })
+                        .expect("a transfer-gated task has parents");
+                    return Err(ClusterError::TransferViolation {
+                        parent,
+                        child: task,
+                    });
+                }
+                self.schedule_unchecked(dag, task, machine);
                 Ok(())
             }
             Action::Process => {
-                if self.running.is_empty() && self.next_arrival().is_none() {
+                if self.running.is_empty()
+                    && self.next_arrival().is_none()
+                    && self.next_transfer_release(dag).is_none()
+                {
                     return Err(ClusterError::NothingRunning);
                 }
                 self.process_unchecked(dag);
@@ -724,20 +1019,33 @@ impl SimState {
         debug_assert!(!self.is_terminal(dag), "apply_legal on a terminal state");
         match action {
             Action::Schedule(task) => {
+                debug_assert!(self.hetero.is_none(), "hetero states require Place");
                 debug_assert!(self.tracker.ready().binary_search(&task).is_ok());
                 debug_assert!(self.admits(dag.task(task).demand()));
-                self.schedule_unchecked(dag, task);
+                self.schedule_unchecked(dag, task, 0);
+            }
+            Action::Place(task, machine) => {
+                debug_assert!(self.can_schedule_on(dag, task, machine));
+                self.schedule_unchecked(dag, task, machine);
             }
             Action::Process => {
-                debug_assert!(!self.running.is_empty() || self.next_arrival().is_some());
+                debug_assert!(
+                    !self.running.is_empty()
+                        || self.next_arrival().is_some()
+                        || self.next_transfer_release(dag).is_some()
+                );
                 self.process_unchecked(dag);
             }
         }
     }
 
-    fn schedule_unchecked(&mut self, dag: &Dag, task: TaskId) {
+    fn schedule_unchecked(&mut self, dag: &Dag, task: TaskId, machine: u32) {
         self.tracker.take(task);
         self.used.add_assign(dag.task(task).demand());
+        if let Some(h) = self.hetero.as_deref_mut() {
+            h.used[machine as usize].add_assign(dag.task(task).demand());
+            h.machine_of[task.index()] = Some(machine);
+        }
         self.refresh_free();
         // Under a fault plan the attempt starts *now*: the attempt
         // counter advances (with its fingerprint key) and the occupancy
@@ -761,7 +1069,10 @@ impl SimState {
             None => dag.task(task).runtime(),
         };
         let finish = self.clock + slots;
-        self.placement_hash ^= placement_key(task.index(), self.clock);
+        self.placement_hash ^= match self.hetero {
+            Some(_) => hetero_placement_key(task.index(), self.clock, machine),
+            None => placement_key(task.index(), self.clock),
+        };
         self.running.push(Running { task, finish });
         self.starts[task.index()] = Some(self.clock);
         self.scheduled += 1;
@@ -770,15 +1081,20 @@ impl SimState {
 
     fn process_unchecked(&mut self, dag: &Dag) {
         // `Process` advances to the next *event*: the earliest running
-        // finish in the single-job regime, and the earlier of that and the
-        // next job arrival in the multi-job regime (where an idle cluster
-        // with queued jobs makes an arrival-only advance legal).
-        let next = match (self.earliest_finish(), self.next_arrival()) {
-            (Some(finish), Some(arrival)) => finish.min(arrival),
-            (Some(finish), None) => finish,
-            (None, Some(arrival)) => arrival,
-            (None, None) => unreachable!("process_unchecked requires running tasks or arrivals"),
-        };
+        // finish, the next job arrival (multi-job regime), or the next
+        // transfer release (heterogeneous regime, where a ready task may
+        // be waiting only for a parent's output to arrive at a machine).
+        let next = [
+            self.earliest_finish(),
+            self.next_arrival(),
+            self.next_transfer_release(dag),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or_else(|| {
+            unreachable!("process_unchecked requires running tasks, arrivals or transfers")
+        });
         self.clock = next;
         let mut i = 0;
         while i < self.running.len() {
@@ -789,6 +1105,10 @@ impl SimState {
                 // could otherwise record a tiny negative `used`.
                 self.used
                     .saturating_sub_assign(dag.task(done.task).demand());
+                if let Some(h) = self.hetero.as_deref_mut() {
+                    let m = h.machine_of[done.task.index()].expect("running task has a machine");
+                    h.used[m as usize].saturating_sub_assign(dag.task(done.task).demand());
+                }
                 if self.attempt_failed(dag, done.task) {
                     // The attempt aborted: the resources are freed (above)
                     // but the task did not complete — its placement is
@@ -838,8 +1158,18 @@ impl SimState {
             .expect("a failing attempt was started");
         self.scheduled -= 1;
         // The placement XOR-set is self-inverse: re-keying the retracted
-        // `(task, start)` pair removes exactly that placement.
-        self.placement_hash ^= placement_key(i, start);
+        // `(task, start)` pair removes exactly that placement. The
+        // retracted machine is cleared too — a retried task may be placed
+        // elsewhere.
+        self.placement_hash ^= match self.hetero.as_deref_mut() {
+            Some(h) => {
+                let machine = h.machine_of[i]
+                    .take()
+                    .expect("failed attempt had a machine");
+                hetero_placement_key(i, start, machine)
+            }
+            None => placement_key(i, start),
+        };
         let f = self
             .faults
             .as_deref_mut()
@@ -891,6 +1221,12 @@ impl SimState {
     fn refresh_free(&mut self) {
         self.free.clone_from(&self.capacity);
         self.free.saturating_sub_assign(&self.used);
+        if let Some(h) = self.hetero.as_deref_mut() {
+            for m in 0..h.machines.len() {
+                h.free[m].clone_from(h.machines.capacity(m as u32));
+                h.free[m].saturating_sub_assign(&h.used[m]);
+            }
+        }
     }
 
     /// Runs the simulation to completion, letting `policy` pick among the
@@ -945,6 +1281,9 @@ impl SimState {
                     task,
                     start,
                     finish: start + self.run_slots_of(dag, task),
+                    machine: self.hetero.as_deref().map_or(0, |h| {
+                        h.machine_of[i].expect("completed task has a machine")
+                    }),
                 }
             })
             .collect();
@@ -1636,5 +1975,145 @@ mod tests {
             actions[0]
         })
         .unwrap();
+    }
+
+    mod hetero {
+        use super::*;
+        use crate::{MachineSet, TransferMode};
+
+        /// Two unit machines, bandwidth 1, `max_edge_bytes` 1: every
+        /// cross-machine edge costs exactly one transfer slot.
+        fn two_machine_spec() -> ClusterSpec {
+            let machines = MachineSet::uniform(
+                2,
+                ResourceVec::from_slice(&[1.0]),
+                1,
+                TransferMode::Direct,
+                0,
+                1,
+            )
+            .unwrap();
+            ClusterSpec::hetero(machines).unwrap()
+        }
+
+        #[test]
+        fn place_tracks_per_machine_accounting_and_transfer_gating() {
+            let dag = chain(); // t0 (2 slots) -> t1 (3 slots), 0.5 each
+            let spec = two_machine_spec();
+            let mut sim = SimState::new(&dag, &spec).unwrap();
+            assert!(sim.is_hetero());
+            assert_eq!(sim.num_machines(), 2);
+
+            sim.apply(&dag, Action::Place(TaskId::new(0), 0)).unwrap();
+            assert_eq!(sim.machine_of(TaskId::new(0)), Some(0));
+            assert_eq!(sim.machine_used(0).as_slice(), &[0.5]);
+            assert_eq!(sim.machine_free(0).as_slice(), &[0.5]);
+            assert_eq!(sim.machine_used(1).as_slice(), &[0.0]);
+
+            sim.apply(&dag, Action::Process).unwrap();
+            assert_eq!(sim.clock(), 2);
+            assert_eq!(sim.machine_used(0).as_slice(), &[0.0]);
+
+            // t1's input finished on machine 0 at t=2: it can start on
+            // machine 0 immediately, but machine 1 only after the one-slot
+            // transfer — so the legal list offers the co-located `Place`
+            // plus `Process` (waiting for the transfer release).
+            assert_eq!(
+                sim.legal_actions(&dag),
+                vec![Action::Place(TaskId::new(1), 0), Action::Process]
+            );
+            assert_eq!(
+                sim.apply(&dag, Action::Place(TaskId::new(1), 1))
+                    .unwrap_err(),
+                ClusterError::TransferViolation {
+                    parent: TaskId::new(0),
+                    child: TaskId::new(1)
+                }
+            );
+
+            // `Process` on an idle cluster advances to the transfer
+            // release, after which the cross-machine start is legal.
+            sim.apply(&dag, Action::Process).unwrap();
+            assert_eq!(sim.clock(), 3);
+            sim.apply(&dag, Action::Place(TaskId::new(1), 1)).unwrap();
+            assert_eq!(sim.machine_of(TaskId::new(1)), Some(1));
+            sim.apply(&dag, Action::Process).unwrap();
+            assert_eq!(sim.makespan(), Some(6));
+        }
+
+        #[test]
+        fn schedule_requires_a_machine_and_single_box_place_aliases_it() {
+            let dag = chain();
+            let mut sim = SimState::new(&dag, &two_machine_spec()).unwrap();
+            assert_eq!(
+                sim.apply(&dag, Action::Schedule(TaskId::new(0)))
+                    .unwrap_err(),
+                ClusterError::MachineRequired(TaskId::new(0))
+            );
+            assert_eq!(
+                sim.apply(&dag, Action::Place(TaskId::new(0), 2))
+                    .unwrap_err(),
+                ClusterError::MachineOutOfRange {
+                    task: TaskId::new(0),
+                    machine: 2
+                }
+            );
+            // On a single box `Place(t, 0)` aliases `Schedule`; any other
+            // machine index does not exist.
+            let mut single = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+            assert_eq!(
+                single
+                    .apply(&dag, Action::Place(TaskId::new(0), 1))
+                    .unwrap_err(),
+                ClusterError::MachineOutOfRange {
+                    task: TaskId::new(0),
+                    machine: 1
+                }
+            );
+            single
+                .apply(&dag, Action::Place(TaskId::new(0), 0))
+                .unwrap();
+            assert_eq!(single.start_of(TaskId::new(0)), Some(0));
+        }
+
+        #[test]
+        fn degenerate_one_machine_stepping_matches_the_single_box() {
+            // A 1-machine hetero spec has no cross-machine links, so the
+            // same greedy decisions yield the same clocks, accounting and
+            // final schedule as the plain single-box simulator (the
+            // fingerprints differ by design: hetero states fold the
+            // placement set back in).
+            let dag = chain();
+            let machines = MachineSet::uniform(
+                1,
+                ResourceVec::from_slice(&[1.0]),
+                1,
+                TransferMode::Direct,
+                0,
+                1,
+            )
+            .unwrap();
+            let hetero_spec = ClusterSpec::hetero(machines).unwrap();
+            let mut h = SimState::new(&dag, &hetero_spec).unwrap();
+            let mut s = SimState::new(&dag, &ClusterSpec::unit(1)).unwrap();
+            while !s.is_terminal(&dag) {
+                let action = s.legal_actions(&dag)[0];
+                s.apply(&dag, action).unwrap();
+                let mirrored = match action {
+                    Action::Schedule(t) => Action::Place(t, 0),
+                    other => other,
+                };
+                h.apply(&dag, mirrored).unwrap();
+                assert_eq!(h.clock(), s.clock());
+                assert_eq!(h.used().as_slice(), s.used().as_slice());
+                assert_eq!(h.free().as_slice(), s.free().as_slice());
+            }
+            assert!(h.is_terminal(&dag));
+            assert_eq!(h.makespan(), s.makespan());
+            let hs = h.into_schedule(&dag);
+            let ss = s.into_schedule(&dag);
+            assert_eq!(hs.placements(), ss.placements());
+            hs.validate(&dag, &hetero_spec).unwrap();
+        }
     }
 }

@@ -189,7 +189,7 @@ proptest! {
             let action = legal[rng.gen_range(0..legal.len())];
             sim.apply(&dag, action).unwrap();
             match action {
-                Action::Schedule(_) => prop_assert_eq!(sim.clock(), before),
+                Action::Schedule(_) | Action::Place(..) => prop_assert_eq!(sim.clock(), before),
                 Action::Process => prop_assert!(sim.clock() > before),
             }
         }

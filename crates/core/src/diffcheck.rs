@@ -36,8 +36,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use spear_cluster::{
     execute_under_faults, execute_under_faults_audited, Action, ClusterError, ClusterSpec,
-    FaultOutcome, FaultPlan, FaultyRun, InvariantAuditor, JctReport, JobQueue, ResourceTimeline,
-    Schedule, SimState, SpearError,
+    FaultOutcome, FaultPlan, FaultyRun, InvariantAuditor, JctReport, JobQueue, MachineSet,
+    ResourceTimeline, Schedule, SimState, SpearError, TransferMode,
 };
 use spear_dag::generator::LayeredDagSpec;
 use spear_dag::{Dag, DagBuilder, ResourceVec, Task, TaskId, FIT_EPSILON};
@@ -213,8 +213,16 @@ pub fn check_schedule(dag: &Dag, spec: &ClusterSpec, schedule: &Schedule) -> Tri
 /// `Process` advances between starts. Rejects schedules the operational
 /// semantics cannot realize (unreachable start times, capacity refusals,
 /// precedence refusals, makespan mismatch).
+///
+/// On a heterogeneous cluster the replay issues [`Action::Place`] on the
+/// recorded machine — the simulator's own per-machine admission and
+/// transfer gate then re-derive every cross-machine delay independently
+/// of the declarative judge — and the [`InvariantAuditor`] runs after
+/// every action.
 fn replay_sim(dag: &Dag, spec: &ClusterSpec, schedule: &Schedule) -> Result<(), String> {
+    let hetero = spec.machines().is_some();
     let mut sim = SimState::new(dag, spec).map_err(|e| format!("initial state: {e}"))?;
+    let mut auditor = hetero.then(InvariantAuditor::new);
     let mut order: Vec<usize> = (0..schedule.placements().len()).collect();
     order.sort_by_key(|&i| {
         let p = &schedule.placements()[i];
@@ -234,12 +242,27 @@ fn replay_sim(dag: &Dag, spec: &ClusterSpec, schedule: &Schedule) -> Result<(), 
                 sim.clock()
             ));
         }
-        sim.apply(dag, Action::Schedule(p.task))
+        let action = if hetero {
+            Action::Place(p.task, p.machine)
+        } else {
+            Action::Schedule(p.task)
+        };
+        sim.apply(dag, action)
             .map_err(|e| format!("scheduling task {} at {}: {e}", p.task, p.start))?;
+        if let Some(auditor) = auditor.as_mut() {
+            auditor
+                .check(dag, &sim)
+                .map_err(|v| format!("auditor after placing task {}: {v}", p.task))?;
+        }
     }
     while !sim.is_terminal(dag) {
         sim.apply(dag, Action::Process)
             .map_err(|e| format!("draining the cluster: {e}"))?;
+        if let Some(auditor) = auditor.as_mut() {
+            auditor
+                .check(dag, &sim)
+                .map_err(|v| format!("auditor while draining: {v}"))?;
+        }
     }
     match sim.makespan() {
         Some(m) if m == schedule.makespan() => Ok(()),
@@ -255,8 +278,22 @@ fn replay_sim(dag: &Dag, spec: &ClusterSpec, schedule: &Schedule) -> Result<(), 
 /// fit the already-placed occupancy slot-by-slot, and durations must match
 /// runtimes. (Precedence is out of scope here — the timeline is the
 /// capacity judge.)
+///
+/// On a heterogeneous cluster the judge keeps **one occupancy grid per
+/// machine** (each with that machine's own capacity) and additionally
+/// re-derives every cross-machine transfer delay from the
+/// [`MachineSet`] alone — seeded edge bytes divided by link bandwidth —
+/// and rejects any child that starts inside its transfer window. That
+/// derivation shares no code with [`Schedule::validate`]'s edge loop or
+/// the simulator's gate, so a bug in either shows up as a judge
+/// disagreement rather than a silent agreement.
 fn replay_timeline(dag: &Dag, spec: &ClusterSpec, schedule: &Schedule) -> Result<(), String> {
-    let mut tl = ResourceTimeline::new(spec.capacity().clone());
+    let mut grids: Vec<ResourceTimeline> = match spec.machines() {
+        Some(m) => (0..m.len())
+            .map(|i| ResourceTimeline::new(m.capacity(i as u32).clone()))
+            .collect(),
+        None => vec![ResourceTimeline::new(spec.capacity().clone())],
+    };
     let mut latest = 0u64;
     for p in schedule.placements() {
         let runtime = dag.task(p.task).runtime();
@@ -266,14 +303,41 @@ fn replay_timeline(dag: &Dag, spec: &ClusterSpec, schedule: &Schedule) -> Result
                 p.task, p.start, p.finish
             ));
         }
+        let tl = grids.get_mut(p.machine as usize).ok_or_else(|| {
+            format!(
+                "task {} is placed on machine {} of a {}-machine cluster",
+                p.task,
+                p.machine,
+                spec.num_machines()
+            )
+        })?;
         if !tl.fits(dag.task(p.task).demand(), p.start, runtime) {
             return Err(format!(
-                "task {} does not fit the occupancy grid at [{}, {})",
-                p.task, p.start, p.finish
+                "task {} does not fit machine {}'s occupancy grid at [{}, {})",
+                p.task, p.machine, p.start, p.finish
             ));
         }
         tl.place(dag.task(p.task).demand(), p.start, runtime);
         latest = latest.max(p.finish);
+    }
+    if let Some(machines) = spec.machines() {
+        for e in dag.edges() {
+            let (parent, child) = match (schedule.placement_of(e.from), schedule.placement_of(e.to))
+            {
+                (Some(p), Some(c)) => (p, c),
+                // Completeness is the declarative judge's concern.
+                _ => continue,
+            };
+            let bytes = machines.edge_bytes(e.from.index(), e.to.index());
+            let delay = machines.transfer_delay(bytes, parent.machine, child.machine);
+            if child.start < parent.finish.saturating_add(delay) {
+                return Err(format!(
+                    "task {} starts at {} inside the transfer window of its parent {} \
+                     (finish {} + {bytes} bytes over the m{}->m{} link = {delay} slots)",
+                    e.to, child.start, e.from, parent.finish, parent.machine, child.machine
+                ));
+            }
+        }
     }
     if latest != schedule.makespan() && !schedule.placements().is_empty() {
         return Err(format!(
@@ -1076,6 +1140,130 @@ pub fn fault_corpus(count: usize, base_seed: u64) -> Vec<FaultCaseSpec> {
         .collect()
 }
 
+/// One heterogeneous-cluster fuzz case: a seeded workload crossed with a
+/// scheduler on a multi-machine [`ClusterSpec`] with data-transfer-aware
+/// placement. Machine capacities taper (machine 0 is always full-size, so
+/// every task admissible on a unit cluster stays admissible here) and the
+/// bandwidth matrix is deterministically non-uniform in the case seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeteroCaseSpec {
+    /// Seed for the workload generator, the scheduler, and the network.
+    pub seed: u64,
+    /// Number of tasks in the generated DAG.
+    pub num_tasks: usize,
+    /// Resource dimensions.
+    pub dims: usize,
+    /// Number of machines (≥ 1).
+    pub machines: usize,
+    /// Base link bandwidth in bytes per slot.
+    pub bandwidth: u64,
+    /// How cross-machine transfers are routed.
+    pub mode: TransferMode,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+}
+
+impl HeteroCaseSpec {
+    /// Generates the case's DAG deterministically from its seed.
+    pub fn dag(&self) -> Dag {
+        LayeredDagSpec {
+            num_tasks: self.num_tasks,
+            dims: self.dims,
+            ..LayeredDagSpec::paper_training()
+        }
+        .generate(&mut StdRng::seed_from_u64(self.seed))
+    }
+
+    /// The seeded heterogeneous machine set of this case.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on degenerate parameters (zero machines/bandwidth).
+    pub fn machine_set(&self) -> MachineSet {
+        let n = self.machines;
+        // Capacities taper: 1.0, 0.75, 0.5, 0.75, 1.0, ... per dimension.
+        let tapers = [1.0, 0.75, 0.5, 0.75];
+        let capacities: Vec<ResourceVec> = (0..n)
+            .map(|i| {
+                let scale = tapers[i % tapers.len()];
+                ResourceVec::from_slice(&vec![scale; self.dims])
+            })
+            .collect();
+        // Non-uniform links: the (i, j) link gets 1x or 2x the base
+        // bandwidth, deterministically in (seed, i, j).
+        let bandwidth: Vec<u64> = (0..n * n)
+            .map(|ij| self.bandwidth * (1 + (self.seed.wrapping_add(ij as u64)) % 2))
+            .collect();
+        MachineSet::new(capacities, bandwidth, self.mode, self.seed, 8)
+            .expect("case parameters form a valid machine set")
+    }
+
+    /// The heterogeneous cluster the case runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on degenerate parameters.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::hetero(self.machine_set()).expect("machine set is valid")
+    }
+
+    /// Runs the scheduler on the heterogeneous cluster and judges its
+    /// schedule three ways. `Err` means the scheduler itself failed —
+    /// also a finding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's own failure as a string.
+    pub fn run(&self) -> Result<TriCheck, String> {
+        let dag = self.dag();
+        let spec = self.cluster();
+        let mut scheduler = self.scheduler.build(self.seed, self.dims);
+        let schedule = scheduler
+            .schedule(&dag, &spec)
+            .map_err(|e| format!("{} failed to schedule: {e}", self.scheduler.name()))?;
+        Ok(check_schedule(&dag, &spec, &schedule))
+    }
+
+    /// Short label for reports, e.g. `tetris/n14/m3/bw4/direct/seed42`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/n{}/m{}/bw{}/{}/seed{}",
+            self.scheduler.name(),
+            self.num_tasks,
+            self.machines,
+            self.bandwidth,
+            match self.mode {
+                TransferMode::Direct => "direct",
+                TransferMode::ViaMaster => "via-master",
+            },
+            self.seed
+        )
+    }
+}
+
+/// The seeded heterogeneous corpus: `count` cases cycling the full roster
+/// over 2–3 machine clusters, both transfer modes, and mixed bandwidths.
+/// Deterministic in `base_seed`.
+pub fn hetero_corpus(count: usize, base_seed: u64) -> Vec<HeteroCaseSpec> {
+    let sizes = [6usize, 10, 14];
+    let bandwidths = [1u64, 4, 16];
+    (0..count)
+        .map(|i| HeteroCaseSpec {
+            seed: base_seed.wrapping_add(i as u64),
+            num_tasks: sizes[i % sizes.len()],
+            dims: 1 + (i / sizes.len()) % 2,
+            machines: 2 + i % 2,
+            bandwidth: bandwidths[i % bandwidths.len()],
+            mode: if (i / 2) % 2 == 0 {
+                TransferMode::Direct
+            } else {
+                TransferMode::ViaMaster
+            },
+            scheduler: SchedulerKind::ALL[i % SchedulerKind::ALL.len()],
+        })
+        .collect()
+}
+
 /// A task of a committed regression [`Fixture`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FixtureTask {
@@ -1116,6 +1304,11 @@ pub struct Fixture {
     pub tasks: Vec<FixtureTask>,
     /// The precedence edges.
     pub edges: Vec<FixtureEdge>,
+    /// Heterogeneous machine set, when the fixture pins a multi-machine
+    /// case; `None` (the default, so legacy fixtures parse) means the
+    /// single-box cluster described by `capacity`.
+    #[serde(default)]
+    pub machines: Option<MachineSet>,
 }
 
 impl Fixture {
@@ -1137,14 +1330,20 @@ impl Fixture {
         b.build().expect("fixture must encode a valid dag")
     }
 
-    /// Reconstructs the cluster spec.
+    /// Reconstructs the cluster spec (heterogeneous when the fixture
+    /// stores a machine set).
     ///
     /// # Panics
     ///
-    /// Panics if the stored capacity is invalid.
+    /// Panics if the stored capacity or machine set is invalid.
     pub fn cluster(&self) -> ClusterSpec {
-        ClusterSpec::new(ResourceVec::from_slice(&self.capacity))
-            .expect("fixture must encode a valid capacity")
+        match &self.machines {
+            Some(m) => {
+                ClusterSpec::hetero(m.clone()).expect("fixture must encode a valid machine set")
+            }
+            None => ClusterSpec::new(ResourceVec::from_slice(&self.capacity))
+                .expect("fixture must encode a valid capacity"),
+        }
     }
 
     /// Re-runs the named scheduler on the fixture's workload and judges
@@ -1196,6 +1395,7 @@ impl Fixture {
                     to: e.to.index(),
                 })
                 .collect(),
+            machines: spec.machines().cloned(),
         }
     }
 
@@ -1308,16 +1508,8 @@ mod tests {
         let spec = ClusterSpec::unit(1);
         let schedule = Schedule::from_placements(
             vec![
-                spear_cluster::Placement {
-                    task: TaskId::new(0),
-                    start: 0,
-                    finish: 2,
-                },
-                spear_cluster::Placement {
-                    task: TaskId::new(1),
-                    start: 0,
-                    finish: 2,
-                },
+                spear_cluster::Placement::new(TaskId::new(0), 0, 2),
+                spear_cluster::Placement::new(TaskId::new(1), 0, 2),
             ],
             2,
         );
@@ -1405,6 +1597,112 @@ mod tests {
         }
         assert!(a.iter().any(|c| c.epsilon_jitter));
         assert!(a.iter().any(|c| !c.epsilon_jitter));
+    }
+
+    #[test]
+    fn a_clean_hetero_case_passes_three_ways() {
+        let case = HeteroCaseSpec {
+            seed: 7,
+            num_tasks: 10,
+            dims: 2,
+            machines: 3,
+            bandwidth: 2,
+            mode: TransferMode::Direct,
+            scheduler: SchedulerKind::Tetris,
+        };
+        let tri = case.run().unwrap();
+        assert!(tri.all_ok(), "{}", tri.summary());
+        assert!(!tri.is_disagreement());
+    }
+
+    #[test]
+    fn a_transfer_violating_hetero_schedule_is_rejected_coherently() {
+        // A two-task chain split across machines, with the child starting
+        // the instant its parent finishes — ignoring the transfer window.
+        // All three judges must re-derive the delay and reject.
+        let mut b = DagBuilder::new(1);
+        let parent = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        let child = b.add_task(Task::new(2, ResourceVec::from_slice(&[0.5])));
+        b.add_edge(parent, child).unwrap();
+        let dag = b.build().unwrap();
+        let machines = MachineSet::uniform(
+            2,
+            ResourceVec::from_slice(&[1.0]),
+            1,
+            TransferMode::Direct,
+            3,
+            8,
+        )
+        .unwrap();
+        assert!(machines.edge_delay(0, 1, 0, 1) > 0);
+        let spec = ClusterSpec::hetero(machines).unwrap();
+        let schedule = Schedule::from_placements(
+            vec![
+                spear_cluster::Placement {
+                    task: parent,
+                    start: 0,
+                    finish: 2,
+                    machine: 0,
+                },
+                spear_cluster::Placement {
+                    task: child,
+                    start: 2,
+                    finish: 4,
+                    machine: 1,
+                },
+            ],
+            4,
+        );
+        let tri = check_schedule(&dag, &spec, &schedule);
+        assert!(tri.validate.is_err(), "{}", tri.summary());
+        assert!(tri.sim_replay.is_err(), "{}", tri.summary());
+        assert!(tri.timeline_replay.is_err(), "{}", tri.summary());
+        assert!(!tri.is_disagreement());
+    }
+
+    #[test]
+    fn hetero_corpus_is_deterministic_and_covers_the_roster() {
+        let a = hetero_corpus(40, 4);
+        assert_eq!(a, hetero_corpus(40, 4));
+        for kind in SchedulerKind::ALL {
+            assert!(
+                a.iter().any(|c| c.scheduler == kind),
+                "{} missing",
+                kind.name()
+            );
+        }
+        assert!(a.iter().any(|c| c.mode == TransferMode::Direct));
+        assert!(a.iter().any(|c| c.mode == TransferMode::ViaMaster));
+        assert!(a.iter().any(|c| c.machines == 2));
+        assert!(a.iter().any(|c| c.machines == 3));
+    }
+
+    #[test]
+    fn hetero_fixture_round_trips_the_machine_set() {
+        let case = HeteroCaseSpec {
+            seed: 11,
+            num_tasks: 6,
+            dims: 1,
+            machines: 2,
+            bandwidth: 4,
+            mode: TransferMode::ViaMaster,
+            scheduler: SchedulerKind::Sjf,
+        };
+        let dag = case.dag();
+        let spec = case.cluster();
+        let fixture = Fixture::from_parts(
+            "hetero-round-trip",
+            "serialization test",
+            case.scheduler,
+            case.seed,
+            &dag,
+            &spec,
+        );
+        let parsed = Fixture::from_json(&fixture.to_json()).unwrap();
+        assert_eq!(parsed, fixture);
+        assert_eq!(parsed.cluster().num_machines(), 2);
+        let tri = parsed.verify();
+        assert!(tri.all_ok(), "{}", tri.summary());
     }
 
     fn faulty_case(seed: u64, profile: FaultProfile) -> FaultCaseSpec {

@@ -83,8 +83,8 @@ pub use spear_cluster::env::{DecisionPolicy, Env, EnvContext, EpisodeDriver, Mul
 pub use spear_cluster::{
     execute_multi_under_faults, execute_under_faults, execute_under_faults_audited, Action,
     AuditViolation, ClusterError, ClusterSpec, ErrorContext, FailedRun, FaultOutcome, FaultPlan,
-    FaultyRun, InvariantAuditor, JctReport, JobCompletion, JobQueue, JobSpan, MultiFaultyRun,
-    Placement, Schedule, SimState, SpearError,
+    FaultyRun, InvariantAuditor, JctReport, JobCompletion, JobQueue, JobSpan, MachineSet,
+    MultiFaultyRun, Placement, Schedule, SimState, SpearError, TransferMode,
 };
 pub use spear_dag::{Dag, DagBuilder, DagError, ResourceVec, Task, TaskId};
 pub use spear_mcts::{MctsConfig, MctsScheduler, RootParallelMcts, SearchStats, TreeParallelMcts};
@@ -95,6 +95,6 @@ pub use spear_sched::{
     TetrisScheduler,
 };
 pub use spear_trace::{
-    ArrivalProcess, ArrivalStreamSpec, FaultProfile, JobSource, SyntheticTraceSpec, Trace,
-    TraceJob, TraceStats,
+    ArrivalProcess, ArrivalStreamSpec, FaultProfile, JobSource, MachineProfile, SyntheticTraceSpec,
+    Trace, TraceJob, TraceStats,
 };

@@ -147,14 +147,14 @@ impl SearchPolicy for RandomPolicy {
     ) -> Action {
         let schedulable = legal
             .iter()
-            .filter(|a| matches!(a, Action::Schedule(_)))
+            .filter(|a| !matches!(a, Action::Process))
             .count();
         if schedulable == 0 {
             return Action::Process;
         }
         *legal
             .iter()
-            .filter(|a| matches!(a, Action::Schedule(_)))
+            .filter(|a| !matches!(a, Action::Process))
             .nth(rng.gen_range(0..schedulable))
             .expect("counted above")
     }
@@ -208,6 +208,9 @@ impl HeuristicPolicy {
             // Process only when nothing else scores: rank below any task.
             Action::Process => f64::NEG_INFINITY,
             Action::Schedule(t) => ctx.dag.task(t).demand().dot(state.free()),
+            // Hetero placement: align against the target machine's free
+            // vector, so the packer prefers the machine the task fits best.
+            Action::Place(t, m) => ctx.dag.task(t).demand().dot(state.machine_free(m)),
         }
     }
 }
@@ -403,7 +406,10 @@ impl DrlPolicy {
                 self.action_probs.extend(actions.iter().map(|&a| {
                     match a {
                         Action::Process => probs[process_idx],
-                        Action::Schedule(t) => slots
+                        // A `Place` inherits its task's probability: the
+                        // policy head stays task-indexed and the machine
+                        // choice is resolved at the sampling boundary.
+                        Action::Schedule(t) | Action::Place(t, _) => slots
                             .iter()
                             .position(|&s| s == Some(t))
                             .map(|slot| probs[slot])
@@ -430,7 +436,7 @@ impl DrlPolicy {
         self.action_probs.extend(actions.iter().map(|&a| {
             match a {
                 Action::Process => self.probs[process_idx],
-                Action::Schedule(t) => self
+                Action::Schedule(t) | Action::Place(t, _) => self
                     .view
                     .slot_tasks
                     .iter()
@@ -466,7 +472,7 @@ impl DrlPolicy {
                 self.action_probs.extend(actions.iter().map(|&a| {
                     match a {
                         Action::Process => f64::from(probs[process_idx]),
-                        Action::Schedule(t) => slots
+                        Action::Schedule(t) | Action::Place(t, _) => slots
                             .iter()
                             .position(|&s| s == Some(t))
                             .map(|slot| f64::from(probs[slot]))
@@ -499,7 +505,7 @@ impl DrlPolicy {
         self.action_probs.extend(actions.iter().map(|&a| {
             match a {
                 Action::Process => f64::from(self.probs_f32[process_idx]),
-                Action::Schedule(t) => self
+                Action::Schedule(t) | Action::Place(t, _) => self
                     .view
                     .slot_tasks
                     .iter()

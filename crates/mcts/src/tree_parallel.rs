@@ -291,7 +291,7 @@ fn map_action_probs(
     out.extend(actions.iter().map(|&a| {
         match a {
             Action::Process => probs[process_idx],
-            Action::Schedule(t) => slot_tasks
+            Action::Schedule(t) | Action::Place(t, _) => slot_tasks
                 .iter()
                 .position(|&s| s == Some(t))
                 .map(|slot| probs[slot])

@@ -185,6 +185,14 @@ impl Search<'_> {
     /// * every ready/blocked task can start no earlier than now;
     /// * the remaining resource-time load per dimension must fit after
     ///   `clock`.
+    ///
+    /// On heterogeneous clusters the bound uses the *min-transfer
+    /// relaxation*: every cross-machine edge delay is relaxed to
+    /// [`spear_cluster::MachineSet::min_edge_delay`] (zero, since a child
+    /// may always be co-located with its parent). Transfers can only delay
+    /// starts relative to this relaxation, so the bound stays admissible,
+    /// and the aggregate load bound relaxes per-machine capacities to
+    /// their sum, which again only under-estimates the true makespan.
     fn lower_bound(&self, state: &SimState) -> u64 {
         let mut lb = state.max_finish();
         // Ready tasks: start >= clock.
@@ -257,8 +265,9 @@ impl Search<'_> {
         // simulator's order, but make it explicit for the symmetry
         // argument).
         actions.sort_by_key(|a| match a {
-            Action::Schedule(t) => (0, t.index()),
-            Action::Process => (1, usize::MAX),
+            Action::Schedule(t) => (0, t.index(), 0),
+            Action::Place(t, m) => (0, t.index(), *m as usize),
+            Action::Process => (1, usize::MAX, usize::MAX),
         });
         for action in actions {
             let mut child = env.clone();

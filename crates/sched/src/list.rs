@@ -113,7 +113,7 @@ impl<S: TaskScorer> PriorityListScheduler<S> {
                 state,
                 features: &features,
             };
-            select_best(legal, |t| scorer.score(&score_ctx, t))
+            select_best(ctx.dag, state, legal, |t| scorer.score(&score_ctx, t))
         });
         EpisodeDriver::new(policy)
             .with_obs(&self.obs)
@@ -144,25 +144,63 @@ impl<S: TaskScorer> Scheduler for PriorityListScheduler<S> {
     }
 }
 
-/// Picks the `Schedule` action with the highest score (ties break toward
-/// the lower task id, the slice order), or `Process` when nothing fits.
-fn select_best<F: FnMut(TaskId) -> f64>(legal: &[Action], mut score: F) -> Action {
-    let mut best: Option<(TaskId, f64)> = None;
+/// Fraction of `task`'s parents that ran on machine `m` — the locality
+/// bonus of a `(task, machine)` pair. Placing a child next to its parents
+/// keeps future data local; 0 for source tasks and on single-box states
+/// (where every parent trivially shares the one machine anyway).
+pub(crate) fn locality(dag: &Dag, state: &SimState, task: TaskId, m: u32) -> f64 {
+    if !state.is_hetero() {
+        return 0.0;
+    }
+    let parents = dag.parents(task);
+    if parents.is_empty() {
+        return 0.0;
+    }
+    let co = parents
+        .iter()
+        .filter(|&&p| state.machine_of(p) == Some(m))
+        .count();
+    co as f64 / parents.len() as f64
+}
+
+/// Picks the scheduling action with the highest task score, breaking score
+/// ties toward the better machine locality and remaining ties toward the
+/// slice order (lowest task id, then lowest machine id), or `Process` when
+/// nothing fits. On heterogeneous clusters this ranks the full
+/// `(task, machine)` product the legal list spells out.
+fn select_best<F: FnMut(TaskId) -> f64>(
+    dag: &Dag,
+    state: &SimState,
+    legal: &[Action],
+    mut score: F,
+) -> Action {
+    let mut best: Option<(Action, f64, f64)> = None;
+    let mut last_task: Option<(TaskId, f64)> = None;
     for &action in legal {
-        let Action::Schedule(t) = action else {
+        let Some(t) = action.task() else {
             continue;
         };
-        let s = score(t);
+        // The legal list is task-major, so the score of a task with
+        // several feasible machines is computed once.
+        let s = match last_task {
+            Some((lt, ls)) if lt == t => ls,
+            _ => {
+                let s = score(t);
+                last_task = Some((t, s));
+                s
+            }
+        };
+        let loc = action.machine().map_or(0.0, |m| locality(dag, state, t, m));
         let better = match best {
-            Some((_, best_score)) => s > best_score,
+            Some((_, bs, bl)) => s > bs || (s == bs && loc > bl),
             None => true,
         };
         if better {
-            best = Some((t, s));
+            best = Some((action, s, loc));
         }
     }
     match best {
-        Some((t, _)) => Action::Schedule(t),
+        Some((action, ..)) => action,
         None => Action::Process,
     }
 }
@@ -231,15 +269,26 @@ fn drive_priority_order<E: Env>(env: &mut E, order: &[TaskId]) -> Result<(), Spe
         rank[t.index()] = i;
     }
 
-    let policy = FnPolicy(|_: &EnvContext<'_>, _: &SimState, legal: &[Action]| {
-        legal
-            .iter()
-            .filter_map(|&a| match a {
-                Action::Schedule(t) => Some(t),
-                Action::Process => None,
-            })
-            .min_by_key(|&t| rank[t.index()])
-            .map_or(Action::Process, Action::Schedule)
+    let policy = FnPolicy(|ctx: &EnvContext<'_>, state: &SimState, legal: &[Action]| {
+        // Earliest-in-order task first; among a task's feasible machines
+        // the highest parent locality wins (ties keep the slice order,
+        // i.e. the lowest machine id).
+        let mut best: Option<(Action, usize, f64)> = None;
+        for &a in legal {
+            let Some(t) = a.task() else {
+                continue;
+            };
+            let r = rank[t.index()];
+            let loc = a.machine().map_or(0.0, |m| locality(ctx.dag, state, t, m));
+            let better = match best {
+                Some((_, br, bl)) => r < br || (r == br && loc > bl),
+                None => true,
+            };
+            if better {
+                best = Some((a, r, loc));
+            }
+        }
+        best.map_or(Action::Process, |(a, ..)| a)
     });
     EpisodeDriver::new(policy).drive(env, &mut NoRng, u64::MAX)?;
     Ok(())

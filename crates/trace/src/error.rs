@@ -9,7 +9,7 @@ use spear_dag::DagError;
 /// mix the two go through `Box<dyn Error>` or wrap at the call site.
 ///
 /// [`spear_cluster::SpearError`]: https://docs.rs/spear-cluster
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum TraceError {
     /// A job has no map tasks or no reduce tasks; the two-stage shuffle
@@ -32,6 +32,9 @@ pub enum TraceError {
     /// Building the DAG failed (e.g. mismatched resource dimensions
     /// between map and reduce demands).
     Dag(DagError),
+    /// A machine-set profile described an invalid cluster (zero
+    /// machines, dimensions, bandwidth or payload bound).
+    Cluster(spear_cluster::ClusterError),
 }
 
 impl std::fmt::Display for TraceError {
@@ -50,6 +53,7 @@ impl std::fmt::Display for TraceError {
                 "job {job}: {stage} stage has {runtimes} runtimes but {demands} demand vectors"
             ),
             TraceError::Dag(e) => write!(f, "building the two-stage DAG: {e}"),
+            TraceError::Cluster(e) => write!(f, "building the machine set: {e}"),
         }
     }
 }
@@ -58,6 +62,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Dag(e) => Some(e),
+            TraceError::Cluster(e) => Some(e),
             _ => None,
         }
     }

@@ -18,7 +18,11 @@
 //! * a seeded **fault-environment recipe** ([`FaultProfile`]) freezing
 //!   failure/straggler rates and a retry budget into the deterministic
 //!   fault plans the simulator replays during the unreliable-cluster
-//!   sweeps.
+//!   sweeps,
+//! * a seeded **machine-set generator** ([`MachineProfile`]) for the
+//!   heterogeneous-cluster sweeps: machine count, capacity spread and
+//!   interconnect bandwidth knobs frozen into a reproducible
+//!   `spear_cluster::MachineSet`.
 //!
 //! Note: the paper's prose ("mean map runtime varies from 2 to 17 s") and
 //! its Fig. 9(b) medians (map 73 s, reduce 32 s) are mutually
@@ -42,6 +46,7 @@
 mod arrivals;
 mod error;
 mod faults;
+mod machines;
 mod model;
 mod stats;
 mod synth;
@@ -49,6 +54,7 @@ mod synth;
 pub use arrivals::{ArrivalProcess, ArrivalStreamSpec, JobSource};
 pub use error::TraceError;
 pub use faults::FaultProfile;
+pub use machines::MachineProfile;
 pub use model::{Trace, TraceJob};
 pub use stats::{cdf_points, median_u64, TraceStats};
 pub use synth::SyntheticTraceSpec;
